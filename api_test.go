@@ -1,0 +1,192 @@
+package dcfp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"dcfp"
+)
+
+// TestPublicAPIMonitorRoundTrip drives the full public surface the README
+// advertises: catalog, SLA config, monitor, crisis detection, advice, and
+// operator feedback — without touching internal packages.
+func TestPublicAPIMonitorRoundTrip(t *testing.T) {
+	cat, err := dcfp.NewCatalog([]string{"latency", "queue", "errors"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slaCfg := dcfp.SLAConfig{
+		KPIs:           []dcfp.KPI{{Name: "latency", Metric: 0, Threshold: 100}},
+		CrisisFraction: 0.10,
+	}
+	cfg := dcfp.DefaultMonitorConfig(cat, slaCfg)
+	cfg.ThresholdRefreshEpochs = 48
+	cfg.MinEpochsForThresholds = 96
+	cfg.Selection = dcfp.SelectionConfig{PerCrisisTopK: 2, NumRelevant: 3}
+	cfg.Alpha = 0.5
+	mon, err := dcfp.NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	drift := make([]float64, 3)
+	feed := func(n int, factors map[int]float64) (string, []string) {
+		var id string
+		var seq []string
+		for i := 0; i < n; i++ {
+			for j := range drift {
+				drift[j] = 0.9*drift[j] + rng.NormFloat64()*0.02
+			}
+			rows := make([][]float64, 20)
+			base := []float64{50, 10, 1}
+			for m := range rows {
+				row := make([]float64, 3)
+				for j := range row {
+					row[j] = base[j] * (1 + drift[j]) * (1 + rng.NormFloat64()*0.08)
+					if f, ok := factors[j]; ok && m < 12 {
+						row[j] *= f
+					}
+				}
+				rows[m] = row
+			}
+			rep, err := mon.ObserveEpoch(rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Advice != nil {
+				id = rep.Advice.CrisisID
+				seq = append(seq, rep.Advice.Emitted)
+			}
+		}
+		return id, seq
+	}
+
+	crisis := map[int]float64{0: 5, 1: 8}
+	feed(200, nil) // history
+	id1, _ := feed(8, crisis)
+	feed(50, nil)
+	if err := mon.ResolveCrisis(id1, "queue-overload"); err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := feed(8, crisis)
+	feed(50, nil)
+	if err := mon.ResolveCrisis(id2, "queue-overload"); err != nil {
+		t.Fatal(err)
+	}
+	_, seq3 := feed(8, crisis)
+	feed(10, nil)
+	found := false
+	for _, l := range seq3 {
+		if l == "queue-overload" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("third recurrence not identified: %v", seq3)
+	}
+	stored, labeled := mon.KnownCrises()
+	if stored != 3 || labeled != 2 {
+		t.Fatalf("store = %d/%d", stored, labeled)
+	}
+}
+
+// TestPublicAPIPrimitives exercises the lower-level exported pieces.
+func TestPublicAPIPrimitives(t *testing.T) {
+	if dcfp.EpochsPerDay != 96 || dcfp.NumQuantiles != 3 || dcfp.IdentificationEpochs != 5 {
+		t.Fatal("constants wrong")
+	}
+	if dcfp.Unknown != "x" {
+		t.Fatal("Unknown label wrong")
+	}
+
+	// Quantile estimators.
+	est := dcfp.NewExactQuantiles()
+	gk, err := dcfp.NewGKQuantiles(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 1000; i++ {
+		est.Insert(float64(i))
+		gk.Insert(float64(i))
+	}
+	med, err := est.Query(0.5)
+	if err != nil || med < 499 || med > 502 {
+		t.Fatalf("exact median = %v, %v", med, err)
+	}
+	gmed, err := gk.Query(0.5)
+	if err != nil || gmed < 480 || gmed > 520 {
+		t.Fatalf("gk median = %v, %v", gmed, err)
+	}
+
+	// Track + thresholds + fingerprinter.
+	track, err := dcfp.NewQuantileTrack(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 200; e++ {
+		v := 100 + float64(e%10)
+		if err := track.AppendEpoch([][3]float64{{v, v, v}, {v, v, v}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	th, err := dcfp.ComputeThresholds(track, func(dcfp.Epoch) bool { return true }, 199,
+		dcfp.ThresholdConfig{ColdPercentile: 2, HotPercentile: 98, WindowEpochs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := dcfp.NewFingerprinter(th, dcfp.AllMetrics(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Size() != 6 {
+		t.Fatalf("Size = %d", fp.Size())
+	}
+	v, err := fp.CrisisFingerprint(track, 100, dcfp.DefaultSummaryRange())
+	if err != nil || len(v) != 6 {
+		t.Fatalf("CrisisFingerprint = %v, %v", v, err)
+	}
+
+	// Distances and thresholds.
+	d, err := dcfp.Distance([]float64{0, 0}, []float64{3, 4})
+	if err != nil || d != 5 {
+		t.Fatalf("Distance = %v, %v", d, err)
+	}
+	thr, err := dcfp.OnlineThreshold([]dcfp.LabeledPair{{Distance: 1, Same: true}}, 0.1)
+	if err != nil || thr != 1.1 {
+		t.Fatalf("OnlineThreshold = %v, %v", thr, err)
+	}
+
+	// Crisis store.
+	store := dcfp.NewCrisisStore(true)
+	if store.Len() != 0 {
+		t.Fatal("fresh store not empty")
+	}
+}
+
+// TestPublicAPISimulator checks the simulator surface used by the examples.
+func TestPublicAPISimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator round trip is seconds-long")
+	}
+	cfg := dcfp.SmallSimConfig(9)
+	cfg.BackgroundDays = 5
+	cfg.UnlabeledDays = 12
+	cfg.LabeledDays = 45
+	cfg.UnlabeledCrises = 2
+	tr, err := dcfp.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.LabeledCrises()) != 19 {
+		t.Fatalf("labeled crises = %d", len(tr.LabeledCrises()))
+	}
+	cat := dcfp.StandardCatalog()
+	if cat.Len() != tr.Catalog.Len() {
+		t.Fatal("catalog mismatch")
+	}
+	slaCfg, err := dcfp.StandardSLA(cat)
+	if err != nil || len(slaCfg.KPIs) != 3 {
+		t.Fatalf("StandardSLA = %+v, %v", slaCfg, err)
+	}
+}

@@ -1,0 +1,403 @@
+// Package dcfp_test holds the benchmark harness: one testing.B benchmark
+// per table and figure of the paper's evaluation, plus ablation benches for
+// the design choices called out in DESIGN.md.
+//
+// Benchmarks run against a shared small-scale trace so `go test -bench=.`
+// finishes in minutes; the headline paper-scale numbers are produced by
+// `go run ./cmd/experiments -scale full` and recorded in EXPERIMENTS.md.
+// Each benchmark reports the figure's key quantity as a custom metric, so
+// the bench output doubles as a compact regression record of experiment
+// quality.
+package dcfp_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dcfp/internal/core"
+	"dcfp/internal/dcsim"
+	"dcfp/internal/experiment"
+	"dcfp/internal/metrics"
+	"dcfp/internal/quantile"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiment.Env
+	benchErr  error
+)
+
+// sharedEnv simulates the benchmark trace once; all benchmarks reuse it so
+// per-figure timings measure the experiment, not the simulator.
+func sharedEnv(b *testing.B) *experiment.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		tr, err := dcsim.Simulate(dcsim.SmallConfig(42))
+		if err != nil {
+			benchErr = err
+			return
+		}
+		benchEnv, benchErr = experiment.NewEnv(tr)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// BenchmarkTable1CrisisCatalog regenerates Table 1 (the crisis catalog) and
+// reports how many of the 19 labeled crises the SLA rule detected.
+func BenchmarkTable1CrisisCatalog(b *testing.B) {
+	env := sharedEnv(b)
+	detected := 0
+	for i := 0; i < b.N; i++ {
+		detected = 0
+		for _, r := range experiment.Table1(env) {
+			detected += r.Detected
+		}
+	}
+	b.ReportMetric(float64(detected), "crises-detected")
+}
+
+// BenchmarkFigure1Fingerprints renders the Figure 1 fingerprint grids.
+func BenchmarkFigure1Fingerprints(b *testing.B) {
+	env := sharedEnv(b)
+	var n int
+	for i := 0; i < b.N; i++ {
+		cs, err := experiment.Figure1(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(cs)
+	}
+	b.ReportMetric(float64(n), "grids")
+}
+
+// BenchmarkFigure3DiscriminationROC regenerates the Figure 3 discrimination
+// comparison and reports the fingerprint method's AUC.
+func BenchmarkFigure3DiscriminationROC(b *testing.B) {
+	env := sharedEnv(b)
+	var auc float64
+	for i := 0; i < b.N; i++ {
+		entries, err := experiment.Figure3(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.Method == "fingerprints" {
+				auc = e.AUC
+			}
+		}
+	}
+	b.ReportMetric(auc, "fingerprint-AUC")
+}
+
+// BenchmarkFigure4OfflineIdentification runs the offline identification
+// protocol for the fingerprint method and reports the crossing accuracies.
+func BenchmarkFigure4OfflineIdentification(b *testing.B) {
+	env := sharedEnv(b)
+	tn, err := env.BuildFingerprintTensor(experiment.OfflineFPConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var known, unknown float64
+	for i := 0; i < b.N; i++ {
+		s, err := experiment.RunIdentification(tn, experiment.OfflineRunConfig(7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, known, unknown = s.Crossing()
+	}
+	b.ReportMetric(known, "known-acc")
+	b.ReportMetric(unknown, "unknown-acc")
+}
+
+// BenchmarkFigure5QuasiOnline runs the quasi-online protocol.
+func BenchmarkFigure5QuasiOnline(b *testing.B) {
+	env := sharedEnv(b)
+	tn, err := env.BuildFingerprintTensor(experiment.OnlineFPConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var known float64
+	for i := 0; i < b.N; i++ {
+		s, err := experiment.RunIdentification(tn, experiment.QuasiOnlineRunConfig(7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, known, _ = s.Crossing()
+	}
+	b.ReportMetric(known, "known-acc")
+}
+
+// BenchmarkFigure6Online runs the fully online protocol (bootstrap 10).
+func BenchmarkFigure6Online(b *testing.B) {
+	env := sharedEnv(b)
+	tn, err := env.BuildFingerprintTensor(experiment.OnlineFPConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var known, unknown float64
+	for i := 0; i < b.N; i++ {
+		s, err := experiment.RunIdentification(tn, experiment.OnlineRunConfig(7, 10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, known, unknown = s.Crossing()
+	}
+	b.ReportMetric(known, "known-acc")
+	b.ReportMetric(unknown, "unknown-acc")
+}
+
+// BenchmarkFigure7SummaryRange sweeps the crisis-summary range and reports
+// the AUC of the paper's default [-30,+60] window.
+func BenchmarkFigure7SummaryRange(b *testing.B) {
+	env := sharedEnv(b)
+	var auc float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Figure7(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// start -30 is row index 2 (starts -60,-45,-30,-15,0); end +60
+		// is column index 4 (0,15,...).
+		auc = res.AUC[2][4]
+	}
+	b.ReportMetric(auc, "default-range-AUC")
+}
+
+// BenchmarkFigure8FrozenFingerprints runs the §6.3 frozen-fingerprint
+// ablation (online, bootstrap 10).
+func BenchmarkFigure8FrozenFingerprints(b *testing.B) {
+	env := sharedEnv(b)
+	var known float64
+	for i := 0; i < b.N; i++ {
+		s, err := experiment.Figure8(env, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, known, _ = s.Crossing()
+	}
+	b.ReportMetric(known, "known-acc")
+}
+
+// BenchmarkTable2SettingsSummary regenerates the Table 2 summary.
+func BenchmarkTable2SettingsSummary(b *testing.B) {
+	env := sharedEnv(b)
+	var rows []experiment.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiment.Table2(env, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(rows)), "settings")
+}
+
+// BenchmarkSensitivityMetricsWindow sweeps fingerprint size (a reduced grid
+// keeps the bench affordable; cmd/experiments runs the full §6.1 grid).
+func BenchmarkSensitivityMetricsWindow(b *testing.B) {
+	env := sharedEnv(b)
+	var cells []experiment.SensitivityCell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = experiment.SensitivityMetricsWindow(env, 7, []int{30, 10}, []int{240, 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(cells)), "cells")
+}
+
+// BenchmarkSensitivityHotColdPercentiles sweeps the hot/cold percentile
+// pairs of §6.2 and reports the (2,98) AUC.
+func BenchmarkSensitivityHotColdPercentiles(b *testing.B) {
+	env := sharedEnv(b)
+	var auc float64
+	for i := 0; i < b.N; i++ {
+		cells, err := experiment.SensitivityHotCold(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.ColdPct == 2 {
+				auc = c.AUC
+			}
+		}
+	}
+	b.ReportMetric(auc, "auc-2-98")
+}
+
+// BenchmarkAblationQuantileCount compares 3-quantile fingerprints against
+// median-only ones (§3.5's direction-disagreement observation).
+func BenchmarkAblationQuantileCount(b *testing.B) {
+	env := sharedEnv(b)
+	var full, median float64
+	for i := 0; i < b.N; i++ {
+		cells, err := experiment.AblationQuantileCount(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		full, median = cells[0].AUC, cells[1].AUC
+	}
+	b.ReportMetric(full, "auc-3q")
+	b.ReportMetric(median, "auc-median-only")
+}
+
+// BenchmarkFingerprintStorage measures the §6.3 bookkeeping: recomputing a
+// stored crisis's fingerprint from raw quantile rows under fresh thresholds.
+func BenchmarkFingerprintStorage(b *testing.B) {
+	env := sharedEnv(b)
+	tr := env.Trace
+	th, err := env.OfflineThresholds(metrics.DefaultThresholdConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dc := env.Labeled[0]
+	rows, err := core.CaptureRows(tr.Track, dc.Episode.Start, core.DefaultSummaryRange())
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := core.NewStore(true)
+	if err := store.Add(dc.Instance.ID, "B", dc.Episode.Start, rows, th); err != nil {
+		b.Fatal(err)
+	}
+	rel, err := env.RelevantOffline(10, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := core.NewFingerprinter(th, rel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Fingerprint(0, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(core.BytesPerCrisis(tr.Catalog.Len(), core.DefaultSummaryRange())), "bytes/crisis")
+}
+
+// BenchmarkIdentificationThresholdRules measures the §5.3 online threshold
+// estimation over a realistic pair count (store of 18 crises).
+func BenchmarkIdentificationThresholdRules(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var pairs []core.LabeledPair
+	for i := 0; i < 18*17/2; i++ {
+		pairs = append(pairs, core.LabeledPair{Distance: rng.ExpFloat64(), Same: rng.Intn(4) == 0})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.OnlineThreshold(pairs, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuantileExactVsGK compares the per-epoch cross-machine
+// summarization cost of the exact estimator against the Greenwald–Khanna
+// sketch at a thousands-of-machines scale — the paper's §3.2 scalability
+// argument.
+func BenchmarkQuantileExactVsGK(b *testing.B) {
+	const machines = 4000
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, machines)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()*10 + 100
+	}
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			est := quantile.NewExact()
+			for _, v := range vals {
+				est.Insert(v)
+			}
+			if _, err := quantile.Summarize(est); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gk-eps0.005", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			est := quantile.MustGK(0.005)
+			for _, v := range vals {
+				est.Insert(v)
+			}
+			if _, err := quantile.Summarize(est); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ckms-targeted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			est := quantile.MustCKMS(quantile.TrackedTargets())
+			for _, v := range vals {
+				est.Insert(v)
+			}
+			if _, err := quantile.Summarize(est); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEpochFingerprint measures the per-epoch fingerprinting cost —
+// the online fast path that runs every 15 minutes in production.
+func BenchmarkEpochFingerprint(b *testing.B) {
+	env := sharedEnv(b)
+	th, err := env.OfflineThresholds(metrics.DefaultThresholdConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel, err := env.RelevantOffline(10, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := core.NewFingerprinter(th, rel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	row, err := env.Trace.Track.EpochRow(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.EpochFingerprint(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThresholdUpdate measures one §3.3 moving-window threshold
+// re-estimation over the whole catalog.
+func BenchmarkThresholdUpdate(b *testing.B) {
+	env := sharedEnv(b)
+	tr := env.Trace
+	cfg := metrics.DefaultThresholdConfig()
+	end := metrics.Epoch(tr.NumEpochs() - 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.ComputeThresholds(tr.Track, tr.IsNormal, end, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSupervisedSelection compares standard (§3.4) against
+// label-aware (§7) metric selection on offline discrimination.
+func BenchmarkAblationSupervisedSelection(b *testing.B) {
+	env := sharedEnv(b)
+	var res experiment.SupervisedSelectionResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiment.AblationSupervisedSelection(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.UnsupervisedAUC, "auc-unsupervised")
+	b.ReportMetric(res.SupervisedAUC, "auc-supervised")
+}

@@ -1,0 +1,137 @@
+// Command fingerprint runs the fingerprinting pipeline over a simulated
+// trace and prints, per detected crisis, its fingerprint heatmap, the
+// nearest past crisis and the identification verdict — the operator-facing
+// view of the method.
+//
+// Usage:
+//
+//	fingerprint [-scale small|full] [-seed N] [-metrics N] [-alpha A] [-grids]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dcfp/internal/core"
+	"dcfp/internal/dcsim"
+	"dcfp/internal/experiment"
+	"dcfp/internal/ident"
+	"dcfp/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fingerprint: ")
+	var (
+		scale = flag.String("scale", "small", "trace scale: small or full")
+		seed  = flag.Int64("seed", 42, "simulation seed")
+		nrel  = flag.Int("metrics", 30, "number of relevant metrics")
+		alpha = flag.Float64("alpha", 0.05, "false-positive budget for the identification threshold")
+		grids = flag.Bool("grids", false, "print fingerprint heatmaps")
+	)
+	flag.Parse()
+
+	var cfg dcsim.Config
+	switch *scale {
+	case "small":
+		cfg = dcsim.SmallConfig(*seed)
+	case "full":
+		cfg = dcsim.DefaultConfig(*seed)
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	start := time.Now()
+	tr, err := dcsim.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := experiment.NewEnv(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("trace ready in %v", time.Since(start).Round(time.Second))
+
+	fpCfg := experiment.OnlineFPConfig()
+	fpCfg.NumRelevant = *nrel
+	tn, err := env.BuildFingerprintTensor(fpCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay the crises chronologically: identify each against the ones
+	// before it, then add it to the store with its (operator) label.
+	n := len(tn.Crises)
+	fmt.Printf("\nchronological identification of %d labeled crises (%d relevant metrics, alpha %.2f):\n\n",
+		n, *nrel, *alpha)
+	var store []int
+	correctKnown, knowns := 0, 0
+	correctUnknown, unknowns := 0, 0
+	for c := 0; c < n; c++ {
+		dc := tn.Crises[c]
+		truth := dc.Instance.Type.String()
+		known := false
+		for _, x := range store {
+			if tn.Crises[x].Instance.Type == dc.Instance.Type {
+				known = true
+			}
+		}
+		verdict := ident.Unknown
+		if len(store) >= 2 {
+			var pairs []core.LabeledPair
+			for a := 0; a < len(store); a++ {
+				for b := a + 1; b < len(store); b++ {
+					i, j := store[a], store[b]
+					pairs = append(pairs, core.LabeledPair{
+						Distance: tn.Full[i][j],
+						Same:     tn.Crises[i].Instance.Type == tn.Crises[j].Instance.Type,
+					})
+				}
+			}
+			if thr, err := core.OnlineThreshold(pairs, *alpha); err == nil {
+				// Use the last identification epoch (one hour in).
+				best, bj := -1.0, -1
+				for _, x := range store {
+					if d := tn.Partial[c][ident.IdentificationEpochs-1][x]; bj < 0 || d < best {
+						best, bj = d, x
+					}
+				}
+				if bj >= 0 && best < thr {
+					verdict = tn.Crises[bj].Instance.Type.String()
+				}
+			}
+		}
+		status := "?"
+		switch {
+		case known && verdict == truth:
+			status, correctKnown = "ok (recurrence found)", correctKnown+1
+		case known:
+			status = "MISS (recurrence not recognized)"
+		case verdict == ident.Unknown:
+			status, correctUnknown = "ok (new crisis flagged as unknown)", correctUnknown+1
+		default:
+			status = "FALSE MATCH (new crisis mislabeled)"
+		}
+		if known {
+			knowns++
+		} else {
+			unknowns++
+		}
+		fmt.Printf("%-5s truth=%s verdict=%-2s %s\n", dc.Instance.ID, truth, verdict, status)
+		store = append(store, c)
+
+		if *grids {
+			f, err := env.FingerprinterOffline()
+			if err == nil {
+				if grid, err := f.EpochGrid(tr.Track, dc.Episode.Start, fpCfg.Range); err == nil {
+					_ = report.Heatmap(os.Stdout, grid)
+				}
+			}
+		}
+	}
+	fmt.Printf("\nknown: %d/%d correct; unknown: %d/%d correct\n",
+		correctKnown, knowns, correctUnknown, unknowns)
+}

@@ -1,0 +1,299 @@
+// Package dcfp is a Go implementation of datacenter fingerprinting —
+// automated classification of performance crises — after Bodík, Goldszmidt,
+// Fox and Andersen, "Fingerprinting the Datacenter: Automated Classification
+// of Performance Crises" (EuroSys 2010).
+//
+// A fingerprint summarizes the performance state of a whole datacenter in a
+// small vector: each collected metric is summarized across all machines by
+// its 25th/50th/95th quantiles, each quantile value is discretized against
+// hot/cold thresholds learned from crisis-free history, and only the
+// metrics statistically relevant to past crises are kept. Crises are
+// compared by L2 distance between their fingerprints, so a recurring
+// incident can be recognized — and its known remedy retrieved — within
+// minutes of detection.
+//
+// # Quick start
+//
+// The highest-level entry point is the Monitor: feed it one epoch of
+// per-machine samples at a time and act on the advice it emits during
+// crises:
+//
+//	cat, _ := dcfp.NewCatalog([]string{"latency_ms", "queue_len", ...})
+//	cfg := dcfp.DefaultMonitorConfig(cat, slaConfig)
+//	mon, _ := dcfp.NewMonitor(cfg)
+//	for epoch := range samples {
+//	    rep, _ := mon.ObserveEpoch(samples[epoch]) // [machine][metric]
+//	    if rep.Advice != nil && rep.Advice.Emitted != dcfp.Unknown {
+//	        fmt.Println("recurrence of", rep.Advice.Emitted)
+//	    }
+//	}
+//
+// Lower-level building blocks (quantile tracks, thresholds, fingerprinters,
+// the crisis store, identification-threshold rules) are exported for
+// callers that integrate with an existing metrics pipeline, and a full
+// datacenter simulator (Simulate) reproduces the paper's evaluation
+// workload.
+package dcfp
+
+import (
+	"dcfp/internal/core"
+	"dcfp/internal/crisis"
+	"dcfp/internal/dcsim"
+	"dcfp/internal/evolution"
+	"dcfp/internal/forecast"
+	"dcfp/internal/ident"
+	"dcfp/internal/metrics"
+	"dcfp/internal/monitor"
+	"dcfp/internal/quantile"
+	"dcfp/internal/sla"
+	"dcfp/internal/tracefile"
+)
+
+// Epoch indexes the 15-minute aggregation grid; see EpochDuration.
+type Epoch = metrics.Epoch
+
+// EpochDuration is the aggregation epoch length (15 minutes in the paper).
+const EpochDuration = metrics.EpochDuration
+
+// EpochsPerDay is the number of epochs per day (96).
+const EpochsPerDay = metrics.EpochsPerDay
+
+// NumQuantiles is the number of tracked quantiles per metric (3).
+const NumQuantiles = metrics.NumQuantiles
+
+// Unknown is the "don't know" identification label.
+const Unknown = ident.Unknown
+
+// Catalog names the metric columns of a sample row.
+type Catalog = metrics.Catalog
+
+// NewCatalog builds a metric catalog from unique, non-empty names.
+func NewCatalog(names []string) (*Catalog, error) { return metrics.NewCatalog(names) }
+
+// QuantileTrack stores per-epoch cross-machine metric quantiles.
+type QuantileTrack = metrics.QuantileTrack
+
+// NewQuantileTrack returns an empty track over numMetrics metrics.
+func NewQuantileTrack(numMetrics int) (*QuantileTrack, error) {
+	return metrics.NewQuantileTrack(numMetrics)
+}
+
+// Thresholds holds hot/cold boundaries per metric quantile (§3.3).
+type Thresholds = metrics.Thresholds
+
+// ThresholdConfig configures hot/cold threshold estimation.
+type ThresholdConfig = metrics.ThresholdConfig
+
+// DefaultThresholdConfig is the paper's best setting: 2nd/98th percentiles
+// over a 240-day crisis-free moving window.
+func DefaultThresholdConfig() ThresholdConfig { return metrics.DefaultThresholdConfig() }
+
+// ComputeThresholds estimates hot/cold thresholds from the track over the
+// window ending at end, using only epochs isNormal reports crisis-free.
+func ComputeThresholds(track *QuantileTrack, isNormal func(Epoch) bool, end Epoch, cfg ThresholdConfig) (*Thresholds, error) {
+	return metrics.ComputeThresholds(track, isNormal, end, cfg)
+}
+
+// SLAConfig couples KPI definitions with the datacenter crisis rule.
+type SLAConfig = sla.Config
+
+// KPI is a key performance indicator with an SLA threshold.
+type KPI = sla.KPI
+
+// EpochStatus is the per-epoch SLA evaluation result.
+type EpochStatus = sla.EpochStatus
+
+// Episode is a contiguous run of crisis epochs.
+type Episode = sla.Episode
+
+// Fingerprinter builds epoch and crisis fingerprints from quantile rows.
+type Fingerprinter = core.Fingerprinter
+
+// NewFingerprinter builds a fingerprinter over thresholds and a relevant
+// metric subset.
+func NewFingerprinter(th *Thresholds, relevant []int) (*Fingerprinter, error) {
+	return core.NewFingerprinter(th, relevant)
+}
+
+// AllMetrics is the identity relevant set (the all-metrics baseline).
+func AllMetrics(n int) []int { return core.AllMetrics(n) }
+
+// SummaryRange selects the epochs averaged into a crisis fingerprint.
+type SummaryRange = core.SummaryRange
+
+// DefaultSummaryRange is the paper's window: 30 minutes before detection
+// through 60 minutes after.
+func DefaultSummaryRange() SummaryRange { return core.DefaultSummaryRange() }
+
+// Distance is the fingerprint similarity metric (L2).
+func Distance(a, b []float64) (float64, error) { return core.Distance(a, b) }
+
+// CrisisSamples is the machine-level training set for feature selection.
+type CrisisSamples = core.CrisisSamples
+
+// SelectionConfig controls relevant-metric selection.
+type SelectionConfig = core.SelectionConfig
+
+// DefaultSelectionConfig is the paper's online setting (top 10 per crisis,
+// 30 most frequent).
+func DefaultSelectionConfig() SelectionConfig { return core.DefaultSelectionConfig() }
+
+// SelectRelevantMetrics runs the two-step relevance pipeline of §3.4.
+func SelectRelevantMetrics(pool []CrisisSamples, cfg SelectionConfig) ([]int, error) {
+	return core.SelectRelevantMetrics(pool, cfg)
+}
+
+// LabeledPair is a past-crisis pair distance with a same-type flag.
+type LabeledPair = core.LabeledPair
+
+// OnlineThreshold estimates the identification threshold from past crises
+// only, per the rules of §5.3.
+func OnlineThreshold(pairs []LabeledPair, alpha float64) (float64, error) {
+	return core.OnlineThreshold(pairs, alpha)
+}
+
+// CrisisStore keeps past crises' raw quantile rows so their fingerprints
+// can be recomputed as thresholds drift (§6.3).
+type CrisisStore = core.Store
+
+// NewCrisisStore returns an empty store; update=true (recommended)
+// recomputes stored fingerprints under current thresholds.
+func NewCrisisStore(update bool) *CrisisStore { return core.NewStore(update) }
+
+// QuantileEstimator summarizes a stream of observations (one per machine)
+// and answers quantile queries.
+type QuantileEstimator = quantile.Estimator
+
+// NewExactQuantiles returns an exact estimator (fine for hundreds of
+// machines per epoch).
+func NewExactQuantiles() QuantileEstimator { return quantile.NewExact() }
+
+// NewGKQuantiles returns a Greenwald–Khanna streaming sketch with rank
+// error eps, for installations of thousands of machines.
+func NewGKQuantiles(eps float64) (QuantileEstimator, error) { return quantile.NewGK(eps) }
+
+// Monitor is the online advisory-mode engine (§8 pilot): feed per-machine
+// samples epoch by epoch; it detects crises and emits identification
+// advice.
+type Monitor = monitor.Monitor
+
+// MonitorConfig assembles a Monitor.
+type MonitorConfig = monitor.Config
+
+// Advice is the per-epoch identification output during a crisis.
+type Advice = monitor.Advice
+
+// EpochReport is the result of feeding one epoch into the Monitor.
+type EpochReport = monitor.EpochReport
+
+// DefaultMonitorConfig returns the paper's online parameters.
+func DefaultMonitorConfig(cat *Catalog, slaCfg SLAConfig) MonitorConfig {
+	return monitor.DefaultConfig(cat, slaCfg)
+}
+
+// NewMonitor builds a Monitor.
+func NewMonitor(cfg MonitorConfig) (*Monitor, error) { return monitor.New(cfg) }
+
+// IdentificationEpochs is how many epochs identification runs per crisis.
+const IdentificationEpochs = ident.IdentificationEpochs
+
+// SimConfig sizes the simulated datacenter used for evaluation.
+type SimConfig = dcsim.Config
+
+// Trace is a fully simulated datacenter history.
+type Trace = dcsim.Trace
+
+// DetectedCrisis pairs a detected episode with its ground-truth instance.
+type DetectedCrisis = dcsim.DetectedCrisis
+
+// DefaultSimConfig returns the paper-scale simulation configuration.
+func DefaultSimConfig(seed int64) SimConfig { return dcsim.DefaultConfig(seed) }
+
+// SmallSimConfig returns a fast test-scale simulation configuration.
+func SmallSimConfig(seed int64) SimConfig { return dcsim.SmallConfig(seed) }
+
+// Simulate generates a complete synthetic datacenter trace with injected
+// crises per the paper's Table 1.
+func Simulate(cfg SimConfig) (*Trace, error) { return dcsim.Simulate(cfg) }
+
+// StandardCatalog returns the simulator's ~100-metric catalog.
+func StandardCatalog() *Catalog { return dcsim.StandardCatalog() }
+
+// StandardSLA returns the simulator's KPI/SLA configuration.
+func StandardSLA(cat *Catalog) (SLAConfig, error) { return dcsim.StandardSLA(cat) }
+
+// CrisisType enumerates the crisis classes of the paper's Table 1.
+type CrisisType = crisis.Type
+
+// CrisisInstance is one injected ground-truth crisis.
+type CrisisInstance = crisis.Instance
+
+// Forecaster warns about impending crises of one type from pre-detection
+// fingerprints (the paper's §7 first future-work direction).
+type Forecaster = forecast.Forecaster
+
+// ForecastConfig shapes forecaster training.
+type ForecastConfig = forecast.Config
+
+// ForecastEvaluation scores a forecaster against ground truth.
+type ForecastEvaluation = forecast.Evaluation
+
+// DefaultForecastConfig returns sensible forecaster settings.
+func DefaultForecastConfig() ForecastConfig { return forecast.DefaultConfig() }
+
+// TrainForecaster learns the pre-crisis centroid of one crisis type from
+// the detection epochs of its past occurrences.
+func TrainForecaster(f *Fingerprinter, track *QuantileTrack, detections []Epoch, cfg ForecastConfig) (*Forecaster, error) {
+	return forecast.Train(f, track, detections, cfg)
+}
+
+// EvolutionModel estimates the progress and remaining duration of an
+// ongoing crisis from past crises' fingerprint trajectories (§7, second
+// future-work direction).
+type EvolutionModel = evolution.Model
+
+// Trajectory is one resolved crisis's epoch-fingerprint sequence.
+type Trajectory = evolution.Trajectory
+
+// CrisisProgress is the evolution model's estimate for an ongoing crisis.
+type CrisisProgress = evolution.Progress
+
+// NewEvolutionModel returns an empty evolution model.
+func NewEvolutionModel() *EvolutionModel { return evolution.NewModel() }
+
+// ExtractTrajectory reads a resolved crisis's fingerprint trajectory out of
+// the quantile track.
+func ExtractTrajectory(f *Fingerprinter, track *QuantileTrack, id, label string, ep Episode) (Trajectory, error) {
+	return evolution.ExtractTrajectory(f, track, id, label, ep)
+}
+
+// LabeledCrisisSamples couples crisis feature-selection samples with the
+// operator diagnosis, for label-aware metric selection.
+type LabeledCrisisSamples = core.LabeledCrisisSamples
+
+// SelectDiscriminativeMetrics selects metrics that separate crisis *types*
+// from each other (§7, third future-work direction).
+func SelectDiscriminativeMetrics(pool []LabeledCrisisSamples, cfg SelectionConfig) ([]int, error) {
+	return core.SelectDiscriminativeMetrics(pool, cfg)
+}
+
+// SaveTrace persists a simulated trace to disk; LoadTrace reads it back.
+func SaveTrace(path string, tr *Trace) error { return tracefile.Save(path, tr) }
+
+// LoadTrace reads a trace written by SaveTrace.
+func LoadTrace(path string) (*Trace, error) { return tracefile.Load(path) }
+
+// QuantileTarget is one quantile a CKMS sketch answers with guaranteed
+// precision.
+type QuantileTarget = quantile.Target
+
+// NewCKMSQuantiles returns a Cormode–Korn–Muthukrishnan–Srivastava sketch
+// that concentrates its memory budget on the given target quantiles — the
+// natural choice for fingerprinting, which only ever queries the 25th, 50th
+// and 95th (see TrackedQuantileTargets).
+func NewCKMSQuantiles(targets []QuantileTarget) (QuantileEstimator, error) {
+	return quantile.NewCKMS(targets)
+}
+
+// TrackedQuantileTargets are the paper's three quantiles at 0.5% rank error.
+func TrackedQuantileTargets() []QuantileTarget { return quantile.TrackedTargets() }

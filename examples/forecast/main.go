@@ -1,0 +1,109 @@
+// Forecast: early signs of type-B crises in fingerprints.
+//
+// The paper's §7 lists crisis forecasting as the first direction of future
+// work, reporting encouraging initial results "especially in regards to
+// forecasting crises of type B" (overloaded back-end). This example uses
+// the library's forecaster (dcfp.TrainForecaster): it learns the centroid
+// of type-B *pre-detection* epoch fingerprints — the hour before the SLA
+// rule fires, when the back-end backlog is already building — and measures,
+// leave-one-out, how much warning the signal gives per crisis and what it
+// costs in false alarms on normal epochs.
+//
+// Run with: go run ./examples/forecast
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcfp"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("simulating a small datacenter trace (~30s of compute)...")
+	trace, err := dcfp.Simulate(dcfp.SmallSimConfig(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	crises := trace.LabeledCrises()
+
+	// Fingerprinting setup: offline thresholds and relevant metrics (the
+	// forecaster is an offline study, like the paper's initial results).
+	var pool []dcfp.CrisisSamples
+	for _, dc := range crises {
+		if x, y, err := trace.FSSamples(dc.Episode, 4); err == nil {
+			pool = append(pool, dcfp.CrisisSamples{X: x, Y: y})
+		}
+	}
+	relevant, err := dcfp.SelectRelevantMetrics(pool, dcfp.DefaultSelectionConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	th, err := dcfp.ComputeThresholds(trace.Track, trace.IsNormal,
+		dcfp.Epoch(trace.NumEpochs()-1), dcfp.DefaultThresholdConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fp, err := dcfp.NewFingerprinter(th, relevant)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var bDetections []dcfp.Epoch
+	for _, dc := range crises {
+		if dc.Instance.Type.String() == "B" {
+			bDetections = append(bDetections, dc.Episode.Start)
+		}
+	}
+	fmt.Printf("learning early signs from %d type-B crises (leave-one-out)\n\n", len(bDetections))
+
+	isEvaluable := func(e dcfp.Epoch) bool {
+		if !trace.IsNormal(e) {
+			return false
+		}
+		for _, dc := range crises {
+			if e >= dc.Episode.Start-8 && e <= dc.Episode.End+8 {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Leave-one-out: for each B crisis, train on the others and test on it.
+	fmt.Println("crisis-detection-epoch  warned  lead-time")
+	warned := 0
+	for i, det := range bDetections {
+		var train []dcfp.Epoch
+		train = append(train, bDetections[:i]...)
+		train = append(train, bDetections[i+1:]...)
+		fc, err := dcfp.TrainForecaster(fp, trace.Track, train, dcfp.DefaultForecastConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev, err := fc.Evaluate(fp, trace.Track, []dcfp.Epoch{det}, 8, isEvaluable, 1<<30)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ev.Warned == 1 {
+			warned++
+			fmt.Printf("%-22d yes     %.0f min before the SLA rule fired\n",
+				det, ev.MeanLeadEpochs*15)
+		} else {
+			fmt.Printf("%-22d no\n", det)
+		}
+	}
+
+	// False-alarm rate with the all-crises forecaster.
+	full, err := dcfp.TrainForecaster(fp, trace.Track, bDetections, dcfp.DefaultForecastConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := full.Evaluate(fp, trace.Track, nil, 8, isEvaluable, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwarned %d/%d crises; false alarms on %d sampled normal epochs: %.2f%%\n",
+		warned, len(bDetections), ev.NormalSampled, 100*ev.FalseAlarmRate)
+}

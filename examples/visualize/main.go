@@ -1,0 +1,98 @@
+// Visualize: render crisis fingerprints as heatmaps, in the style of the
+// paper's Figure 1.
+//
+// Each fingerprint is printed as a grid: rows are the epochs of the crisis
+// summary window, columns are the tracked quantiles (25th/50th/95th) of the
+// relevant metrics, and each cell is '#' (hot, +1), ' ' (normal, 0) or '.'
+// (cold, -1). The paper reports that operators shown such grids "very
+// quickly recognized most of the crises" — two crises of the same type
+// produce visibly similar grids, different types visibly different ones.
+//
+// Run with: go run ./examples/visualize
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dcfp"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("simulating a small datacenter trace (~30s of compute)...")
+	trace, err := dcfp.Simulate(dcfp.SmallSimConfig(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	crises := trace.LabeledCrises()
+
+	var pool []dcfp.CrisisSamples
+	for _, dc := range crises {
+		if x, y, err := trace.FSSamples(dc.Episode, 4); err == nil {
+			pool = append(pool, dcfp.CrisisSamples{X: x, Y: y})
+		}
+	}
+	sel := dcfp.DefaultSelectionConfig()
+	sel.NumRelevant = 15
+	relevant, err := dcfp.SelectRelevantMetrics(pool, sel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	th, err := dcfp.ComputeThresholds(trace.Track, trace.IsNormal,
+		dcfp.Epoch(trace.NumEpochs()-1), dcfp.DefaultThresholdConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fp, err := dcfp.NewFingerprinter(th, relevant)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick two type-B crises plus the first two other types seen — the
+	// same composition as the paper's Figure 1 (B, B, D, C).
+	var picks []dcfp.DetectedCrisis
+	b := 0
+	others := map[string]bool{}
+	for _, dc := range crises {
+		ty := dc.Instance.Type.String()
+		switch {
+		case ty == "B" && b < 2:
+			picks = append(picks, dc)
+			b++
+		case ty != "B" && !others[ty] && len(others) < 2:
+			picks = append(picks, dc)
+			others[ty] = true
+		}
+	}
+
+	r := dcfp.DefaultSummaryRange()
+	for _, dc := range picks {
+		grid, err := fp.EpochGrid(trace.Track, dc.Episode.Start, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ncrisis %s — type %s (%s); rows = epochs (-%d..+%d), columns = metric quantiles\n",
+			dc.Instance.ID, dc.Instance.Type, dc.Instance.Type.Label(), r.Before, r.After)
+		for _, row := range grid {
+			var sb strings.Builder
+			for _, v := range row {
+				switch {
+				case v > 0.5:
+					sb.WriteByte('#')
+				case v < -0.5:
+					sb.WriteByte('.')
+				default:
+					sb.WriteByte(' ')
+				}
+			}
+			fmt.Printf("  |%s|\n", sb.String())
+		}
+	}
+	fmt.Println("\ncolumns (3 per metric: q25, q50, q95):")
+	for _, m := range relevant {
+		fmt.Printf("  %s\n", trace.Catalog.Name(m))
+	}
+}

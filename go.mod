@@ -1,0 +1,3 @@
+module dcfp
+
+go 1.22

@@ -1,0 +1,193 @@
+// Package core implements the paper's primary contribution: datacenter
+// fingerprints.
+//
+// A fingerprint summarizes the performance state of the whole datacenter in
+// a vector that is independent of the number of machines and linear in the
+// number of tracked metrics (§3.1):
+//
+//  1. Each metric is summarized across all machines by its 25th/50th/95th
+//     quantiles (internal/metrics, internal/quantile).
+//  2. Each quantile value is discretized against hot/cold thresholds —
+//     the 2nd/98th percentiles of its values over a crisis-free moving
+//     window (§3.3) — into {-1, 0, +1}.
+//  3. Only the *relevant* metrics survive, chosen by L1-regularized
+//     logistic regression over machine-level crisis data (§3.4).
+//  4. Consecutive epoch fingerprints are averaged into a crisis
+//     fingerprint; crises are compared by L2 distance (§3.5).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dcfp/internal/metrics"
+	"dcfp/internal/stats"
+)
+
+// SummaryRange selects which epochs, relative to the detected start of a
+// crisis, are averaged into the crisis fingerprint. The paper's default is
+// 30 minutes before detection through 60 minutes after: epochs -2..+4, a
+// 7-epoch window (§6.1, §6.3).
+type SummaryRange struct {
+	// Before is the number of epochs before the detected start (>= 0).
+	Before int
+	// After is the number of epochs after the detected start (>= 0).
+	After int
+}
+
+// DefaultSummaryRange is the paper's [-30min, +60min] window.
+func DefaultSummaryRange() SummaryRange { return SummaryRange{Before: 2, After: 4} }
+
+// Len reports the window width in epochs.
+func (r SummaryRange) Len() int { return r.Before + r.After + 1 }
+
+func (r SummaryRange) validate() error {
+	if r.Before < 0 || r.After < 0 {
+		return fmt.Errorf("core: invalid summary range %+v", r)
+	}
+	return nil
+}
+
+// Fingerprinter converts raw quantile rows into fingerprints, given the
+// current hot/cold thresholds and the current relevant-metric subset.
+type Fingerprinter struct {
+	thresholds *metrics.Thresholds
+	relevant   []int // sorted metric columns
+}
+
+// NewFingerprinter builds a fingerprinter over the given thresholds and
+// relevant metric columns. relevant is copied and sorted; it must be
+// non-empty and within the threshold table's metric range.
+func NewFingerprinter(th *metrics.Thresholds, relevant []int) (*Fingerprinter, error) {
+	if th == nil {
+		return nil, errors.New("core: nil thresholds")
+	}
+	if len(relevant) == 0 {
+		return nil, errors.New("core: empty relevant metric set")
+	}
+	rel := append([]int(nil), relevant...)
+	sort.Ints(rel)
+	for i, m := range rel {
+		if m < 0 || m >= th.NumMetrics() {
+			return nil, fmt.Errorf("core: relevant metric %d outside catalog of %d", m, th.NumMetrics())
+		}
+		if i > 0 && rel[i-1] == m {
+			return nil, fmt.Errorf("core: duplicate relevant metric %d", m)
+		}
+	}
+	return &Fingerprinter{thresholds: th, relevant: rel}, nil
+}
+
+// AllMetrics returns the identity relevant set for a catalog of n metrics —
+// the "fingerprints (all metrics)" baseline of §4.2.
+func AllMetrics(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Relevant returns the fingerprinter's sorted relevant metric columns. The
+// slice is owned by the fingerprinter and must not be modified.
+func (f *Fingerprinter) Relevant() []int { return f.relevant }
+
+// Size reports the fingerprint vector length: 3 elements (one per tracked
+// quantile) per relevant metric — linear in metrics, independent of the
+// number of machines.
+func (f *Fingerprinter) Size() int { return len(f.relevant) * metrics.NumQuantiles }
+
+// EpochFingerprint discretizes one full track row (all metrics × 3
+// quantiles) into the epoch fingerprint over the relevant metrics: each
+// element is -1 (cold), 0 (normal) or +1 (hot).
+func (f *Fingerprinter) EpochFingerprint(row []float64) ([]float64, error) {
+	if len(row) != f.thresholds.NumMetrics()*metrics.NumQuantiles {
+		return nil, fmt.Errorf("core: row width %d, want %d", len(row), f.thresholds.NumMetrics()*metrics.NumQuantiles)
+	}
+	fp := make([]float64, 0, f.Size())
+	for _, m := range f.relevant {
+		for qi := 0; qi < metrics.NumQuantiles; qi++ {
+			v := row[m*metrics.NumQuantiles+qi]
+			fp = append(fp, float64(f.thresholds.State(m, qi, v)))
+		}
+	}
+	return fp, nil
+}
+
+// CrisisFingerprint averages epoch fingerprints over the summary range
+// anchored at the detected crisis start, reading raw quantile rows from the
+// track. Epochs outside the track are skipped; at least one epoch must be
+// available.
+func (f *Fingerprinter) CrisisFingerprint(track *metrics.QuantileTrack, detectedStart metrics.Epoch, r SummaryRange) ([]float64, error) {
+	return f.CrisisFingerprintUpTo(track, detectedStart, r, detectedStart+metrics.Epoch(r.After))
+}
+
+// CrisisFingerprintUpTo is CrisisFingerprint truncated at upTo: it averages
+// only the epochs of the summary window that have already been observed.
+// This is what online identification uses during the first epochs of a
+// crisis, before the full window exists.
+func (f *Fingerprinter) CrisisFingerprintUpTo(track *metrics.QuantileTrack, detectedStart metrics.Epoch, r SummaryRange, upTo metrics.Epoch) ([]float64, error) {
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	if track == nil {
+		return nil, errors.New("core: nil track")
+	}
+	lo := detectedStart - metrics.Epoch(r.Before)
+	hi := detectedStart + metrics.Epoch(r.After)
+	if upTo < hi {
+		hi = upTo
+	}
+	var eps [][]float64
+	for e := lo; e <= hi; e++ {
+		if e < 0 || int(e) >= track.NumEpochs() {
+			continue
+		}
+		row, err := track.EpochRow(e)
+		if err != nil {
+			return nil, err
+		}
+		fp, err := f.EpochFingerprint(row)
+		if err != nil {
+			return nil, err
+		}
+		eps = append(eps, fp)
+	}
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("core: summary window [%d,%d] has no observed epochs", lo, hi)
+	}
+	return stats.MeanVector(eps)
+}
+
+// EpochGrid returns the raw {-1,0,+1} grid of the summary window — one row
+// per epoch — for visualization in the style of Figure 1.
+func (f *Fingerprinter) EpochGrid(track *metrics.QuantileTrack, detectedStart metrics.Epoch, r SummaryRange) ([][]float64, error) {
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	var grid [][]float64
+	for e := detectedStart - metrics.Epoch(r.Before); e <= detectedStart+metrics.Epoch(r.After); e++ {
+		if e < 0 || int(e) >= track.NumEpochs() {
+			continue
+		}
+		row, err := track.EpochRow(e)
+		if err != nil {
+			return nil, err
+		}
+		fp, err := f.EpochFingerprint(row)
+		if err != nil {
+			return nil, err
+		}
+		grid = append(grid, fp)
+	}
+	if len(grid) == 0 {
+		return nil, errors.New("core: empty epoch grid")
+	}
+	return grid, nil
+}
+
+// Distance is the fingerprint similarity metric of §3.5: the L2 distance
+// between two crisis fingerprints. Two crises are considered identical when
+// their distance falls below the identification threshold.
+func Distance(a, b []float64) (float64, error) { return stats.L2Distance(a, b) }

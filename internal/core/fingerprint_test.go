@@ -1,0 +1,315 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dcfp/internal/metrics"
+)
+
+// fixedThresholds builds thresholds where every metric quantile is cold
+// below lo and hot above hi.
+func fixedThresholds(nm int, lo, hi float64) *metrics.Thresholds {
+	th := &metrics.Thresholds{
+		Cold: make([][3]float64, nm),
+		Hot:  make([][3]float64, nm),
+	}
+	for m := 0; m < nm; m++ {
+		for qi := 0; qi < metrics.NumQuantiles; qi++ {
+			th.Cold[m][qi] = lo
+			th.Hot[m][qi] = hi
+		}
+	}
+	return th
+}
+
+// trackOf builds a track over nm metrics whose value at (e, m, qi) is
+// gen(e, m, qi).
+func trackOf(t *testing.T, nm, n int, gen func(e, m, qi int) float64) *metrics.QuantileTrack {
+	t.Helper()
+	tr, err := metrics.NewQuantileTrack(nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < n; e++ {
+		row := make([][3]float64, nm)
+		for m := 0; m < nm; m++ {
+			for qi := 0; qi < metrics.NumQuantiles; qi++ {
+				row[m][qi] = gen(e, m, qi)
+			}
+		}
+		if err := tr.AppendEpoch(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestNewFingerprinterValidation(t *testing.T) {
+	th := fixedThresholds(4, 0, 10)
+	if _, err := NewFingerprinter(nil, []int{0}); err == nil {
+		t.Fatal("want nil-threshold error")
+	}
+	if _, err := NewFingerprinter(th, nil); err == nil {
+		t.Fatal("want empty-relevant error")
+	}
+	if _, err := NewFingerprinter(th, []int{0, 7}); err == nil {
+		t.Fatal("want out-of-range error")
+	}
+	if _, err := NewFingerprinter(th, []int{1, 1}); err == nil {
+		t.Fatal("want duplicate error")
+	}
+	f, err := NewFingerprinter(th, []int{3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := f.Relevant()
+	if rel[0] != 0 || rel[1] != 3 {
+		t.Fatalf("Relevant not sorted: %v", rel)
+	}
+	if f.Size() != 6 {
+		t.Fatalf("Size = %d", f.Size())
+	}
+}
+
+func TestAllMetrics(t *testing.T) {
+	am := AllMetrics(3)
+	if len(am) != 3 || am[0] != 0 || am[2] != 2 {
+		t.Fatalf("AllMetrics = %v", am)
+	}
+}
+
+func TestEpochFingerprintDiscretization(t *testing.T) {
+	th := fixedThresholds(2, 10, 100)
+	f, err := NewFingerprinter(th, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []float64{5, 50, 500, 50, 50, 50} // m0: cold, normal, hot; m1: normal×3
+	fp, err := f.EpochFingerprint(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 0, 1, 0, 0, 0}
+	for i := range want {
+		if fp[i] != want[i] {
+			t.Fatalf("fingerprint = %v, want %v", fp, want)
+		}
+	}
+	if _, err := f.EpochFingerprint([]float64{1, 2}); err == nil {
+		t.Fatal("want width error")
+	}
+}
+
+func TestEpochFingerprintSelectsRelevantOnly(t *testing.T) {
+	th := fixedThresholds(3, 10, 100)
+	f, err := NewFingerprinter(th, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []float64{999, 999, 999, 999, 999, 999, 5, 50, 500}
+	fp, err := f.EpochFingerprint(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 0, 1}
+	if len(fp) != 3 {
+		t.Fatalf("len = %d", len(fp))
+	}
+	for i := range want {
+		if fp[i] != want[i] {
+			t.Fatalf("fp = %v", fp)
+		}
+	}
+}
+
+func TestSummaryRange(t *testing.T) {
+	r := DefaultSummaryRange()
+	if r.Before != 2 || r.After != 4 || r.Len() != 7 {
+		t.Fatalf("default range = %+v", r)
+	}
+	if err := (SummaryRange{Before: -1}).validate(); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestCrisisFingerprintAveraging(t *testing.T) {
+	// Metric 0 is hot (200) during epochs >= 10, normal (50) before.
+	tr := trackOf(t, 1, 20, func(e, m, qi int) float64 {
+		if e >= 10 {
+			return 200
+		}
+		return 50
+	})
+	th := fixedThresholds(1, 10, 100)
+	f, err := NewFingerprinter(th, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window -2..+4 around detected start 10: epochs 8,9 normal (0) and
+	// 10..14 hot (+1) -> mean 5/7.
+	fp, err := f.CrisisFingerprint(tr, 10, DefaultSummaryRange())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5.0 / 7.0
+	for qi := 0; qi < 3; qi++ {
+		if math.Abs(fp[qi]-want) > 1e-12 {
+			t.Fatalf("fp = %v, want %v", fp, want)
+		}
+	}
+}
+
+func TestCrisisFingerprintUpTo(t *testing.T) {
+	tr := trackOf(t, 1, 20, func(e, m, qi int) float64 {
+		if e >= 10 {
+			return 200
+		}
+		return 50
+	})
+	th := fixedThresholds(1, 10, 100)
+	f, _ := NewFingerprinter(th, []int{0})
+	// Only the first crisis epoch observed: window 8..10 -> mean 1/3.
+	fp, err := f.CrisisFingerprintUpTo(tr, 10, DefaultSummaryRange(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fp[0]-1.0/3.0) > 1e-12 {
+		t.Fatalf("fp = %v, want 1/3", fp[0])
+	}
+}
+
+func TestCrisisFingerprintWindowClamping(t *testing.T) {
+	tr := trackOf(t, 1, 5, func(e, m, qi int) float64 { return 200 })
+	th := fixedThresholds(1, 10, 100)
+	f, _ := NewFingerprinter(th, []int{0})
+	// Detected at epoch 0: epochs -2, -1 missing; 0..4 hot.
+	fp, err := f.CrisisFingerprint(tr, 0, DefaultSummaryRange())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp[0] != 1 {
+		t.Fatalf("fp = %v", fp)
+	}
+	// Entirely out of range.
+	if _, err := f.CrisisFingerprint(tr, 100, DefaultSummaryRange()); err == nil {
+		t.Fatal("want no-epochs error")
+	}
+	if _, err := f.CrisisFingerprint(nil, 0, DefaultSummaryRange()); err == nil {
+		t.Fatal("want nil-track error")
+	}
+}
+
+func TestEpochGrid(t *testing.T) {
+	tr := trackOf(t, 2, 20, func(e, m, qi int) float64 {
+		if m == 0 && e >= 10 {
+			return 200
+		}
+		return 50
+	})
+	th := fixedThresholds(2, 10, 100)
+	f, _ := NewFingerprinter(th, []int{0, 1})
+	grid, err := f.EpochGrid(tr, 10, DefaultSummaryRange())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 7 || len(grid[0]) != 6 {
+		t.Fatalf("grid %dx%d", len(grid), len(grid[0]))
+	}
+	if grid[0][0] != 0 || grid[2][0] != 1 || grid[2][3] != 0 {
+		t.Fatalf("grid contents wrong: %v", grid)
+	}
+	if _, err := f.EpochGrid(tr, 100, DefaultSummaryRange()); err == nil {
+		t.Fatal("want empty-grid error")
+	}
+}
+
+func TestDistanceIsL2(t *testing.T) {
+	d, err := Distance([]float64{0, 0}, []float64{1, 1})
+	if err != nil || math.Abs(d-math.Sqrt2) > 1e-12 {
+		t.Fatalf("Distance = %v, %v", d, err)
+	}
+}
+
+// Fingerprint size must scale with metrics, not machines: two
+// fingerprinters over different "datacenter sizes" (same metric count)
+// produce identically-sized fingerprints by construction.
+func TestFingerprintSizeIndependentOfMachines(t *testing.T) {
+	th := fixedThresholds(30, 0, 1)
+	f, err := NewFingerprinter(th, AllMetrics(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 90 {
+		t.Fatalf("Size = %d, want 3×30", f.Size())
+	}
+}
+
+// Property: epoch fingerprints only contain {-1, 0, +1}, and crisis
+// fingerprints stay within [-1, 1] component-wise, for arbitrary rows.
+func TestFingerprintAlphabetProperty(t *testing.T) {
+	th := fixedThresholds(4, 20, 200)
+	f, err := NewFingerprinter(th, AllMetrics(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(raw [12]float64) bool {
+		row := make([]float64, 12)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			row[i] = v
+		}
+		fp, err := f.EpochFingerprint(row)
+		if err != nil {
+			return false
+		}
+		for _, c := range fp {
+			if c != -1 && c != 0 && c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the crisis fingerprint of a window whose epochs all share the
+// same state equals that state exactly; mixing states stays bounded.
+func TestCrisisFingerprintBoundedProperty(t *testing.T) {
+	th := fixedThresholds(2, 10, 100)
+	f, _ := NewFingerprinter(th, AllMetrics(2))
+	gen := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr, _ := metrics.NewQuantileTrack(2)
+		for e := 0; e < 12; e++ {
+			row := make([][3]float64, 2)
+			for m := range row {
+				for qi := range row[m] {
+					row[m][qi] = rng.Float64() * 150
+				}
+			}
+			_ = tr.AppendEpoch(row)
+		}
+		fp, err := f.CrisisFingerprint(tr, 6, DefaultSummaryRange())
+		if err != nil {
+			return false
+		}
+		for _, c := range fp {
+			if c < -1 || c > 1 || math.IsNaN(c) {
+				return false
+			}
+		}
+		return true
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		if !gen(seed) {
+			t.Fatalf("property failed at seed %d", seed)
+		}
+	}
+}

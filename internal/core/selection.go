@@ -1,0 +1,228 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dcfp/internal/logreg"
+)
+
+// CrisisSamples is the machine-level training set surrounding one crisis:
+// X[i] is the metric row of one machine at one epoch near the crisis, and
+// Y[i] is 1 when that machine was violating its KPI SLAs (§3.4).
+type CrisisSamples struct {
+	X [][]float64
+	Y []int
+}
+
+// SelectionConfig controls relevant-metric selection.
+type SelectionConfig struct {
+	// PerCrisisTopK is how many metrics feature selection keeps per
+	// crisis (the paper uses 10).
+	PerCrisisTopK int
+	// NumRelevant is how many of the most frequently selected metrics
+	// form the fingerprint (the paper uses 15 offline, 30 online).
+	NumRelevant int
+}
+
+// DefaultSelectionConfig is the paper's online setting: top 10 per crisis,
+// 30 most frequent overall.
+func DefaultSelectionConfig() SelectionConfig {
+	return SelectionConfig{PerCrisisTopK: 10, NumRelevant: 30}
+}
+
+// Significance cutoffs: the L1 path is walked until k features activate,
+// and the weakest activations are noise rather than signal. A feature
+// survives when its standardized coefficient is both a meaningful fraction
+// of the crisis model's largest coefficient and large in absolute terms
+// (|w| >= 0.2 shifts the violation log-odds by 0.2 per standard deviation
+// of the metric — anything below that is indistinguishable from sampling
+// noise at feature-selection sample sizes).
+const (
+	relativeCutoff = 0.05
+	absoluteCutoff = 0.2
+)
+
+// PerCrisisMetrics runs feature selection for a single crisis and returns
+// up to k metric columns most predictive of per-machine SLA violation,
+// keeping only features whose coefficient magnitude is a meaningful
+// fraction of the strongest one.
+func PerCrisisMetrics(s CrisisSamples, k int) ([]int, error) {
+	if len(s.X) == 0 || len(s.X) != len(s.Y) {
+		return nil, errors.New("core: malformed crisis samples")
+	}
+	top, model, err := logreg.SelectTopK(s.X, s.Y, k)
+	if err != nil {
+		return nil, fmt.Errorf("core: per-crisis feature selection: %w", err)
+	}
+	maxW := 0.0
+	for _, j := range top {
+		if w := math.Abs(model.Weights[j]); w > maxW {
+			maxW = w
+		}
+	}
+	out := top[:0]
+	for _, j := range top {
+		w := math.Abs(model.Weights[j])
+		if w >= relativeCutoff*maxW && w >= absoluteCutoff {
+			out = append(out, j)
+		}
+	}
+	return out, nil
+}
+
+// SelectRelevantMetrics implements the two-step relevance pipeline of §3.4:
+// run feature selection on the data surrounding each crisis in the pool,
+// then keep the cfg.NumRelevant metrics most frequently selected across
+// crises. Crises whose feature selection fails (e.g. a window with a single
+// class) are skipped; at least one must succeed.
+//
+// Ties in frequency are broken by the order metrics first appeared in the
+// per-crisis rankings (earlier = more relevant), then by column index, so
+// the result is deterministic.
+func SelectRelevantMetrics(pool []CrisisSamples, cfg SelectionConfig) ([]int, error) {
+	if cfg.PerCrisisTopK <= 0 || cfg.NumRelevant <= 0 {
+		return nil, fmt.Errorf("core: invalid selection config %+v", cfg)
+	}
+	if len(pool) == 0 {
+		return nil, errors.New("core: empty crisis pool")
+	}
+	freq := map[int]int{}
+	rankSum := map[int]int{} // lower = appeared earlier in rankings
+	succeeded := 0
+	for _, s := range pool {
+		top, err := PerCrisisMetrics(s, cfg.PerCrisisTopK)
+		if err != nil {
+			continue
+		}
+		succeeded++
+		for rank, m := range top {
+			freq[m]++
+			rankSum[m] += rank
+		}
+	}
+	if succeeded == 0 {
+		return nil, errors.New("core: feature selection failed for every crisis in the pool")
+	}
+	cols := make([]int, 0, len(freq))
+	for m := range freq {
+		cols = append(cols, m)
+	}
+	sort.Slice(cols, func(i, j int) bool {
+		a, b := cols[i], cols[j]
+		if freq[a] != freq[b] {
+			return freq[a] > freq[b]
+		}
+		if rankSum[a] != rankSum[b] {
+			return rankSum[a] < rankSum[b]
+		}
+		return a < b
+	})
+	if len(cols) > cfg.NumRelevant {
+		cols = cols[:cfg.NumRelevant]
+	}
+	out := append([]int(nil), cols...)
+	sort.Ints(out)
+	return out, nil
+}
+
+// LabeledCrisisSamples couples one crisis's machine-level samples with the
+// operators' diagnosis label.
+type LabeledCrisisSamples struct {
+	Samples CrisisSamples
+	Label   string
+}
+
+// SelectDiscriminativeMetrics implements the third future-work direction of
+// §7: using crisis labels in metric selection. Where SelectRelevantMetrics
+// asks "which metrics separate crisis from normal?", this asks "which
+// metrics separate crises of one type from crises of other types?" — posed,
+// as the paper suggests, as classification with L1-regularized logistic
+// regression. For each label, the violating-machine samples of its crises
+// are classified against the violating-machine samples of all other
+// crises; the per-label selections are then pooled by frequency exactly
+// like §3.4's second step.
+//
+// Labels with crises but no contrasting other-label data are skipped; at
+// least one label must yield a usable model.
+func SelectDiscriminativeMetrics(pool []LabeledCrisisSamples, cfg SelectionConfig) ([]int, error) {
+	if cfg.PerCrisisTopK <= 0 || cfg.NumRelevant <= 0 {
+		return nil, fmt.Errorf("core: invalid selection config %+v", cfg)
+	}
+	if len(pool) == 0 {
+		return nil, errors.New("core: empty labeled crisis pool")
+	}
+	// Gather per-label violating-machine samples.
+	byLabel := map[string][][]float64{}
+	for _, lc := range pool {
+		if lc.Label == "" {
+			continue
+		}
+		if len(lc.Samples.X) != len(lc.Samples.Y) {
+			return nil, errors.New("core: malformed labeled crisis samples")
+		}
+		for i, row := range lc.Samples.X {
+			if lc.Samples.Y[i] == 1 {
+				byLabel[lc.Label] = append(byLabel[lc.Label], row)
+			}
+		}
+	}
+	if len(byLabel) < 2 {
+		return nil, errors.New("core: need crises of at least two labels to discriminate")
+	}
+
+	freq := map[int]int{}
+	rankSum := map[int]int{}
+	succeeded := 0
+	for label, pos := range byLabel {
+		var x [][]float64
+		var y []int
+		x = append(x, pos...)
+		for i := 0; i < len(pos); i++ {
+			y = append(y, 1)
+		}
+		for other, rows := range byLabel {
+			if other == label {
+				continue
+			}
+			x = append(x, rows...)
+			for i := 0; i < len(rows); i++ {
+				y = append(y, 0)
+			}
+		}
+		top, err := PerCrisisMetrics(CrisisSamples{X: x, Y: y}, cfg.PerCrisisTopK)
+		if err != nil {
+			continue
+		}
+		succeeded++
+		for rank, m := range top {
+			freq[m]++
+			rankSum[m] += rank
+		}
+	}
+	if succeeded == 0 {
+		return nil, errors.New("core: discriminative selection failed for every label")
+	}
+	cols := make([]int, 0, len(freq))
+	for m := range freq {
+		cols = append(cols, m)
+	}
+	sort.Slice(cols, func(i, j int) bool {
+		a, b := cols[i], cols[j]
+		if freq[a] != freq[b] {
+			return freq[a] > freq[b]
+		}
+		if rankSum[a] != rankSum[b] {
+			return rankSum[a] < rankSum[b]
+		}
+		return a < b
+	})
+	if len(cols) > cfg.NumRelevant {
+		cols = cols[:cfg.NumRelevant]
+	}
+	out := append([]int(nil), cols...)
+	sort.Ints(out)
+	return out, nil
+}

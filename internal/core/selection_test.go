@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// crisisSamplesWithSignal builds samples where the given metric columns
+// separate violating from normal machines and the rest are noise.
+func crisisSamplesWithSignal(rng *rand.Rand, n, d int, signal []int) CrisisSamples {
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		if i%2 == 0 {
+			y[i] = 1
+			for _, j := range signal {
+				row[j] += 4
+			}
+		}
+		x[i] = row
+	}
+	return CrisisSamples{X: x, Y: y}
+}
+
+func TestPerCrisisMetricsFindsSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := crisisSamplesWithSignal(rng, 400, 30, []int{3, 17})
+	top, err := PerCrisisMetrics(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[int]bool{}
+	for _, m := range top {
+		found[m] = true
+	}
+	if !found[3] || !found[17] {
+		t.Fatalf("top = %v, want to contain 3 and 17", top)
+	}
+}
+
+func TestPerCrisisMetricsValidation(t *testing.T) {
+	if _, err := PerCrisisMetrics(CrisisSamples{}, 5); err == nil {
+		t.Fatal("want empty-samples error")
+	}
+	if _, err := PerCrisisMetrics(CrisisSamples{X: [][]float64{{1}}, Y: []int{0, 1}}, 5); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+}
+
+func TestSelectRelevantMetricsFrequency(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Three crises: metrics 1,2 appear in all, 5 in one, 9 in another.
+	pool := []CrisisSamples{
+		crisisSamplesWithSignal(rng, 300, 20, []int{1, 2, 5}),
+		crisisSamplesWithSignal(rng, 300, 20, []int{1, 2, 9}),
+		crisisSamplesWithSignal(rng, 300, 20, []int{1, 2}),
+	}
+	rel, err := SelectRelevantMetrics(pool, SelectionConfig{PerCrisisTopK: 4, NumRelevant: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel) != 2 || rel[0] != 1 || rel[1] != 2 {
+		t.Fatalf("relevant = %v, want [1 2]", rel)
+	}
+	// With room for four, the occasional metrics join.
+	rel, err = SelectRelevantMetrics(pool, SelectionConfig{PerCrisisTopK: 4, NumRelevant: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[int]bool{}
+	for _, m := range rel {
+		found[m] = true
+	}
+	if !found[1] || !found[2] {
+		t.Fatalf("relevant = %v", rel)
+	}
+}
+
+func TestSelectRelevantMetricsSortedOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pool := []CrisisSamples{crisisSamplesWithSignal(rng, 300, 15, []int{9, 2, 11})}
+	rel, err := SelectRelevantMetrics(pool, SelectionConfig{PerCrisisTopK: 3, NumRelevant: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rel); i++ {
+		if rel[i] <= rel[i-1] {
+			t.Fatalf("relevant not strictly sorted: %v", rel)
+		}
+	}
+}
+
+func TestSelectRelevantMetricsSkipsBadCrises(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	good := crisisSamplesWithSignal(rng, 300, 10, []int{4})
+	bad := CrisisSamples{X: [][]float64{{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}}, Y: []int{1}} // single class
+	rel, err := SelectRelevantMetrics([]CrisisSamples{bad, good}, SelectionConfig{PerCrisisTopK: 2, NumRelevant: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range rel {
+		if m == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("relevant = %v, want to contain 4", rel)
+	}
+}
+
+func TestSelectRelevantMetricsErrors(t *testing.T) {
+	if _, err := SelectRelevantMetrics(nil, DefaultSelectionConfig()); err == nil {
+		t.Fatal("want empty-pool error")
+	}
+	if _, err := SelectRelevantMetrics([]CrisisSamples{{}}, SelectionConfig{}); err == nil {
+		t.Fatal("want config error")
+	}
+	bad := CrisisSamples{X: [][]float64{{1}}, Y: []int{1}}
+	if _, err := SelectRelevantMetrics([]CrisisSamples{bad}, DefaultSelectionConfig()); err == nil {
+		t.Fatal("want all-failed error")
+	}
+}
+
+func TestDefaultSelectionConfig(t *testing.T) {
+	cfg := DefaultSelectionConfig()
+	if cfg.PerCrisisTopK != 10 || cfg.NumRelevant != 30 {
+		t.Fatalf("config = %+v", cfg)
+	}
+}
+
+// labeledSamplesWithSignal builds a labeled crisis whose violating machines
+// express the given signal metrics.
+func labeledSamplesWithSignal(rng *rand.Rand, label string, n, d int, signal []int) LabeledCrisisSamples {
+	return LabeledCrisisSamples{Samples: crisisSamplesWithSignal(rng, n, d, signal), Label: label}
+}
+
+func TestSelectDiscriminativeMetricsSeparatesTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Types share metric 0 (both elevate it: a KPI) but differ on 4 vs 9.
+	pool := []LabeledCrisisSamples{
+		labeledSamplesWithSignal(rng, "B", 300, 20, []int{0, 4}),
+		labeledSamplesWithSignal(rng, "B", 300, 20, []int{0, 4}),
+		labeledSamplesWithSignal(rng, "C", 300, 20, []int{0, 9}),
+	}
+	rel, err := SelectDiscriminativeMetrics(pool, SelectionConfig{PerCrisisTopK: 3, NumRelevant: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[int]bool{}
+	for _, m := range rel {
+		found[m] = true
+	}
+	// The discriminating metrics must be selected; the shared KPI metric
+	// 0 carries no type signal and should rank below them.
+	if !found[4] || !found[9] {
+		t.Fatalf("discriminative selection = %v, want 4 and 9", rel)
+	}
+}
+
+func TestSelectDiscriminativeMetricsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	if _, err := SelectDiscriminativeMetrics(nil, DefaultSelectionConfig()); err == nil {
+		t.Fatal("want empty-pool error")
+	}
+	if _, err := SelectDiscriminativeMetrics([]LabeledCrisisSamples{{}}, SelectionConfig{}); err == nil {
+		t.Fatal("want config error")
+	}
+	one := []LabeledCrisisSamples{labeledSamplesWithSignal(rng, "B", 100, 5, []int{1})}
+	if _, err := SelectDiscriminativeMetrics(one, DefaultSelectionConfig()); err == nil {
+		t.Fatal("want two-labels error")
+	}
+	bad := []LabeledCrisisSamples{
+		{Label: "B", Samples: CrisisSamples{X: [][]float64{{1}}, Y: []int{0, 1}}},
+		labeledSamplesWithSignal(rng, "C", 100, 1, nil),
+	}
+	if _, err := SelectDiscriminativeMetrics(bad, DefaultSelectionConfig()); err == nil {
+		t.Fatal("want malformed-samples error")
+	}
+}
+
+func TestSelectDiscriminativeMetricsSkipsUnlabeled(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pool := []LabeledCrisisSamples{
+		labeledSamplesWithSignal(rng, "B", 200, 10, []int{2}),
+		labeledSamplesWithSignal(rng, "C", 200, 10, []int{7}),
+		labeledSamplesWithSignal(rng, "", 200, 10, []int{5}), // undiagnosed
+	}
+	rel, err := SelectDiscriminativeMetrics(pool, SelectionConfig{PerCrisisTopK: 2, NumRelevant: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rel {
+		if m == 5 {
+			t.Fatalf("unlabeled crisis leaked into selection: %v", rel)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStoreAddAndFingerprint(t *testing.T) {
+	th := fixedThresholds(2, 10, 100)
+	s := NewStore(true)
+	rows := [][]float64{
+		{200, 50, 50, 50, 50, 50}, // m0q0 hot
+		{200, 50, 50, 50, 50, 50},
+	}
+	if err := s.Add("c1", "B", 100, rows, th); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	f, _ := NewFingerprinter(th, []int{0, 1})
+	fp, err := s.Fingerprint(0, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0, 0, 0, 0, 0}
+	for i := range want {
+		if fp[i] != want[i] {
+			t.Fatalf("fp = %v", fp)
+		}
+	}
+	fps, err := s.Fingerprints(f)
+	if err != nil || len(fps) != 1 {
+		t.Fatalf("Fingerprints = %v, %v", fps, err)
+	}
+}
+
+func TestStoreUpdateModeRecomputes(t *testing.T) {
+	thOld := fixedThresholds(1, 10, 100)
+	s := NewStore(true)
+	rows := [][]float64{{150, 150, 150}}
+	if err := s.Add("c1", "", 5, rows, thOld); err != nil {
+		t.Fatal(err)
+	}
+	// New thresholds make 150 normal.
+	thNew := fixedThresholds(1, 10, 1000)
+	f, _ := NewFingerprinter(thNew, []int{0})
+	fp, err := s.Fingerprint(0, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp[0] != 0 {
+		t.Fatalf("update mode fp = %v, want recomputed 0", fp)
+	}
+}
+
+func TestStoreFrozenModeKeepsOldStates(t *testing.T) {
+	thOld := fixedThresholds(1, 10, 100)
+	s := NewStore(false)
+	rows := [][]float64{{150, 150, 150}}
+	if err := s.Add("c1", "", 5, rows, thOld); err != nil {
+		t.Fatal(err)
+	}
+	thNew := fixedThresholds(1, 10, 1000)
+	f, _ := NewFingerprinter(thNew, []int{0})
+	fp, err := s.Fingerprint(0, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp[0] != 1 {
+		t.Fatalf("frozen mode fp = %v, want storage-time hot (+1)", fp)
+	}
+}
+
+func TestStoreFrozenModeProjectsRelevant(t *testing.T) {
+	th := fixedThresholds(3, 10, 100)
+	s := NewStore(false)
+	rows := [][]float64{{150, 150, 150, 5, 5, 5, 50, 50, 50}}
+	if err := s.Add("c1", "", 5, rows, th); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := NewFingerprinter(th, []int{1}) // only metric 1 (cold)
+	fp, err := s.Fingerprint(0, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp) != 3 || fp[0] != -1 {
+		t.Fatalf("fp = %v", fp)
+	}
+}
+
+func TestStoreSetLabel(t *testing.T) {
+	th := fixedThresholds(1, 10, 100)
+	s := NewStore(true)
+	if err := s.Add("c1", "", 5, [][]float64{{50, 50, 50}}, th); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetLabel(0, "C"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Crisis(0)
+	if err != nil || c.Label != "C" {
+		t.Fatalf("Crisis = %+v, %v", c, err)
+	}
+	if err := s.SetLabel(5, "X"); err == nil {
+		t.Fatal("want index error")
+	}
+	if _, err := s.Crisis(-1); err == nil {
+		t.Fatal("want index error")
+	}
+}
+
+func TestStoreAddValidation(t *testing.T) {
+	th := fixedThresholds(2, 10, 100)
+	s := NewStore(true)
+	if err := s.Add("c", "", 0, nil, th); err == nil {
+		t.Fatal("want no-rows error")
+	}
+	if err := s.Add("c", "", 0, [][]float64{{1, 2, 3}}, nil); err == nil {
+		t.Fatal("want nil-thresholds error")
+	}
+	if err := s.Add("c", "", 0, [][]float64{{1, 2, 3}}, th); err == nil {
+		t.Fatal("want width-mismatch error")
+	}
+	ok := [][]float64{{1, 2, 3, 4, 5, 6}}
+	if err := s.Add("c", "", 0, ok, th); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add("c2", "", 0, [][]float64{{1, 2, 3, 4, 5, 6}, {1, 2}}, th); err == nil {
+		t.Fatal("want ragged-rows error")
+	}
+	// Different width from established store width.
+	th3 := fixedThresholds(3, 10, 100)
+	if err := s.Add("c3", "", 0, [][]float64{{1, 2, 3, 4, 5, 6, 7, 8, 9}}, th3); err == nil {
+		t.Fatal("want store-width error")
+	}
+}
+
+func TestStoreFingerprintWidthMismatch(t *testing.T) {
+	th := fixedThresholds(2, 10, 100)
+	s := NewStore(true)
+	if err := s.Add("c", "", 0, [][]float64{{1, 2, 3, 4, 5, 6}}, th); err != nil {
+		t.Fatal(err)
+	}
+	thWide := fixedThresholds(3, 10, 100)
+	f, _ := NewFingerprinter(thWide, []int{0})
+	if _, err := s.Fingerprint(0, f); err == nil {
+		t.Fatal("want width-mismatch error")
+	}
+	if _, err := s.Fingerprint(9, f); err == nil {
+		t.Fatal("want index error")
+	}
+}
+
+func TestStoreRowsAreCopied(t *testing.T) {
+	th := fixedThresholds(1, 10, 100)
+	s := NewStore(true)
+	rows := [][]float64{{50, 50, 50}}
+	if err := s.Add("c", "", 0, rows, th); err != nil {
+		t.Fatal(err)
+	}
+	rows[0][0] = 99999
+	c, _ := s.Crisis(0)
+	if c.Rows[0][0] != 50 {
+		t.Fatal("store aliased caller's rows")
+	}
+}
+
+func TestBytesPerCrisis(t *testing.T) {
+	// Paper §6.3 counts 100 metrics × 3 quantiles × 7 epochs × 4 bytes =
+	// 8400; with float64 we pay exactly double.
+	got := BytesPerCrisis(100, DefaultSummaryRange())
+	if got != 16800 {
+		t.Fatalf("BytesPerCrisis = %d, want 16800", got)
+	}
+}
+
+func TestCaptureRows(t *testing.T) {
+	tr := trackOf(t, 1, 20, func(e, m, qi int) float64 { return float64(e) })
+	rows, err := CaptureRows(tr, 10, DefaultSummaryRange())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("captured %d rows", len(rows))
+	}
+	if rows[0][0] != 8 || rows[6][0] != 14 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Mutating captured rows must not touch the track.
+	rows[0][0] = math.Inf(1)
+	v, _ := tr.At(8, 0, 0)
+	if v != 8 {
+		t.Fatal("CaptureRows aliased track storage")
+	}
+	if _, err := CaptureRows(tr, 500, DefaultSummaryRange()); err == nil {
+		t.Fatal("want out-of-range error")
+	}
+	if _, err := CaptureRows(nil, 0, DefaultSummaryRange()); err == nil {
+		t.Fatal("want nil-track error")
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dcfp/internal/stats"
+)
+
+// LabeledPair is the distance between two past crises together with whether
+// their (operator-assigned) labels match. The identification threshold is
+// estimated from these pairs.
+type LabeledPair struct {
+	Distance float64
+	Same     bool
+}
+
+// OfflineThreshold chooses the identification threshold from a full
+// distance ROC over the labeled pairs: the largest threshold whose false
+// positive rate stays at or below alpha (§5.1.2). This is the
+// perfect-future-knowledge estimate used in the offline and quasi-online
+// settings.
+func OfflineThreshold(pairs []LabeledPair, alpha float64) (float64, error) {
+	roc, err := PairROC(pairs)
+	if err != nil {
+		return 0, err
+	}
+	return roc.ThresholdForFPR(alpha), nil
+}
+
+// PairROC builds the distance ROC curve from labeled pairs. It requires at
+// least one same-type and one different-type pair.
+func PairROC(pairs []LabeledPair) (stats.ROC, error) {
+	var same, diff []float64
+	for _, p := range pairs {
+		if p.Distance < 0 || math.IsNaN(p.Distance) {
+			return stats.ROC{}, fmt.Errorf("core: invalid pair distance %v", p.Distance)
+		}
+		if p.Same {
+			same = append(same, p.Distance)
+		} else {
+			diff = append(diff, p.Distance)
+		}
+	}
+	if len(same) == 0 || len(diff) == 0 {
+		return stats.ROC{}, errors.New("core: ROC needs both same-type and different-type pairs")
+	}
+	return stats.DistanceROC(same, diff), nil
+}
+
+// OnlineThreshold estimates the identification threshold from only the
+// crises seen so far, per the rules of §5.3:
+//
+//   - Only same-type pairs observed: T = max_d·(1+α), where max_d is the
+//     largest same-type distance — new crises of the known type should
+//     still match, with an α-sized buffer.
+//   - Only different-type pairs observed: T = min_d·(1-α), where min_d is
+//     the smallest different-type distance — stay safely below the closest
+//     pair of distinct crises.
+//   - Both kinds observed and the ROC is optimal (max_d < min_d): any T in
+//     (max_d, min_d) yields no expected false alarms; T = max_d +
+//     α·(min_d - max_d).
+//   - Otherwise: fall back to the ROC rule with false-positive budget α.
+//
+// With no pairs at all (fewer than two past crises) it returns an error;
+// the caller must treat every crisis as unknown until two are known.
+func OnlineThreshold(pairs []LabeledPair, alpha float64) (float64, error) {
+	if alpha < 0 || alpha > 1 {
+		return 0, fmt.Errorf("core: alpha %v out of [0,1]", alpha)
+	}
+	var maxSame, minDiff float64
+	haveSame, haveDiff := false, false
+	for _, p := range pairs {
+		if p.Distance < 0 || math.IsNaN(p.Distance) {
+			return 0, fmt.Errorf("core: invalid pair distance %v", p.Distance)
+		}
+		if p.Same {
+			if !haveSame || p.Distance > maxSame {
+				maxSame = p.Distance
+			}
+			haveSame = true
+		} else {
+			if !haveDiff || p.Distance < minDiff {
+				minDiff = p.Distance
+			}
+			haveDiff = true
+		}
+	}
+	switch {
+	case !haveSame && !haveDiff:
+		return 0, errors.New("core: no pairs to estimate threshold from")
+	case haveSame && !haveDiff:
+		return maxSame * (1 + alpha), nil
+	case !haveSame && haveDiff:
+		return minDiff * (1 - alpha), nil
+	case maxSame < minDiff:
+		return maxSame + alpha*(minDiff-maxSame), nil
+	default:
+		return OfflineThreshold(pairs, alpha)
+	}
+}

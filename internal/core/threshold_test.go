@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOnlineThresholdOnlySame(t *testing.T) {
+	pairs := []LabeledPair{{1.0, true}, {2.0, true}}
+	thr, err := OnlineThreshold(pairs, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(thr-2.2) > 1e-12 {
+		t.Fatalf("thr = %v, want max_d*(1+alpha) = 2.2", thr)
+	}
+}
+
+func TestOnlineThresholdOnlyDiff(t *testing.T) {
+	pairs := []LabeledPair{{5.0, false}, {3.0, false}}
+	thr, err := OnlineThreshold(pairs, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(thr-2.7) > 1e-12 {
+		t.Fatalf("thr = %v, want min_d*(1-alpha) = 2.7", thr)
+	}
+}
+
+func TestOnlineThresholdOptimalSeparation(t *testing.T) {
+	pairs := []LabeledPair{{1.0, true}, {1.5, true}, {4.0, false}, {5.0, false}}
+	thr, err := OnlineThreshold(pairs, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// max_d=1.5, min_d=4.0 -> 1.5 + 0.2*2.5 = 2.0
+	if math.Abs(thr-2.0) > 1e-12 {
+		t.Fatalf("thr = %v, want 2.0", thr)
+	}
+}
+
+func TestOnlineThresholdNonOptimalFallsBackToROC(t *testing.T) {
+	// Overlapping distributions: max same (3.0) > min diff (2.0).
+	pairs := []LabeledPair{
+		{1.0, true}, {3.0, true},
+		{2.0, false}, {4.0, false},
+	}
+	thr, err := OnlineThreshold(pairs, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With alpha=0 the ROC rule must not admit any different-type pair:
+	// threshold <= 2.0.
+	if thr > 2.0 {
+		t.Fatalf("thr = %v, admits a false positive", thr)
+	}
+	// With alpha=0.5, one of two diff pairs may be admitted.
+	thr, err = OnlineThreshold(pairs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr <= 2.0 || thr > 4.0 {
+		t.Fatalf("thr = %v, want in (2, 4]", thr)
+	}
+}
+
+func TestOnlineThresholdErrors(t *testing.T) {
+	if _, err := OnlineThreshold(nil, 0.1); err == nil {
+		t.Fatal("want no-pairs error")
+	}
+	if _, err := OnlineThreshold([]LabeledPair{{1, true}}, -0.1); err == nil {
+		t.Fatal("want alpha range error")
+	}
+	if _, err := OnlineThreshold([]LabeledPair{{math.NaN(), true}}, 0.1); err == nil {
+		t.Fatal("want NaN distance error")
+	}
+	if _, err := OnlineThreshold([]LabeledPair{{-1, true}}, 0.1); err == nil {
+		t.Fatal("want negative distance error")
+	}
+}
+
+func TestOfflineThresholdRespectsAlpha(t *testing.T) {
+	pairs := []LabeledPair{
+		{0.5, true}, {1.0, true}, {2.5, true},
+		{2.0, false}, {3.0, false}, {4.0, false},
+	}
+	thr0, err := OfflineThreshold(pairs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr0 > 2.0 {
+		t.Fatalf("alpha=0 threshold %v admits false positives", thr0)
+	}
+	thr1, err := OfflineThreshold(pairs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr1 <= 4.0 {
+		t.Fatalf("alpha=1 threshold %v should admit everything", thr1)
+	}
+	if thr1 < thr0 {
+		t.Fatal("threshold must grow with alpha")
+	}
+}
+
+func TestPairROCErrors(t *testing.T) {
+	if _, err := PairROC([]LabeledPair{{1, true}}); err == nil {
+		t.Fatal("want both-kinds error")
+	}
+	if _, err := PairROC([]LabeledPair{{1, true}, {math.Inf(1), false}}); err != nil {
+		t.Fatal("infinite distance is technically orderable; should not error")
+	}
+	if _, err := PairROC([]LabeledPair{{math.NaN(), true}, {1, false}}); err == nil {
+		t.Fatal("want NaN error")
+	}
+}
+
+func TestOfflineThresholdNeedsBothKinds(t *testing.T) {
+	if _, err := OfflineThreshold([]LabeledPair{{1, true}}, 0.1); err == nil {
+		t.Fatal("want error")
+	}
+}

@@ -1,0 +1,237 @@
+// Package crisis defines the performance-crisis taxonomy of the paper's
+// Table 1, ground-truth crisis instances, and schedule generation for the
+// simulated datacenter.
+//
+// Labels here are the *ground truth* the operators assigned to crises after
+// diagnosis. Exactly as in the paper, the identification pipeline never
+// sees these labels when constructing fingerprints — crises are detected
+// purely through SLA violations, and labels are used only to score
+// identification accuracy (and, in the online protocol, to name past
+// crises that operators have already diagnosed).
+package crisis
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dcfp/internal/metrics"
+)
+
+// Type enumerates the crisis classes of Table 1.
+type Type int
+
+// The ten crisis types observed in the studied datacenter (Table 1).
+const (
+	TypeA Type = iota // overloaded front-end
+	TypeB             // overloaded back-end
+	TypeC             // database configuration error
+	TypeD             // configuration error 1
+	TypeE             // configuration error 2
+	TypeF             // performance issue
+	TypeG             // middle-tier issue
+	TypeH             // request routing error
+	TypeI             // whole DC turned off and on
+	TypeJ             // workload spike
+	numTypes
+)
+
+// NumTypes is the number of crisis classes.
+const NumTypes = int(numTypes)
+
+// String returns the single-letter ID used in Table 1.
+func (t Type) String() string {
+	if t < 0 || t >= numTypes {
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+	return string(rune('A' + int(t)))
+}
+
+// Label returns the operators' diagnosis label from Table 1.
+func (t Type) Label() string {
+	switch t {
+	case TypeA:
+		return "overloaded front-end"
+	case TypeB:
+		return "overloaded back-end"
+	case TypeC:
+		return "database configuration error"
+	case TypeD:
+		return "configuration error 1"
+	case TypeE:
+		return "configuration error 2"
+	case TypeF:
+		return "performance issue"
+	case TypeG:
+		return "middle-tier issue"
+	case TypeH:
+		return "request routing error"
+	case TypeI:
+		return "whole DC turned off and on"
+	case TypeJ:
+		return "workload spike"
+	default:
+		return "unknown"
+	}
+}
+
+// Table1Counts returns the per-type instance counts of the paper's labeled
+// four-month period: A×2, B×9, and one each of C–J (19 total).
+func Table1Counts() map[Type]int {
+	return map[Type]int{
+		TypeA: 2, TypeB: 9, TypeC: 1, TypeD: 1, TypeE: 1,
+		TypeF: 1, TypeG: 1, TypeH: 1, TypeI: 1, TypeJ: 1,
+	}
+}
+
+// Instance is one scheduled crisis occurrence.
+type Instance struct {
+	// ID is a unique identifier ("L03" labeled, "U07" unlabeled).
+	ID string
+	// Type is the ground-truth class.
+	Type Type
+	// Start is the epoch at which the injected fault begins. The
+	// *detected* start (first SLA-violating epoch) may differ slightly.
+	Start metrics.Epoch
+	// Duration is the injected fault length in epochs.
+	Duration int
+	// Labeled records whether operators diagnosed this crisis (the 19
+	// labeled crises) or not (the earlier 20 unlabeled ones used only
+	// for metric selection).
+	Labeled bool
+	// Severity scales the effect magnitude; instances of one type share
+	// a pattern but differ in severity (jitter around 1.0).
+	Severity float64
+	// AffectedFraction is the fraction of machines the fault touches.
+	AffectedFraction float64
+}
+
+// End returns the last epoch (inclusive) of the injected fault.
+func (in Instance) End() metrics.Epoch { return in.Start + metrics.Epoch(in.Duration) - 1 }
+
+// ScheduleConfig controls random crisis placement.
+type ScheduleConfig struct {
+	// PeriodStart/PeriodEnd bound the window crises are placed in.
+	PeriodStart, PeriodEnd metrics.Epoch
+	// MinSeparation is the minimum gap in epochs between the end of one
+	// crisis and the start of the next (crises never overlap).
+	MinSeparation int
+	// MinDuration/MaxDuration bound per-instance fault length in epochs.
+	// The paper's crises all span multiple 15-minute epochs and some
+	// exceed an hour.
+	MinDuration, MaxDuration int
+}
+
+// DefaultScheduleConfig spaces crises at least two days apart with
+// durations of 2–4 hours, inside the given period.
+func DefaultScheduleConfig(start, end metrics.Epoch) ScheduleConfig {
+	return ScheduleConfig{
+		PeriodStart:   start,
+		PeriodEnd:     end,
+		MinSeparation: 2 * metrics.EpochsPerDay,
+		MinDuration:   8,
+		MaxDuration:   16,
+	}
+}
+
+// Schedule places the given multiset of crisis types randomly (and
+// reproducibly, via rng) inside the configured period. Types appear in
+// randomized order; instances never overlap and respect MinSeparation.
+func Schedule(types []Type, cfg ScheduleConfig, labeled bool, idPrefix string, rng *rand.Rand) ([]Instance, error) {
+	if len(types) == 0 {
+		return nil, fmt.Errorf("crisis: empty type list")
+	}
+	if cfg.MinDuration < 1 || cfg.MaxDuration < cfg.MinDuration {
+		return nil, fmt.Errorf("crisis: bad duration bounds [%d,%d]", cfg.MinDuration, cfg.MaxDuration)
+	}
+	span := int(cfg.PeriodEnd) - int(cfg.PeriodStart) + 1
+	need := len(types) * (cfg.MaxDuration + cfg.MinSeparation)
+	if span < need {
+		return nil, fmt.Errorf("crisis: period of %d epochs cannot fit %d crises (need >= %d)", span, len(types), need)
+	}
+
+	order := append([]Type(nil), types...)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	// Divide the period into len(types) equal slots and jitter the start
+	// within each slot; guarantees separation without rejection sampling.
+	slot := span / len(order)
+	out := make([]Instance, 0, len(order))
+	for i, ty := range order {
+		dur := cfg.MinDuration + rng.Intn(cfg.MaxDuration-cfg.MinDuration+1)
+		slack := slot - dur - cfg.MinSeparation
+		if slack < 1 {
+			slack = 1
+		}
+		start := int(cfg.PeriodStart) + i*slot + rng.Intn(slack)
+		out = append(out, Instance{
+			ID:               fmt.Sprintf("%s%02d", idPrefix, i+1),
+			Type:             ty,
+			Start:            metrics.Epoch(start),
+			Duration:         dur,
+			Labeled:          labeled,
+			Severity:         0.9 + rng.Float64()*0.2, // 0.9..1.1
+			AffectedFraction: affectedFraction(ty, rng),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out, nil
+}
+
+// affectedFraction draws the fraction of machines a crisis touches.
+// Each class has a characteristic extent (whole-datacenter events touch
+// everyone, localized faults a stable minority) with small per-instance
+// jitter: instances of one type light up the same quantiles of the same
+// metrics, which is what makes a type's fingerprint recur.
+func affectedFraction(t Type, rng *rand.Rand) float64 {
+	// Two constraints shape these numbers. First, types violating the
+	// same KPI share the same extent, so the number of violating
+	// machines alone cannot tell them apart — the weakness of the KPI
+	// baseline the paper demonstrates. Second, each extent (with its
+	// ±0.05 jitter) stays clear of the tracked-quantile boundaries
+	// (the 95th quantile of a metric responds once >5% of machines are
+	// affected, the median once >50%, the 25th once >75%), so instances
+	// of one type light up the same quantile columns.
+	type span struct{ base, jitter float64 }
+	spans := map[Type]span{
+		TypeA: {0.85, 0.02}, TypeB: {0.62, 0.02}, TypeC: {0.62, 0.02},
+		TypeD: {0.35, 0.02}, TypeE: {0.62, 0.02}, TypeF: {0.62, 0.02},
+		TypeG: {0.62, 0.02}, TypeH: {0.35, 0.02}, TypeI: {1.0, 0}, TypeJ: {1.0, 0},
+	}
+	sp := spans[t]
+	if sp.base >= 1.0 {
+		return 1.0
+	}
+	return sp.base + (rng.Float64()*2-1)*sp.jitter
+}
+
+// Table1Types expands Table1Counts into a flat list of 19 types.
+func Table1Types() []Type {
+	var out []Type
+	counts := Table1Counts()
+	for t := TypeA; t < numTypes; t++ {
+		for i := 0; i < counts[t]; i++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// UnlabeledTypes draws n crisis types for the earlier unlabeled period,
+// from a distribution resembling Table 1 (type B dominant).
+func UnlabeledTypes(n int, rng *rand.Rand) []Type {
+	table := Table1Types()
+	out := make([]Type, n)
+	for i := range out {
+		out[i] = table[rng.Intn(len(table))]
+	}
+	return out
+}
+
+// ParseType converts a single-letter ID back into a Type.
+func ParseType(s string) (Type, error) {
+	if len(s) == 1 && s[0] >= 'A' && s[0] <= 'J' {
+		return Type(s[0] - 'A'), nil
+	}
+	return 0, fmt.Errorf("crisis: unknown type %q", s)
+}

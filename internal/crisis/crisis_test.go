@@ -1,0 +1,200 @@
+package crisis
+
+import (
+	"math/rand"
+	"testing"
+
+	"dcfp/internal/metrics"
+)
+
+func TestTypeStringAndLabel(t *testing.T) {
+	if TypeA.String() != "A" || TypeJ.String() != "J" {
+		t.Fatalf("String: %s %s", TypeA, TypeJ)
+	}
+	if Type(99).String() != "Type(99)" {
+		t.Fatalf("out of range String = %s", Type(99))
+	}
+	if TypeB.Label() != "overloaded back-end" {
+		t.Fatalf("Label B = %q", TypeB.Label())
+	}
+	if Type(99).Label() != "unknown" {
+		t.Fatal("out-of-range label")
+	}
+	for ty := TypeA; ty < numTypes; ty++ {
+		if ty.Label() == "unknown" || ty.Label() == "" {
+			t.Fatalf("type %s has no label", ty)
+		}
+	}
+}
+
+func TestParseType(t *testing.T) {
+	ty, err := ParseType("C")
+	if err != nil || ty != TypeC {
+		t.Fatalf("ParseType(C) = %v, %v", ty, err)
+	}
+	if _, err := ParseType("Z"); err == nil {
+		t.Fatal("want error for Z")
+	}
+	if _, err := ParseType("AB"); err == nil {
+		t.Fatal("want error for multichar")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	counts := Table1Counts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 19 {
+		t.Fatalf("Table 1 has %d crises, want 19", total)
+	}
+	if counts[TypeB] != 9 || counts[TypeA] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	types := Table1Types()
+	if len(types) != 19 {
+		t.Fatalf("Table1Types len = %d", len(types))
+	}
+	b := 0
+	for _, ty := range types {
+		if ty == TypeB {
+			b++
+		}
+	}
+	if b != 9 {
+		t.Fatalf("B count in Table1Types = %d", b)
+	}
+}
+
+func TestInstanceEnd(t *testing.T) {
+	in := Instance{Start: 100, Duration: 4}
+	if in.End() != 103 {
+		t.Fatalf("End = %d", in.End())
+	}
+}
+
+func TestScheduleBasicInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	period := metrics.Epoch(120 * metrics.EpochsPerDay)
+	cfg := DefaultScheduleConfig(0, period)
+	insts, err := Schedule(Table1Types(), cfg, true, "L", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 19 {
+		t.Fatalf("scheduled %d crises", len(insts))
+	}
+	seen := map[string]bool{}
+	for i, in := range insts {
+		if !in.Labeled {
+			t.Fatal("instances should be labeled")
+		}
+		if seen[in.ID] {
+			t.Fatalf("duplicate ID %s", in.ID)
+		}
+		seen[in.ID] = true
+		if in.Start < cfg.PeriodStart || in.End() > cfg.PeriodEnd {
+			t.Fatalf("instance %s outside period: %d..%d", in.ID, in.Start, in.End())
+		}
+		if in.Duration < cfg.MinDuration || in.Duration > cfg.MaxDuration {
+			t.Fatalf("duration %d outside bounds", in.Duration)
+		}
+		if in.Severity < 0.9 || in.Severity > 1.1 {
+			t.Fatalf("severity %v", in.Severity)
+		}
+		if in.AffectedFraction <= 0 || in.AffectedFraction > 1 {
+			t.Fatalf("affected fraction %v", in.AffectedFraction)
+		}
+		if i > 0 {
+			gap := int(in.Start) - int(insts[i-1].End()) - 1
+			if gap < cfg.MinSeparation {
+				t.Fatalf("instances %d and %d separated by %d < %d", i-1, i, gap, cfg.MinSeparation)
+			}
+		}
+	}
+}
+
+func TestScheduleTypeMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := DefaultScheduleConfig(0, metrics.Epoch(120*metrics.EpochsPerDay))
+	insts, err := Schedule(Table1Types(), cfg, true, "L", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[Type]int{}
+	for _, in := range insts {
+		got[in.Type]++
+	}
+	want := Table1Counts()
+	for ty, n := range want {
+		if got[ty] != n {
+			t.Fatalf("type %s: got %d, want %d", ty, got[ty], n)
+		}
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := DefaultScheduleConfig(0, metrics.Epoch(120*metrics.EpochsPerDay))
+	a, err := Schedule(Table1Types(), cfg, true, "L", rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Schedule(Table1Types(), cfg, true, "L", rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instance %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultScheduleConfig(0, 100) // far too small for 19 crises
+	if _, err := Schedule(Table1Types(), cfg, true, "L", rng); err == nil {
+		t.Fatal("want period-too-small error")
+	}
+	if _, err := Schedule(nil, cfg, true, "L", rng); err == nil {
+		t.Fatal("want empty-types error")
+	}
+	bad := cfg
+	bad.PeriodEnd = metrics.Epoch(365 * metrics.EpochsPerDay)
+	bad.MinDuration = 0
+	if _, err := Schedule(Table1Types(), bad, true, "L", rng); err == nil {
+		t.Fatal("want duration-bounds error")
+	}
+}
+
+func TestUnlabeledTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	types := UnlabeledTypes(20, rng)
+	if len(types) != 20 {
+		t.Fatalf("len = %d", len(types))
+	}
+	for _, ty := range types {
+		if ty < TypeA || ty >= numTypes {
+			t.Fatalf("bad type %v", ty)
+		}
+	}
+}
+
+func TestAffectedFractionRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		if f := affectedFraction(TypeI, rng); f != 1.0 {
+			t.Fatalf("type I fraction = %v", f)
+		}
+		if f := affectedFraction(TypeB, rng); f <= 0.50 || f >= 0.75 {
+			t.Fatalf("type B fraction = %v outside its quantile band", f)
+		}
+		if f := affectedFraction(TypeD, rng); f <= 0.05 || f >= 0.50 {
+			t.Fatalf("type D fraction = %v outside its quantile band", f)
+		}
+		if f := affectedFraction(TypeA, rng); f <= 0.75 || f > 0.95 {
+			t.Fatalf("type A fraction = %v outside its quantile band", f)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package dcsim simulates the datacenter of the paper's case study: hundreds
+// of machines all running the same three-stage application (front-end →
+// heavy processing → post-processing, Fig. 2), each sampling ~100
+// performance metrics per 15-minute epoch, with three operator-designated
+// KPIs carrying SLA thresholds, and an injector reproducing the ten crisis
+// classes of Table 1.
+//
+// The simulator is the substitution for the confidential production traces:
+// it produces exactly the interface the fingerprinting method consumes —
+// per-epoch per-machine metric samples and SLA violation flags — with the
+// same problem structure (same-type crises look alike, different types
+// overlap on KPIs but differ on a small set of relevant metrics, and most
+// metrics are irrelevant noise).
+package dcsim
+
+import (
+	"fmt"
+
+	"dcfp/internal/metrics"
+	"dcfp/internal/sla"
+)
+
+// metricSpec describes the stochastic baseline behaviour of one metric on
+// one machine:
+//
+//	value = base · intensity^loadExp · machineFactor · (1+shared) · (1+noise)
+//
+// where intensity is the datacenter workload, machineFactor is a fixed
+// per-machine multiplier (hardware spread), shared is a per-metric AR(1)
+// process common to all machines (datacenter-wide drifts: software rollouts,
+// upstream behaviour), and noise is per-machine white noise.
+type metricSpec struct {
+	name string
+	base float64
+	// loadExp couples the metric to workload intensity: 0 = independent,
+	// 1 = proportional, >1 = convex (queues under load).
+	loadExp float64
+	// machineSpread is the std-dev of the per-machine factor around 1.
+	machineSpread float64
+	// noiseStd is the per-machine per-epoch multiplicative noise.
+	noiseStd float64
+	// sharedStd and sharedAR shape the datacenter-wide AR(1) drift.
+	sharedStd float64
+	sharedAR  float64
+}
+
+// KPI metric names (§4.1): average processing time in the front end, the
+// second stage, and one of the post-processing stages.
+const (
+	KPIFrontEnd   = "fe_latency_ms"
+	KPIProcessing = "proc_latency_ms"
+	KPIPost       = "post_latency_ms"
+)
+
+// SLA thresholds for the three KPIs, set (as in the paper) as a matter of
+// policy well above normal operating levels.
+const (
+	slaFrontEnd   = 200.0 // vs base 80
+	slaProcessing = 700.0 // vs base 300
+	slaPost       = 400.0 // vs base 150
+)
+
+// NumFillerMetrics pads the catalog to ~100 metrics with application
+// counters that carry no crisis signal — the irrelevant metrics whose noise
+// the relevant-metric selection must reject (§3.4, "fingerprints (all
+// metrics)" baseline).
+const NumFillerMetrics = 44
+
+// baseSpecs returns the 56 named metrics of the simulated application.
+func baseSpecs() []metricSpec {
+	sig := func(name string, base, loadExp float64) metricSpec {
+		// machineSpread is kept small so that crisis quantile responses
+		// are governed by the affected fraction alone: when a fraction f
+		// of machines is hit, the q-th cross-machine quantile moves iff
+		// f > 1-q, and the residual shift of lower quantiles (whose rank
+		// falls into the unaffected subpopulation) stays safely below
+		// the 98th-percentile hot threshold.
+		return metricSpec{name: name, base: base, loadExp: loadExp,
+			machineSpread: 0.05, noiseStd: 0.10, sharedStd: 0.03, sharedAR: 0.7}
+	}
+	specs := []metricSpec{
+		// Front-end stage.
+		sig(KPIFrontEnd, 80, 0.5),
+		sig("fe_queue_len", 12, 1.6),
+		sig("fe_cpu_util", 35, 1.0),
+		sig("fe_threads", 40, 0.6),
+		sig("fe_error_rate", 0.5, 0.2),
+		sig("fe_reqs_per_sec", 120, 1.0),
+		sig("fe_rejects", 0.3, 0.8),
+		sig("fe_conn_count", 200, 0.9),
+		// Heavy-processing stage.
+		sig(KPIProcessing, 300, 0.6),
+		sig("proc_queue_len", 25, 1.7),
+		sig("proc_cpu_util", 45, 1.0),
+		sig("proc_threads", 60, 0.5),
+		sig("proc_error_rate", 0.4, 0.2),
+		sig("proc_reqs_per_sec", 110, 1.0),
+		sig("proc_heap_mb", 900, 0.3),
+		sig("proc_gc_ms", 30, 0.5),
+		sig("proc_lock_wait_ms", 8, 0.9),
+		sig("proc_batch_size", 50, 0.2),
+		// Post-processing stage.
+		sig(KPIPost, 150, 0.5),
+		sig("post_queue_len", 18, 1.6),
+		sig("post_cpu_util", 30, 1.0),
+		sig("post_threads", 30, 0.5),
+		sig("post_error_rate", 0.3, 0.2),
+		sig("post_reqs_per_sec", 100, 1.0),
+		sig("post_archive_backlog", 40, 1.2),
+		sig("post_flush_ms", 20, 0.6),
+		// Database client.
+		sig("db_latency_ms", 15, 0.6),
+		sig("db_active_conns", 80, 0.7),
+		sig("db_error_rate", 0.2, 0.1),
+		sig("db_timeout_rate", 0.1, 0.2),
+		sig("db_pool_wait_ms", 3, 1.0),
+		sig("db_rows_read", 5000, 1.0),
+		// Link to the archival datacenter.
+		sig("remote_backlog", 60, 1.1),
+		sig("remote_latency_ms", 90, 0.3),
+		sig("remote_error_rate", 0.2, 0.1),
+		sig("remote_throughput", 70, 1.0),
+		// OS-level measurements.
+		sig("os_cpu_total", 40, 1.0),
+		sig("os_mem_used_mb", 6000, 0.2),
+		sig("os_swap_mb", 100, 0.1),
+		sig("os_disk_read_iops", 300, 0.8),
+		sig("os_disk_write_iops", 250, 0.9),
+		sig("os_disk_queue", 2, 1.4),
+		sig("os_net_in_mbps", 90, 1.0),
+		sig("os_net_out_mbps", 85, 1.0),
+		sig("os_ctx_switches", 5000, 0.8),
+		sig("os_page_faults", 200, 0.4),
+		sig("os_load_avg", 3, 1.2),
+		sig("os_tcp_conns", 400, 0.9),
+		// Application-level measurements.
+		sig("app_sessions", 800, 1.0),
+		sig("app_cache_hit_rate", 92, -0.05),
+		sig("app_auth_latency_ms", 25, 0.4),
+		sig("app_alert_count", 0.2, 0.1),
+		sig("app_txn_rate", 95, 1.0),
+		sig("app_retry_rate", 0.5, 0.3),
+		sig("app_queue_oldest_s", 5, 1.3),
+		sig("app_worker_util", 55, 1.0),
+	}
+	return specs
+}
+
+// allSpecs returns baseSpecs plus the filler counters. Fillers have strong,
+// slowly-wandering datacenter-wide drift so their quantile tracks regularly
+// cross hot/cold thresholds even in normal operation — the noise source the
+// all-metrics baseline suffers from.
+func allSpecs() []metricSpec {
+	specs := baseSpecs()
+	for i := 0; i < NumFillerMetrics; i++ {
+		specs = append(specs, metricSpec{
+			name:          fmt.Sprintf("app_counter_%02d", i),
+			base:          100,
+			loadExp:       0,
+			machineSpread: 0.10,
+			noiseStd:      0.15,
+			sharedStd:     0.12,
+			sharedAR:      0.95,
+		})
+	}
+	return specs
+}
+
+// StandardCatalog returns the simulated datacenter's metric catalog
+// (~100 metrics, like the paper's installation).
+func StandardCatalog() *metrics.Catalog {
+	specs := allSpecs()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.name
+	}
+	c, err := metrics.NewCatalog(names)
+	if err != nil {
+		panic(err) // static catalog; unreachable
+	}
+	return c
+}
+
+// StandardSLA returns the datacenter's KPI/SLA configuration: the three KPI
+// latencies with their thresholds and the 10% crisis rule (§4.1).
+func StandardSLA(cat *metrics.Catalog) (sla.Config, error) {
+	cfg := sla.Config{CrisisFraction: 0.10}
+	for _, k := range []struct {
+		name string
+		thr  float64
+	}{
+		{KPIFrontEnd, slaFrontEnd},
+		{KPIProcessing, slaProcessing},
+		{KPIPost, slaPost},
+	} {
+		idx, ok := cat.Index(k.name)
+		if !ok {
+			return sla.Config{}, fmt.Errorf("dcsim: KPI metric %q missing from catalog", k.name)
+		}
+		cfg.KPIs = append(cfg.KPIs, sla.KPI{Name: k.name, Metric: idx, Threshold: k.thr})
+	}
+	return cfg, nil
+}

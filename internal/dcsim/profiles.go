@@ -1,0 +1,207 @@
+package dcsim
+
+import (
+	"fmt"
+
+	"dcfp/internal/crisis"
+)
+
+// Effect multiplies one metric on affected machines during a crisis.
+// Factor > 1 drives the metric hot, Factor < 1 drives it cold. The applied
+// multiplier is Factor^(envelope·severity), so effects ramp in with the
+// crisis envelope and scale with per-instance severity.
+type Effect struct {
+	Metric string
+	Factor float64
+}
+
+// Profile is the characteristic perturbation of one crisis class. Every
+// instance of a class shares the pattern (which metrics move and in which
+// direction) while severity, affected fraction, duration and the background
+// workload differ per instance — this is what makes same-type crises
+// similar but not identical, as in the production data.
+type Profile struct {
+	Type crisis.Type
+	// Effects apply for the whole crisis (or, if LateEffects is present,
+	// for its first half).
+	Effects []Effect
+	// LateEffects, when non-empty, replace Effects during the second half
+	// of the crisis. Used by type I (datacenter power cycle): throughput
+	// collapses while machines are down, then queues and latencies spike
+	// as the backlog drains.
+	LateEffects []Effect
+}
+
+// Profiles returns the effect profile of every crisis class, keyed by type.
+// The groups of touched metrics deliberately overlap across types on the
+// KPI metrics (so the KPI-only baseline cannot separate them) while
+// differing on secondary metrics (what the fingerprint exploits).
+func Profiles() map[crisis.Type]Profile {
+	return map[crisis.Type]Profile{
+		crisis.TypeA: {Type: crisis.TypeA, Effects: []Effect{
+			{KPIFrontEnd, 7.0},
+			{"fe_queue_len", 8.0},
+			{"fe_cpu_util", 3.0},
+			{"fe_threads", 3.0},
+			{"fe_conn_count", 3.0},
+			{"fe_rejects", 6.0},
+			{"os_cpu_total", 2.5},
+			{"os_load_avg", 3.0},
+		}},
+		crisis.TypeB: {Type: crisis.TypeB, Effects: []Effect{
+			{KPIPost, 7.0},
+			{"post_queue_len", 10.0},
+			{"post_archive_backlog", 12.0},
+			{"post_flush_ms", 3.0},
+			{"remote_backlog", 10.0},
+			{"remote_latency_ms", 3.0},
+			{"remote_throughput", 0.3},
+			{"os_disk_queue", 3.0},
+			{"app_queue_oldest_s", 8.0},
+		}},
+		crisis.TypeC: {Type: crisis.TypeC, Effects: []Effect{
+			{KPIProcessing, 6.0},
+			{"db_latency_ms", 6.0},
+			{"db_timeout_rate", 10.0},
+			{"db_error_rate", 8.0},
+			{"db_pool_wait_ms", 8.0},
+			{"db_active_conns", 0.25},
+			{"db_rows_read", 0.3},
+			{"proc_lock_wait_ms", 3.0},
+		}},
+		crisis.TypeD: {Type: crisis.TypeD, Effects: []Effect{
+			{KPIFrontEnd, 6.0},
+			{"fe_error_rate", 10.0},
+			{"fe_reqs_per_sec", 0.35},
+			{"app_alert_count", 8.0},
+			{"app_sessions", 0.35},
+			{"app_retry_rate", 6.0},
+			{"app_auth_latency_ms", 4.0},
+		}},
+		crisis.TypeE: {Type: crisis.TypeE, Effects: []Effect{
+			{KPIProcessing, 6.0},
+			{"proc_heap_mb", 3.0},
+			{"proc_gc_ms", 6.0},
+			{"os_mem_used_mb", 2.5},
+			{"os_swap_mb", 5.0},
+			{"os_page_faults", 4.0},
+		}},
+		crisis.TypeF: {Type: crisis.TypeF, Effects: []Effect{
+			{KPIProcessing, 6.0},
+			{"proc_cpu_util", 3.0},
+			{"os_ctx_switches", 3.0},
+			{"os_load_avg", 3.0},
+			{"app_worker_util", 3.0},
+			{"proc_batch_size", 0.35},
+			{"os_disk_read_iops", 2.5},
+		}},
+		crisis.TypeG: {Type: crisis.TypeG, Effects: []Effect{
+			{KPIProcessing, 6.5},
+			{"proc_queue_len", 8.0},
+			{"proc_threads", 3.0},
+			{"proc_lock_wait_ms", 4.0},
+			{"app_cache_hit_rate", 0.45},
+			{"app_txn_rate", 0.4},
+			{"post_reqs_per_sec", 0.5},
+		}},
+		crisis.TypeH: {Type: crisis.TypeH, Effects: []Effect{
+			{KPIFrontEnd, 6.5},
+			{"fe_queue_len", 5.0},
+			{"fe_reqs_per_sec", 2.5},
+			{"fe_error_rate", 4.0},
+			{"os_net_out_mbps", 0.3},
+			{"os_net_in_mbps", 0.35},
+			{"app_retry_rate", 5.0},
+			{"os_tcp_conns", 3.0},
+		}},
+		crisis.TypeI: {Type: crisis.TypeI,
+			Effects: []Effect{
+				// Shutdown phase: requests fail with timeouts;
+				// throughput collapses datacenter-wide.
+				{KPIFrontEnd, 7.0},
+				{KPIProcessing, 6.0},
+				{KPIPost, 6.5},
+				{"fe_reqs_per_sec", 0.05},
+				{"proc_reqs_per_sec", 0.05},
+				{"post_reqs_per_sec", 0.05},
+				{"app_txn_rate", 0.05},
+				{"os_cpu_total", 0.3},
+				{"os_net_in_mbps", 0.1},
+				{"os_net_out_mbps", 0.1},
+			},
+			LateEffects: []Effect{
+				// Restart phase: backlog drain saturates queues.
+				{KPIFrontEnd, 7.0},
+				{KPIProcessing, 6.0},
+				{KPIPost, 6.5},
+				{"fe_queue_len", 6.0},
+				{"proc_queue_len", 6.0},
+				{"post_queue_len", 6.0},
+				{"os_cpu_total", 2.0},
+				{"app_txn_rate", 2.0},
+			}},
+		crisis.TypeJ: {Type: crisis.TypeJ, Effects: []Effect{
+			{KPIFrontEnd, 5.0},
+			{KPIProcessing, 5.0},
+			{KPIPost, 5.0},
+			{"fe_queue_len", 4.0},
+			{"proc_queue_len", 4.0},
+			{"post_queue_len", 4.0},
+			{"fe_reqs_per_sec", 2.0},
+			{"app_txn_rate", 2.0},
+			{"app_sessions", 2.5},
+			{"os_cpu_total", 2.2},
+		}},
+	}
+}
+
+// compiledEffect is an Effect with the metric resolved to a catalog column.
+type compiledEffect struct {
+	metric int
+	factor float64
+}
+
+// compiledProfile is a Profile with columns resolved.
+type compiledProfile struct {
+	effects     []compiledEffect
+	lateEffects []compiledEffect
+}
+
+// compileProfiles resolves metric names to columns, failing loudly on any
+// profile referencing a metric absent from the catalog.
+func compileProfiles(cat interface {
+	Index(string) (int, bool)
+}) (map[crisis.Type]compiledProfile, error) {
+	out := make(map[crisis.Type]compiledProfile, crisis.NumTypes)
+	for ty, p := range Profiles() {
+		cp := compiledProfile{}
+		var err error
+		cp.effects, err = compileEffects(cat, p.Effects)
+		if err != nil {
+			return nil, fmt.Errorf("dcsim: profile %s: %w", ty, err)
+		}
+		cp.lateEffects, err = compileEffects(cat, p.LateEffects)
+		if err != nil {
+			return nil, fmt.Errorf("dcsim: profile %s (late): %w", ty, err)
+		}
+		out[ty] = cp
+	}
+	return out, nil
+}
+
+func compileEffects(cat interface {
+	Index(string) (int, bool)
+}, effs []Effect) ([]compiledEffect, error) {
+	out := make([]compiledEffect, 0, len(effs))
+	for _, e := range effs {
+		idx, ok := cat.Index(e.Metric)
+		if !ok {
+			return nil, fmt.Errorf("unknown metric %q", e.Metric)
+		}
+		if e.Factor <= 0 {
+			return nil, fmt.Errorf("metric %q has non-positive factor %v", e.Metric, e.Factor)
+		}
+		out = append(out, compiledEffect{metric: idx, factor: e.Factor})
+	}
+	return out, nil
+}

@@ -1,0 +1,438 @@
+package dcsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dcfp/internal/crisis"
+	"dcfp/internal/metrics"
+	"dcfp/internal/quantile"
+	"dcfp/internal/sla"
+	"dcfp/internal/workload"
+)
+
+// Config sizes the simulated datacenter and trace.
+type Config struct {
+	// Machines is the number of servers (the paper's datacenter runs
+	// hundreds).
+	Machines int
+	// Seed makes the whole trace reproducible.
+	Seed int64
+	// BackgroundDays of crisis-free history precede everything, feeding
+	// the hot/cold threshold windows.
+	BackgroundDays int
+	// UnlabeledDays hold the 20 undiagnosed crises ("Sep–Dec 2007").
+	UnlabeledDays int
+	// LabeledDays hold the 19 diagnosed crises of Table 1 ("Jan–Apr 2008").
+	LabeledDays int
+	// UnlabeledCrises is the number of crises in the unlabeled period.
+	UnlabeledCrises int
+	// Workload shapes the load signal.
+	Workload workload.Config
+	// FSMachines is how many machines' raw rows are retained per
+	// feature-selection epoch (a deterministic subset; keeping every
+	// machine's row for every epoch would be needless bulk).
+	FSMachines int
+	// FSPad is how many epochs before/after each crisis keep raw
+	// per-machine rows, supplying the crisis/normal samples for §3.4's
+	// feature selection.
+	FSPad int
+	// NewEstimator builds the per-metric cross-machine quantile
+	// estimator. Nil means exact.
+	NewEstimator func() quantile.Estimator
+}
+
+// DefaultConfig returns a paper-scale configuration: 100 machines, 120 days
+// of background plus two 120-day crisis periods.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Machines:        100,
+		Seed:            seed,
+		BackgroundDays:  120,
+		UnlabeledDays:   120,
+		LabeledDays:     120,
+		UnlabeledCrises: 20,
+		Workload:        workload.DefaultConfig(),
+		FSMachines:      40,
+		FSPad:           8,
+	}
+}
+
+// SmallConfig returns a fast configuration for tests and examples: fewer
+// machines and days, fewer unlabeled crises.
+func SmallConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Machines = 30
+	cfg.BackgroundDays = 20
+	cfg.UnlabeledDays = 30
+	cfg.LabeledDays = 60
+	cfg.UnlabeledCrises = 5
+	cfg.FSMachines = 20
+	return cfg
+}
+
+func (c Config) validate() error {
+	if c.Machines < 10 {
+		return fmt.Errorf("dcsim: need at least 10 machines, got %d", c.Machines)
+	}
+	if c.BackgroundDays < 1 || c.UnlabeledDays < 1 || c.LabeledDays < 1 {
+		return errors.New("dcsim: all periods need at least one day")
+	}
+	if c.UnlabeledCrises < 0 {
+		return errors.New("dcsim: negative unlabeled crisis count")
+	}
+	if c.FSMachines < 5 || c.FSMachines > c.Machines {
+		return fmt.Errorf("dcsim: FSMachines %d out of [5, Machines]", c.FSMachines)
+	}
+	if c.FSPad < 1 {
+		return errors.New("dcsim: FSPad must be at least 1")
+	}
+	return nil
+}
+
+// FSEpoch holds the raw per-machine data retained for one epoch: the sample
+// rows of the FS machine subset and, per retained machine, whether it was
+// violating any KPI SLA — the (X_{m,t}, Y_{m,t}) pairs of §3.4.
+type FSEpoch struct {
+	X         [][]float64
+	Violating []bool
+}
+
+// Trace is a fully simulated history of the datacenter.
+type Trace struct {
+	Config  Config
+	Catalog *metrics.Catalog
+	SLA     sla.Config
+	// Track stores the cross-machine quantiles of every metric for every
+	// epoch — the raw quantile values the fingerprint store keeps (§6.3).
+	Track *metrics.QuantileTrack
+	// Status is the SLA evaluation per epoch.
+	Status []sla.EpochStatus
+	// InCrisis[e] reports the 10%-rule crisis state of epoch e.
+	InCrisis []bool
+	// Episodes are the *detected* crisis episodes (from InCrisis).
+	Episodes []sla.Episode
+	// Instances is the injected ground truth, sorted by start epoch.
+	Instances []crisis.Instance
+	// UnlabeledStart and LabeledStart are the period boundaries.
+	UnlabeledStart, LabeledStart metrics.Epoch
+
+	fs map[metrics.Epoch]*FSEpoch
+}
+
+// NumEpochs reports the trace length.
+func (t *Trace) NumEpochs() int { return len(t.Status) }
+
+// FS returns the retained raw data for epoch e, if any.
+func (t *Trace) FS(e metrics.Epoch) (*FSEpoch, bool) {
+	f, ok := t.fs[e]
+	return f, ok
+}
+
+// Simulate generates a complete trace under cfg.
+func Simulate(cfg Config) (*Trace, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cat := StandardCatalog()
+	specs := allSpecs()
+	slaCfg, err := StandardSLA(cat)
+	if err != nil {
+		return nil, err
+	}
+	if err := slaCfg.Validate(cat.Len()); err != nil {
+		return nil, err
+	}
+	profiles, err := compileProfiles(cat)
+	if err != nil {
+		return nil, err
+	}
+
+	epd := metrics.EpochsPerDay
+	unlabeledStart := metrics.Epoch(cfg.BackgroundDays * epd)
+	labeledStart := unlabeledStart + metrics.Epoch(cfg.UnlabeledDays*epd)
+	end := labeledStart + metrics.Epoch(cfg.LabeledDays*epd) - 1
+	numEpochs := int(end) + 1
+
+	// Schedule crises: unlabeled first, then the Table 1 set.
+	var instances []crisis.Instance
+	if cfg.UnlabeledCrises > 0 {
+		ucfg := crisis.DefaultScheduleConfig(unlabeledStart+metrics.Epoch(epd), labeledStart-metrics.Epoch(epd))
+		uns, err := crisis.Schedule(crisis.UnlabeledTypes(cfg.UnlabeledCrises, rng), ucfg, false, "U", rng)
+		if err != nil {
+			return nil, fmt.Errorf("dcsim: scheduling unlabeled crises: %w", err)
+		}
+		instances = append(instances, uns...)
+	}
+	lcfg := crisis.DefaultScheduleConfig(labeledStart+metrics.Epoch(epd), end-metrics.Epoch(epd))
+	labeled, err := crisis.Schedule(crisis.Table1Types(), lcfg, true, "L", rng)
+	if err != nil {
+		return nil, fmt.Errorf("dcsim: scheduling labeled crises: %w", err)
+	}
+	instances = append(instances, labeled...)
+
+	// Workload: attach a genuine load spike to every type-J crisis, so a
+	// workload spike propagates through every load-coupled metric.
+	wl, err := workload.New(cfg.Workload, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	for _, in := range instances {
+		if in.Type == crisis.TypeJ {
+			if err := wl.AddSpike(workload.Spike{Start: in.Start, Duration: in.Duration, Magnitude: 1.6}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Crisis side-effect chaos: around any crisis, miscellaneous
+	// application counters wobble datacenter-wide in ways specific to the
+	// *instance*, not the crisis class — operators see this in practice
+	// as "everything looks weird around an outage". The wobble hits every
+	// machine equally and spans a window wider than the fault itself, so
+	// it carries no per-machine SLA signal (feature selection rejects
+	// it), but it contaminates methods that keep all metrics in the
+	// fingerprint.
+	fillerStart := cat.Len() - NumFillerMetrics
+	chaos := make(map[string][]compiledEffect, len(instances))
+	for _, in := range instances {
+		var effs []compiledEffect
+		for m := fillerStart; m < cat.Len(); m++ {
+			if rng.Float64() < 0.25 {
+				f := 2.2
+				if rng.Float64() < 0.5 {
+					f = 1 / f
+				}
+				effs = append(effs, compiledEffect{metric: m, factor: f})
+			}
+		}
+		chaos[in.ID] = effs
+	}
+
+	// Per-machine hardware spread factors.
+	mf := make([][]float64, cfg.Machines)
+	for m := range mf {
+		row := make([]float64, len(specs))
+		for j, sp := range specs {
+			f := 1 + rng.NormFloat64()*sp.machineSpread
+			if f < 0.5 {
+				f = 0.5
+			}
+			row[j] = f
+		}
+		mf[m] = row
+	}
+
+	// Datacenter-wide AR(1) drift state per metric.
+	shared := make([]float64, len(specs))
+
+	newEst := cfg.NewEstimator
+	if newEst == nil {
+		newEst = func() quantile.Estimator { return quantile.NewExact() }
+	}
+	agg, err := metrics.NewAggregator(cat.Len(), newEst)
+	if err != nil {
+		return nil, err
+	}
+	track, err := metrics.NewQuantileTrack(cat.Len())
+	if err != nil {
+		return nil, err
+	}
+
+	tr := &Trace{
+		Config:         cfg,
+		Catalog:        cat,
+		SLA:            slaCfg,
+		Track:          track,
+		Instances:      instances,
+		UnlabeledStart: unlabeledStart,
+		LabeledStart:   labeledStart,
+		fs:             make(map[metrics.Epoch]*FSEpoch),
+	}
+
+	// fsKeep marks epochs whose raw rows must be retained.
+	fsKeep := make(map[metrics.Epoch]bool)
+	for _, in := range instances {
+		for e := in.Start - metrics.Epoch(cfg.FSPad); e <= in.End()+metrics.Epoch(cfg.FSPad); e++ {
+			if e >= 0 && int(e) < numEpochs {
+				fsKeep[e] = true
+			}
+		}
+	}
+
+	// Active-instance pointer (instances are sorted and non-overlapping
+	// within each period; the two periods do not overlap either).
+	nextInst := 0
+	chaosIdx := 0
+	rows := make([][]float64, cfg.Machines)
+	for m := range rows {
+		rows[m] = make([]float64, len(specs))
+	}
+
+	for e := metrics.Epoch(0); int(e) < numEpochs; e++ {
+		_, intensity := wl.Next()
+
+		// Advance shared drift.
+		for j, sp := range specs {
+			shared[j] = sp.sharedAR*shared[j] + rng.NormFloat64()*sp.sharedStd
+		}
+
+		// Resolve active crisis, if any.
+		var active *crisis.Instance
+		for nextInst < len(instances) && e > instances[nextInst].End() {
+			nextInst++
+		}
+		if nextInst < len(instances) {
+			if in := &instances[nextInst]; e >= in.Start && e <= in.End() {
+				active = in
+			}
+		}
+
+		// Generate machine rows.
+		for m := 0; m < cfg.Machines; m++ {
+			row := rows[m]
+			for j, sp := range specs {
+				v := sp.base * math.Pow(intensity, sp.loadExp) * mf[m][j] *
+					(1 + shared[j]) * (1 + rng.NormFloat64()*sp.noiseStd)
+				if v < 0 {
+					v = 0
+				}
+				row[j] = v
+			}
+		}
+		if active != nil {
+			applyCrisis(rows, active, profiles[active.Type], e, cfg.Machines)
+		}
+		// Chaos spans [start-FSPad, end+FSPad] of the nearest instance
+		// at a constant level (instances are separated by far more than
+		// two pads, so at most one window covers any epoch).
+		for chaosIdx < len(instances) && e > instances[chaosIdx].End()+metrics.Epoch(cfg.FSPad) {
+			chaosIdx++
+		}
+		if chaosIdx < len(instances) {
+			if in := instances[chaosIdx]; e >= in.Start-metrics.Epoch(cfg.FSPad) {
+				for _, eff := range chaos[in.ID] {
+					f := math.Pow(eff.factor, in.Severity)
+					for m := 0; m < cfg.Machines; m++ {
+						rows[m][eff.metric] *= f
+					}
+				}
+			}
+		}
+
+		// Aggregate quantiles and evaluate SLAs.
+		for m := 0; m < cfg.Machines; m++ {
+			if err := agg.Observe(rows[m]); err != nil {
+				return nil, err
+			}
+		}
+		summary, err := agg.Summarize()
+		if err != nil {
+			return nil, err
+		}
+		if err := track.AppendEpoch(summary); err != nil {
+			return nil, err
+		}
+		status, err := slaCfg.Evaluate(rows)
+		if err != nil {
+			return nil, err
+		}
+		tr.Status = append(tr.Status, status)
+		tr.InCrisis = append(tr.InCrisis, status.InCrisis)
+
+		// Retain raw rows for feature selection.
+		if fsKeep[e] {
+			fse := &FSEpoch{
+				X:         make([][]float64, cfg.FSMachines),
+				Violating: make([]bool, cfg.FSMachines),
+			}
+			// Spread the retained subset evenly across the whole
+			// machine range so any contiguous affected window
+			// overlaps it.
+			for i := 0; i < cfg.FSMachines; i++ {
+				m := i * cfg.Machines / cfg.FSMachines
+				fse.X[i] = append([]float64(nil), rows[m]...)
+				fse.Violating[i] = slaCfg.MachineViolates(rows[m])
+			}
+			tr.fs[e] = fse
+		}
+	}
+
+	// Detect episodes: merge one-epoch dips, require at least 2 epochs.
+	tr.Episodes = sla.Episodes(tr.InCrisis, 1, 2)
+	return tr, nil
+}
+
+// applyCrisis multiplies crisis effects into the affected machines' rows.
+func applyCrisis(rows [][]float64, in *crisis.Instance, p compiledProfile, e metrics.Epoch, machines int) {
+	// Ramp-in envelope: faults build up over four epochs (one hour), so
+	// the SLA rule fires a few epochs into the fault — by which time the
+	// fingerprint's pre-detection window epochs already show the crisis
+	// pattern, exactly the gradual onset the paper's production crises
+	// exhibit (its Figure 7: summary ranges starting 30 minutes before
+	// detection discriminate well). The ramp length is constant so
+	// instances of one class present the same early shape regardless of
+	// how long they last.
+	const rampLen = 4
+	env := float64(int(e-in.Start)+1) / float64(rampLen)
+	if env > 1 {
+		env = 1
+	}
+	exp := env * in.Severity
+
+	effects := p.effects
+	if len(p.lateEffects) > 0 && int(e-in.Start) >= in.Duration/2 {
+		effects = p.lateEffects
+	}
+
+	affected := int(math.Ceil(in.AffectedFraction * float64(machines)))
+	if affected > machines {
+		affected = machines
+	}
+	// Deterministic affected subset, rotated per instance so different
+	// instances hit different machines.
+	offset := int(in.Start) % machines
+	isAffected := func(m int) bool {
+		d := (m - offset + machines) % machines
+		return d < affected
+	}
+	for m := 0; m < machines; m++ {
+		row := rows[m]
+		for _, eff := range effects {
+			e := exp * spilloverExp
+			if isAffected(m) {
+				// Machines do not respond identically: each
+				// (machine, metric, instance) triple gets a stable
+				// response jitter in [0.7, 1.3], so no single metric
+				// perfectly predicts which machines violate and
+				// feature selection has to keep several of a
+				// crisis's metrics.
+				e = exp * responseJitter(m, eff.metric, int(in.Start))
+			}
+			row[eff.metric] *= math.Pow(eff.factor, e)
+		}
+	}
+}
+
+// spilloverExp attenuates crisis effects on machines outside the affected
+// set: the stages share infrastructure (databases, the archival link, load
+// balancers), so a fault degrades everyone a little and the affected
+// fraction a lot. The attenuation is strong enough that spillover alone
+// never violates a KPI SLA (detection counts stay fraction-driven) yet the
+// resulting ~1.4-2x shifts push every cross-machine quantile of a profile
+// metric past the 2/98 hot/cold thresholds consistently — instances of one
+// crisis type light up the same fingerprint cells.
+const spilloverExp = 0.35
+
+// responseJitter returns a deterministic pseudo-random factor in [0.7, 1.3].
+func responseJitter(machine, metric, salt int) float64 {
+	h := uint32(machine*2654435761) ^ uint32(metric*40503) ^ uint32(salt*97)
+	h ^= h >> 13
+	h *= 2246822519
+	h ^= h >> 16
+	return 0.7 + 0.6*float64(h%1000)/999
+}

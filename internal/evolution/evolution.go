@@ -1,0 +1,204 @@
+// Package evolution implements the second future-work direction of the
+// paper's §7: modeling the complete evolution of a crisis, so that while
+// operators apply repair actions they can monitor progress and estimate how
+// long the crisis will take to resolve.
+//
+// The model is trajectory matching in fingerprint space. Each resolved
+// crisis contributes its *trajectory* — the sequence of epoch fingerprints
+// from detection to the end of the episode. For an ongoing crisis that has
+// been identified as a recurrence of some label, the model aligns the
+// crisis's recent epochs against each stored trajectory of that label and
+// converts the best alignment into a progress fraction and a remaining-time
+// estimate, weighting trajectories by alignment quality.
+package evolution
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dcfp/internal/core"
+	"dcfp/internal/metrics"
+	"dcfp/internal/sla"
+	"dcfp/internal/stats"
+)
+
+// Trajectory is one resolved crisis's per-epoch fingerprint sequence, from
+// detection through the last crisis epoch.
+type Trajectory struct {
+	ID      string
+	Label   string
+	Vectors [][]float64
+}
+
+// ExtractTrajectory reads a resolved crisis's trajectory out of the
+// quantile track under the given fingerprinter.
+func ExtractTrajectory(f *core.Fingerprinter, track *metrics.QuantileTrack, id, label string, ep sla.Episode) (Trajectory, error) {
+	if f == nil || track == nil {
+		return Trajectory{}, errors.New("evolution: nil fingerprinter or track")
+	}
+	tr := Trajectory{ID: id, Label: label}
+	for e := ep.Start; e <= ep.End; e++ {
+		if e < 0 || int(e) >= track.NumEpochs() {
+			continue
+		}
+		row, err := track.EpochRow(e)
+		if err != nil {
+			return Trajectory{}, err
+		}
+		v, err := f.EpochFingerprint(row)
+		if err != nil {
+			return Trajectory{}, err
+		}
+		tr.Vectors = append(tr.Vectors, v)
+	}
+	if len(tr.Vectors) == 0 {
+		return Trajectory{}, fmt.Errorf("evolution: episode %d..%d outside track", ep.Start, ep.End)
+	}
+	return tr, nil
+}
+
+// Model holds resolved-crisis trajectories grouped by label.
+type Model struct {
+	byLabel map[string][]Trajectory
+	dim     int
+}
+
+// NewModel returns an empty evolution model.
+func NewModel() *Model { return &Model{byLabel: make(map[string][]Trajectory)} }
+
+// Add stores a resolved trajectory. All trajectories must share the
+// fingerprint dimension.
+func (m *Model) Add(t Trajectory) error {
+	if t.Label == "" {
+		return errors.New("evolution: trajectory needs a label")
+	}
+	if len(t.Vectors) == 0 {
+		return errors.New("evolution: empty trajectory")
+	}
+	d := len(t.Vectors[0])
+	for _, v := range t.Vectors {
+		if len(v) != d {
+			return errors.New("evolution: ragged trajectory")
+		}
+	}
+	if m.dim == 0 {
+		m.dim = d
+	} else if d != m.dim {
+		return fmt.Errorf("evolution: dimension %d, model holds %d", d, m.dim)
+	}
+	m.byLabel[t.Label] = append(m.byLabel[t.Label], t)
+	return nil
+}
+
+// Trajectories reports how many trajectories the model holds for a label.
+func (m *Model) Trajectories(label string) int { return len(m.byLabel[label]) }
+
+// Progress is the estimate for an ongoing crisis.
+type Progress struct {
+	// MatchedID is the best-aligned past trajectory.
+	MatchedID string
+	// Elapsed is the observed crisis length so far, in epochs.
+	Elapsed int
+	// RemainingEpochs is the weighted remaining-duration estimate.
+	RemainingEpochs float64
+	// Fraction is elapsed / (elapsed + remaining), in [0, 1].
+	Fraction float64
+	// MeanAlignmentDistance is the quality of the best alignment (lower
+	// is better); use it to gate whether the estimate is trustworthy.
+	MeanAlignmentDistance float64
+}
+
+// alignWindow is how many trailing epochs of the ongoing crisis are matched
+// against stored trajectories.
+const alignWindow = 3
+
+// Estimate predicts the remaining duration of an ongoing crisis identified
+// as label, given its epoch fingerprints so far (detection-first order).
+func (m *Model) Estimate(label string, ongoing [][]float64) (Progress, error) {
+	trajs := m.byLabel[label]
+	if len(trajs) == 0 {
+		return Progress{}, fmt.Errorf("evolution: no trajectories for label %q", label)
+	}
+	if len(ongoing) == 0 {
+		return Progress{}, errors.New("evolution: no ongoing epochs")
+	}
+	for _, v := range ongoing {
+		if len(v) != m.dim {
+			return Progress{}, fmt.Errorf("evolution: ongoing dimension %d, model holds %d", len(v), m.dim)
+		}
+	}
+	w := alignWindow
+	if len(ongoing) < w {
+		w = len(ongoing)
+	}
+	window := ongoing[len(ongoing)-w:]
+
+	type match struct {
+		traj      *Trajectory
+		remaining int
+		dist      float64
+	}
+	var matches []match
+	for i := range trajs {
+		tr := &trajs[i]
+		if len(tr.Vectors) < w {
+			continue
+		}
+		best := math.Inf(1)
+		bestEnd := 0
+		// Slide the window over the trajectory; prefer alignments at
+		// least as far along as the ongoing crisis (a crisis cannot be
+		// earlier in its own evolution than the epochs it has shown).
+		minEnd := len(ongoing)
+		if minEnd > len(tr.Vectors) {
+			minEnd = len(tr.Vectors)
+		}
+		for end := w; end <= len(tr.Vectors); end++ {
+			d := 0.0
+			for k := 0; k < w; k++ {
+				dd, err := stats.L2Distance(window[k], tr.Vectors[end-w+k])
+				if err != nil {
+					return Progress{}, err
+				}
+				d += dd
+			}
+			d /= float64(w)
+			// Penalize alignments that imply the ongoing crisis is
+			// younger than observed.
+			if end < minEnd {
+				d += 0.5
+			}
+			if d < best {
+				best = d
+				bestEnd = end
+			}
+		}
+		matches = append(matches, match{traj: tr, remaining: len(tr.Vectors) - bestEnd, dist: best})
+	}
+	if len(matches) == 0 {
+		return Progress{}, fmt.Errorf("evolution: every %q trajectory is shorter than the alignment window", label)
+	}
+
+	// Weighted estimate over matches: weight = 1/(dist + eps).
+	const eps = 0.1
+	sumW, sumR := 0.0, 0.0
+	best := matches[0]
+	for _, mt := range matches {
+		wgt := 1 / (mt.dist + eps)
+		sumW += wgt
+		sumR += wgt * float64(mt.remaining)
+		if mt.dist < best.dist {
+			best = mt
+		}
+	}
+	remaining := sumR / sumW
+	elapsed := len(ongoing)
+	return Progress{
+		MatchedID:             best.traj.ID,
+		Elapsed:               elapsed,
+		RemainingEpochs:       remaining,
+		Fraction:              float64(elapsed) / (float64(elapsed) + remaining),
+		MeanAlignmentDistance: best.dist,
+	}, nil
+}

@@ -1,0 +1,195 @@
+package evolution
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dcfp/internal/core"
+	"dcfp/internal/metrics"
+	"dcfp/internal/sla"
+)
+
+// phaseVector returns a 6-dim fingerprint for phase p of a stereotyped
+// crisis: grow (cells saturate one by one), plateau, drain.
+func phaseVector(p float64, noise float64, rng *rand.Rand) []float64 {
+	v := make([]float64, 6)
+	for j := range v {
+		on := (float64(j)+0.5)/6 < p
+		if on {
+			v[j] = 1
+		}
+		if rng != nil && rng.Float64() < noise {
+			v[j] = 1 - v[j]
+		}
+	}
+	return v
+}
+
+// trajectoryOf builds a dur-epoch trajectory: ramp to full over the first
+// half, drain over the second.
+func trajectoryOf(id string, dur int, noise float64, rng *rand.Rand) Trajectory {
+	t := Trajectory{ID: id, Label: "B"}
+	for e := 0; e < dur; e++ {
+		frac := float64(e) / float64(dur-1)
+		p := 2 * frac
+		if frac > 0.5 {
+			p = 2 * (1 - frac)
+		}
+		t.Vectors = append(t.Vectors, phaseVector(p, noise, rng))
+	}
+	return t
+}
+
+func TestModelAddValidation(t *testing.T) {
+	m := NewModel()
+	if err := m.Add(Trajectory{Label: "", Vectors: [][]float64{{1}}}); err == nil {
+		t.Fatal("want label error")
+	}
+	if err := m.Add(Trajectory{Label: "B"}); err == nil {
+		t.Fatal("want empty error")
+	}
+	if err := m.Add(Trajectory{Label: "B", Vectors: [][]float64{{1, 2}, {1}}}); err == nil {
+		t.Fatal("want ragged error")
+	}
+	if err := m.Add(Trajectory{Label: "B", Vectors: [][]float64{{1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(Trajectory{Label: "B", Vectors: [][]float64{{1, 2, 3}}}); err == nil {
+		t.Fatal("want dimension error")
+	}
+	if m.Trajectories("B") != 1 || m.Trajectories("C") != 0 {
+		t.Fatal("Trajectories count wrong")
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	m := NewModel()
+	rng := rand.New(rand.NewSource(1))
+	if err := m.Add(trajectoryOf("t1", 12, 0, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Estimate("C", [][]float64{phaseVector(0.5, 0, nil)}); err == nil {
+		t.Fatal("want unknown-label error")
+	}
+	if _, err := m.Estimate("B", nil); err == nil {
+		t.Fatal("want empty-ongoing error")
+	}
+	if _, err := m.Estimate("B", [][]float64{{1}}); err == nil {
+		t.Fatal("want dimension error")
+	}
+}
+
+func TestEstimateTracksProgress(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewModel()
+	for i := 0; i < 4; i++ {
+		if err := m.Add(trajectoryOf("past", 12, 0.02, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replay a fresh crisis of the same shape and check that the
+	// remaining-time estimate shrinks and the progress fraction grows.
+	live := trajectoryOf("live", 12, 0.02, rng)
+	prevFrac := -1.0
+	for upto := 3; upto <= 12; upto += 3 {
+		p, err := m.Estimate("B", live.Vectors[:upto])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Elapsed != upto {
+			t.Fatalf("Elapsed = %d", p.Elapsed)
+		}
+		if p.Fraction < prevFrac-0.15 {
+			t.Fatalf("progress went backwards: %v after %v", p.Fraction, prevFrac)
+		}
+		prevFrac = p.Fraction
+		if p.MatchedID != "past" {
+			t.Fatalf("MatchedID = %q", p.MatchedID)
+		}
+		wantRemaining := float64(12 - upto)
+		if math.Abs(p.RemainingEpochs-wantRemaining) > 4 {
+			t.Fatalf("at %d/12: remaining %v, want ~%v", upto, p.RemainingEpochs, wantRemaining)
+		}
+	}
+	// Near the end, the estimate must be nearly complete.
+	p, err := m.Estimate("B", live.Vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fraction < 0.7 {
+		t.Fatalf("final fraction %v", p.Fraction)
+	}
+}
+
+func TestEstimateUsesDurationMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewModel()
+	if err := m.Add(trajectoryOf("short", 8, 0, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(trajectoryOf("long", 16, 0, rng)); err != nil {
+		t.Fatal(err)
+	}
+	live := trajectoryOf("live", 16, 0, rng)
+	p, err := m.Estimate("B", live.Vectors[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The estimate must land between the two stored durations' remaining
+	// times at this point.
+	if p.RemainingEpochs < 1 || p.RemainingEpochs > 14 {
+		t.Fatalf("remaining = %v", p.RemainingEpochs)
+	}
+}
+
+func TestEstimateRejectsTooShortTrajectories(t *testing.T) {
+	m := NewModel()
+	if err := m.Add(Trajectory{Label: "B", Vectors: [][]float64{{1, 0}}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Estimate("B", [][]float64{{1, 0}, {1, 0}, {1, 0}})
+	if err == nil {
+		t.Fatal("want too-short error")
+	}
+}
+
+func TestExtractTrajectory(t *testing.T) {
+	track, err := metrics.NewQuantileTrack(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 30; e++ {
+		v := 100.0
+		if e >= 10 && e < 20 {
+			v = 300
+		}
+		if err := track.AppendEpoch([][3]float64{{v, v, v}, {100, 100, 100}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	th := &metrics.Thresholds{
+		Cold: [][3]float64{{50, 50, 50}, {50, 50, 50}},
+		Hot:  [][3]float64{{200, 200, 200}, {200, 200, 200}},
+	}
+	f, err := core.NewFingerprinter(th, core.AllMetrics(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ExtractTrajectory(f, track, "c1", "B", sla.Episode{Start: 10, End: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Vectors) != 10 || tr.ID != "c1" || tr.Label != "B" {
+		t.Fatalf("trajectory = %+v", tr)
+	}
+	if tr.Vectors[0][0] != 1 || tr.Vectors[0][3] != 0 {
+		t.Fatalf("vector = %v", tr.Vectors[0])
+	}
+	if _, err := ExtractTrajectory(f, track, "c", "B", sla.Episode{Start: 100, End: 110}); err == nil {
+		t.Fatal("want out-of-track error")
+	}
+	if _, err := ExtractTrajectory(nil, track, "c", "B", sla.Episode{}); err == nil {
+		t.Fatal("want nil error")
+	}
+}

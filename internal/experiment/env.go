@@ -1,0 +1,219 @@
+// Package experiment reproduces the paper's evaluation: the offline,
+// quasi-online and online identification settings (§4.4, §5), the
+// discrimination ROC analysis (§5.1.1), and the sensitivity studies (§6).
+//
+// The heavy inputs — hot/cold thresholds over long moving windows and
+// per-crisis feature selection — are cached in an Env so the many
+// experiment variants (α sweeps, permutation runs, parameter sweeps) reuse
+// them, mirroring how a deployment would maintain them incrementally.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dcfp/internal/core"
+	"dcfp/internal/dcsim"
+	"dcfp/internal/metrics"
+	"dcfp/internal/sla"
+)
+
+// Env wraps a simulated trace with memoized derived state.
+type Env struct {
+	Trace *dcsim.Trace
+	// Labeled is the chronologically ordered list of detected labeled
+	// crises (the paper's 19).
+	Labeled []dcsim.DetectedCrisis
+	// All is every detected crisis (unlabeled + labeled), chronological.
+	All []dcsim.DetectedCrisis
+
+	mu       sync.Mutex
+	thCache  map[thKey]*metrics.Thresholds
+	topCache map[topKey][]int
+}
+
+type thKey struct {
+	end     metrics.Epoch
+	window  int
+	coldPct float64
+	hotPct  float64
+}
+
+type topKey struct {
+	id string
+	k  int
+}
+
+// NewEnv prepares an environment over a simulated trace. The trace must
+// contain at least three detected labeled crises.
+func NewEnv(tr *dcsim.Trace) (*Env, error) {
+	if tr == nil {
+		return nil, errors.New("experiment: nil trace")
+	}
+	all := tr.DetectedCrises()
+	var labeled []dcsim.DetectedCrisis
+	for _, dc := range all {
+		if dc.Instance.Labeled {
+			labeled = append(labeled, dc)
+		}
+	}
+	if len(labeled) < 3 {
+		return nil, fmt.Errorf("experiment: only %d labeled crises detected", len(labeled))
+	}
+	return &Env{
+		Trace:    tr,
+		Labeled:  labeled,
+		All:      all,
+		thCache:  make(map[thKey]*metrics.Thresholds),
+		topCache: make(map[topKey][]int),
+	}, nil
+}
+
+// ThresholdsAt returns (possibly cached) hot/cold thresholds estimated from
+// the window ending at epoch end.
+func (e *Env) ThresholdsAt(end metrics.Epoch, cfg metrics.ThresholdConfig) (*metrics.Thresholds, error) {
+	key := thKey{end: end, window: cfg.WindowEpochs, coldPct: cfg.ColdPercentile, hotPct: cfg.HotPercentile}
+	e.mu.Lock()
+	th, ok := e.thCache[key]
+	e.mu.Unlock()
+	if ok {
+		return th, nil
+	}
+	th, err := metrics.ComputeThresholds(e.Trace.Track, e.Trace.IsNormal, end, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.thCache[key] = th
+	e.mu.Unlock()
+	return th, nil
+}
+
+// OfflineThresholds estimates thresholds with perfect future knowledge: the
+// window ends at the last epoch of the trace.
+func (e *Env) OfflineThresholds(cfg metrics.ThresholdConfig) (*metrics.Thresholds, error) {
+	return e.ThresholdsAt(metrics.Epoch(e.Trace.NumEpochs()-1), cfg)
+}
+
+// OnlineThresholds estimates thresholds as they would exist when crisis dc
+// was detected: window ending just before detection.
+func (e *Env) OnlineThresholds(dc dcsim.DetectedCrisis, cfg metrics.ThresholdConfig) (*metrics.Thresholds, error) {
+	return e.ThresholdsAt(dc.Episode.Start-1, cfg)
+}
+
+// PerCrisisTop returns the (cached) top-k metrics selected by feature
+// selection on the machine-level data surrounding dc (§3.4 step one).
+func (e *Env) PerCrisisTop(dc dcsim.DetectedCrisis, k int) ([]int, error) {
+	key := topKey{id: dc.Instance.ID, k: k}
+	e.mu.Lock()
+	top, ok := e.topCache[key]
+	e.mu.Unlock()
+	if ok {
+		return top, nil
+	}
+	x, y, err := e.Trace.FSSamples(dc.Episode, e.Trace.Config.FSPad)
+	if err != nil {
+		return nil, err
+	}
+	top, err = core.PerCrisisMetrics(core.CrisisSamples{X: x, Y: y}, k)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.topCache[key] = top
+	e.mu.Unlock()
+	return top, nil
+}
+
+// relevantFrom aggregates cached per-crisis selections into the relevant
+// set (§3.4 step two), preserving the frequency/rank tie-breaking of
+// core.SelectRelevantMetrics.
+func (e *Env) relevantFrom(pool []dcsim.DetectedCrisis, topK, numRelevant int) ([]int, error) {
+	if len(pool) == 0 {
+		return nil, errors.New("experiment: empty crisis pool for metric selection")
+	}
+	freq := map[int]int{}
+	rankSum := map[int]int{}
+	succeeded := 0
+	for _, dc := range pool {
+		top, err := e.PerCrisisTop(dc, topK)
+		if err != nil {
+			continue
+		}
+		succeeded++
+		for rank, m := range top {
+			freq[m]++
+			rankSum[m] += rank
+		}
+	}
+	if succeeded == 0 {
+		return nil, errors.New("experiment: feature selection failed for the whole pool")
+	}
+	cols := make([]int, 0, len(freq))
+	for m := range freq {
+		cols = append(cols, m)
+	}
+	sort.Slice(cols, func(i, j int) bool {
+		a, b := cols[i], cols[j]
+		if freq[a] != freq[b] {
+			return freq[a] > freq[b]
+		}
+		if rankSum[a] != rankSum[b] {
+			return rankSum[a] < rankSum[b]
+		}
+		return a < b
+	})
+	if len(cols) > numRelevant {
+		cols = cols[:numRelevant]
+	}
+	out := append([]int(nil), cols...)
+	sort.Ints(out)
+	return out, nil
+}
+
+// RelevantOffline selects the relevant metrics with perfect knowledge of
+// all labeled crises (the paper uses top 10 per crisis, 15 most frequent).
+func (e *Env) RelevantOffline(topK, numRelevant int) ([]int, error) {
+	return e.relevantFrom(e.Labeled, topK, numRelevant)
+}
+
+// RelevantOnline selects the relevant metrics as of crisis dc's detection:
+// from the (up to) poolSize most recent crises that occurred strictly
+// before dc — the population of 20 crises §3.4 describes, which initially
+// consists of the unlabeled crises and shifts forward as new crises occur.
+func (e *Env) RelevantOnline(dc dcsim.DetectedCrisis, poolSize, topK, numRelevant int) ([]int, error) {
+	var pool []dcsim.DetectedCrisis
+	for _, c := range e.All {
+		if c.Episode.Start < dc.Episode.Start {
+			pool = append(pool, c)
+		}
+	}
+	if len(pool) > poolSize {
+		pool = pool[len(pool)-poolSize:]
+	}
+	return e.relevantFrom(pool, topK, numRelevant)
+}
+
+// NormalEpochsBefore returns up to n crisis-free epochs immediately
+// preceding the episode, skipping pad epochs next to it. Used as negative
+// samples when inducing signatures models.
+func (e *Env) NormalEpochsBefore(ep sla.Episode, n, pad int) []metrics.Epoch {
+	var out []metrics.Epoch
+	for t := ep.Start - metrics.Epoch(pad) - 1; t >= 0 && len(out) < n; t-- {
+		if e.Trace.IsNormal(t) {
+			out = append(out, t)
+		}
+	}
+	// Reverse into chronological order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// FingerprinterOffline exposes the offline fingerprinter for diagnostics.
+func (e *Env) FingerprinterOffline() (*core.Fingerprinter, error) {
+	return e.fingerprinterFor(OfflineFPConfig(), -1)
+}

@@ -1,0 +1,155 @@
+package ident
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestIdentifyThresholding(t *testing.T) {
+	obs := []Observation{
+		{Label: "B", Distance: 0.5},
+		{Label: "B", Distance: 1.5},
+		{Label: "", Distance: math.Inf(1)},
+		{Label: Unknown, Distance: 0.1},
+	}
+	got := Identify(obs, 1.0)
+	want := []string{"B", Unknown, Unknown, Unknown}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Identify = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIdentifyStrictInequality(t *testing.T) {
+	got := Identify([]Observation{{Label: "A", Distance: 1.0}}, 1.0)
+	if got[0] != Unknown {
+		t.Fatal("distance == threshold must not match (strictly below)")
+	}
+}
+
+func TestIsStable(t *testing.T) {
+	cases := []struct {
+		seq  []string
+		want bool
+	}{
+		{[]string{"x", "x", "A", "A", "A"}, true},
+		{[]string{"B", "B", "B", "B", "B"}, true},
+		{[]string{"x", "x", "x", "x", "x"}, true},
+		{[]string{"x", "x", "A", "x", "A"}, false},
+		{[]string{"x", "x", "A", "A", "B"}, false},
+		{[]string{"A", "A", "A", "A", "B"}, false},
+		{[]string{"A", "x", "x", "x", "x"}, false},
+		{nil, true},
+		{[]string{"x"}, true},
+		{[]string{"A"}, true},
+	}
+	for _, c := range cases {
+		if got := IsStable(c.seq); got != c.want {
+			t.Errorf("IsStable(%v) = %v, want %v", c.seq, got, c.want)
+		}
+	}
+}
+
+func TestEvaluateKnownCorrect(t *testing.T) {
+	o := Evaluate(Case{Seq: []string{"x", "x", "B", "B", "B"}, Truth: "B", Known: true})
+	if !o.Stable || !o.Correct || o.Emitted != "B" {
+		t.Fatalf("outcome = %+v", o)
+	}
+	if o.TTIEpochs != 2 {
+		t.Fatalf("TTI = %d, want 2", o.TTIEpochs)
+	}
+}
+
+func TestEvaluateKnownWrongLabel(t *testing.T) {
+	o := Evaluate(Case{Seq: []string{"A", "A", "A", "A", "A"}, Truth: "B", Known: true})
+	if !o.Stable || o.Correct {
+		t.Fatalf("outcome = %+v", o)
+	}
+}
+
+func TestEvaluateKnownUnstable(t *testing.T) {
+	o := Evaluate(Case{Seq: []string{"x", "B", "x", "B", "B"}, Truth: "B", Known: true})
+	if o.Stable || o.Correct {
+		t.Fatalf("unstable sequence scored correct: %+v", o)
+	}
+	if o.TTIEpochs != -1 {
+		t.Fatalf("TTI = %d for incorrect case", o.TTIEpochs)
+	}
+}
+
+func TestEvaluateKnownAllUnknownIsMiss(t *testing.T) {
+	o := Evaluate(Case{Seq: []string{"x", "x", "x", "x", "x"}, Truth: "B", Known: true})
+	if o.Correct {
+		t.Fatal("all-x on a known crisis must be a miss")
+	}
+	if !o.Stable {
+		t.Fatal("all-x is stable")
+	}
+}
+
+func TestEvaluateUnknown(t *testing.T) {
+	ok := Evaluate(Case{Seq: []string{"x", "x", "x", "x", "x"}, Truth: "C", Known: false})
+	if !ok.Correct {
+		t.Fatal("all-x on unknown crisis must be correct")
+	}
+	bad := Evaluate(Case{Seq: []string{"x", "x", "B", "B", "B"}, Truth: "C", Known: false})
+	if bad.Correct {
+		t.Fatal("labeling an unknown crisis must be an error")
+	}
+	// Even an unstable sequence that mentions any label is wrong.
+	bad2 := Evaluate(Case{Seq: []string{"x", "B", "x", "x", "x"}, Truth: "C", Known: false})
+	if bad2.Correct {
+		t.Fatal("any label on unknown crisis must be an error")
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	o := Evaluate(Case{Known: true, Truth: "B"})
+	if o.Correct || o.TTIEpochs != -1 {
+		t.Fatalf("empty case = %+v", o)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	cases := []Case{
+		{Seq: []string{"B", "B", "B", "B", "B"}, Truth: "B", Known: true},  // correct, TTI 0
+		{Seq: []string{"x", "x", "B", "B", "B"}, Truth: "B", Known: true},  // correct, TTI 2
+		{Seq: []string{"A", "A", "A", "A", "A"}, Truth: "B", Known: true},  // wrong
+		{Seq: []string{"x", "x", "x", "x", "x"}, Truth: "C", Known: false}, // correct
+		{Seq: []string{"x", "B", "B", "B", "B"}, Truth: "C", Known: false}, // wrong
+	}
+	s, err := Summarize(cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.KnownTotal != 3 || s.UnknownTotal != 2 {
+		t.Fatalf("totals = %+v", s)
+	}
+	if math.Abs(s.KnownAccuracy-2.0/3.0) > 1e-12 {
+		t.Fatalf("known acc = %v", s.KnownAccuracy)
+	}
+	if s.UnknownAccuracy != 0.5 {
+		t.Fatalf("unknown acc = %v", s.UnknownAccuracy)
+	}
+	// Mean TTI over (0, 2) epochs = 1 epoch = 15 minutes.
+	if s.MeanTTI != 15*time.Minute {
+		t.Fatalf("MeanTTI = %v", s.MeanTTI)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("want error on no cases")
+	}
+}
+
+func TestIdentificationEpochsConstant(t *testing.T) {
+	if IdentificationEpochs != 5 {
+		t.Fatalf("IdentificationEpochs = %d", IdentificationEpochs)
+	}
+}

@@ -1,0 +1,470 @@
+// Package logreg implements L1-regularized logistic regression trained with
+// an accelerated proximal gradient method (FISTA with backtracking).
+//
+// This is the statistical machine-learning method the paper uses for
+// relevant-metric selection (§3.4): the ℓ1 constraint on the parameter
+// vector forces irrelevant coefficients to exactly zero, so fitting the
+// classifier "performance of machine m at time t is anomalous" vs. the
+// ~100 collected metrics concurrently performs feature selection. The
+// estimator matches [Young & Hastie; Koh, Kim & Boyd]; only the optimizer
+// differs (the method is solver-agnostic).
+package logreg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Options configures training.
+type Options struct {
+	// Lambda is the ℓ1 penalty strength. Zero means unregularized.
+	Lambda float64
+	// MaxIter bounds the number of FISTA iterations (default 500).
+	MaxIter int
+	// Tol is the stopping tolerance on the parameter change per iteration
+	// (default 1e-6).
+	Tol float64
+	// Standardize, if true (the recommended setting), scales features to
+	// zero mean / unit variance before fitting, so the penalty treats all
+	// metrics comparably regardless of their units.
+	Standardize bool
+}
+
+// DefaultOptions returns the options used by the fingerprinting pipeline.
+func DefaultOptions(lambda float64) Options {
+	return Options{Lambda: lambda, MaxIter: 500, Tol: 1e-6, Standardize: true}
+}
+
+// Model is a fitted logistic regression classifier.
+type Model struct {
+	// Weights are the coefficients in the original (unstandardized)
+	// feature space; exactly-zero entries are unselected features.
+	Weights []float64
+	// Bias is the intercept in the original feature space.
+	Bias float64
+	// Lambda records the penalty the model was trained with.
+	Lambda float64
+	// Iters records how many optimizer iterations ran.
+	Iters int
+}
+
+var (
+	errNoData     = errors.New("logreg: no training rows")
+	errOneClass   = errors.New("logreg: training labels contain a single class")
+	errDims       = errors.New("logreg: inconsistent feature dimensions")
+	errLabelRange = errors.New("logreg: labels must be 0 or 1")
+)
+
+// Train fits an L1-regularized logistic regression of y (0/1 labels) on X
+// (rows = samples, columns = features).
+func Train(x [][]float64, y []int, opts Options) (*Model, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, errNoData
+	}
+	d := len(x[0])
+	pos, neg := 0, 0
+	for i, row := range x {
+		if len(row) != d {
+			return nil, errDims
+		}
+		switch y[i] {
+		case 0:
+			neg++
+		case 1:
+			pos++
+		default:
+			return nil, errLabelRange
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, errOneClass
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 500
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-6
+	}
+	if opts.Lambda < 0 {
+		return nil, fmt.Errorf("logreg: negative lambda %v", opts.Lambda)
+	}
+
+	// Optionally standardize into a working copy.
+	mean := make([]float64, d)
+	std := make([]float64, d)
+	for j := range std {
+		std[j] = 1
+	}
+	work := x
+	if opts.Standardize {
+		work = make([][]float64, n)
+		for j := 0; j < d; j++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += x[i][j]
+			}
+			mean[j] = s / float64(n)
+			ss := 0.0
+			for i := 0; i < n; i++ {
+				dv := x[i][j] - mean[j]
+				ss += dv * dv
+			}
+			sd := math.Sqrt(ss / float64(n))
+			if sd > 1e-12 {
+				std[j] = sd
+			}
+		}
+		for i := 0; i < n; i++ {
+			row := make([]float64, d)
+			for j := 0; j < d; j++ {
+				row[j] = (x[i][j] - mean[j]) / std[j]
+			}
+			work[i] = row
+		}
+	}
+
+	w, b, iters := fista(work, y, opts)
+
+	// Map coefficients back to the original feature space.
+	model := &Model{Weights: make([]float64, d), Lambda: opts.Lambda, Iters: iters}
+	model.Bias = b
+	for j := 0; j < d; j++ {
+		model.Weights[j] = w[j] / std[j]
+		model.Bias -= w[j] * mean[j] / std[j]
+	}
+	return model, nil
+}
+
+// fista runs accelerated proximal gradient descent on the ℓ1-penalized
+// logistic loss. The bias is unpenalized. Returns weights, bias, iterations.
+func fista(x [][]float64, y []int, opts Options) ([]float64, float64, int) {
+	d := len(x[0])
+	w := make([]float64, d)
+	b := 0.0
+	// Momentum variables.
+	wPrev := make([]float64, d)
+	bPrev := 0.0
+	tMom := 1.0
+
+	// Backtracking step size.
+	step := 1.0
+	gradW := make([]float64, d)
+	wLook := make([]float64, d)
+	bLook := 0.0
+	wNew := make([]float64, d)
+
+	iters := 0
+	for it := 0; it < opts.MaxIter; it++ {
+		iters = it + 1
+		// Lookahead (momentum) point.
+		tNext := (1 + math.Sqrt(1+4*tMom*tMom)) / 2
+		beta := (tMom - 1) / tNext
+		for j := 0; j < d; j++ {
+			wLook[j] = w[j] + beta*(w[j]-wPrev[j])
+		}
+		bLook = b + beta*(b-bPrev)
+
+		lossLook, gradB := gradient(x, y, wLook, bLook, gradW)
+
+		// Backtracking line search on the smooth part.
+		var bNew float64
+		for {
+			for j := 0; j < d; j++ {
+				wNew[j] = softThreshold(wLook[j]-step*gradW[j], step*opts.Lambda)
+			}
+			bNew = bLook - step*gradB
+			if sufficientDecrease(x, y, wLook, bLook, wNew, bNew, gradW, gradB, lossLook, step) {
+				break
+			}
+			step /= 2
+			if step < 1e-12 {
+				break
+			}
+		}
+
+		// Convergence check on the parameter change.
+		delta := math.Abs(bNew - b)
+		for j := 0; j < d; j++ {
+			if dj := math.Abs(wNew[j] - w[j]); dj > delta {
+				delta = dj
+			}
+		}
+		copy(wPrev, w)
+		bPrev = b
+		copy(w, wNew)
+		b = bNew
+		tMom = tNext
+		if delta < opts.Tol {
+			break
+		}
+	}
+	return w, b, iters
+}
+
+// gradient computes the smooth logistic loss at (w, b) and writes its
+// weight gradient into gradW, returning (loss, biasGradient).
+func gradient(x [][]float64, y []int, w []float64, b float64, gradW []float64) (float64, float64) {
+	n := len(x)
+	d := len(w)
+	for j := range gradW {
+		gradW[j] = 0
+	}
+	gradB := 0.0
+	loss := 0.0
+	for i := 0; i < n; i++ {
+		m := b
+		row := x[i]
+		for j := 0; j < d; j++ {
+			m += row[j] * w[j]
+		}
+		// z in {-1, +1}
+		z := -1.0
+		if y[i] == 1 {
+			z = 1.0
+		}
+		zm := z * m
+		loss += logistic(zm)
+		// d/dm log(1+exp(-zm)) = -z * sigma(-zm)
+		g := -z * sigmoid(-zm)
+		gradB += g
+		for j := 0; j < d; j++ {
+			gradW[j] += g * row[j]
+		}
+	}
+	inv := 1 / float64(n)
+	for j := range gradW {
+		gradW[j] *= inv
+	}
+	return loss * inv, gradB * inv
+}
+
+// smoothLoss evaluates only the logistic loss (no penalty).
+func smoothLoss(x [][]float64, y []int, w []float64, b float64) float64 {
+	n := len(x)
+	loss := 0.0
+	for i := 0; i < n; i++ {
+		m := b
+		row := x[i]
+		for j := range w {
+			m += row[j] * w[j]
+		}
+		z := -1.0
+		if y[i] == 1 {
+			z = 1.0
+		}
+		loss += logistic(z * m)
+	}
+	return loss / float64(n)
+}
+
+// sufficientDecrease is the standard backtracking acceptance test for
+// proximal gradient: f(new) <= f(look) + <grad, new-look> + ||new-look||²/2s.
+func sufficientDecrease(x [][]float64, y []int, wLook []float64, bLook float64, wNew []float64, bNew float64, gradW []float64, gradB, lossLook, step float64) bool {
+	quad := 0.0
+	lin := 0.0
+	for j := range wNew {
+		dj := wNew[j] - wLook[j]
+		lin += gradW[j] * dj
+		quad += dj * dj
+	}
+	db := bNew - bLook
+	lin += gradB * db
+	quad += db * db
+	bound := lossLook + lin + quad/(2*step)
+	return smoothLoss(x, y, wNew, bNew) <= bound+1e-12
+}
+
+// logistic returns log(1 + exp(-t)) computed stably.
+func logistic(t float64) float64 {
+	if t > 0 {
+		return math.Log1p(math.Exp(-t))
+	}
+	return -t + math.Log1p(math.Exp(t))
+}
+
+// sigmoid returns 1/(1+exp(-t)) computed stably.
+func sigmoid(t float64) float64 {
+	if t >= 0 {
+		return 1 / (1 + math.Exp(-t))
+	}
+	e := math.Exp(t)
+	return e / (1 + e)
+}
+
+func softThreshold(v, k float64) float64 {
+	switch {
+	case v > k:
+		return v - k
+	case v < -k:
+		return v + k
+	default:
+		return 0
+	}
+}
+
+// Predict returns P(y=1 | x).
+func (m *Model) Predict(x []float64) (float64, error) {
+	if len(x) != len(m.Weights) {
+		return 0, errDims
+	}
+	s := m.Bias
+	for j, w := range m.Weights {
+		s += w * x[j]
+	}
+	return sigmoid(s), nil
+}
+
+// Classify returns 1 when P(y=1|x) >= 0.5.
+func (m *Model) Classify(x []float64) (int, error) {
+	p, err := m.Predict(x)
+	if err != nil {
+		return 0, err
+	}
+	if p >= 0.5 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// Selected returns the indices of features with non-zero coefficients.
+func (m *Model) Selected() []int {
+	var out []int
+	for j, w := range m.Weights {
+		if w != 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// TopFeatures returns up to k feature indices ordered by decreasing
+// coefficient magnitude, excluding exact zeros.
+func (m *Model) TopFeatures(k int) []int {
+	type fw struct {
+		j int
+		w float64
+	}
+	var fws []fw
+	for j, w := range m.Weights {
+		if w != 0 {
+			fws = append(fws, fw{j, math.Abs(w)})
+		}
+	}
+	sort.Slice(fws, func(a, b int) bool {
+		if fws[a].w != fws[b].w {
+			return fws[a].w > fws[b].w
+		}
+		return fws[a].j < fws[b].j
+	})
+	if k > len(fws) {
+		k = len(fws)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = fws[i].j
+	}
+	return out
+}
+
+// LambdaMax returns the smallest penalty that drives every coefficient to
+// zero: the ∞-norm of the loss gradient at w=0 (with bias at the empirical
+// log-odds). Training with Lambda >= LambdaMax yields an all-zero weight
+// vector; useful as the top of a regularization path.
+func LambdaMax(x [][]float64, y []int) (float64, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return 0, errNoData
+	}
+	d := len(x[0])
+	pos := 0
+	for _, yi := range y {
+		pos += yi
+	}
+	p := float64(pos) / float64(n)
+	if p == 0 || p == 1 {
+		return 0, errOneClass
+	}
+	// With w=0 and bias at log-odds, residual r_i = p - y_i.
+	maxAbs := 0.0
+	for j := 0; j < d; j++ {
+		g := 0.0
+		for i := 0; i < n; i++ {
+			g += (p - float64(y[i])) * x[i][j]
+		}
+		if a := math.Abs(g / float64(n)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	return maxAbs, nil
+}
+
+// SelectTopK trains models along a decreasing regularization path until at
+// least k features have non-zero coefficients, then returns the k with the
+// largest standardized coefficient magnitudes. This is the "top ten metrics
+// per crisis" step of §3.4. If fewer than k features ever activate, all
+// active features are returned. The returned model operates on standardized
+// features and is intended for feature ranking, not direct prediction on
+// raw inputs.
+func SelectTopK(x [][]float64, y []int, k int) ([]int, *Model, error) {
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("logreg: k=%d must be positive", k)
+	}
+	std := standardizeCopy(x)
+	lmax, err := LambdaMax(std, y)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lmax <= 0 {
+		lmax = 1
+	}
+	var best *Model
+	lambda := lmax / 2
+	for step := 0; step < 12; step++ {
+		m, err := Train(std, y, Options{Lambda: lambda, MaxIter: 500, Tol: 1e-6})
+		if err != nil {
+			return nil, nil, err
+		}
+		best = m
+		if len(m.Selected()) >= k {
+			break
+		}
+		lambda /= 2
+	}
+	return best.TopFeatures(k), best, nil
+}
+
+// standardizeCopy returns a zero-mean unit-variance copy of x.
+func standardizeCopy(x [][]float64) [][]float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	d := len(x[0])
+	out := make([][]float64, n)
+	for j := 0; j < d; j++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += x[i][j]
+		}
+		mean := s / float64(n)
+		ss := 0.0
+		for i := 0; i < n; i++ {
+			dv := x[i][j] - mean
+			ss += dv * dv
+		}
+		sd := math.Sqrt(ss / float64(n))
+		if sd <= 1e-12 {
+			sd = 1
+		}
+		for i := 0; i < n; i++ {
+			if out[i] == nil {
+				out[i] = make([]float64, d)
+			}
+			out[i][j] = (x[i][j] - mean) / sd
+		}
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+package logreg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synth generates n samples with d features where only the first len(signal)
+// features carry signal: logit = bias + Σ signal[j]*x_j.
+func synth(rng *rand.Rand, n, d int, signal []float64, bias float64) ([][]float64, []int) {
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		logit := bias
+		for j, s := range signal {
+			logit += s * row[j]
+		}
+		p := 1 / (1 + math.Exp(-logit))
+		if rng.Float64() < p {
+			y[i] = 1
+		}
+		x[i] = row
+	}
+	return x, y
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, DefaultOptions(0.1)); err == nil {
+		t.Fatal("want error on empty data")
+	}
+	x := [][]float64{{1}, {2}}
+	if _, err := Train(x, []int{1, 1}, DefaultOptions(0.1)); err == nil {
+		t.Fatal("want error on single-class labels")
+	}
+	if _, err := Train(x, []int{0, 2}, DefaultOptions(0.1)); err == nil {
+		t.Fatal("want error on out-of-range label")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, []int{0, 1}, DefaultOptions(0.1)); err == nil {
+		t.Fatal("want error on ragged rows")
+	}
+	if _, err := Train(x, []int{0, 1}, Options{Lambda: -1}); err == nil {
+		t.Fatal("want error on negative lambda")
+	}
+}
+
+func TestTrainSeparableAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := synth(rng, 600, 5, []float64{3, -3}, 0)
+	m, err := Train(x, y, DefaultOptions(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		c, err := m.Classify(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(x))
+	if acc < 0.85 {
+		t.Fatalf("training accuracy %v too low", acc)
+	}
+	// Signal feature signs must be recovered.
+	if m.Weights[0] <= 0 || m.Weights[1] >= 0 {
+		t.Fatalf("weights = %v; want w0>0, w1<0", m.Weights[:2])
+	}
+}
+
+func TestL1DrivesIrrelevantWeightsToZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := synth(rng, 800, 40, []float64{2.5, -2.5, 2.0}, 0)
+	m, err := Train(x, y, DefaultOptions(0.08))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := m.Selected()
+	if len(sel) == 0 || len(sel) > 15 {
+		t.Fatalf("selected %d features, want sparse non-empty set: %v", len(sel), sel)
+	}
+	// The three signal features must dominate the ranking.
+	top := m.TopFeatures(3)
+	seen := map[int]bool{}
+	for _, j := range top {
+		seen[j] = true
+	}
+	for j := 0; j < 3; j++ {
+		if !seen[j] {
+			t.Fatalf("signal feature %d missing from top-3 %v (weights %v)", j, top, m.Weights[:5])
+		}
+	}
+}
+
+func TestSparsityIncreasesWithLambda(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := synth(rng, 400, 20, []float64{2, -2}, 0)
+	prev := math.MaxInt32
+	for _, lambda := range []float64{0.01, 0.05, 0.2, 0.8} {
+		m, err := Train(x, y, DefaultOptions(lambda))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(m.Selected())
+		if n > prev {
+			t.Fatalf("lambda=%v selected %d > previous %d; sparsity should not decrease", lambda, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestLambdaMaxKillsAllWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := synth(rng, 300, 10, []float64{2}, 0)
+	std := standardizeCopy(x)
+	lmax, err := LambdaMax(std, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(std, y, Options{Lambda: lmax * 1.05, MaxIter: 500, Tol: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, w := range m.Weights {
+		if math.Abs(w) > 1e-3 {
+			t.Fatalf("weight %d = %v, want ~0 at lambda >= lambda_max", j, w)
+		}
+	}
+}
+
+func TestLambdaMaxValidation(t *testing.T) {
+	if _, err := LambdaMax(nil, nil); err == nil {
+		t.Fatal("want error on empty")
+	}
+	if _, err := LambdaMax([][]float64{{1}}, []int{1}); err == nil {
+		t.Fatal("want error on one class")
+	}
+}
+
+func TestPredictRangeAndDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := synth(rng, 200, 4, []float64{1.5}, 0.3)
+	m, err := Train(x, y, DefaultOptions(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		p, err := m.Predict(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("Predict = %v", p)
+		}
+	}
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Fatal("want dimension error")
+	}
+	if _, err := m.Classify([]float64{1}); err == nil {
+		t.Fatal("want dimension error")
+	}
+}
+
+func TestImbalancedClassesBiasOnly(t *testing.T) {
+	// Pure-noise features with imbalanced classes: the model should
+	// predict close to the base rate and select (almost) nothing.
+	rng := rand.New(rand.NewSource(6))
+	n := 500
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		x[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		if i%10 == 0 {
+			y[i] = 1
+		}
+	}
+	m, err := Train(x, y, DefaultOptions(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Predict([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.1) > 0.05 {
+		t.Fatalf("base-rate prediction = %v, want ~0.1", p)
+	}
+}
+
+func TestSelectTopKRecoversSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, y := synth(rng, 900, 60, []float64{3, -3, 2.5, -2.5}, 0)
+	sel, m, err := SelectTopK(x, y, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("nil model")
+	}
+	found := map[int]bool{}
+	for _, j := range sel {
+		found[j] = true
+	}
+	hits := 0
+	for j := 0; j < 4; j++ {
+		if found[j] {
+			hits++
+		}
+	}
+	if hits < 3 {
+		t.Fatalf("SelectTopK found only %d/4 signal features: %v", hits, sel)
+	}
+}
+
+func TestSelectTopKValidation(t *testing.T) {
+	if _, _, err := SelectTopK(nil, nil, 0); err == nil {
+		t.Fatal("want error on k=0")
+	}
+	if _, _, err := SelectTopK([][]float64{{1}}, []int{1}, 2); err == nil {
+		t.Fatal("want error on one-class labels")
+	}
+}
+
+func TestTopFeaturesOrderingAndBounds(t *testing.T) {
+	m := &Model{Weights: []float64{0, -3, 1, 0, 2}}
+	top := m.TopFeatures(10)
+	want := []int{1, 4, 2}
+	if len(top) != 3 {
+		t.Fatalf("TopFeatures = %v", top)
+	}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("TopFeatures = %v, want %v", top, want)
+		}
+	}
+	if got := m.TopFeatures(2); len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("TopFeatures(2) = %v", got)
+	}
+}
+
+func TestStandardizeCopy(t *testing.T) {
+	x := [][]float64{{1, 100}, {2, 100}, {3, 100}}
+	s := standardizeCopy(x)
+	// Column 0: mean 2, sd sqrt(2/3).
+	if math.Abs(s[0][0]+s[2][0]) > 1e-12 || s[1][0] != 0 {
+		t.Fatalf("standardized col0 = %v %v %v", s[0][0], s[1][0], s[2][0])
+	}
+	// Constant column becomes zeros.
+	for i := range s {
+		if s[i][1] != 0 {
+			t.Fatalf("constant column not zeroed: %v", s[i][1])
+		}
+	}
+	if standardizeCopy(nil) != nil {
+		t.Fatal("standardizeCopy(nil) should be nil")
+	}
+}
+
+// Property: sigmoid and logistic loss are consistent and stable for large
+// magnitudes.
+func TestSigmoidLogisticProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		tv := math.Max(-1e6, math.Min(1e6, raw))
+		s := sigmoid(tv)
+		if s < 0 || s > 1 || math.IsNaN(s) {
+			return false
+		}
+		l := logistic(tv)
+		return l >= 0 && !math.IsNaN(l) && !math.IsInf(l, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// sigmoid symmetry.
+	if math.Abs(sigmoid(3)+sigmoid(-3)-1) > 1e-12 {
+		t.Fatal("sigmoid symmetry broken")
+	}
+}
+
+func TestSoftThreshold(t *testing.T) {
+	cases := []struct{ v, k, want float64 }{
+		{5, 2, 3}, {-5, 2, -3}, {1, 2, 0}, {-1, 2, 0}, {2, 2, 0},
+	}
+	for _, c := range cases {
+		if got := softThreshold(c.v, c.k); got != c.want {
+			t.Errorf("softThreshold(%v,%v) = %v, want %v", c.v, c.k, got, c.want)
+		}
+	}
+}
+
+// Property: training never produces NaN weights on bounded data.
+func TestTrainFiniteProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + rng.Intn(100)
+		d := 1 + rng.Intn(10)
+		x := make([][]float64, n)
+		y := make([]int, n)
+		for i := range x {
+			row := make([]float64, d)
+			for j := range row {
+				row[j] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(5)-2))
+			}
+			x[i] = row
+			y[i] = rng.Intn(2)
+		}
+		// Ensure both classes appear.
+		y[0], y[1] = 0, 1
+		m, err := Train(x, y, DefaultOptions(0.05))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range m.Weights {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				t.Fatalf("non-finite weight %v", w)
+			}
+		}
+		if math.IsNaN(m.Bias) || math.IsInf(m.Bias, 0) {
+			t.Fatalf("non-finite bias %v", m.Bias)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// gobQuantileTrack mirrors QuantileTrack for encoding.
+type gobQuantileTrack struct {
+	NumMetrics int
+	Data       []float64
+}
+
+// GobEncode implements gob.GobEncoder, so traces holding tracks can be
+// persisted to disk.
+func (t *QuantileTrack) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(gobQuantileTrack{
+		NumMetrics: t.numMetrics,
+		Data:       t.data,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *QuantileTrack) GobDecode(b []byte) error {
+	var g gobQuantileTrack
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&g); err != nil {
+		return err
+	}
+	if g.NumMetrics <= 0 {
+		return fmt.Errorf("metrics: decoded track has %d metrics", g.NumMetrics)
+	}
+	if len(g.Data)%(g.NumMetrics*NumQuantiles) != 0 {
+		return fmt.Errorf("metrics: decoded track data length %d not a multiple of %d",
+			len(g.Data), g.NumMetrics*NumQuantiles)
+	}
+	t.numMetrics = g.NumMetrics
+	t.data = g.Data
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder for the catalog.
+func (c *Catalog) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c.names); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder for the catalog.
+func (c *Catalog) GobDecode(b []byte) error {
+	var names []string
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&names); err != nil {
+		return err
+	}
+	nc, err := NewCatalog(names)
+	if err != nil {
+		return err
+	}
+	*c = *nc
+	return nil
+}

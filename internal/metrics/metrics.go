@@ -1,0 +1,186 @@
+// Package metrics provides the metric-collection substrate: the epoch grid,
+// the metric catalog, per-epoch cross-machine aggregation into quantile
+// summaries, and the quantile-track store the fingerprinting pipeline reads.
+//
+// The paper's datacenter samples ~100 metrics per machine averaged over
+// 15-minute epochs (§4.1); the datacenter-wide state per epoch is then the
+// 25th/50th/95th quantile of each metric across all machines (§3.2). The
+// store keeps the *raw quantile values* for all epochs — the bookkeeping
+// §6.3 argues for, so fingerprints can be recomputed as hot/cold thresholds
+// drift.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dcfp/internal/quantile"
+)
+
+// Epoch indexes the aggregation grid. Epoch 0 is the start of the trace.
+type Epoch int
+
+// EpochDuration is the paper's aggregation epoch: established practice in
+// the studied datacenter was a 15-minute averaging window.
+const EpochDuration = 15 * time.Minute
+
+// EpochsPerDay is the number of epochs in a 24-hour day.
+const EpochsPerDay = int(24 * time.Hour / EpochDuration)
+
+// NumQuantiles is the number of tracked quantiles per metric (25/50/95).
+// It must equal len(quantile.TrackedQuantiles); an init check enforces it.
+const NumQuantiles = 3
+
+func init() {
+	if len(quantile.TrackedQuantiles) != NumQuantiles {
+		panic("metrics: NumQuantiles disagrees with quantile.TrackedQuantiles")
+	}
+}
+
+// Catalog names the collected metrics in column order.
+type Catalog struct {
+	names []string
+	index map[string]int
+}
+
+// NewCatalog builds a catalog from metric names. Names must be unique.
+func NewCatalog(names []string) (*Catalog, error) {
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("metrics: empty metric name at %d", i)
+		}
+		if _, dup := idx[n]; dup {
+			return nil, fmt.Errorf("metrics: duplicate metric name %q", n)
+		}
+		idx[n] = i
+	}
+	return &Catalog{names: append([]string(nil), names...), index: idx}, nil
+}
+
+// Len reports the number of metrics.
+func (c *Catalog) Len() int { return len(c.names) }
+
+// Name returns the name of metric i.
+func (c *Catalog) Name(i int) string { return c.names[i] }
+
+// Names returns all metric names in column order. The slice is owned by the
+// catalog and must not be modified.
+func (c *Catalog) Names() []string { return c.names }
+
+// Index returns the column of the named metric.
+func (c *Catalog) Index(name string) (int, bool) {
+	i, ok := c.index[name]
+	return i, ok
+}
+
+// QuantileTrack stores the tracked quantile values of every metric for a
+// contiguous range of epochs. Storage is flat: one float64 per
+// (epoch, metric, quantile).
+type QuantileTrack struct {
+	numMetrics int
+	data       []float64
+}
+
+// NewQuantileTrack returns an empty track for numMetrics metrics.
+func NewQuantileTrack(numMetrics int) (*QuantileTrack, error) {
+	if numMetrics <= 0 {
+		return nil, fmt.Errorf("metrics: numMetrics %d must be positive", numMetrics)
+	}
+	return &QuantileTrack{numMetrics: numMetrics}, nil
+}
+
+// NumMetrics reports the number of metrics per epoch.
+func (t *QuantileTrack) NumMetrics() int { return t.numMetrics }
+
+// NumEpochs reports how many epochs have been appended.
+func (t *QuantileTrack) NumEpochs() int {
+	return len(t.data) / (t.numMetrics * NumQuantiles)
+}
+
+// AppendEpoch appends the quantile summary for the next epoch: one
+// [3]float64 (25th/50th/95th) per metric.
+func (t *QuantileTrack) AppendEpoch(summary [][3]float64) error {
+	if len(summary) != t.numMetrics {
+		return fmt.Errorf("metrics: summary has %d metrics, track expects %d", len(summary), t.numMetrics)
+	}
+	for _, s := range summary {
+		t.data = append(t.data, s[0], s[1], s[2])
+	}
+	return nil
+}
+
+// ErrEpochRange is returned for out-of-range epoch accesses.
+var ErrEpochRange = errors.New("metrics: epoch out of range")
+
+// At returns the qi-th tracked quantile of metric m at epoch e.
+func (t *QuantileTrack) At(e Epoch, m, qi int) (float64, error) {
+	if e < 0 || int(e) >= t.NumEpochs() {
+		return 0, ErrEpochRange
+	}
+	if m < 0 || m >= t.numMetrics || qi < 0 || qi >= NumQuantiles {
+		return 0, fmt.Errorf("metrics: index (m=%d, q=%d) out of range", m, qi)
+	}
+	return t.data[(int(e)*t.numMetrics+m)*NumQuantiles+qi], nil
+}
+
+// EpochRow returns all metric quantiles for epoch e as a flat slice of
+// length numMetrics*3 laid out [m0q0 m0q1 m0q2 m1q0 ...]. The returned
+// slice aliases the track's storage and must not be modified.
+func (t *QuantileTrack) EpochRow(e Epoch) ([]float64, error) {
+	if e < 0 || int(e) >= t.NumEpochs() {
+		return nil, ErrEpochRange
+	}
+	w := t.numMetrics * NumQuantiles
+	return t.data[int(e)*w : (int(e)+1)*w], nil
+}
+
+// Aggregator turns raw per-machine metric samples for one epoch into the
+// cross-machine quantile summary, using a caller-supplied estimator per
+// metric (exact for hundreds of machines, GK sketches for thousands).
+type Aggregator struct {
+	ests []quantile.Estimator
+}
+
+// NewAggregator builds an aggregator with one estimator per metric produced
+// by newEst (called numMetrics times).
+func NewAggregator(numMetrics int, newEst func() quantile.Estimator) (*Aggregator, error) {
+	if numMetrics <= 0 {
+		return nil, fmt.Errorf("metrics: numMetrics %d must be positive", numMetrics)
+	}
+	if newEst == nil {
+		return nil, errors.New("metrics: nil estimator factory")
+	}
+	a := &Aggregator{ests: make([]quantile.Estimator, numMetrics)}
+	for i := range a.ests {
+		a.ests[i] = newEst()
+	}
+	return a, nil
+}
+
+// Observe records one machine's sample row (one value per metric).
+func (a *Aggregator) Observe(row []float64) error {
+	if len(row) != len(a.ests) {
+		return fmt.Errorf("metrics: row has %d values, want %d", len(row), len(a.ests))
+	}
+	for m, v := range row {
+		a.ests[m].Insert(v)
+	}
+	return nil
+}
+
+// Summarize returns the per-metric tracked quantiles for the epoch and
+// resets the aggregator for the next epoch.
+func (a *Aggregator) Summarize() ([][3]float64, error) {
+	out := make([][3]float64, len(a.ests))
+	for m, est := range a.ests {
+		s, err := quantile.Summarize(est)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: metric %d: %w", m, err)
+		}
+		out[m] = s
+		est.Reset()
+	}
+	return out, nil
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dcfp/internal/stats"
+)
+
+// ThresholdConfig controls hot/cold threshold estimation (§3.3).
+type ThresholdConfig struct {
+	// ColdPercentile and HotPercentile bound the normal regime of each
+	// metric quantile. The paper uses 2 and 98: quantile values outside
+	// the [2nd, 98th] percentile of recent crisis-free observations are
+	// cold/hot, accepting a 4% baseline rate of out-of-normal epochs.
+	ColdPercentile float64
+	HotPercentile  float64
+	// WindowEpochs is the moving-window length T expressed in epochs.
+	// The paper evaluates T at {240, 120, 60, 30, 7} days.
+	WindowEpochs int
+}
+
+// DefaultThresholdConfig is the paper's best-performing setting: 2nd/98th
+// percentiles over a 240-day moving window.
+func DefaultThresholdConfig() ThresholdConfig {
+	return ThresholdConfig{
+		ColdPercentile: 2,
+		HotPercentile:  98,
+		WindowEpochs:   240 * EpochsPerDay,
+	}
+}
+
+func (c ThresholdConfig) validate() error {
+	if c.WindowEpochs <= 0 {
+		return fmt.Errorf("metrics: window of %d epochs must be positive", c.WindowEpochs)
+	}
+	if c.ColdPercentile < 0 || c.HotPercentile > 100 || c.ColdPercentile >= c.HotPercentile {
+		return fmt.Errorf("metrics: invalid percentile pair (%v, %v)", c.ColdPercentile, c.HotPercentile)
+	}
+	return nil
+}
+
+// Thresholds holds the hot and cold boundary per (metric, tracked quantile).
+// A quantile value v of metric m is cold when v < Cold[m][q], hot when
+// v > Hot[m][q], and normal otherwise.
+type Thresholds struct {
+	Cold [][3]float64
+	Hot  [][3]float64
+	// ComputedAt is the last epoch included in the estimation window.
+	ComputedAt Epoch
+	// NormalEpochs counts how many crisis-free epochs the window supplied.
+	NormalEpochs int
+	Config       ThresholdConfig
+}
+
+// ErrNoNormalEpochs is returned when the estimation window contains no
+// crisis-free epochs to learn from.
+var ErrNoNormalEpochs = errors.New("metrics: no normal epochs in threshold window")
+
+// ComputeThresholds estimates hot/cold thresholds from the quantile track
+// over the window (end-WindowEpochs, end], using only epochs for which
+// isNormal reports true (i.e. no KPI SLA violation was in progress, §3.3
+// step 1). The window is clamped to the start of the track.
+func ComputeThresholds(track *QuantileTrack, isNormal func(Epoch) bool, end Epoch, cfg ThresholdConfig) (*Thresholds, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if track == nil {
+		return nil, errors.New("metrics: nil track")
+	}
+	if end < 0 || int(end) >= track.NumEpochs() {
+		return nil, ErrEpochRange
+	}
+	if isNormal == nil {
+		return nil, errors.New("metrics: nil isNormal predicate")
+	}
+	start := int(end) - cfg.WindowEpochs + 1
+	if start < 0 {
+		start = 0
+	}
+	var normals []Epoch
+	for e := Epoch(start); e <= end; e++ {
+		if isNormal(e) {
+			normals = append(normals, e)
+		}
+	}
+	if len(normals) == 0 {
+		return nil, ErrNoNormalEpochs
+	}
+
+	nm := track.NumMetrics()
+	th := &Thresholds{
+		Cold:         make([][3]float64, nm),
+		Hot:          make([][3]float64, nm),
+		ComputedAt:   end,
+		NormalEpochs: len(normals),
+		Config:       cfg,
+	}
+	scratch := make([]float64, len(normals))
+	for m := 0; m < nm; m++ {
+		for qi := 0; qi < NumQuantiles; qi++ {
+			for i, e := range normals {
+				v, err := track.At(e, m, qi)
+				if err != nil {
+					return nil, err
+				}
+				scratch[i] = v
+			}
+			sort.Float64s(scratch)
+			cold, err := stats.PercentileSorted(scratch, cfg.ColdPercentile)
+			if err != nil {
+				return nil, err
+			}
+			hot, err := stats.PercentileSorted(scratch, cfg.HotPercentile)
+			if err != nil {
+				return nil, err
+			}
+			th.Cold[m][qi] = cold
+			th.Hot[m][qi] = hot
+		}
+	}
+	return th, nil
+}
+
+// State discretizes quantile value v of metric m, tracked quantile qi into
+// the fingerprint alphabet: -1 (cold), 0 (normal), +1 (hot).
+func (t *Thresholds) State(m, qi int, v float64) int8 {
+	switch {
+	case v < t.Cold[m][qi]:
+		return -1
+	case v > t.Hot[m][qi]:
+		return +1
+	default:
+		return 0
+	}
+}
+
+// NumMetrics reports how many metrics the thresholds cover.
+func (t *Thresholds) NumMetrics() int { return len(t.Cold) }

@@ -1,0 +1,489 @@
+// Package monitor implements the online advisory mode the paper's §8 pilot
+// describes: a long-running engine that consumes one epoch of per-machine
+// metric samples at a time and
+//
+//   - aggregates each metric across machines into tracked quantiles (§3.2),
+//   - maintains hot/cold thresholds over a crisis-free moving window (§3.3),
+//   - detects crises through the KPI SLA rule (§4.1),
+//   - maintains the relevant-metric set from the most recent crises (§3.4),
+//   - stores past crises (raw quantile rows, §6.3) and, during the first
+//     epochs of each new crisis, emits identification advice: the label of
+//     the matching past crisis or "unknown" (§3.5, §5.3).
+//
+// Operators feed diagnoses back with ResolveCrisis, turning unknown crises
+// into known ones for future identification.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dcfp/internal/core"
+	"dcfp/internal/ident"
+	"dcfp/internal/metrics"
+	"dcfp/internal/quantile"
+	"dcfp/internal/sla"
+)
+
+// Config assembles a Monitor.
+type Config struct {
+	// Catalog names the metric columns of each sample row.
+	Catalog *metrics.Catalog
+	// SLA holds the KPIs and the crisis rule.
+	SLA sla.Config
+	// Thresholds configures the hot/cold moving window.
+	Thresholds metrics.ThresholdConfig
+	// Selection configures relevant-metric selection.
+	Selection core.SelectionConfig
+	// Range is the crisis summary window.
+	Range core.SummaryRange
+	// Alpha is the false-positive budget for the identification
+	// threshold (§5.3).
+	Alpha float64
+	// ThresholdRefreshEpochs is how often hot/cold thresholds are
+	// re-estimated (default: daily).
+	ThresholdRefreshEpochs int
+	// CrisisPool is how many recent crises feed metric selection (20).
+	CrisisPool int
+	// RawPad is how many pre-crisis epochs of raw machine samples are
+	// retained (ring buffer) for feature selection.
+	RawPad int
+	// MinEpochsForThresholds is the minimum history before the monitor
+	// can discretize (default: 7 days).
+	MinEpochsForThresholds int
+	// NewEstimator optionally overrides the per-metric cross-machine
+	// quantile estimator (nil = exact; use a GK sketch for very large
+	// installations).
+	NewEstimator func() quantile.Estimator
+}
+
+// DefaultConfig returns the paper's online parameters for the given catalog
+// and SLA.
+func DefaultConfig(cat *metrics.Catalog, slaCfg sla.Config) Config {
+	return Config{
+		Catalog:                cat,
+		SLA:                    slaCfg,
+		Thresholds:             metrics.DefaultThresholdConfig(),
+		Selection:              core.DefaultSelectionConfig(),
+		Range:                  core.DefaultSummaryRange(),
+		Alpha:                  0.05,
+		ThresholdRefreshEpochs: metrics.EpochsPerDay,
+		CrisisPool:             20,
+		RawPad:                 8,
+		MinEpochsForThresholds: 7 * metrics.EpochsPerDay,
+	}
+}
+
+// Advice is the identification output for one epoch of an active crisis.
+type Advice struct {
+	// CrisisID is the monitor-assigned identifier of the active crisis.
+	CrisisID string
+	// IdentEpoch is the 0-based identification epoch (0..4).
+	IdentEpoch int
+	// Emitted is the advised label: a past crisis's label, or
+	// ident.Unknown when nothing matches below the threshold.
+	Emitted string
+	// Nearest and Distance describe the closest past crisis even when it
+	// was not emitted (diagnostic context for the operator).
+	Nearest   string
+	Distance  float64
+	Threshold float64
+}
+
+// EpochReport is the result of feeding one epoch into the monitor.
+type EpochReport struct {
+	Epoch        metrics.Epoch
+	Status       sla.EpochStatus
+	CrisisActive bool
+	// CrisisStart is set while a crisis is active.
+	CrisisStart metrics.Epoch
+	// Advice is non-nil during the first ident.IdentificationEpochs
+	// epochs of a crisis (once thresholds exist).
+	Advice *Advice
+}
+
+// pastCrisis is a stored crisis plus its label state.
+type pastCrisis struct {
+	id    string
+	label string // "" until operators resolve it
+	start metrics.Epoch
+	// fsX/fsY are the machine-level feature-selection samples gathered
+	// around the crisis.
+	fsX [][]float64
+	fsY []int
+	// top is the cached per-crisis top-K metric selection.
+	top []int
+}
+
+// Monitor is the online fingerprinting engine. Not safe for concurrent use;
+// callers own the single feeding goroutine.
+type Monitor struct {
+	cfg   Config
+	track *metrics.QuantileTrack
+	agg   *metrics.Aggregator
+
+	inCrisis   []bool
+	thresholds *metrics.Thresholds
+	lastThresh metrics.Epoch
+
+	store  *core.Store
+	past   []pastCrisis
+	nextID int
+
+	// Raw-sample ring buffer for feature selection (pre-crisis epochs).
+	rawRing  [][][]float64 // [slot][machine][metric]
+	violRing [][]bool
+	ringPos  int
+
+	// Active crisis state.
+	activeStart metrics.Epoch
+	activeIdx   int // index into past while active; -1 when idle
+	calm        int // consecutive non-crisis epochs while active
+
+	epoch metrics.Epoch
+}
+
+// New builds a Monitor.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.Catalog == nil {
+		return nil, errors.New("monitor: nil catalog")
+	}
+	if err := cfg.SLA.Validate(cfg.Catalog.Len()); err != nil {
+		return nil, err
+	}
+	if cfg.Alpha < 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("monitor: alpha %v out of [0,1]", cfg.Alpha)
+	}
+	if cfg.ThresholdRefreshEpochs <= 0 {
+		return nil, errors.New("monitor: ThresholdRefreshEpochs must be positive")
+	}
+	if cfg.RawPad < 1 {
+		return nil, errors.New("monitor: RawPad must be at least 1")
+	}
+	if cfg.MinEpochsForThresholds < cfg.ThresholdRefreshEpochs {
+		return nil, errors.New("monitor: MinEpochsForThresholds below refresh interval")
+	}
+	track, err := metrics.NewQuantileTrack(cfg.Catalog.Len())
+	if err != nil {
+		return nil, err
+	}
+	newEst := cfg.NewEstimator
+	if newEst == nil {
+		newEst = func() quantile.Estimator { return quantile.NewExact() }
+	}
+	agg, err := metrics.NewAggregator(cfg.Catalog.Len(), newEst)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{
+		cfg:       cfg,
+		track:     track,
+		agg:       agg,
+		store:     core.NewStore(true),
+		rawRing:   make([][][]float64, cfg.RawPad),
+		violRing:  make([][]bool, cfg.RawPad),
+		activeIdx: -1,
+	}, nil
+}
+
+// Epoch reports the next epoch index the monitor expects.
+func (m *Monitor) Epoch() metrics.Epoch { return m.epoch }
+
+// KnownCrises reports how many past crises are stored, and how many carry
+// operator labels.
+func (m *Monitor) KnownCrises() (stored, labeled int) {
+	for _, p := range m.past {
+		if p.label != "" {
+			labeled++
+		}
+	}
+	return len(m.past), labeled
+}
+
+// ObserveEpoch ingests one epoch of per-machine samples (samples[machine]
+// [metric]) and returns the epoch report.
+func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("monitor: no machine samples")
+	}
+	for _, row := range samples {
+		if len(row) != m.cfg.Catalog.Len() {
+			return nil, fmt.Errorf("monitor: sample row width %d, want %d", len(row), m.cfg.Catalog.Len())
+		}
+		if err := m.agg.Observe(row); err != nil {
+			return nil, err
+		}
+	}
+	summary, err := m.agg.Summarize()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.track.AppendEpoch(summary); err != nil {
+		return nil, err
+	}
+	status, err := m.cfg.SLA.Evaluate(samples)
+	if err != nil {
+		return nil, err
+	}
+	e := m.epoch
+	m.epoch++
+	m.inCrisis = append(m.inCrisis, status.InCrisis)
+
+	rep := &EpochReport{Epoch: e, Status: status}
+
+	// Crisis episode state machine: enter on the first violating epoch,
+	// leave after two consecutive calm epochs (the detector's merge gap).
+	switch {
+	case m.activeIdx < 0 && status.InCrisis:
+		m.beginCrisis(e, samples)
+	case m.activeIdx >= 0 && status.InCrisis:
+		m.calm = 0
+	case m.activeIdx >= 0 && !status.InCrisis:
+		m.calm++
+		if m.calm > 1 {
+			m.endCrisis(e)
+		}
+	}
+
+	if m.activeIdx >= 0 {
+		rep.CrisisActive = true
+		rep.CrisisStart = m.activeStart
+		m.collectCrisisSamples(samples)
+		k := int(e - m.activeStart)
+		if k < ident.IdentificationEpochs {
+			rep.Advice = m.identify(k)
+		}
+	} else {
+		// Idle: feed the pre-crisis raw ring and refresh thresholds.
+		m.pushRing(samples)
+		if int(e)%m.cfg.ThresholdRefreshEpochs == 0 && int(e) >= m.cfg.MinEpochsForThresholds {
+			if err := m.refreshThresholds(e); err != nil && !errors.Is(err, metrics.ErrNoNormalEpochs) {
+				return nil, err
+			}
+		}
+	}
+	return rep, nil
+}
+
+func (m *Monitor) pushRing(samples [][]float64) {
+	viol := make([]bool, len(samples))
+	cp := make([][]float64, len(samples))
+	for i, row := range samples {
+		cp[i] = append([]float64(nil), row...)
+		viol[i] = m.cfg.SLA.MachineViolates(row)
+	}
+	m.rawRing[m.ringPos] = cp
+	m.violRing[m.ringPos] = viol
+	m.ringPos = (m.ringPos + 1) % m.cfg.RawPad
+}
+
+func (m *Monitor) beginCrisis(e metrics.Epoch, samples [][]float64) {
+	m.nextID++
+	p := pastCrisis{id: fmt.Sprintf("crisis-%03d", m.nextID), start: e}
+	// Seed feature-selection samples with the buffered pre-crisis epochs.
+	for s := 0; s < m.cfg.RawPad; s++ {
+		slot := (m.ringPos + s) % m.cfg.RawPad
+		if m.rawRing[slot] == nil {
+			continue
+		}
+		for i, row := range m.rawRing[slot] {
+			p.fsX = append(p.fsX, row)
+			p.fsY = append(p.fsY, boolToLabel(m.violRing[slot][i]))
+		}
+	}
+	m.past = append(m.past, p)
+	m.activeIdx = len(m.past) - 1
+	m.activeStart = e
+	m.calm = 0
+	m.collectCrisisSamples(samples)
+}
+
+func (m *Monitor) collectCrisisSamples(samples [][]float64) {
+	p := &m.past[m.activeIdx]
+	for _, row := range samples {
+		p.fsX = append(p.fsX, append([]float64(nil), row...))
+		p.fsY = append(p.fsY, boolToLabel(m.cfg.SLA.MachineViolates(row)))
+	}
+}
+
+func boolToLabel(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// endCrisis finalizes the active crisis: stores its raw summary rows and
+// runs its feature selection.
+func (m *Monitor) endCrisis(e metrics.Epoch) {
+	p := &m.past[m.activeIdx]
+	m.activeIdx = -1
+	m.calm = 0
+	if m.thresholds == nil {
+		return
+	}
+	rows, err := core.CaptureRows(m.track, p.start, m.cfg.Range)
+	if err != nil {
+		return
+	}
+	if err := m.store.Add(p.id, "", p.start, rows, m.thresholds); err != nil {
+		return
+	}
+	if top, err := core.PerCrisisMetrics(core.CrisisSamples{X: p.fsX, Y: p.fsY}, m.cfg.Selection.PerCrisisTopK); err == nil {
+		p.top = top
+	}
+	// Raw FS samples are no longer needed once the selection is cached.
+	p.fsX, p.fsY = nil, nil
+}
+
+// ResolveCrisis records the operator's diagnosis of a stored crisis.
+func (m *Monitor) ResolveCrisis(id, label string) error {
+	if label == "" || label == ident.Unknown {
+		return fmt.Errorf("monitor: invalid label %q", label)
+	}
+	for i := range m.past {
+		if m.past[i].id == id {
+			m.past[i].label = label
+			if i < m.store.Len() {
+				// Store order matches past order for finalized
+				// crises; locate by ID to be safe.
+				for j := 0; j < m.store.Len(); j++ {
+					if c, err := m.store.Crisis(j); err == nil && c.ID == id {
+						return m.store.SetLabel(j, label)
+					}
+				}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("monitor: unknown crisis %q", id)
+}
+
+func (m *Monitor) refreshThresholds(e metrics.Epoch) error {
+	isNormal := func(t metrics.Epoch) bool {
+		if t < 0 || int(t) >= len(m.inCrisis) {
+			return true
+		}
+		return !m.inCrisis[t]
+	}
+	th, err := metrics.ComputeThresholds(m.track, isNormal, e, m.cfg.Thresholds)
+	if err != nil {
+		return err
+	}
+	m.thresholds = th
+	m.lastThresh = e
+	return nil
+}
+
+// currentFingerprinter assembles the fingerprinter from the latest
+// thresholds and the relevant metrics of the most recent crises.
+func (m *Monitor) currentFingerprinter() (*core.Fingerprinter, error) {
+	if m.thresholds == nil {
+		return nil, errors.New("monitor: thresholds not yet established")
+	}
+	freq := map[int]int{}
+	rank := map[int]int{}
+	pool := 0
+	for i := len(m.past) - 1; i >= 0 && pool < m.cfg.CrisisPool; i-- {
+		if m.past[i].top == nil {
+			continue
+		}
+		pool++
+		for r, col := range m.past[i].top {
+			freq[col]++
+			rank[col] += r
+		}
+	}
+	if pool == 0 {
+		// No crisis history yet: fall back to the all-metrics
+		// fingerprint until the first crisis's feature selection lands.
+		return core.NewFingerprinter(m.thresholds, core.AllMetrics(m.cfg.Catalog.Len()))
+	}
+	cols := make([]int, 0, len(freq))
+	for c := range freq {
+		cols = append(cols, c)
+	}
+	sort.Slice(cols, func(i, j int) bool {
+		a, b := cols[i], cols[j]
+		if freq[a] != freq[b] {
+			return freq[a] > freq[b]
+		}
+		if rank[a] != rank[b] {
+			return rank[a] < rank[b]
+		}
+		return a < b
+	})
+	if len(cols) > m.cfg.Selection.NumRelevant {
+		cols = cols[:m.cfg.Selection.NumRelevant]
+	}
+	return core.NewFingerprinter(m.thresholds, cols)
+}
+
+// identify performs the per-epoch identification of the active crisis.
+func (m *Monitor) identify(k int) *Advice {
+	f, err := m.currentFingerprinter()
+	if err != nil {
+		return nil
+	}
+	part, err := f.CrisisFingerprintUpTo(m.track, m.activeStart, m.cfg.Range, m.epoch-1)
+	if err != nil {
+		return nil
+	}
+	// Fingerprints and pairwise distances of labeled past crises.
+	type candidate struct {
+		label string
+		fp    []float64
+	}
+	var cands []candidate
+	for j := 0; j < m.store.Len(); j++ {
+		c, err := m.store.Crisis(j)
+		if err != nil || c.Label == "" {
+			continue
+		}
+		fp, err := m.store.Fingerprint(j, f)
+		if err != nil {
+			continue
+		}
+		cands = append(cands, candidate{label: c.Label, fp: fp})
+	}
+	adv := &Advice{
+		CrisisID:   m.past[m.activeIdx].id,
+		IdentEpoch: k,
+		Emitted:    ident.Unknown,
+	}
+	if len(cands) == 0 {
+		return adv
+	}
+	var pairs []core.LabeledPair
+	for a := 0; a < len(cands); a++ {
+		for b := a + 1; b < len(cands); b++ {
+			d, err := core.Distance(cands[a].fp, cands[b].fp)
+			if err != nil {
+				continue
+			}
+			pairs = append(pairs, core.LabeledPair{Distance: d, Same: cands[a].label == cands[b].label})
+		}
+	}
+	thr, err := core.OnlineThreshold(pairs, m.cfg.Alpha)
+	if err != nil {
+		thr = 0 // fewer than two labeled crises: everything is unknown
+	}
+	best, bestLabel := -1.0, ""
+	for _, c := range cands {
+		d, err := core.Distance(part, c.fp)
+		if err != nil {
+			continue
+		}
+		if best < 0 || d < best {
+			best, bestLabel = d, c.label
+		}
+	}
+	adv.Nearest = bestLabel
+	adv.Distance = best
+	adv.Threshold = thr
+	if best >= 0 && best < thr {
+		adv.Emitted = bestLabel
+	}
+	return adv
+}

@@ -1,0 +1,203 @@
+package quantile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Target is one quantile the CKMS sketch answers with guaranteed precision:
+// Query(Quantile) has rank error at most Epsilon·n.
+type Target struct {
+	Quantile float64
+	Epsilon  float64
+}
+
+// TrackedTargets are the paper's three quantiles at 0.5% rank error — the
+// natural CKMS configuration for fingerprinting, since only these three
+// quantiles are ever queried (§3.2).
+func TrackedTargets() []Target {
+	return []Target{
+		{Quantile: 0.25, Epsilon: 0.005},
+		{Quantile: 0.50, Epsilon: 0.005},
+		{Quantile: 0.95, Epsilon: 0.005},
+	}
+}
+
+// CKMS is the Cormode–Korn–Muthukrishnan–Srivastava sketch for *targeted*
+// quantiles: unlike the uniform-error GK sketch it concentrates its memory
+// budget around the quantiles that will actually be queried, which is
+// exactly the fingerprinting workload (three fixed quantiles per metric).
+type CKMS struct {
+	targets []Target
+	tuples  []ckmsTuple
+	n       int
+	buf     []float64
+}
+
+type ckmsTuple struct {
+	v     float64
+	g     int
+	delta int
+}
+
+// ckmsBufSize is how many inserts are buffered before a merge pass.
+const ckmsBufSize = 512
+
+// NewCKMS returns a sketch answering the given targets within their
+// epsilons.
+func NewCKMS(targets []Target) (*CKMS, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("quantile: CKMS needs at least one target")
+	}
+	for _, t := range targets {
+		if t.Quantile < 0 || t.Quantile > 1 {
+			return nil, fmt.Errorf("quantile: target quantile %v out of [0,1]", t.Quantile)
+		}
+		if t.Epsilon <= 0 || t.Epsilon >= 1 {
+			return nil, fmt.Errorf("quantile: target epsilon %v out of (0,1)", t.Epsilon)
+		}
+	}
+	cp := append([]Target(nil), targets...)
+	return &CKMS{targets: cp, buf: make([]float64, 0, ckmsBufSize)}, nil
+}
+
+// MustCKMS is NewCKMS for statically-valid targets; it panics on error.
+func MustCKMS(targets []Target) *CKMS {
+	s, err := NewCKMS(targets)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// invariant is the CKMS targeted-quantile error function f(r, n): the
+// maximum span a tuple covering rank r may have.
+func (s *CKMS) invariant(r float64, n int) float64 {
+	m := math.Inf(1)
+	fn := float64(n)
+	for _, t := range s.targets {
+		var f float64
+		if r < t.Quantile*fn {
+			f = 2 * t.Epsilon * (fn - r) / (1 - t.Quantile)
+		} else {
+			f = 2 * t.Epsilon * r / t.Quantile
+		}
+		if f < m {
+			m = f
+		}
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Insert adds one observation.
+func (s *CKMS) Insert(v float64) {
+	s.buf = append(s.buf, v)
+	if len(s.buf) >= ckmsBufSize {
+		s.flush()
+	}
+}
+
+// flush merges the buffered values into the tuple list and compresses.
+func (s *CKMS) flush() {
+	if len(s.buf) == 0 {
+		return
+	}
+	sort.Float64s(s.buf)
+	merged := make([]ckmsTuple, 0, len(s.tuples)+len(s.buf))
+	bi := 0
+	r := 0.0
+	for _, t := range s.tuples {
+		for bi < len(s.buf) && s.buf[bi] <= t.v {
+			delta := 0
+			if len(merged) > 0 { // not the new minimum
+				delta = int(s.invariant(r, s.n)) - 1
+				if delta < 0 {
+					delta = 0
+				}
+			}
+			merged = append(merged, ckmsTuple{v: s.buf[bi], g: 1, delta: delta})
+			s.n++
+			r++
+			bi++
+		}
+		merged = append(merged, t)
+		r += float64(t.g)
+	}
+	for bi < len(s.buf) {
+		// Values beyond the current maximum anchor the new max: delta 0.
+		merged = append(merged, ckmsTuple{v: s.buf[bi], g: 1, delta: 0})
+		s.n++
+		bi++
+	}
+	s.tuples = merged
+	s.buf = s.buf[:0]
+	s.compress()
+}
+
+// compress merges adjacent tuples within the invariant budget.
+func (s *CKMS) compress() {
+	if len(s.tuples) < 3 {
+		return
+	}
+	// Walk from the tail, tracking the rank at each position.
+	r := 0.0
+	ranks := make([]float64, len(s.tuples))
+	for i, t := range s.tuples {
+		ranks[i] = r
+		r += float64(t.g)
+	}
+	for i := len(s.tuples) - 2; i >= 1; i-- {
+		t, next := s.tuples[i], s.tuples[i+1]
+		if float64(t.g+next.g+next.delta) <= s.invariant(ranks[i], s.n) {
+			s.tuples[i+1].g += t.g
+			s.tuples = append(s.tuples[:i], s.tuples[i+1:]...)
+		}
+	}
+}
+
+// Query returns the q-th quantile estimate.
+func (s *CKMS) Query(q float64) (float64, error) {
+	s.flush()
+	if s.n == 0 {
+		return 0, ErrNoData
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("quantile: q=%v out of [0,1]", q)
+	}
+	rank := q * float64(s.n)
+	bound := rank + s.invariant(rank, s.n)/2
+	rmin := 0.0
+	for i, t := range s.tuples {
+		rmin += float64(t.g)
+		if rmin+float64(t.delta) > bound {
+			if i == 0 {
+				return t.v, nil
+			}
+			return s.tuples[i-1].v, nil
+		}
+	}
+	return s.tuples[len(s.tuples)-1].v, nil
+}
+
+// Count reports the number of observations inserted.
+func (s *CKMS) Count() int { return s.n + len(s.buf) }
+
+// Reset discards all state.
+func (s *CKMS) Reset() {
+	s.n = 0
+	s.tuples = s.tuples[:0]
+	s.buf = s.buf[:0]
+}
+
+// TupleCount exposes the sketch size for memory benchmarks (flushing any
+// buffered inserts first).
+func (s *CKMS) TupleCount() int {
+	s.flush()
+	return len(s.tuples)
+}
+
+var _ Estimator = (*CKMS)(nil)

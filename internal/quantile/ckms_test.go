@@ -1,0 +1,155 @@
+package quantile
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestNewCKMSValidation(t *testing.T) {
+	if _, err := NewCKMS(nil); err == nil {
+		t.Fatal("want empty-targets error")
+	}
+	if _, err := NewCKMS([]Target{{Quantile: -0.1, Epsilon: 0.01}}); err == nil {
+		t.Fatal("want quantile range error")
+	}
+	if _, err := NewCKMS([]Target{{Quantile: 0.5, Epsilon: 0}}); err == nil {
+		t.Fatal("want epsilon range error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCKMS should panic on bad targets")
+		}
+	}()
+	MustCKMS(nil)
+}
+
+func TestCKMSEmptyAndRange(t *testing.T) {
+	s := MustCKMS(TrackedTargets())
+	if _, err := s.Query(0.5); err != ErrNoData {
+		t.Fatalf("err = %v", err)
+	}
+	s.Insert(1)
+	if _, err := s.Query(-1); err == nil {
+		t.Fatal("want range error")
+	}
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+}
+
+func TestCKMSTargetedErrorBound(t *testing.T) {
+	for _, gen := range []struct {
+		name string
+		next func(*rand.Rand) float64
+	}{
+		{"uniform", func(r *rand.Rand) float64 { return r.Float64() }},
+		{"normal", func(r *rand.Rand) float64 { return r.NormFloat64() }},
+		{"lognormal", func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64()) }},
+	} {
+		t.Run(gen.name, func(t *testing.T) {
+			const n = 50000
+			rng := rand.New(rand.NewSource(3))
+			s := MustCKMS(TrackedTargets())
+			data := make([]float64, 0, n)
+			for i := 0; i < n; i++ {
+				v := gen.next(rng)
+				s.Insert(v)
+				data = append(data, v)
+			}
+			sort.Float64s(data)
+			for _, tgt := range TrackedTargets() {
+				v, err := s.Query(tgt.Quantile)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if re := rankError(data, v, tgt.Quantile); re > tgt.Epsilon*float64(n)+1 {
+					t.Errorf("q=%v: rank error %v exceeds eps*n=%v", tgt.Quantile, re, tgt.Epsilon*float64(n))
+				}
+			}
+		})
+	}
+}
+
+func TestCKMSMemorySublinear(t *testing.T) {
+	s := MustCKMS(TrackedTargets())
+	rng := rand.New(rand.NewSource(4))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s.Insert(rng.Float64())
+	}
+	if s.Count() != n {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if tc := s.TupleCount(); tc > n/20 {
+		t.Fatalf("TupleCount = %d, not sublinear vs n=%d", tc, n)
+	}
+	s.Reset()
+	if s.Count() != 0 || s.TupleCount() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestCKMSMatchesExactOnTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	exact := NewExact()
+	ck := MustCKMS(TrackedTargets())
+	for i := 0; i < 30000; i++ {
+		v := rng.NormFloat64()*10 + 100
+		exact.Insert(v)
+		ck.Insert(v)
+	}
+	for _, q := range TrackedQuantiles {
+		ev, _ := exact.Query(q)
+		cv, err := ck.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ev-cv) > 0.5 {
+			t.Errorf("q=%v: exact %v vs ckms %v", q, ev, cv)
+		}
+	}
+}
+
+func TestCKMSSortedAndReversedInput(t *testing.T) {
+	for name, gen := range map[string]func(i int) float64{
+		"ascending":  func(i int) float64 { return float64(i) },
+		"descending": func(i int) float64 { return float64(20000 - i) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := MustCKMS(TrackedTargets())
+			const n = 20000
+			data := make([]float64, 0, n)
+			for i := 0; i < n; i++ {
+				v := gen(i)
+				s.Insert(v)
+				data = append(data, v)
+			}
+			sort.Float64s(data)
+			for _, tgt := range TrackedTargets() {
+				v, err := s.Query(tgt.Quantile)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if re := rankError(data, v, tgt.Quantile); re > tgt.Epsilon*float64(n)+1 {
+					t.Errorf("q=%v: rank error %v", tgt.Quantile, re)
+				}
+			}
+		})
+	}
+}
+
+func TestCKMSWorksWithAggregatorInterface(t *testing.T) {
+	var est Estimator = MustCKMS(TrackedTargets())
+	for i := 1; i <= 1000; i++ {
+		est.Insert(float64(i))
+	}
+	s, err := Summarize(est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[1] < 480 || s[1] > 520 {
+		t.Fatalf("median = %v", s[1])
+	}
+}

@@ -1,0 +1,128 @@
+package quantile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GK is the Greenwald–Khanna ε-approximate quantile sketch.
+//
+// After n insertions, Query(q) returns a value whose rank is within ε·n of
+// the true rank ⌈q·n⌉, using O((1/ε)·log(εn)) stored tuples. This is the
+// bounded-error streaming summarization the paper points to for scaling the
+// per-metric datacenter summary beyond the point where exact computation is
+// convenient (§3.2).
+type GK struct {
+	eps    float64
+	n      int
+	tuples []gkTuple // sorted ascending by v
+	// compressEvery counts down insertions until the next compression.
+	sinceCompress int
+}
+
+// gkTuple is one summary entry: value v covers g observations, and delta
+// bounds the uncertainty of its maximum rank.
+type gkTuple struct {
+	v     float64
+	g     int
+	delta int
+}
+
+// NewGK returns a sketch with rank-error guarantee eps in (0, 1).
+func NewGK(eps float64) (*GK, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("quantile: eps=%v out of (0,1)", eps)
+	}
+	return &GK{eps: eps}, nil
+}
+
+// MustGK is NewGK for statically-valid eps; it panics on error.
+func MustGK(eps float64) *GK {
+	s, err := NewGK(eps)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Insert adds one observation to the sketch.
+func (s *GK) Insert(v float64) {
+	i := sort.Search(len(s.tuples), func(j int) bool { return s.tuples[j].v > v })
+	delta := 0
+	if i > 0 && i < len(s.tuples) {
+		delta = int(math.Floor(2 * s.eps * float64(s.n)))
+	}
+	s.tuples = append(s.tuples, gkTuple{})
+	copy(s.tuples[i+1:], s.tuples[i:])
+	s.tuples[i] = gkTuple{v: v, g: 1, delta: delta}
+	s.n++
+
+	s.sinceCompress++
+	if float64(s.sinceCompress) >= 1/(2*s.eps) {
+		s.compress()
+		s.sinceCompress = 0
+	}
+}
+
+// compress merges adjacent tuples whose combined span still satisfies the
+// ε·n error budget, bounding memory.
+func (s *GK) compress() {
+	if len(s.tuples) < 3 {
+		return
+	}
+	budget := int(math.Floor(2 * s.eps * float64(s.n)))
+	// Never merge away the first tuple (it anchors the minimum); iterate
+	// from the tail so index arithmetic stays simple under deletion.
+	for i := len(s.tuples) - 2; i >= 1; i-- {
+		t, next := s.tuples[i], s.tuples[i+1]
+		if t.g+next.g+next.delta <= budget {
+			s.tuples[i+1].g += t.g
+			s.tuples = append(s.tuples[:i], s.tuples[i+1:]...)
+		}
+	}
+}
+
+// Query returns an ε-approximate q-th quantile of the inserted stream.
+func (s *GK) Query(q float64) (float64, error) {
+	if s.n == 0 {
+		return 0, ErrNoData
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("quantile: q=%v out of [0,1]", q)
+	}
+	rank := int(math.Ceil(q * float64(s.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	margin := int(math.Ceil(s.eps * float64(s.n)))
+	rmin := 0
+	for i, t := range s.tuples {
+		rmin += t.g
+		rmax := rmin + t.delta
+		if rank-rmin <= margin && rmax-rank <= margin {
+			return t.v, nil
+		}
+		_ = i
+	}
+	return s.tuples[len(s.tuples)-1].v, nil
+}
+
+// Count reports the number of observations inserted.
+func (s *GK) Count() int { return s.n }
+
+// Reset discards all state.
+func (s *GK) Reset() {
+	s.n = 0
+	s.tuples = s.tuples[:0]
+	s.sinceCompress = 0
+}
+
+// TupleCount exposes the sketch size for memory-scaling benchmarks.
+func (s *GK) TupleCount() int { return len(s.tuples) }
+
+// Epsilon returns the configured rank-error guarantee.
+func (s *GK) Epsilon() float64 { return s.eps }
+
+var _ Estimator = (*GK)(nil)
+var _ Estimator = (*Exact)(nil)

@@ -1,0 +1,120 @@
+// Package quantile provides quantile estimators for summarizing a
+// performance metric across all machines of a datacenter (§3.2 of the
+// paper).
+//
+// The paper tracks three quantiles per metric (25th, 50th, 95th) and notes
+// that while their several-hundred-machine installation allowed exact
+// computation, bounded-error streaming estimators [Guha & McGregor] let the
+// approach scale to installations of thousands of machines. This package
+// offers both:
+//
+//   - Exact: collects all observations, answers exactly.
+//   - GK: the Greenwald–Khanna ε-approximate streaming sketch whose memory
+//     is O((1/ε)·log(εn)) regardless of the number of machines.
+//   - Reservoir: fixed-size uniform sample, the cheapest fallback.
+package quantile
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TrackedQuantiles are the per-metric quantiles the paper's fingerprints
+// track: 25th percentile, median, and 95th percentile.
+var TrackedQuantiles = []float64{0.25, 0.50, 0.95}
+
+// ErrNoData is returned when querying an estimator that has seen no values.
+var ErrNoData = errors.New("quantile: no observations")
+
+// Estimator summarizes a stream of observations and answers quantile
+// queries with q in [0, 1].
+type Estimator interface {
+	// Insert adds one observation.
+	Insert(v float64)
+	// Query returns an estimate of the q-th quantile of everything
+	// inserted so far.
+	Query(q float64) (float64, error)
+	// Count reports how many observations have been inserted.
+	Count() int
+	// Reset discards all state so the estimator can be reused for the
+	// next aggregation epoch.
+	Reset()
+}
+
+// Exact is an Estimator that stores every observation and answers queries
+// exactly (linear-interpolation quantiles). Suitable for hundreds of
+// machines per epoch, as in the paper's case study.
+type Exact struct {
+	vals   []float64
+	sorted bool
+}
+
+// NewExact returns an empty exact estimator.
+func NewExact() *Exact { return &Exact{} }
+
+// Insert adds one observation.
+func (e *Exact) Insert(v float64) {
+	e.vals = append(e.vals, v)
+	e.sorted = false
+}
+
+// Query returns the exact q-th quantile.
+func (e *Exact) Query(q float64) (float64, error) {
+	if len(e.vals) == 0 {
+		return 0, ErrNoData
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("quantile: q=%v out of [0,1]", q)
+	}
+	if !e.sorted {
+		sort.Float64s(e.vals)
+		e.sorted = true
+	}
+	n := len(e.vals)
+	if n == 1 {
+		return e.vals[0], nil
+	}
+	r := q * float64(n-1)
+	lo := int(math.Floor(r))
+	hi := int(math.Ceil(r))
+	if lo == hi {
+		return e.vals[lo], nil
+	}
+	frac := r - float64(lo)
+	return e.vals[lo]*(1-frac) + e.vals[hi]*frac, nil
+}
+
+// Count reports the number of observations.
+func (e *Exact) Count() int { return len(e.vals) }
+
+// Reset discards all observations, retaining capacity.
+func (e *Exact) Reset() {
+	e.vals = e.vals[:0]
+	e.sorted = false
+}
+
+// Values returns the observations sorted ascending. The returned slice is
+// owned by the estimator and must not be modified.
+func (e *Exact) Values() []float64 {
+	if !e.sorted {
+		sort.Float64s(e.vals)
+		e.sorted = true
+	}
+	return e.vals
+}
+
+// Summarize inserts nothing and reads the TrackedQuantiles (25/50/95) out of
+// est in order. It is the one-line helper the metric store uses per epoch.
+func Summarize(est Estimator) ([3]float64, error) {
+	var out [3]float64
+	for i, q := range TrackedQuantiles {
+		v, err := est.Query(q)
+		if err != nil {
+			return out, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

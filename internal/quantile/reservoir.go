@@ -1,0 +1,78 @@
+package quantile
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Reservoir is a fixed-size uniform random sample of the stream ("Algorithm
+// R"). Quantiles of the sample approximate quantiles of the stream with
+// error O(1/sqrt(k)); it is the cheapest summarization and serves as a
+// baseline for the GK sketch in benchmarks.
+type Reservoir struct {
+	k    int
+	n    int
+	vals []float64
+	rng  *rand.Rand
+}
+
+// NewReservoir returns a reservoir sampler holding at most k observations,
+// drawing replacement decisions from rng (which must not be nil).
+func NewReservoir(k int, rng *rand.Rand) (*Reservoir, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("quantile: reservoir size %d must be positive", k)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("quantile: reservoir requires a rand source")
+	}
+	return &Reservoir{k: k, vals: make([]float64, 0, k), rng: rng}, nil
+}
+
+// Insert adds one observation, possibly evicting a random earlier one.
+func (r *Reservoir) Insert(v float64) {
+	r.n++
+	if len(r.vals) < r.k {
+		r.vals = append(r.vals, v)
+		return
+	}
+	if j := r.rng.Intn(r.n); j < r.k {
+		r.vals[j] = v
+	}
+}
+
+// Query returns the q-th quantile of the current sample.
+func (r *Reservoir) Query(q float64) (float64, error) {
+	if len(r.vals) == 0 {
+		return 0, ErrNoData
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("quantile: q=%v out of [0,1]", q)
+	}
+	sorted := append([]float64(nil), r.vals...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Count reports the number of observations inserted (not the sample size).
+func (r *Reservoir) Count() int { return r.n }
+
+// Reset discards the sample.
+func (r *Reservoir) Reset() {
+	r.n = 0
+	r.vals = r.vals[:0]
+}
+
+var _ Estimator = (*Reservoir)(nil)

@@ -1,0 +1,171 @@
+// Package report renders experiment results as plain-text tables, line
+// plots and fingerprint heatmaps — the terminal equivalents of the paper's
+// tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table writes an aligned plain-text table.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteString("\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := writeRow(headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one named curve of a line plot.
+type Series struct {
+	Name string
+	Y    []float64 // aligned with the plot's X values; NaN = gap
+}
+
+// LinePlot renders curves over a shared X axis as an ASCII grid. Each
+// series gets a distinct mark; overlapping points show the later series.
+func LinePlot(w io.Writer, title string, x []float64, series []Series, height int) error {
+	if len(x) == 0 || len(series) == 0 {
+		return fmt.Errorf("report: empty plot %q", title)
+	}
+	if height < 5 {
+		height = 5
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Y) != len(x) {
+			return fmt.Errorf("report: series %q has %d points, want %d", s.Name, len(s.Y), len(x))
+		}
+		for _, v := range s.Y {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return fmt.Errorf("report: plot %q has no finite points", title)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	marks := []byte{'*', '+', 'o', 'x', '@', '%', '&', '~'}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(x)))
+	}
+	for si, s := range series {
+		m := marks[si%len(marks)]
+		for xi, v := range s.Y {
+			if math.IsNaN(v) {
+				continue
+			}
+			r := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+			grid[r][xi] = m
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.3f ", hi)
+		case height - 1:
+			label = fmt.Sprintf("%7.3f ", lo)
+		}
+		fmt.Fprintf(w, "%s|%s|\n", label, string(row))
+	}
+	fmt.Fprintf(w, "        %s\n", strings.Repeat("-", len(x)+2))
+	fmt.Fprintf(w, "        x: %g .. %g\n", x[0], x[len(x)-1])
+	for si, s := range series {
+		fmt.Fprintf(w, "        %c %s\n", marks[si%len(marks)], s.Name)
+	}
+	return nil
+}
+
+// Heatmap renders a fingerprint grid (rows = epochs, columns = metric
+// quantiles) in the style of Figure 1: '.' cold (-1), ' ' normal (0),
+// '#' hot (+1); intermediate values round toward the nearest state.
+func Heatmap(w io.Writer, grid [][]float64) error {
+	if len(grid) == 0 {
+		return fmt.Errorf("report: empty heatmap")
+	}
+	for _, row := range grid {
+		var b strings.Builder
+		for _, v := range row {
+			switch {
+			case v < -0.5:
+				b.WriteByte('.')
+			case v > 0.5:
+				b.WriteByte('#')
+			case v < -0.05:
+				b.WriteByte(',')
+			case v > 0.05:
+				b.WriteByte('+')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		if _, err := fmt.Fprintf(w, "|%s|\n", b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*v)
+}
+
+// F formats a float compactly, mapping NaN to "n/a".
+func F(v float64, decimals int) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.*f", decimals, v)
+}

@@ -1,0 +1,114 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var b strings.Builder
+	err := Table(&b, []string{"id", "label"}, [][]string{
+		{"A", "overloaded front-end"},
+		{"B", "overloaded back-end"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "id") || !strings.Contains(lines[0], "label") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "--") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+	// Columns align: "label" starts at the same offset everywhere.
+	off := strings.Index(lines[0], "label")
+	if strings.Index(lines[2], "overloaded") != off {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+}
+
+func TestLinePlotBasics(t *testing.T) {
+	var b strings.Builder
+	x := []float64{0, 0.5, 1}
+	err := LinePlot(&b, "acc vs alpha", x, []Series{
+		{Name: "known", Y: []float64{0.2, 0.8, 0.9}},
+		{Name: "unknown", Y: []float64{1.0, 0.7, 0.1}},
+	}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "acc vs alpha") || !strings.Contains(out, "known") {
+		t.Fatalf("plot missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("plot missing marks:\n%s", out)
+	}
+}
+
+func TestLinePlotErrors(t *testing.T) {
+	var b strings.Builder
+	if err := LinePlot(&b, "t", nil, []Series{{Name: "a"}}, 10); err == nil {
+		t.Fatal("want empty-x error")
+	}
+	if err := LinePlot(&b, "t", []float64{1}, []Series{{Name: "a", Y: []float64{1, 2}}}, 10); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+	nan := math.NaN()
+	if err := LinePlot(&b, "t", []float64{1}, []Series{{Name: "a", Y: []float64{nan}}}, 10); err == nil {
+		t.Fatal("want no-finite-points error")
+	}
+}
+
+func TestLinePlotHandlesNaNGapsAndFlatSeries(t *testing.T) {
+	var b strings.Builder
+	x := []float64{0, 1, 2}
+	err := LinePlot(&b, "flat", x, []Series{
+		{Name: "a", Y: []float64{0.5, math.NaN(), 0.5}},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "*") {
+		t.Fatal("flat series not plotted")
+	}
+}
+
+func TestHeatmapAlphabet(t *testing.T) {
+	var b strings.Builder
+	err := Heatmap(&b, [][]float64{
+		{-1, 0, 1},
+		{-0.2, 0.2, 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if lines[0] != "|. #|" {
+		t.Fatalf("row 0 = %q", lines[0])
+	}
+	if lines[1] != "|,+#|" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if err := Heatmap(&b, nil); err == nil {
+		t.Fatal("want empty error")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.805) != "80.5%" {
+		t.Fatalf("Pct = %q", Pct(0.805))
+	}
+	if Pct(math.NaN()) != "n/a" {
+		t.Fatal("Pct NaN")
+	}
+	if F(1.23456, 2) != "1.23" || F(math.NaN(), 2) != "n/a" {
+		t.Fatal("F wrong")
+	}
+}

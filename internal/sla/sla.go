@@ -1,0 +1,177 @@
+// Package sla models key performance indicators (KPIs), their service-level
+// agreements, and the crisis-detection rule of the studied datacenter.
+//
+// The operators of the paper's application designate three KPIs — average
+// processing time in the front end, the second stage, and one of the
+// post-processing stages — each with an SLA threshold set by business
+// policy. A performance crisis is declared when 10% of the machines in the
+// datacenter violate any KPI SLA (§4.1). This definition is an input to the
+// fingerprinting method, never tuned by it.
+package sla
+
+import (
+	"errors"
+	"fmt"
+
+	"dcfp/internal/metrics"
+)
+
+// KPI is a key performance indicator: a metric column whose per-machine
+// value must stay at or below Threshold.
+type KPI struct {
+	// Name is a human-readable label ("frontend_latency_ms").
+	Name string
+	// Metric is the column index of the KPI within the metric catalog.
+	Metric int
+	// Threshold is the SLA bound: a machine violates this KPI when its
+	// sampled value exceeds the threshold.
+	Threshold float64
+}
+
+// Config couples the KPI set with the datacenter crisis rule.
+type Config struct {
+	KPIs []KPI
+	// CrisisFraction is the fraction of machines that must violate any
+	// KPI SLA for a crisis to be declared; the paper's datacenter uses
+	// 0.10.
+	CrisisFraction float64
+}
+
+// Validate checks the configuration against the metric catalog width.
+func (c Config) Validate(numMetrics int) error {
+	if len(c.KPIs) == 0 {
+		return errors.New("sla: no KPIs configured")
+	}
+	if c.CrisisFraction <= 0 || c.CrisisFraction > 1 {
+		return fmt.Errorf("sla: crisis fraction %v out of (0,1]", c.CrisisFraction)
+	}
+	for i, k := range c.KPIs {
+		if k.Metric < 0 || k.Metric >= numMetrics {
+			return fmt.Errorf("sla: KPI %d (%s) references metric %d outside catalog of %d", i, k.Name, k.Metric, numMetrics)
+		}
+	}
+	return nil
+}
+
+// EpochStatus summarizes SLA compliance of the datacenter for one epoch.
+type EpochStatus struct {
+	// ViolatingPerKPI[i] is the number of machines violating KPI i.
+	ViolatingPerKPI []int
+	// ViolatingAny is the number of machines violating at least one KPI.
+	ViolatingAny int
+	// Machines is the total number of machines evaluated.
+	Machines int
+	// InCrisis reports whether the crisis rule fired this epoch.
+	InCrisis bool
+}
+
+// MachineViolates reports whether one machine's sample row breaks any KPI.
+func (c Config) MachineViolates(row []float64) bool {
+	for _, k := range c.KPIs {
+		if row[k.Metric] > k.Threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// Evaluate applies the KPI SLAs to every machine's sample row for an epoch
+// (values[machine][metric]) and applies the crisis rule.
+func (c Config) Evaluate(values [][]float64) (EpochStatus, error) {
+	st := EpochStatus{
+		ViolatingPerKPI: make([]int, len(c.KPIs)),
+		Machines:        len(values),
+	}
+	if len(values) == 0 {
+		return st, errors.New("sla: no machines to evaluate")
+	}
+	for _, row := range values {
+		any := false
+		for i, k := range c.KPIs {
+			if k.Metric >= len(row) {
+				return st, fmt.Errorf("sla: KPI %s metric %d outside row of %d", k.Name, k.Metric, len(row))
+			}
+			if row[k.Metric] > k.Threshold {
+				st.ViolatingPerKPI[i]++
+				any = true
+			}
+		}
+		if any {
+			st.ViolatingAny++
+		}
+	}
+	st.InCrisis = float64(st.ViolatingAny) >= c.CrisisFraction*float64(st.Machines)
+	return st, nil
+}
+
+// Episode is a contiguous run of crisis epochs, inclusive on both ends.
+type Episode struct {
+	Start metrics.Epoch
+	End   metrics.Epoch
+}
+
+// Len reports the number of epochs the episode spans.
+func (e Episode) Len() int { return int(e.End-e.Start) + 1 }
+
+// Contains reports whether epoch t falls inside the episode.
+func (e Episode) Contains(t metrics.Epoch) bool { return t >= e.Start && t <= e.End }
+
+// Episodes extracts crisis episodes from a per-epoch in-crisis series.
+// Runs separated by at most mergeGap non-crisis epochs are merged (a
+// crisis briefly dipping below the 10% rule is still one crisis), and
+// episodes shorter than minLen epochs are dropped — the paper defines a
+// crisis as a *prolonged* SLA violation.
+func Episodes(inCrisis []bool, mergeGap, minLen int) []Episode {
+	if mergeGap < 0 {
+		mergeGap = 0
+	}
+	if minLen < 1 {
+		minLen = 1
+	}
+	var raw []Episode
+	start := -1
+	for e, c := range inCrisis {
+		switch {
+		case c && start < 0:
+			start = e
+		case !c && start >= 0:
+			raw = append(raw, Episode{metrics.Epoch(start), metrics.Epoch(e - 1)})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		raw = append(raw, Episode{metrics.Epoch(start), metrics.Epoch(len(inCrisis) - 1)})
+	}
+	// Merge near-adjacent runs.
+	var merged []Episode
+	for _, ep := range raw {
+		if n := len(merged); n > 0 && int(ep.Start-merged[n-1].End)-1 <= mergeGap {
+			merged[n-1].End = ep.End
+			continue
+		}
+		merged = append(merged, ep)
+	}
+	// Drop too-short episodes.
+	out := merged[:0]
+	for _, ep := range merged {
+		if ep.Len() >= minLen {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+// NormalPredicate returns a predicate over epochs that is true exactly when
+// the epoch is not inside (or within pad epochs of) any episode. It is the
+// crisis-exclusion filter used when estimating hot/cold thresholds (§3.3)
+// and when selecting normal feature-selection samples (§3.4).
+func NormalPredicate(eps []Episode, pad int) func(metrics.Epoch) bool {
+	return func(t metrics.Epoch) bool {
+		for _, ep := range eps {
+			if t >= ep.Start-metrics.Epoch(pad) && t <= ep.End+metrics.Epoch(pad) {
+				return false
+			}
+		}
+		return true
+	}
+}

@@ -1,0 +1,239 @@
+package sla
+
+import (
+	"math/rand"
+	"testing"
+
+	"dcfp/internal/metrics"
+)
+
+func cfg() Config {
+	return Config{
+		KPIs: []KPI{
+			{Name: "fe_latency", Metric: 0, Threshold: 100},
+			{Name: "proc_latency", Metric: 1, Threshold: 200},
+		},
+		CrisisFraction: 0.10,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	c := cfg()
+	if err := c.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{}).Validate(2); err == nil {
+		t.Fatal("want error on no KPIs")
+	}
+	bad := cfg()
+	bad.CrisisFraction = 0
+	if err := bad.Validate(2); err == nil {
+		t.Fatal("want error on zero fraction")
+	}
+	bad = cfg()
+	bad.CrisisFraction = 1.5
+	if err := bad.Validate(2); err == nil {
+		t.Fatal("want error on fraction > 1")
+	}
+	bad = cfg()
+	bad.KPIs[1].Metric = 7
+	if err := bad.Validate(2); err == nil {
+		t.Fatal("want error on out-of-catalog metric")
+	}
+}
+
+func TestMachineViolates(t *testing.T) {
+	c := cfg()
+	if c.MachineViolates([]float64{50, 150}) {
+		t.Fatal("compliant machine flagged")
+	}
+	if !c.MachineViolates([]float64{150, 50}) {
+		t.Fatal("violating machine missed")
+	}
+	if c.MachineViolates([]float64{100, 200}) {
+		t.Fatal("threshold is inclusive; at-threshold must comply")
+	}
+}
+
+func TestEvaluateCrisisRule(t *testing.T) {
+	c := cfg()
+	// 20 machines; exactly 2 violating = 10% -> crisis (>= fraction).
+	vals := make([][]float64, 20)
+	for i := range vals {
+		vals[i] = []float64{50, 50}
+	}
+	vals[3] = []float64{500, 50}
+	vals[7] = []float64{50, 500}
+	st, err := c.Evaluate(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Machines != 20 || st.ViolatingAny != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.ViolatingPerKPI[0] != 1 || st.ViolatingPerKPI[1] != 1 {
+		t.Fatalf("per-KPI = %v", st.ViolatingPerKPI)
+	}
+	if !st.InCrisis {
+		t.Fatal("10%% violating should trigger crisis")
+	}
+	// One violator: below threshold.
+	vals[7] = []float64{50, 50}
+	st, err = c.Evaluate(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InCrisis {
+		t.Fatal("5%% violating should not trigger crisis")
+	}
+}
+
+func TestEvaluateCountsMachineOnce(t *testing.T) {
+	c := cfg()
+	vals := [][]float64{{500, 500}, {50, 50}}
+	st, err := c.Evaluate(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ViolatingAny != 1 {
+		t.Fatalf("ViolatingAny = %d; machine violating both KPIs must count once", st.ViolatingAny)
+	}
+	if st.ViolatingPerKPI[0] != 1 || st.ViolatingPerKPI[1] != 1 {
+		t.Fatalf("per-KPI = %v", st.ViolatingPerKPI)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	c := cfg()
+	if _, err := c.Evaluate(nil); err == nil {
+		t.Fatal("want error on no machines")
+	}
+	if _, err := c.Evaluate([][]float64{{1}}); err == nil {
+		t.Fatal("want error on short row")
+	}
+}
+
+func TestEpisodesBasic(t *testing.T) {
+	in := []bool{false, true, true, false, false, true, false}
+	eps := Episodes(in, 0, 1)
+	if len(eps) != 2 {
+		t.Fatalf("episodes = %v", eps)
+	}
+	if eps[0].Start != 1 || eps[0].End != 2 || eps[1].Start != 5 || eps[1].End != 5 {
+		t.Fatalf("episodes = %v", eps)
+	}
+	if eps[0].Len() != 2 || !eps[0].Contains(2) || eps[0].Contains(3) {
+		t.Fatal("episode accessors wrong")
+	}
+}
+
+func TestEpisodesMergeGap(t *testing.T) {
+	in := []bool{true, true, false, true, true}
+	if got := Episodes(in, 0, 1); len(got) != 2 {
+		t.Fatalf("no-merge episodes = %v", got)
+	}
+	got := Episodes(in, 1, 1)
+	if len(got) != 1 || got[0].Start != 0 || got[0].End != 4 {
+		t.Fatalf("merged episodes = %v", got)
+	}
+}
+
+func TestEpisodesMinLen(t *testing.T) {
+	in := []bool{true, false, true, true, true}
+	got := Episodes(in, 0, 2)
+	if len(got) != 1 || got[0].Start != 2 {
+		t.Fatalf("minLen episodes = %v", got)
+	}
+	// Defensive defaults for nonsense arguments.
+	if got := Episodes(in, -5, 0); len(got) != 2 {
+		t.Fatalf("defaulted episodes = %v", got)
+	}
+}
+
+func TestEpisodesTrailingOpen(t *testing.T) {
+	in := []bool{false, true, true}
+	got := Episodes(in, 0, 1)
+	if len(got) != 1 || got[0].End != 2 {
+		t.Fatalf("open-ended episode = %v", got)
+	}
+}
+
+func TestEpisodesEmpty(t *testing.T) {
+	if got := Episodes(nil, 0, 1); got != nil {
+		t.Fatalf("Episodes(nil) = %v", got)
+	}
+	if got := Episodes([]bool{false, false}, 0, 1); len(got) != 0 {
+		t.Fatalf("Episodes(all normal) = %v", got)
+	}
+}
+
+func TestNormalPredicate(t *testing.T) {
+	eps := []Episode{{Start: 10, End: 12}}
+	isNormal := NormalPredicate(eps, 2)
+	cases := []struct {
+		e    metrics.Epoch
+		want bool
+	}{
+		{7, true}, {8, false}, {10, false}, {12, false}, {14, false}, {15, true},
+	}
+	for _, c := range cases {
+		if got := isNormal(c.e); got != c.want {
+			t.Errorf("isNormal(%d) = %v, want %v", c.e, got, c.want)
+		}
+	}
+	all := NormalPredicate(nil, 0)
+	if !all(0) {
+		t.Fatal("no episodes: everything is normal")
+	}
+}
+
+// Property: merged episodes cover every crisis epoch, never overlap, and
+// respect the merge-gap/min-length rules.
+func TestEpisodesCoverageProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		n := 20 + rng.Intn(200)
+		in := make([]bool, n)
+		for i := range in {
+			in[i] = rng.Float64() < 0.15
+		}
+		gap := rng.Intn(3)
+		minLen := 1 + rng.Intn(3)
+		eps := Episodes(in, gap, minLen)
+		for i, ep := range eps {
+			if ep.Len() < minLen {
+				t.Fatalf("episode %v shorter than minLen %d", ep, minLen)
+			}
+			if ep.Start < 0 || int(ep.End) >= n || ep.End < ep.Start {
+				t.Fatalf("episode %v out of range", ep)
+			}
+			if !in[ep.Start] || !in[ep.End] {
+				t.Fatalf("episode %v does not start/end on crisis epochs", ep)
+			}
+			if i > 0 {
+				// Non-overlap and separation beyond the merge gap.
+				sep := int(ep.Start-eps[i-1].End) - 1
+				if sep <= gap {
+					t.Fatalf("episodes %v and %v separated by %d <= gap %d", eps[i-1], ep, sep, gap)
+				}
+			}
+		}
+		// Every long-enough raw run must be inside some episode.
+		raw := Episodes(in, 0, 1)
+		for _, r := range raw {
+			if r.Len() < minLen {
+				continue
+			}
+			covered := false
+			for _, ep := range eps {
+				if r.Start >= ep.Start && r.End <= ep.End {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("run %v (len %d >= %d) not covered by %v", r, r.Len(), minLen, eps)
+			}
+		}
+	}
+}

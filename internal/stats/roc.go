@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ROCPoint is one operating point of a distance ROC curve: at identification
+// threshold Threshold, FPR is the fraction of different-type crisis pairs
+// mistakenly classified as identical, and Recall (TPR) is the fraction of
+// same-type pairs correctly classified as identical (§4.3, §5.1.1).
+type ROCPoint struct {
+	Threshold float64
+	FPR       float64
+	Recall    float64
+}
+
+// ROC is a distance ROC curve over pairwise crisis distances.
+type ROC struct {
+	// Points are ordered by increasing FPR (equivalently, increasing
+	// threshold). The curve implicitly starts at (FPR 0, Recall 0) with
+	// threshold -inf and ends at (1, 1) with threshold +inf.
+	Points []ROCPoint
+
+	same, diff []float64 // sorted ascending
+}
+
+// DistanceROC builds the ROC curve from the distances between same-type
+// crisis pairs (positives: should be classified identical) and
+// different-type pairs (negatives). Two crises are classified identical when
+// their distance is strictly below the threshold.
+func DistanceROC(sameDist, diffDist []float64) ROC {
+	same := append([]float64(nil), sameDist...)
+	diff := append([]float64(nil), diffDist...)
+	sort.Float64s(same)
+	sort.Float64s(diff)
+
+	// Candidate thresholds: just above each observed distance, so every
+	// achievable (FPR, Recall) pair appears exactly once.
+	cands := make([]float64, 0, len(same)+len(diff))
+	cands = append(cands, same...)
+	cands = append(cands, diff...)
+	sort.Float64s(cands)
+	cands = dedupe(cands)
+
+	pts := make([]ROCPoint, 0, len(cands)+1)
+	pts = append(pts, ROCPoint{Threshold: math.Inf(-1), FPR: 0, Recall: 0})
+	for _, c := range cands {
+		t := math.Nextafter(c, math.Inf(1)) // classify distance == c as identical
+		pts = append(pts, ROCPoint{
+			Threshold: t,
+			FPR:       fracBelow(diff, t),
+			Recall:    fracBelow(same, t),
+		})
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].FPR != pts[j].FPR {
+			return pts[i].FPR < pts[j].FPR
+		}
+		return pts[i].Recall < pts[j].Recall
+	})
+	return ROC{Points: pts, same: same, diff: diff}
+}
+
+func dedupe(sorted []float64) []float64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// fracBelow returns the fraction of sorted values strictly below t.
+func fracBelow(sorted []float64, t float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(sorted, t)
+	return float64(i) / float64(len(sorted))
+}
+
+// AUC returns the area under the ROC curve, computed as the Mann–Whitney
+// statistic P(sameDist < diffDist) + ½·P(sameDist == diffDist). 1.0 means a
+// threshold exists that perfectly separates identical from distinct pairs.
+func (r ROC) AUC() float64 {
+	if len(r.same) == 0 || len(r.diff) == 0 {
+		return math.NaN()
+	}
+	// Two-pointer sweep over the sorted slices: for each same-distance s,
+	// count diff-distances strictly greater and equal.
+	wins, ties := 0.0, 0.0
+	for _, s := range r.same {
+		lo := sort.SearchFloat64s(r.diff, s)
+		hi := sort.SearchFloat64s(r.diff, math.Nextafter(s, math.Inf(1)))
+		wins += float64(len(r.diff) - hi)
+		ties += float64(hi - lo)
+	}
+	n := float64(len(r.same)) * float64(len(r.diff))
+	return (wins + ties/2) / n
+}
+
+// ThresholdForFPR returns the largest identification threshold whose false
+// positive rate is at most alpha — the paper's rule for converting the free
+// parameter α into a concrete threshold T (§5.1.2).
+func (r ROC) ThresholdForFPR(alpha float64) float64 {
+	best := math.Inf(-1)
+	for _, p := range r.Points {
+		if p.FPR <= alpha && p.Threshold > best {
+			best = p.Threshold
+		}
+	}
+	if math.IsInf(best, -1) {
+		// No feasible point: classify nothing as identical.
+		if len(r.diff) > 0 {
+			return r.diff[0] // strictly-below comparison admits nothing
+		}
+		return 0
+	}
+	return best
+}
+
+// RecallAtFPR returns the recall achieved at the threshold chosen by
+// ThresholdForFPR(alpha).
+func (r ROC) RecallAtFPR(alpha float64) float64 {
+	t := r.ThresholdForFPR(alpha)
+	return fracBelow(r.same, t)
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceROCPerfectSeparation(t *testing.T) {
+	same := []float64{0.1, 0.2, 0.3}
+	diff := []float64{1.0, 1.5, 2.0}
+	roc := DistanceROC(same, diff)
+	if auc := roc.AUC(); auc != 1.0 {
+		t.Fatalf("AUC = %v, want 1.0", auc)
+	}
+	// At alpha=0 we should still achieve full recall: a threshold between
+	// 0.3 and 1.0 exists.
+	thr := roc.ThresholdForFPR(0)
+	if thr <= 0.3 || thr > 1.0 {
+		t.Fatalf("ThresholdForFPR(0) = %v, want in (0.3, 1.0]", thr)
+	}
+	if rec := roc.RecallAtFPR(0); rec != 1.0 {
+		t.Fatalf("RecallAtFPR(0) = %v, want 1.0", rec)
+	}
+}
+
+func TestDistanceROCRandomIsHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	same := make([]float64, 3000)
+	diff := make([]float64, 3000)
+	for i := range same {
+		same[i] = rng.Float64()
+		diff[i] = rng.Float64()
+	}
+	auc := DistanceROC(same, diff).AUC()
+	if math.Abs(auc-0.5) > 0.03 {
+		t.Fatalf("AUC on indistinguishable distributions = %v, want ~0.5", auc)
+	}
+}
+
+func TestDistanceROCInverted(t *testing.T) {
+	// Same-type pairs farther apart than different-type ones: AUC ~ 0.
+	same := []float64{5, 6, 7}
+	diff := []float64{1, 2, 3}
+	if auc := DistanceROC(same, diff).AUC(); auc != 0 {
+		t.Fatalf("AUC = %v, want 0", auc)
+	}
+}
+
+func TestDistanceROCTies(t *testing.T) {
+	same := []float64{1, 1}
+	diff := []float64{1, 1}
+	if auc := DistanceROC(same, diff).AUC(); auc != 0.5 {
+		t.Fatalf("AUC with all ties = %v, want 0.5", auc)
+	}
+}
+
+func TestAUCEmptyIsNaN(t *testing.T) {
+	if auc := DistanceROC(nil, []float64{1}).AUC(); !math.IsNaN(auc) {
+		t.Fatalf("AUC with no positives = %v, want NaN", auc)
+	}
+}
+
+func TestThresholdForFPRRespectsAlpha(t *testing.T) {
+	same := []float64{0.5, 1.5, 2.5}
+	diff := []float64{1.0, 2.0, 3.0, 4.0}
+	roc := DistanceROC(same, diff)
+	for _, alpha := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		thr := roc.ThresholdForFPR(alpha)
+		fpr := fracBelow(roc.diff, thr)
+		if fpr > alpha+1e-12 {
+			t.Errorf("alpha=%v: threshold %v gives FPR %v > alpha", alpha, thr, fpr)
+		}
+	}
+	// alpha=1 must admit everything.
+	if rec := roc.RecallAtFPR(1); rec != 1 {
+		t.Fatalf("RecallAtFPR(1) = %v, want 1", rec)
+	}
+}
+
+func TestROCPointsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	same := make([]float64, 50)
+	diff := make([]float64, 70)
+	for i := range same {
+		same[i] = rng.ExpFloat64()
+	}
+	for i := range diff {
+		diff[i] = rng.ExpFloat64() + 0.5
+	}
+	roc := DistanceROC(same, diff)
+	for i := 1; i < len(roc.Points); i++ {
+		if roc.Points[i].FPR < roc.Points[i-1].FPR {
+			t.Fatalf("FPR not monotone at %d", i)
+		}
+		if roc.Points[i].FPR == roc.Points[i-1].FPR &&
+			roc.Points[i].Recall < roc.Points[i-1].Recall {
+			t.Fatalf("Recall not monotone at %d", i)
+		}
+	}
+}
+
+// Property: AUC is always in [0,1] and FPR/Recall are valid probabilities.
+func TestROCBoundsProperty(t *testing.T) {
+	f := func(rawSame, rawDiff []float64) bool {
+		same := sanitize(rawSame)
+		diff := sanitize(rawDiff)
+		if len(same) == 0 || len(diff) == 0 {
+			return true
+		}
+		// Distances are non-negative in our use; take absolute values.
+		for i := range same {
+			same[i] = math.Abs(same[i])
+		}
+		for i := range diff {
+			diff[i] = math.Abs(diff[i])
+		}
+		roc := DistanceROC(same, diff)
+		auc := roc.AUC()
+		if auc < 0 || auc > 1 {
+			return false
+		}
+		for _, p := range roc.Points {
+			if p.FPR < 0 || p.FPR > 1 || p.Recall < 0 || p.Recall > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shifting diff distances up strictly away from same distances can
+// only improve (or keep) AUC.
+func TestROCSeparationImprovesAUC(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	same := make([]float64, 200)
+	diff := make([]float64, 200)
+	for i := range same {
+		same[i] = rng.Float64()
+		diff[i] = rng.Float64()
+	}
+	base := DistanceROC(same, diff).AUC()
+	shifted := make([]float64, len(diff))
+	for i, d := range diff {
+		shifted[i] = d + 2 // beyond max(same)
+	}
+	if got := DistanceROC(same, shifted).AUC(); got < base || got != 1.0 {
+		t.Fatalf("shifted AUC = %v (base %v), want 1.0", got, base)
+	}
+}

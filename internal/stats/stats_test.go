@@ -1,0 +1,284 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum(nil); got != 0 {
+		t.Fatalf("Sum(nil) = %v, want 0", got)
+	}
+	if got := Sum([]float64{1, 2, 3.5}); got != 6.5 {
+		t.Fatalf("Sum = %v, want 6.5", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Fatalf("Mean(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]float64{2, 4, 6})
+	if err != nil || m != 4 {
+		t.Fatalf("Mean = %v, %v; want 4, nil", m, err)
+	}
+}
+
+func TestMustMeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMean(nil) did not panic")
+		}
+	}()
+	MustMean(nil)
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", v)
+	}
+	s, err := StdDev(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(s, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", s)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	mn, err := Min(xs)
+	if err != nil || mn != -1 {
+		t.Fatalf("Min = %v, %v", mn, err)
+	}
+	mx, err := Max(xs)
+	if err != nil || mx != 7 {
+		t.Fatalf("Max = %v, %v", mx, err)
+	}
+	if _, err := Min(nil); err == nil {
+		t.Fatal("Min(nil) should error")
+	}
+	if _, err := Max(nil); err == nil {
+		t.Fatal("Max(nil) should error")
+	}
+}
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	got, err := Percentile(xs, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 2.5, 1e-12) {
+		t.Fatalf("Percentile(25) = %v, want 2.5", got)
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Fatal("want range error for p=-1")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Fatal("want range error for p=101")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{5, 15}, {30, 20}, {40, 20}, {50, 35}, {100, 50}, {0, 15},
+	}
+	for _, c := range cases {
+		got, err := PercentileNearestRank(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("PercentileNearestRank(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	m, err := Median([]float64{5, 1, 3})
+	if err != nil || m != 3 {
+		t.Fatalf("Median odd = %v, %v", m, err)
+	}
+	m, err = Median([]float64{4, 1, 3, 2})
+	if err != nil || m != 2.5 {
+		t.Fatalf("Median even = %v, %v", m, err)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	qs, err := Quantiles(xs, []float64{0.25, 0.5, 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs[0] != 2 || qs[1] != 3 || !almostEqual(qs[2], 4.8, 1e-12) {
+		t.Fatalf("Quantiles = %v", qs)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Fatal("Clamp wrong")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7.5 {
+			v, err := Percentile(xs, p)
+			if err != nil {
+				return false
+			}
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		lo, _ := Percentile(xs, 0)
+		hi, _ := Percentile(xs, 100)
+		return lo == mn && hi == mx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean lies between min and max.
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		m := MustMean(xs)
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		return m >= mn-1e-9 && m <= mx+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: variance is non-negative and zero for constant slices.
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		v, err := Variance(xs)
+		return err == nil && v >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := Variance([]float64{4, 4, 4, 4})
+	if err != nil || v != 0 {
+		t.Fatalf("Variance(const) = %v, %v", v, err)
+	}
+}
+
+// sanitize maps arbitrary quick-generated floats into a finite, bounded set
+// so properties are not vacuously broken by NaN/Inf inputs.
+func sanitize(raw []float64) []float64 {
+	out := make([]float64, 0, len(raw))
+	for _, x := range raw {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		out = append(out, Clamp(x, -1e9, 1e9))
+	}
+	return out
+}
+
+// Cross-check interpolated percentile against a brute-force empirical CDF on
+// random data: PercentileSorted(sorted, p) must lie between the floor/ceil
+// order statistics.
+func TestPercentileSortedWithinOrderStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		sort.Float64s(xs)
+		for p := 0.0; p <= 100; p += 12.5 {
+			v, err := PercentileSorted(xs, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := p / 100 * float64(n-1)
+			lo := xs[int(math.Floor(r))]
+			hi := xs[int(math.Ceil(r))]
+			if v < lo-1e-9 || v > hi+1e-9 {
+				t.Fatalf("p=%v: %v not in [%v,%v]", p, v, lo, hi)
+			}
+		}
+	}
+}

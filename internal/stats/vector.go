@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// L2Distance returns the Euclidean distance between equal-length vectors a
+// and b. Fingerprint similarity in §3.5 is exactly this distance on crisis
+// fingerprint summaries.
+func L2Distance(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: vector length mismatch %d != %d", len(a), len(b))
+	}
+	ss := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss), nil
+}
+
+// L1Distance returns the Manhattan distance between a and b.
+func L1Distance(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: vector length mismatch %d != %d", len(a), len(b))
+	}
+	s := 0.0
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s, nil
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: vector length mismatch %d != %d", len(a), len(b))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s, nil
+}
+
+// Norm2 returns the Euclidean norm of a.
+func Norm2(a []float64) float64 {
+	ss := 0.0
+	for _, x := range a {
+		ss += x * x
+	}
+	return math.Sqrt(ss)
+}
+
+// Scale multiplies every element of a by k in place and returns a.
+func Scale(a []float64, k float64) []float64 {
+	for i := range a {
+		a[i] *= k
+	}
+	return a
+}
+
+// AddInto adds b into a element-wise (a += b) and returns a.
+func AddInto(a, b []float64) ([]float64, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("stats: vector length mismatch %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		a[i] += b[i]
+	}
+	return a, nil
+}
+
+// MeanVector averages a set of equal-length vectors element-wise. This is
+// how consecutive epoch fingerprints are combined into a crisis fingerprint
+// (§3.5): each element becomes columnSum/epochCount.
+func MeanVector(vs [][]float64) ([]float64, error) {
+	if len(vs) == 0 {
+		return nil, ErrEmpty
+	}
+	n := len(vs[0])
+	out := make([]float64, n)
+	for _, v := range vs {
+		if len(v) != n {
+			return nil, fmt.Errorf("stats: vector length mismatch %d != %d", len(v), n)
+		}
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	k := 1 / float64(len(vs))
+	for i := range out {
+		out[i] *= k
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+// Package tracefile persists simulated datacenter traces to disk, so the
+// expensive simulation runs once and every tool (cmd/experiments,
+// cmd/fingerprint, notebooks built on the library) replays the same data.
+//
+// The format is a small header (magic + version) followed by a gzip-
+// compressed gob stream. It is an internal interchange format, not a
+// public contract: the version is bumped whenever the trace layout
+// changes, and loading a mismatched version fails loudly rather than
+// misreading data.
+package tracefile
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"dcfp/internal/dcsim"
+)
+
+// magic identifies dcfp trace files.
+var magic = [8]byte{'D', 'C', 'F', 'P', 'T', 'R', 'C', '1'}
+
+// version is the trace layout version.
+const version uint32 = 1
+
+// Save writes the trace to path atomically (via a temporary file renamed
+// into place).
+func Save(path string, tr *dcsim.Trace) (err error) {
+	if tr == nil {
+		return fmt.Errorf("tracefile: nil trace")
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if _, err = bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err = binary.Write(bw, binary.LittleEndian, version); err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(bw)
+	if err = gob.NewEncoder(zw).Encode(tr); err != nil {
+		return fmt.Errorf("tracefile: encoding trace: %w", err)
+	}
+	if err = zw.Close(); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a trace written by Save.
+func Load(path string) (*dcsim.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var gotMagic [8]byte
+	if _, err := br.Read(gotMagic[:]); err != nil {
+		return nil, fmt.Errorf("tracefile: reading header: %w", err)
+	}
+	if gotMagic != magic {
+		return nil, fmt.Errorf("tracefile: %s is not a dcfp trace file", path)
+	}
+	var gotVersion uint32
+	if err := binary.Read(br, binary.LittleEndian, &gotVersion); err != nil {
+		return nil, fmt.Errorf("tracefile: reading version: %w", err)
+	}
+	if gotVersion != version {
+		return nil, fmt.Errorf("tracefile: version %d, this build reads %d", gotVersion, version)
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: opening compressed stream: %w", err)
+	}
+	defer zr.Close()
+	var tr dcsim.Trace
+	if err := gob.NewDecoder(zr).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("tracefile: decoding trace: %w", err)
+	}
+	return &tr, nil
+}

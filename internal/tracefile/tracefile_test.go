@@ -1,0 +1,151 @@
+package tracefile
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"dcfp/internal/dcsim"
+	"dcfp/internal/metrics"
+)
+
+var (
+	tinyOnce sync.Once
+	tinyTr   *dcsim.Trace
+	tinyErr  error
+)
+
+func tinyTrace(t *testing.T) *dcsim.Trace {
+	t.Helper()
+	tinyOnce.Do(func() {
+		cfg := dcsim.SmallConfig(7)
+		cfg.BackgroundDays = 5
+		cfg.UnlabeledDays = 12
+		cfg.LabeledDays = 45
+		cfg.UnlabeledCrises = 2
+		tinyTr, tinyErr = dcsim.Simulate(cfg)
+	})
+	if tinyErr != nil {
+		t.Fatal(tinyErr)
+	}
+	return tinyTr
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := tinyTrace(t)
+	path := filepath.Join(t.TempDir(), "trace.dcfp")
+	if err := Save(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.NumEpochs() != tr.NumEpochs() {
+		t.Fatalf("epochs %d != %d", got.NumEpochs(), tr.NumEpochs())
+	}
+	if got.Catalog.Len() != tr.Catalog.Len() || got.Catalog.Name(3) != tr.Catalog.Name(3) {
+		t.Fatal("catalog mismatch")
+	}
+	if got.Config.Machines != tr.Config.Machines || got.Config.Seed != tr.Config.Seed {
+		t.Fatalf("config mismatch: %+v", got.Config)
+	}
+	if got.Config.Workload != tr.Config.Workload {
+		t.Fatalf("workload config mismatch: %+v", got.Config.Workload)
+	}
+	// Track contents identical at sampled points.
+	for e := metrics.Epoch(0); int(e) < tr.NumEpochs(); e += 131 {
+		a, _ := tr.Track.EpochRow(e)
+		b, _ := got.Track.EpochRow(e)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("track differs at epoch %d col %d", e, i)
+			}
+		}
+	}
+	// Crisis bookkeeping survives.
+	if len(got.Instances) != len(tr.Instances) || len(got.Episodes) != len(tr.Episodes) {
+		t.Fatal("crises mismatch")
+	}
+	if len(got.LabeledCrises()) != len(tr.LabeledCrises()) {
+		t.Fatal("labeled crises mismatch")
+	}
+	// FS data survives: feature-selection samples for the first crisis.
+	dc := tr.LabeledCrises()[0]
+	xa, ya, err := tr.FSSamples(dc.Episode, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xb, yb, err := got.FSSamples(dc.Episode, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xa) != len(xb) || len(ya) != len(yb) {
+		t.Fatalf("FS sample counts differ: %d/%d vs %d/%d", len(xa), len(ya), len(xb), len(yb))
+	}
+	for i := range xa {
+		for j := range xa[i] {
+			if xa[i][j] != xb[i][j] {
+				t.Fatalf("FS sample differs at %d,%d", i, j)
+			}
+		}
+	}
+	// SLA status survives.
+	if got.Status[100].Machines != tr.Status[100].Machines {
+		t.Fatal("status mismatch")
+	}
+}
+
+func TestSaveValidation(t *testing.T) {
+	if err := Save(filepath.Join(t.TempDir(), "x"), nil); err == nil {
+		t.Fatal("want nil-trace error")
+	}
+	if err := Save("/nonexistent-dir/deep/x", tinyTrace(t)); err == nil {
+		t.Fatal("want create error")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("want missing-file error")
+	}
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte("not a trace at all........."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("want magic error")
+	}
+	// Right magic, wrong version.
+	hdr := append([]byte("DCFPTRC1"), 0xFF, 0xFF, 0xFF, 0xFF)
+	vbad := filepath.Join(dir, "vbad")
+	if err := os.WriteFile(vbad, hdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(vbad); err == nil {
+		t.Fatal("want version error")
+	}
+	// Right header, corrupt payload.
+	cbad := filepath.Join(dir, "cbad")
+	good := append([]byte("DCFPTRC1"), 1, 0, 0, 0)
+	if err := os.WriteFile(cbad, append(good, []byte("garbage")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(cbad); err == nil {
+		t.Fatal("want payload error")
+	}
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.dcfp")
+	if err := Save(path, tinyTrace(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temporary file left behind")
+	}
+}

@@ -1,0 +1,134 @@
+// Package workload synthesizes the request-load intensity driving the
+// simulated datacenter.
+//
+// The paper's application serves several thousand enterprise customers and
+// processes a few billion transactions per day, with the usual diurnal and
+// weekly rhythms of a user-facing service. Crises of type A ("overloaded
+// front-end") and J ("workload spike") are load-driven, so the substrate
+// needs a realistic, autocorrelated intensity signal rather than white
+// noise.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dcfp/internal/metrics"
+)
+
+// Config shapes the intensity signal. Intensity is normalized: 1.0 is the
+// long-run average load.
+type Config struct {
+	// Base is the mean intensity (usually 1.0).
+	Base float64
+	// DiurnalAmplitude scales the daily sine cycle (0..1).
+	DiurnalAmplitude float64
+	// WeeklyAmplitude is the fractional weekend dip (0..1).
+	WeeklyAmplitude float64
+	// NoiseStd is the standard deviation of the AR(1) noise term.
+	NoiseStd float64
+	// AR is the lag-1 autocorrelation of the noise in [0, 1).
+	AR float64
+}
+
+// DefaultConfig returns a plausible enterprise-application load shape:
+// daytime peak, weekend dip, mildly autocorrelated noise. The amplitudes
+// are moderate: the studied application is a 24x7 enterprise service with
+// worldwide customers, so load never collapses outside business hours.
+func DefaultConfig() Config {
+	return Config{
+		Base:             1.0,
+		DiurnalAmplitude: 0.03,
+		WeeklyAmplitude:  0.02,
+		NoiseStd:         0.04,
+		AR:               0.8,
+	}
+}
+
+// Spike is a transient load surge: intensity is multiplied by Magnitude for
+// Duration epochs starting at Start. Crisis type J injects one of these.
+type Spike struct {
+	Start     metrics.Epoch
+	Duration  int
+	Magnitude float64
+}
+
+// Generator produces the intensity sequence epoch by epoch.
+// It is deterministic for a fixed seed and call sequence.
+type Generator struct {
+	cfg    Config
+	spikes []Spike
+	rng    *rand.Rand
+	state  float64 // AR(1) noise state
+	next   metrics.Epoch
+}
+
+// New returns a generator for cfg seeded deterministically.
+func New(cfg Config, seed int64) (*Generator, error) {
+	if cfg.Base <= 0 {
+		return nil, fmt.Errorf("workload: base %v must be positive", cfg.Base)
+	}
+	if cfg.AR < 0 || cfg.AR >= 1 {
+		return nil, fmt.Errorf("workload: AR %v out of [0,1)", cfg.AR)
+	}
+	if cfg.NoiseStd < 0 {
+		return nil, fmt.Errorf("workload: negative noise std %v", cfg.NoiseStd)
+	}
+	if cfg.DiurnalAmplitude < 0 || cfg.DiurnalAmplitude > 1 || cfg.WeeklyAmplitude < 0 || cfg.WeeklyAmplitude > 1 {
+		return nil, fmt.Errorf("workload: amplitudes must be in [0,1]")
+	}
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// AddSpike schedules a load spike. Spikes may overlap; magnitudes multiply.
+func (g *Generator) AddSpike(s Spike) error {
+	if s.Duration <= 0 || s.Magnitude <= 0 {
+		return fmt.Errorf("workload: spike needs positive duration and magnitude, got %+v", s)
+	}
+	g.spikes = append(g.spikes, s)
+	return nil
+}
+
+// Next returns the intensity of the next epoch in sequence.
+func (g *Generator) Next() (metrics.Epoch, float64) {
+	e := g.next
+	g.next++
+
+	// Diurnal cycle: peak mid-day (epoch 48 of 96), trough at night.
+	dayFrac := float64(int(e)%metrics.EpochsPerDay) / float64(metrics.EpochsPerDay)
+	diurnal := 1 + g.cfg.DiurnalAmplitude*math.Sin(2*math.Pi*(dayFrac-0.25))
+
+	// Weekly cycle: days 5 and 6 of each 7-day week dip.
+	day := int(e) / metrics.EpochsPerDay % 7
+	weekly := 1.0
+	if day >= 5 {
+		weekly = 1 - g.cfg.WeeklyAmplitude
+	}
+
+	// AR(1) noise.
+	g.state = g.cfg.AR*g.state + g.rng.NormFloat64()*g.cfg.NoiseStd
+
+	// Spikes.
+	spike := 1.0
+	for _, s := range g.spikes {
+		if e >= s.Start && int(e-s.Start) < s.Duration {
+			spike *= s.Magnitude
+		}
+	}
+
+	v := g.cfg.Base * diurnal * weekly * (1 + g.state) * spike
+	if v < 0.05 {
+		v = 0.05
+	}
+	return e, v
+}
+
+// Series generates the next n intensities.
+func (g *Generator) Series(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		_, out[i] = g.Next()
+	}
+	return out
+}
