@@ -1,7 +1,12 @@
 package dcfp_test
 
 import (
+	"bytes"
+	"log/slog"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"dcfp"
@@ -161,6 +166,82 @@ func TestPublicAPIPrimitives(t *testing.T) {
 	store := dcfp.NewCrisisStore(true)
 	if store.Len() != 0 {
 		t.Fatal("fresh store not empty")
+	}
+}
+
+// TestPublicAPITelemetry drives the observability surface: registry and
+// event log attached to a monitor through the public config, the stats
+// snapshot, and the HTTP handler serving the rendered exposition.
+func TestPublicAPITelemetry(t *testing.T) {
+	cat, err := dcfp.NewCatalog([]string{"latency", "queue"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slaCfg := dcfp.SLAConfig{
+		KPIs:           []dcfp.KPI{{Name: "latency", Metric: 0, Threshold: 100}},
+		CrisisFraction: 0.10,
+	}
+	cfg := dcfp.DefaultMonitorConfig(cat, slaCfg)
+	cfg.MinEpochsForThresholds = 96
+	reg := dcfp.NewTelemetryRegistry()
+	var events bytes.Buffer
+	cfg.Telemetry = reg
+	cfg.Events = dcfp.NewEventLog(slog.New(slog.NewTextHandler(&events, nil)))
+	mon, err := dcfp.NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 120
+	for i := 0; i < n; i++ {
+		rows := [][]float64{{50, 10}, {51, 11}, {49, 9}, {50, 10}, {52, 12},
+			{48, 8}, {50, 10}, {51, 11}, {49, 9}, {50, 10}}
+		if _, err := mon.ObserveEpoch(rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var st dcfp.MonitorStats = mon.Stats()
+	if st.EpochsSeen != n || st.CrisisActive {
+		t.Fatalf("Stats = %+v", st)
+	}
+	var recs []dcfp.CrisisRecord = mon.Crises()
+	if len(recs) != 0 {
+		t.Fatalf("crisis records = %+v", recs)
+	}
+
+	h := dcfp.TelemetryHandler(reg, func() any { return mon.Stats() }, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), "dcfp_epochs_observed_total 120") {
+		t.Fatalf("exposition missing epoch counter:\n%.1000s", rr.Body.String())
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "\"epochs_seen\": 120") {
+		t.Fatalf("/healthz = %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+// TestPublicAPISimStream checks the continuous stream behind cmd/dcfpd.
+func TestPublicAPISimStream(t *testing.T) {
+	cfg := dcfp.DefaultSimStreamConfig(4)
+	cfg.Machines = 20
+	cfg.WarmupEpochs = 10
+	s, err := dcfp.NewSimStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Catalog().Len() == 0 {
+		t.Fatal("empty stream catalog")
+	}
+	rows, _, err := s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 || len(rows[0]) != s.Catalog().Len() {
+		t.Fatalf("rows shape %dx%d", len(rows), len(rows[0]))
 	}
 }
 

@@ -1,0 +1,238 @@
+// Command dcfpd is the long-running fingerprinting daemon: it drives the
+// online monitor against a continuously simulated datacenter (the §8 pilot
+// deployment in miniature) and serves observability endpoints:
+//
+//	/metrics       Prometheus text exposition of all dcfp_* series
+//	/healthz       JSON liveness + monitor snapshot
+//	/crises        JSON crisis records and recent identification advice
+//	/debug/pprof/  standard Go profiling endpoints
+//
+// An "operator" is simulated too: -resolve-after epochs after each crisis
+// ends, its ground-truth label is filed via ResolveCrisis, so identification
+// accuracy improves as the store fills — watch dcfp_advice_emitted_total
+// {verdict="known"} start moving once repeat crisis types arrive.
+//
+// Usage:
+//
+//	dcfpd [-addr :9137] [-machines 100] [-seed 42] [-interval 100ms]
+//	      [-mean-gap-days 2] [-resolve-after 96] [-threshold-days 2]
+//	      [-max-epochs 0] [-log text|json]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"dcfp/internal/crisis"
+	"dcfp/internal/dcsim"
+	"dcfp/internal/metrics"
+	"dcfp/internal/monitor"
+	"dcfp/internal/telemetry"
+)
+
+// adviceRingSize bounds the advice history kept for /crises.
+const adviceRingSize = 128
+
+// pendingResolve is a scheduled operator diagnosis.
+type pendingResolve struct {
+	due   metrics.Epoch
+	id    string // monitor crisis ID
+	label string // ground-truth label
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dcfpd: ")
+	var (
+		addr          = flag.String("addr", ":9137", "HTTP listen address for /metrics, /healthz, /crises, /debug/pprof")
+		machines      = flag.Int("machines", 100, "simulated machines")
+		seed          = flag.Int64("seed", 42, "simulation seed")
+		interval      = flag.Duration("interval", 100*time.Millisecond, "wall time per simulated epoch (0 = flat out)")
+		meanGapDays   = flag.Float64("mean-gap-days", 2, "mean days between injected crises")
+		resolveAfter  = flag.Int("resolve-after", metrics.EpochsPerDay, "epochs after a crisis ends until its ground-truth diagnosis is filed (0 = never)")
+		thresholdDays = flag.Int("threshold-days", 2, "days of history before hot/cold thresholds are established")
+		maxEpochs     = flag.Int("max-epochs", 0, "stop after this many epochs (0 = run until signalled)")
+		alpha         = flag.Float64("alpha", 0.05, "identification false-positive budget")
+		logFormat     = flag.String("log", "text", "event log format on stderr: text or json")
+	)
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		log.Fatalf("unknown -log format %q (want text or json)", *logFormat)
+	}
+	events := telemetry.NewEventLog(slog.New(handler))
+	reg := telemetry.NewRegistry()
+
+	scfg := dcsim.DefaultStreamConfig(*seed)
+	scfg.Machines = *machines
+	scfg.WarmupEpochs = *thresholdDays * metrics.EpochsPerDay
+	scfg.MeanGapEpochs = *meanGapDays * float64(metrics.EpochsPerDay)
+	scfg.Telemetry = reg
+	scfg.Events = events
+	stream, err := dcsim.NewStream(scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mcfg := monitor.DefaultConfig(stream.Catalog(), stream.SLA())
+	mcfg.Alpha = *alpha
+	mcfg.MinEpochsForThresholds = *thresholdDays * metrics.EpochsPerDay
+	mcfg.Telemetry = reg
+	mcfg.Events = events
+	mon, err := monitor.New(mcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The monitor is single-goroutine; the daemon wraps all access (the
+	// epoch loop and the HTTP snapshot functions) in one mutex.
+	d := &daemon{mon: mon, start: time.Now()}
+
+	h := telemetry.Handler(reg, d.health, d.crises)
+	srv, bound, err := telemetry.Serve(*addr, h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving http://%s/{metrics,healthz,crises,debug/pprof} — %d machines, %d metrics, epoch interval %v",
+		bound, *machines, stream.Catalog().Len(), *interval)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var tick *time.Ticker
+	if *interval > 0 {
+		tick = time.NewTicker(*interval)
+		defer tick.Stop()
+	}
+loop:
+	for n := 0; *maxEpochs == 0 || n < *maxEpochs; n++ {
+		rows, active, err := stream.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := d.step(rows, active, *resolveAfter); err != nil {
+			log.Fatal(err)
+		}
+		if tick != nil {
+			select {
+			case <-ctx.Done():
+				break loop
+			case <-tick.C:
+			}
+		} else if ctx.Err() != nil {
+			break
+		}
+	}
+
+	shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shCtx)
+	st := d.stats()
+	log.Printf("done: %d epochs, %d crises stored (%d labeled)",
+		st.EpochsSeen, st.CrisesStored, st.CrisesLabeled)
+}
+
+// daemon owns the monitor and the bookkeeping the HTTP endpoints read.
+type daemon struct {
+	mu      sync.Mutex
+	mon     *monitor.Monitor
+	start   time.Time
+	advice  []monitor.Advice
+	truth   map[string]string // monitor crisis ID -> ground-truth label
+	pending []pendingResolve
+	lastID  string // monitor ID of the most recent active crisis
+	wasIn   bool
+}
+
+// step feeds one epoch into the monitor and advances the simulated
+// operator: ground-truth bookkeeping and scheduled resolutions.
+func (d *daemon) step(rows [][]float64, active *crisis.Instance, resolveAfter int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rep, err := d.mon.ObserveEpoch(rows)
+	if err != nil {
+		return err
+	}
+	if rep.Advice != nil {
+		if len(d.advice) == adviceRingSize {
+			d.advice = d.advice[1:]
+		}
+		d.advice = append(d.advice, *rep.Advice)
+	}
+	if rep.CrisisActive {
+		st := d.mon.Stats()
+		d.lastID = st.ActiveCrisisID
+		if active != nil {
+			if d.truth == nil {
+				d.truth = make(map[string]string)
+			}
+			// The detected crisis overlaps an injected instance;
+			// remember the diagnosis the operator will file.
+			d.truth[st.ActiveCrisisID] = active.Type.String()
+		}
+	}
+	if d.wasIn && !rep.CrisisActive && resolveAfter > 0 {
+		if label, ok := d.truth[d.lastID]; ok {
+			d.pending = append(d.pending, pendingResolve{
+				due:   rep.Epoch + metrics.Epoch(resolveAfter),
+				id:    d.lastID,
+				label: label,
+			})
+		}
+	}
+	d.wasIn = rep.CrisisActive
+	kept := d.pending[:0]
+	for _, p := range d.pending {
+		if p.due > rep.Epoch {
+			kept = append(kept, p)
+			continue
+		}
+		if err := d.mon.ResolveCrisis(p.id, p.label); err != nil {
+			return fmt.Errorf("resolving %s: %w", p.id, err)
+		}
+	}
+	d.pending = kept
+	return nil
+}
+
+func (d *daemon) stats() monitor.Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.mon.Stats()
+}
+
+// health is the /healthz payload.
+func (d *daemon) health() any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return struct {
+		Status        string        `json:"status"`
+		UptimeSeconds float64       `json:"uptime_seconds"`
+		Monitor       monitor.Stats `json:"monitor"`
+	}{"ok", time.Since(d.start).Seconds(), d.mon.Stats()}
+}
+
+// crises is the /crises payload.
+func (d *daemon) crises() any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	advice := append([]monitor.Advice(nil), d.advice...)
+	return struct {
+		Crises []monitor.CrisisRecord `json:"crises"`
+		Advice []monitor.Advice       `json:"recent_advice"`
+	}{d.mon.Crises(), advice}
+}

@@ -5,18 +5,26 @@
 // Usage:
 //
 //	dcsim [-scale small|full] [-seed N] [-crises] [-metrics]
+//	      [-progress] [-telemetry-addr :9137]
+//
+// -progress streams one structured log line per simulated day to stderr;
+// -telemetry-addr serves /metrics (dcfp_sim_* series) and /debug/pprof for
+// the duration of the run — useful for profiling full-scale simulations.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"time"
 
 	"dcfp/internal/dcsim"
 	"dcfp/internal/metrics"
 	"dcfp/internal/report"
+	"dcfp/internal/telemetry"
 	"dcfp/internal/tracefile"
 )
 
@@ -30,8 +38,25 @@ func main() {
 		showMetrics = flag.Bool("metrics", false, "print a quantile snapshot per metric")
 		load        = flag.String("load", "", "load a saved trace instead of simulating")
 		save        = flag.String("save", "", "save the simulated trace to this path")
+		progress    = flag.Bool("progress", false, "log one line per simulated day to stderr")
+		telAddr     = flag.String("telemetry-addr", "", "serve /metrics and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *telAddr != "" {
+		reg = telemetry.NewRegistry()
+		srv, bound, err := telemetry.Serve(*telAddr, telemetry.Handler(reg, nil, nil))
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("telemetry on http://%s/{metrics,debug/pprof}", bound)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
+	}
 
 	start := time.Now()
 	var tr *dcsim.Trace
@@ -47,6 +72,10 @@ func main() {
 			cfg = dcsim.DefaultConfig(*seed)
 		default:
 			log.Fatalf("unknown scale %q", *scale)
+		}
+		cfg.Telemetry = reg
+		if *progress {
+			cfg.Events = telemetry.NewEventLog(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 		}
 		tr, err = dcsim.Simulate(cfg)
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +26,7 @@ import (
 	"dcfp/internal/dcsim"
 	"dcfp/internal/experiment"
 	"dcfp/internal/report"
+	"dcfp/internal/telemetry"
 	"dcfp/internal/tracefile"
 )
 
@@ -37,8 +39,24 @@ func main() {
 		run   = flag.String("run", "all", "which experiment to run (comma-separated)")
 		load  = flag.String("load", "", "load a saved trace instead of simulating")
 		save  = flag.String("save", "", "save the simulated trace to this path")
+		tel   = flag.String("telemetry-addr", "", "serve /metrics and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *tel != "" {
+		reg = telemetry.NewRegistry()
+		srv, bound, err := telemetry.Serve(*tel, telemetry.Handler(reg, nil, nil))
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("telemetry on http://%s/{metrics,debug/pprof}", bound)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
+	}
 
 	start := time.Now()
 	var tr *dcsim.Trace
@@ -56,6 +74,7 @@ func main() {
 		default:
 			log.Fatalf("unknown scale %q", *scale)
 		}
+		cfg.Telemetry = reg
 		log.Printf("simulating trace (%s scale, seed %d)...", *scale, *seed)
 		tr, err = dcsim.Simulate(cfg)
 	}

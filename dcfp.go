@@ -36,6 +36,9 @@
 package dcfp
 
 import (
+	"log/slog"
+	"net/http"
+
 	"dcfp/internal/core"
 	"dcfp/internal/crisis"
 	"dcfp/internal/dcsim"
@@ -46,6 +49,7 @@ import (
 	"dcfp/internal/monitor"
 	"dcfp/internal/quantile"
 	"dcfp/internal/sla"
+	"dcfp/internal/telemetry"
 	"dcfp/internal/tracefile"
 )
 
@@ -194,6 +198,36 @@ func DefaultMonitorConfig(cat *Catalog, slaCfg SLAConfig) MonitorConfig {
 // NewMonitor builds a Monitor.
 func NewMonitor(cfg MonitorConfig) (*Monitor, error) { return monitor.New(cfg) }
 
+// MonitorStats is a point-in-time snapshot of a Monitor's operational state
+// (epochs seen, store contents, active crisis, threshold age).
+type MonitorStats = monitor.Stats
+
+// CrisisRecord summarizes one crisis the Monitor has seen.
+type CrisisRecord = monitor.CrisisRecord
+
+// TelemetryRegistry collects counters, gauges and latency histograms from
+// the monitor and the simulator; attach one via MonitorConfig.Telemetry /
+// SimConfig.Telemetry and render it with WritePrometheus or serve it with
+// TelemetryHandler. A nil registry disables instrumentation at ~zero cost.
+type TelemetryRegistry = telemetry.Registry
+
+// NewTelemetryRegistry returns an empty metrics registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// EventLog is the structured crisis-lifecycle event stream; attach one via
+// MonitorConfig.Events / SimConfig.Events. A nil event log is disabled.
+type EventLog = telemetry.EventLog
+
+// NewEventLog wraps a slog logger into an EventLog (nil logger = disabled).
+func NewEventLog(l *slog.Logger) *EventLog { return telemetry.NewEventLog(l) }
+
+// TelemetryHandler serves /metrics (Prometheus text exposition), /healthz,
+// /crises and /debug/pprof. The health and crises functions are optional
+// JSON payload providers (nil = default health, 404 crises).
+func TelemetryHandler(reg *TelemetryRegistry, health func() any, crises func() any) http.Handler {
+	return telemetry.Handler(reg, health, crises)
+}
+
 // IdentificationEpochs is how many epochs identification runs per crisis.
 const IdentificationEpochs = ident.IdentificationEpochs
 
@@ -215,6 +249,19 @@ func SmallSimConfig(seed int64) SimConfig { return dcsim.SmallConfig(seed) }
 // Simulate generates a complete synthetic datacenter trace with injected
 // crises per the paper's Table 1.
 func Simulate(cfg SimConfig) (*Trace, error) { return dcsim.Simulate(cfg) }
+
+// SimStreamConfig sizes the open-ended simulated epoch stream that backs
+// the dcfpd daemon: no fixed horizon, crises arrive with exponential gaps.
+type SimStreamConfig = dcsim.StreamConfig
+
+// SimStream generates datacenter epochs one at a time, forever.
+type SimStream = dcsim.Stream
+
+// DefaultSimStreamConfig returns a daemon-scale stream configuration.
+func DefaultSimStreamConfig(seed int64) SimStreamConfig { return dcsim.DefaultStreamConfig(seed) }
+
+// NewSimStream builds a continuous epoch stream.
+func NewSimStream(cfg SimStreamConfig) (*SimStream, error) { return dcsim.NewStream(cfg) }
 
 // StandardCatalog returns the simulator's ~100-metric catalog.
 func StandardCatalog() *Catalog { return dcsim.StandardCatalog() }

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"dcfp/internal/crisis"
 	"dcfp/internal/metrics"
 	"dcfp/internal/quantile"
 	"dcfp/internal/sla"
+	"dcfp/internal/telemetry"
 	"dcfp/internal/workload"
 )
 
@@ -42,6 +44,13 @@ type Config struct {
 	// NewEstimator builds the per-metric cross-machine quantile
 	// estimator. Nil means exact.
 	NewEstimator func() quantile.Estimator
+	// Telemetry optionally receives simulator metrics: epoch-generation
+	// timing and injected-crisis counters. Runtime-only; not persisted
+	// with saved traces.
+	Telemetry *telemetry.Registry
+	// Events optionally receives sim.day progress events (one per
+	// simulated day) and sim.crisis_injected schedule events.
+	Events *telemetry.EventLog
 }
 
 // DefaultConfig returns a paper-scale configuration: 100 machines, 120 days
@@ -131,11 +140,53 @@ func (t *Trace) FS(e metrics.Epoch) (*FSEpoch, bool) {
 	return f, ok
 }
 
+// simMetrics holds the simulator's pre-registered metric handles; nil when
+// no registry is attached (no clock reads happen then).
+type simMetrics struct {
+	epochGen     *telemetry.Histogram
+	epochs       *telemetry.Counter
+	crisisEpochs *telemetry.Counter
+	injected     map[crisis.Type]*telemetry.Counter
+}
+
+func newSimMetrics(r *telemetry.Registry) *simMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &simMetrics{
+		epochGen: r.Histogram("dcfp_sim_epoch_gen_seconds",
+			"Wall time to generate one simulated epoch (rows, crisis effects, aggregation, SLA).",
+			telemetry.TimeBuckets()),
+		epochs: r.Counter("dcfp_sim_epochs_total",
+			"Simulated epochs generated."),
+		crisisEpochs: r.Counter("dcfp_sim_crisis_epochs_total",
+			"Simulated epochs whose SLA state was in crisis."),
+		injected: make(map[crisis.Type]*telemetry.Counter, crisis.NumTypes),
+	}
+	for t := crisis.Type(0); int(t) < crisis.NumTypes; t++ {
+		m.injected[t] = r.Counter("dcfp_sim_crises_injected_total",
+			"Ground-truth crisis instances injected, by Table 1 type.",
+			telemetry.Label{Key: "type", Value: t.String()})
+	}
+	return m
+}
+
+// recordSchedule feeds the final crisis schedule into counters and events.
+func recordSchedule(tel *simMetrics, events *telemetry.EventLog, instances []crisis.Instance) {
+	for _, in := range instances {
+		if tel != nil {
+			tel.injected[in.Type].Inc()
+		}
+		events.CrisisInjected(in.ID, in.Type.String(), int64(in.Start), in.Duration)
+	}
+}
+
 // Simulate generates a complete trace under cfg.
 func Simulate(cfg Config) (*Trace, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	tel := newSimMetrics(cfg.Telemetry)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	cat := StandardCatalog()
@@ -174,6 +225,7 @@ func Simulate(cfg Config) (*Trace, error) {
 		return nil, fmt.Errorf("dcsim: scheduling labeled crises: %w", err)
 	}
 	instances = append(instances, labeled...)
+	recordSchedule(tel, cfg.Events, instances)
 
 	// Workload: attach a genuine load spike to every type-J crisis, so a
 	// workload spike propagates through every load-coupled metric.
@@ -273,7 +325,13 @@ func Simulate(cfg Config) (*Trace, error) {
 		rows[m] = make([]float64, len(specs))
 	}
 
+	crisisEpochs := 0 // running count for telemetry/progress
+	injIdx := 0       // instances with Start <= e, for progress events
 	for e := metrics.Epoch(0); int(e) < numEpochs; e++ {
+		var t0 time.Time
+		if tel != nil {
+			t0 = time.Now()
+		}
 		_, intensity := wl.Next()
 
 		// Advance shared drift.
@@ -359,6 +417,23 @@ func Simulate(cfg Config) (*Trace, error) {
 				fse.Violating[i] = slaCfg.MachineViolates(rows[m])
 			}
 			tr.fs[e] = fse
+		}
+
+		if status.InCrisis {
+			crisisEpochs++
+			if tel != nil {
+				tel.crisisEpochs.Inc()
+			}
+		}
+		if tel != nil {
+			tel.epochs.Inc()
+			tel.epochGen.ObserveSince(t0)
+		}
+		if cfg.Events.Enabled() && (int(e)+1)%epd == 0 {
+			for injIdx < len(instances) && instances[injIdx].Start <= e {
+				injIdx++
+			}
+			cfg.Events.SimDay((int(e)+1)/epd, int64(e), crisisEpochs, injIdx)
 		}
 	}
 

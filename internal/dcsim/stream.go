@@ -1,0 +1,274 @@
+package dcsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dcfp/internal/crisis"
+	"dcfp/internal/metrics"
+	"dcfp/internal/sla"
+	"dcfp/internal/telemetry"
+	"dcfp/internal/workload"
+)
+
+// StreamConfig sizes the open-ended epoch stream behind cmd/dcfpd. Unlike
+// Config there is no fixed horizon: crises keep arriving with exponential
+// inter-arrival gaps for as long as the caller keeps asking for epochs.
+type StreamConfig struct {
+	// Machines is the number of servers.
+	Machines int
+	// Seed makes the stream reproducible.
+	Seed int64
+	// WarmupEpochs is a crisis-free prefix so the consumer's hot/cold
+	// threshold windows fill before the first fault lands.
+	WarmupEpochs int
+	// MeanGapEpochs is the mean of the exponential gap between the end of
+	// one injected crisis and the start of the next.
+	MeanGapEpochs float64
+	// MinDuration/MaxDuration bound per-instance fault length in epochs.
+	MinDuration, MaxDuration int
+	// Workload shapes the load signal.
+	Workload workload.Config
+	// Telemetry optionally receives the same dcfp_sim_* metrics Simulate
+	// emits. For a stream, dcfp_sim_crisis_epochs_total counts epochs with
+	// an injected fault active (ground truth), since SLA evaluation is the
+	// consumer's job.
+	Telemetry *telemetry.Registry
+	// Events optionally receives sim.day and sim.crisis_injected events.
+	Events *telemetry.EventLog
+}
+
+// DefaultStreamConfig returns a daemon-scale stream: paper-sized datacenter,
+// two days of warmup, and a fresh crisis every ~2 days on average.
+func DefaultStreamConfig(seed int64) StreamConfig {
+	return StreamConfig{
+		Machines:      100,
+		Seed:          seed,
+		WarmupEpochs:  2 * metrics.EpochsPerDay,
+		MeanGapEpochs: float64(2 * metrics.EpochsPerDay),
+		MinDuration:   8,
+		MaxDuration:   16,
+		Workload:      workload.DefaultConfig(),
+	}
+}
+
+func (c StreamConfig) validate() error {
+	if c.Machines < 10 {
+		return fmt.Errorf("dcsim: need at least 10 machines, got %d", c.Machines)
+	}
+	if c.WarmupEpochs < 0 {
+		return fmt.Errorf("dcsim: negative warmup %d", c.WarmupEpochs)
+	}
+	if c.MeanGapEpochs <= 0 {
+		return fmt.Errorf("dcsim: mean crisis gap %v must be positive", c.MeanGapEpochs)
+	}
+	if c.MinDuration < 1 || c.MaxDuration < c.MinDuration {
+		return fmt.Errorf("dcsim: bad duration bounds [%d,%d]", c.MinDuration, c.MaxDuration)
+	}
+	return nil
+}
+
+// streamChaosPad is how many epochs before a streamed crisis its side-effect
+// chaos begins (mirrors Simulate's FSPad window; the trailing pad is dropped
+// because the next instance is scheduled as soon as the previous one ends).
+const streamChaosPad = 8
+
+// Stream generates datacenter epochs one at a time, forever. It reuses the
+// machinery of Simulate — same catalog, SLAs, crisis profiles, workload and
+// noise model — but schedules crises on the fly instead of up front.
+//
+// A Stream is not safe for concurrent use; cmd/dcfpd drives it from a single
+// goroutine.
+type Stream struct {
+	cfg          StreamConfig
+	cat          *metrics.Catalog
+	sla          sla.Config
+	specs        []metricSpec
+	profiles     map[crisis.Type]compiledProfile
+	rng          *rand.Rand
+	wl           *workload.Generator
+	mf           [][]float64 // per-machine hardware spread
+	shared       []float64   // datacenter-wide AR(1) drift
+	rows         [][]float64 // reused output buffer
+	e            metrics.Epoch
+	next         *crisis.Instance // upcoming or currently active instance
+	chaos        []compiledEffect // side-effect chaos drawn for next
+	seq          int
+	tel          *simMetrics
+	crisisEpochs int // cumulative, for sim.day events
+	injected     int
+}
+
+// NewStream builds a stream; the first crisis lands after WarmupEpochs plus
+// one exponential gap.
+func NewStream(cfg StreamConfig) (*Stream, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cat := StandardCatalog()
+	slaCfg, err := StandardSLA(cat)
+	if err != nil {
+		return nil, err
+	}
+	profiles, err := compileProfiles(cat)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := workload.New(cfg.Workload, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{
+		cfg:      cfg,
+		cat:      cat,
+		sla:      slaCfg,
+		specs:    allSpecs(),
+		profiles: profiles,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		wl:       wl,
+		tel:      newSimMetrics(cfg.Telemetry),
+	}
+	s.mf = make([][]float64, cfg.Machines)
+	for m := range s.mf {
+		row := make([]float64, len(s.specs))
+		for j, sp := range s.specs {
+			f := 1 + s.rng.NormFloat64()*sp.machineSpread
+			if f < 0.5 {
+				f = 0.5
+			}
+			row[j] = f
+		}
+		s.mf[m] = row
+	}
+	s.shared = make([]float64, len(s.specs))
+	s.rows = make([][]float64, cfg.Machines)
+	for m := range s.rows {
+		s.rows[m] = make([]float64, len(s.specs))
+	}
+	if err := s.schedule(metrics.Epoch(cfg.WarmupEpochs)); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Catalog returns the metric catalog the stream emits rows under.
+func (s *Stream) Catalog() *metrics.Catalog { return s.cat }
+
+// SLA returns the standard SLA configuration for the catalog.
+func (s *Stream) SLA() sla.Config { return s.sla }
+
+// Epoch returns the index the next call to Next will generate.
+func (s *Stream) Epoch() metrics.Epoch { return s.e }
+
+// Upcoming returns the next scheduled (or currently active) crisis instance.
+func (s *Stream) Upcoming() crisis.Instance { return *s.next }
+
+// schedule places the next crisis instance no earlier than notBefore, with
+// an exponential gap, and draws its chaos side effects.
+func (s *Stream) schedule(notBefore metrics.Epoch) error {
+	gap := metrics.Epoch(1 + int(s.rng.ExpFloat64()*s.cfg.MeanGapEpochs))
+	start := notBefore + gap
+	ty := crisis.UnlabeledTypes(1, s.rng)[0]
+	win := crisis.ScheduleConfig{
+		PeriodStart:   start,
+		PeriodEnd:     start + metrics.Epoch(s.cfg.MaxDuration),
+		MinSeparation: 0,
+		MinDuration:   s.cfg.MinDuration,
+		MaxDuration:   s.cfg.MaxDuration,
+	}
+	ins, err := crisis.Schedule([]crisis.Type{ty}, win, true, "S", s.rng)
+	if err != nil {
+		return fmt.Errorf("dcsim: scheduling streamed crisis: %w", err)
+	}
+	s.seq++
+	in := ins[0]
+	in.ID = fmt.Sprintf("S%03d", s.seq)
+	if in.Type == crisis.TypeJ {
+		if err := s.wl.AddSpike(workload.Spike{Start: in.Start, Duration: in.Duration, Magnitude: 1.6}); err != nil {
+			return err
+		}
+	}
+	s.chaos = s.chaos[:0]
+	fillerStart := s.cat.Len() - NumFillerMetrics
+	for m := fillerStart; m < s.cat.Len(); m++ {
+		if s.rng.Float64() < 0.25 {
+			f := 2.2
+			if s.rng.Float64() < 0.5 {
+				f = 1 / f
+			}
+			s.chaos = append(s.chaos, compiledEffect{metric: m, factor: f})
+		}
+	}
+	s.next = &in
+	s.injected++
+	recordSchedule(s.tel, s.cfg.Events, []crisis.Instance{in})
+	return nil
+}
+
+// Next generates one epoch of per-machine rows and returns them together
+// with the injected crisis instance active at that epoch (nil outside
+// crises). The returned slice is reused on the following call — consumers
+// that retain rows must copy them (monitor.ObserveEpoch already does).
+func (s *Stream) Next() ([][]float64, *crisis.Instance, error) {
+	var t0 time.Time
+	if s.tel != nil {
+		t0 = time.Now()
+	}
+	e := s.e
+	s.e++
+	_, intensity := s.wl.Next()
+
+	for j, sp := range s.specs {
+		s.shared[j] = sp.sharedAR*s.shared[j] + s.rng.NormFloat64()*sp.sharedStd
+	}
+
+	if e > s.next.End() {
+		if err := s.schedule(e); err != nil {
+			return nil, nil, err
+		}
+	}
+	var active *crisis.Instance
+	if e >= s.next.Start && e <= s.next.End() {
+		active = s.next
+	}
+
+	for m := 0; m < s.cfg.Machines; m++ {
+		row := s.rows[m]
+		for j, sp := range s.specs {
+			v := sp.base * math.Pow(intensity, sp.loadExp) * s.mf[m][j] *
+				(1 + s.shared[j]) * (1 + s.rng.NormFloat64()*sp.noiseStd)
+			if v < 0 {
+				v = 0
+			}
+			row[j] = v
+		}
+	}
+	if active != nil {
+		applyCrisis(s.rows, active, s.profiles[active.Type], e, s.cfg.Machines)
+	}
+	if e >= s.next.Start-streamChaosPad && e <= s.next.End() {
+		for _, eff := range s.chaos {
+			f := math.Pow(eff.factor, s.next.Severity)
+			for m := 0; m < s.cfg.Machines; m++ {
+				s.rows[m][eff.metric] *= f
+			}
+		}
+	}
+
+	if active != nil {
+		s.crisisEpochs++
+		if s.tel != nil {
+			s.tel.crisisEpochs.Inc()
+		}
+	}
+	if s.tel != nil {
+		s.tel.epochs.Inc()
+		s.tel.epochGen.ObserveSince(t0)
+	}
+	if s.cfg.Events.Enabled() && (int(e)+1)%metrics.EpochsPerDay == 0 {
+		s.cfg.Events.SimDay((int(e)+1)/metrics.EpochsPerDay, int64(e), s.crisisEpochs, s.injected)
+	}
+	return s.rows, active, nil
+}

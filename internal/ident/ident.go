@@ -26,6 +26,22 @@ const Unknown = "x"
 // attempted, starting at crisis detection (§4.3: five).
 const IdentificationEpochs = 5
 
+// Verdict values classifying an emitted label for telemetry and event
+// streams: "known" when a concrete past-crisis label was emitted, "unknown"
+// for the don't-know label x (or no label at all).
+const (
+	VerdictKnown   = "known"
+	VerdictUnknown = "unknown"
+)
+
+// Verdict classifies an emitted identification label.
+func Verdict(label string) string {
+	if label == "" || label == Unknown {
+		return VerdictUnknown
+	}
+	return VerdictKnown
+}
+
 // Observation is the nearest-past-crisis match at one identification epoch.
 type Observation struct {
 	// Label of the nearest past crisis ("" when there are none).

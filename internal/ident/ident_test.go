@@ -153,3 +153,17 @@ func TestIdentificationEpochsConstant(t *testing.T) {
 		t.Fatalf("IdentificationEpochs = %d", IdentificationEpochs)
 	}
 }
+
+func TestVerdict(t *testing.T) {
+	cases := []struct{ label, want string }{
+		{"", VerdictUnknown},
+		{Unknown, VerdictUnknown},
+		{"db-overload", VerdictKnown},
+		{"B", VerdictKnown},
+	}
+	for _, c := range cases {
+		if got := Verdict(c.label); got != c.want {
+			t.Fatalf("Verdict(%q) = %q, want %q", c.label, got, c.want)
+		}
+	}
+}

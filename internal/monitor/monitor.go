@@ -18,12 +18,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"dcfp/internal/core"
 	"dcfp/internal/ident"
 	"dcfp/internal/metrics"
 	"dcfp/internal/quantile"
 	"dcfp/internal/sla"
+	"dcfp/internal/telemetry"
 )
 
 // Config assembles a Monitor.
@@ -56,6 +58,14 @@ type Config struct {
 	// quantile estimator (nil = exact; use a GK sketch for very large
 	// installations).
 	NewEstimator func() quantile.Estimator
+	// Telemetry optionally receives the monitor's operational metrics:
+	// per-stage latency histograms on the ObserveEpoch hot path and
+	// decision counters/gauges (see the README's metric reference). Nil
+	// disables instrumentation at ~zero cost — no clock reads happen.
+	Telemetry *telemetry.Registry
+	// Events optionally receives the structured crisis-lifecycle event
+	// stream (detected → advice emitted → ended → resolved). Nil disables.
+	Events *telemetry.EventLog
 }
 
 // DefaultConfig returns the paper's online parameters for the given catalog
@@ -79,8 +89,13 @@ func DefaultConfig(cat *metrics.Catalog, slaCfg sla.Config) Config {
 type Advice struct {
 	// CrisisID is the monitor-assigned identifier of the active crisis.
 	CrisisID string
+	// Epoch is the absolute epoch index the advice was computed at, so
+	// advisory log lines correlate with the rest of the epoch stream.
+	Epoch metrics.Epoch
 	// IdentEpoch is the 0-based identification epoch (0..4).
 	IdentEpoch int
+	// Candidates is how many labeled past crises were compared against.
+	Candidates int
 	// Emitted is the advised label: a past crisis's label, or
 	// ident.Unknown when nothing matches below the threshold.
 	Emitted string
@@ -142,6 +157,81 @@ type Monitor struct {
 	calm        int // consecutive non-crisis epochs while active
 
 	epoch metrics.Epoch
+
+	// tel is nil when no telemetry registry is attached; every
+	// instrumentation site checks it before reading the clock.
+	tel    *monitorMetrics
+	events *telemetry.EventLog
+}
+
+// monitorMetrics holds the pre-registered metric handles of one Monitor so
+// the hot path never touches the registry's maps.
+type monitorMetrics struct {
+	observeEpoch *telemetry.Histogram
+	stages       map[string]*telemetry.Histogram
+
+	epochs         *telemetry.Counter
+	crisesDetected *telemetry.Counter
+	adviceKnown    *telemetry.Counter
+	adviceUnknown  *telemetry.Counter
+	crisesResolved *telemetry.Counter
+
+	storeSize       *telemetry.Gauge
+	crisesLabeled   *telemetry.Gauge
+	crisisActive    *telemetry.Gauge
+	thresholdAge    *telemetry.Gauge
+	identCandidates *telemetry.Gauge
+}
+
+// Stage label values of dcfp_monitor_stage_seconds, one per pipeline stage
+// of the paper's online loop.
+const (
+	stageQuantile   = "quantile"   // §3.2 cross-machine quantile aggregation
+	stageSLA        = "sla"        // §4.1 KPI SLA evaluation
+	stageThresholds = "thresholds" // §3.3 hot/cold threshold refresh
+	stageSelection  = "selection"  // §3.4 per-crisis metric selection
+	stageIdentify   = "identify"   // §3.5/§5.3 identification
+)
+
+func newMonitorMetrics(r *telemetry.Registry) *monitorMetrics {
+	if r == nil {
+		return nil
+	}
+	buckets := telemetry.TimeBuckets()
+	t := &monitorMetrics{
+		observeEpoch: r.Histogram("dcfp_observe_epoch_seconds",
+			"End-to-end latency of Monitor.ObserveEpoch.", buckets),
+		stages: make(map[string]*telemetry.Histogram),
+		epochs: r.Counter("dcfp_epochs_observed_total",
+			"Epochs fed into the monitor."),
+		crisesDetected: r.Counter("dcfp_crises_detected_total",
+			"Crisis episodes opened by the SLA rule."),
+		adviceKnown: r.Counter("dcfp_advice_emitted_total",
+			"Identification advice emitted, by verdict.",
+			telemetry.Label{Key: "verdict", Value: "known"}),
+		adviceUnknown: r.Counter("dcfp_advice_emitted_total",
+			"Identification advice emitted, by verdict.",
+			telemetry.Label{Key: "verdict", Value: "unknown"}),
+		crisesResolved: r.Counter("dcfp_crises_resolved_total",
+			"Operator diagnoses filed via ResolveCrisis."),
+		storeSize: r.Gauge("dcfp_crisis_store_size",
+			"Finalized crises held in the fingerprint store."),
+		crisesLabeled: r.Gauge("dcfp_crises_labeled",
+			"Stored crises carrying an operator label."),
+		crisisActive: r.Gauge("dcfp_crisis_active",
+			"1 while a crisis episode is open, else 0."),
+		thresholdAge: r.Gauge("dcfp_threshold_age_epochs",
+			"Epochs since the last hot/cold threshold refresh (-1 before the first)."),
+		identCandidates: r.Gauge("dcfp_ident_candidates",
+			"Labeled past crises compared in the latest identification."),
+	}
+	for _, s := range []string{stageQuantile, stageSLA, stageThresholds, stageSelection, stageIdentify} {
+		t.stages[s] = r.Histogram("dcfp_monitor_stage_seconds",
+			"Latency of one monitor pipeline stage.", buckets,
+			telemetry.Label{Key: "stage", Value: s})
+	}
+	t.thresholdAge.SetInt(-1)
+	return t
 }
 
 // New builds a Monitor.
@@ -184,6 +274,8 @@ func New(cfg Config) (*Monitor, error) {
 		rawRing:   make([][][]float64, cfg.RawPad),
 		violRing:  make([][]bool, cfg.RawPad),
 		activeIdx: -1,
+		tel:       newMonitorMetrics(cfg.Telemetry),
+		events:    cfg.Events,
 	}, nil
 }
 
@@ -203,7 +295,18 @@ func (m *Monitor) KnownCrises() (stored, labeled int) {
 
 // ObserveEpoch ingests one epoch of per-machine samples (samples[machine]
 // [metric]) and returns the epoch report.
+//
+// When a telemetry registry is attached, each pipeline stage (quantile
+// aggregation, SLA evaluation, threshold refresh, selection,
+// identification) is timed into dcfp_monitor_stage_seconds and the whole
+// call into dcfp_observe_epoch_seconds; with a nil registry no clocks are
+// read at all.
 func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
+	var t0, ts time.Time
+	if m.tel != nil {
+		t0 = time.Now()
+		ts = t0
+	}
 	if len(samples) == 0 {
 		return nil, errors.New("monitor: no machine samples")
 	}
@@ -222,10 +325,12 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 	if err := m.track.AppendEpoch(summary); err != nil {
 		return nil, err
 	}
+	ts = m.span(stageQuantile, ts)
 	status, err := m.cfg.SLA.Evaluate(samples)
 	if err != nil {
 		return nil, err
 	}
+	ts = m.span(stageSLA, ts)
 	e := m.epoch
 	m.epoch++
 	m.inCrisis = append(m.inCrisis, status.InCrisis)
@@ -252,18 +357,71 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 		m.collectCrisisSamples(samples)
 		k := int(e - m.activeStart)
 		if k < ident.IdentificationEpochs {
-			rep.Advice = m.identify(k)
+			if m.tel != nil {
+				ts = time.Now()
+			}
+			rep.Advice = m.identify(e, k)
+			m.span(stageIdentify, ts)
+			m.recordAdvice(rep.Advice)
 		}
 	} else {
 		// Idle: feed the pre-crisis raw ring and refresh thresholds.
 		m.pushRing(samples)
 		if int(e)%m.cfg.ThresholdRefreshEpochs == 0 && int(e) >= m.cfg.MinEpochsForThresholds {
+			if m.tel != nil {
+				ts = time.Now()
+			}
 			if err := m.refreshThresholds(e); err != nil && !errors.Is(err, metrics.ErrNoNormalEpochs) {
 				return nil, err
 			}
+			m.span(stageThresholds, ts)
 		}
 	}
+	if m.tel != nil {
+		m.tel.epochs.Inc()
+		m.tel.crisisActive.SetInt(boolToGauge(m.activeIdx >= 0))
+		if m.thresholds != nil {
+			m.tel.thresholdAge.SetInt(int64(m.epoch - 1 - m.lastThresh))
+		}
+		m.tel.observeEpoch.ObserveSince(t0)
+	}
 	return rep, nil
+}
+
+// span observes the elapsed stage time and returns a fresh stage start; a
+// no-op returning the zero time when telemetry is disabled.
+func (m *Monitor) span(stage string, since time.Time) time.Time {
+	if m.tel == nil {
+		return time.Time{}
+	}
+	now := time.Now()
+	m.tel.stages[stage].Observe(now.Sub(since).Seconds())
+	return now
+}
+
+// recordAdvice feeds one advice (possibly nil) into counters and events.
+func (m *Monitor) recordAdvice(adv *Advice) {
+	if adv == nil {
+		return
+	}
+	verdict := ident.Verdict(adv.Emitted)
+	if m.tel != nil {
+		if verdict == ident.VerdictKnown {
+			m.tel.adviceKnown.Inc()
+		} else {
+			m.tel.adviceUnknown.Inc()
+		}
+		m.tel.identCandidates.SetInt(int64(adv.Candidates))
+	}
+	m.events.AdviceEmitted(int64(adv.Epoch), adv.CrisisID, adv.IdentEpoch,
+		verdict, adv.Emitted, adv.Nearest, adv.Distance, adv.Threshold, adv.Candidates)
+}
+
+func boolToGauge(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 func (m *Monitor) pushRing(samples [][]float64) {
@@ -297,6 +455,10 @@ func (m *Monitor) beginCrisis(e metrics.Epoch, samples [][]float64) {
 	m.activeStart = e
 	m.calm = 0
 	m.collectCrisisSamples(samples)
+	if m.tel != nil {
+		m.tel.crisesDetected.Inc()
+	}
+	m.events.CrisisDetected(int64(e), p.id)
 }
 
 func (m *Monitor) collectCrisisSamples(samples [][]float64) {
@@ -320,6 +482,10 @@ func (m *Monitor) endCrisis(e metrics.Epoch) {
 	p := &m.past[m.activeIdx]
 	m.activeIdx = -1
 	m.calm = 0
+	stored := false
+	defer func() {
+		m.events.CrisisEnded(int64(e), p.id, int(e-p.start), stored)
+	}()
 	if m.thresholds == nil {
 		return
 	}
@@ -330,8 +496,17 @@ func (m *Monitor) endCrisis(e metrics.Epoch) {
 	if err := m.store.Add(p.id, "", p.start, rows, m.thresholds); err != nil {
 		return
 	}
+	stored = true
+	var ts time.Time
+	if m.tel != nil {
+		ts = time.Now()
+	}
 	if top, err := core.PerCrisisMetrics(core.CrisisSamples{X: p.fsX, Y: p.fsY}, m.cfg.Selection.PerCrisisTopK); err == nil {
 		p.top = top
+	}
+	m.span(stageSelection, ts)
+	if m.tel != nil {
+		m.tel.storeSize.SetInt(int64(m.store.Len()))
 	}
 	// Raw FS samples are no longer needed once the selection is cached.
 	p.fsX, p.fsY = nil, nil
@@ -345,6 +520,12 @@ func (m *Monitor) ResolveCrisis(id, label string) error {
 	for i := range m.past {
 		if m.past[i].id == id {
 			m.past[i].label = label
+			if m.tel != nil {
+				m.tel.crisesResolved.Inc()
+				_, labeled := m.KnownCrises()
+				m.tel.crisesLabeled.SetInt(int64(labeled))
+			}
+			m.events.CrisisResolved(id, label)
 			if i < m.store.Len() {
 				// Store order matches past order for finalized
 				// crises; locate by ID to be safe.
@@ -358,6 +539,85 @@ func (m *Monitor) ResolveCrisis(id, label string) error {
 		}
 	}
 	return fmt.Errorf("monitor: unknown crisis %q", id)
+}
+
+// Stats is a point-in-time snapshot of the monitor's operational state,
+// served by cmd/dcfpd's /healthz endpoint.
+type Stats struct {
+	// EpochsSeen is how many epochs have been ingested.
+	EpochsSeen int64 `json:"epochs_seen"`
+	// CrisesStored / CrisesLabeled mirror KnownCrises.
+	CrisesStored  int `json:"crises_stored"`
+	CrisesLabeled int `json:"crises_labeled"`
+	// StoreSize counts finalized crises whose raw rows were captured.
+	StoreSize int `json:"store_size"`
+	// CrisisActive reports an open crisis episode, with its ID and start.
+	CrisisActive      bool          `json:"crisis_active"`
+	ActiveCrisisID    string        `json:"active_crisis_id,omitempty"`
+	ActiveCrisisStart metrics.Epoch `json:"active_crisis_start,omitempty"`
+	// ThresholdsReady reports whether hot/cold thresholds exist yet;
+	// ThresholdAgeEpochs is the epochs since the last refresh (-1 before
+	// the first one).
+	ThresholdsReady    bool  `json:"thresholds_ready"`
+	ThresholdAgeEpochs int64 `json:"threshold_age_epochs"`
+}
+
+// Stats snapshots the monitor. Like every Monitor method it must be called
+// from the feeding goroutine (or under the caller's lock).
+func (m *Monitor) Stats() Stats {
+	stored, labeled := m.KnownCrises()
+	s := Stats{
+		EpochsSeen:         int64(m.epoch),
+		CrisesStored:       stored,
+		CrisesLabeled:      labeled,
+		StoreSize:          m.store.Len(),
+		ThresholdsReady:    m.thresholds != nil,
+		ThresholdAgeEpochs: -1,
+	}
+	if m.thresholds != nil {
+		s.ThresholdAgeEpochs = int64(m.epoch - m.lastThresh)
+	}
+	if m.activeIdx >= 0 {
+		s.CrisisActive = true
+		s.ActiveCrisisID = m.past[m.activeIdx].id
+		s.ActiveCrisisStart = m.activeStart
+	}
+	return s
+}
+
+// CrisisRecord summarizes one tracked crisis for dashboards (the /crises
+// payload of cmd/dcfpd).
+type CrisisRecord struct {
+	ID    string        `json:"id"`
+	Label string        `json:"label,omitempty"`
+	Start metrics.Epoch `json:"start"`
+	// Active marks the currently open episode.
+	Active bool `json:"active,omitempty"`
+	// Stored reports whether the crisis was finalized into the store
+	// (raw quantile rows captured under established thresholds).
+	Stored bool `json:"stored"`
+}
+
+// Crises lists every crisis the monitor has seen, oldest first. Same
+// single-goroutine contract as Stats.
+func (m *Monitor) Crises() []CrisisRecord {
+	inStore := make(map[string]bool, m.store.Len())
+	for j := 0; j < m.store.Len(); j++ {
+		if c, err := m.store.Crisis(j); err == nil {
+			inStore[c.ID] = true
+		}
+	}
+	out := make([]CrisisRecord, 0, len(m.past))
+	for i, p := range m.past {
+		out = append(out, CrisisRecord{
+			ID:     p.id,
+			Label:  p.label,
+			Start:  p.start,
+			Active: i == m.activeIdx,
+			Stored: inStore[p.id],
+		})
+	}
+	return out
 }
 
 func (m *Monitor) refreshThresholds(e metrics.Epoch) error {
@@ -420,8 +680,9 @@ func (m *Monitor) currentFingerprinter() (*core.Fingerprinter, error) {
 	return core.NewFingerprinter(m.thresholds, cols)
 }
 
-// identify performs the per-epoch identification of the active crisis.
-func (m *Monitor) identify(k int) *Advice {
+// identify performs the per-epoch identification of the active crisis; e is
+// the epoch being observed, k the 0-based identification epoch.
+func (m *Monitor) identify(e metrics.Epoch, k int) *Advice {
 	f, err := m.currentFingerprinter()
 	if err != nil {
 		return nil
@@ -449,7 +710,9 @@ func (m *Monitor) identify(k int) *Advice {
 	}
 	adv := &Advice{
 		CrisisID:   m.past[m.activeIdx].id,
+		Epoch:      e,
 		IdentEpoch: k,
+		Candidates: len(cands),
 		Emitted:    ident.Unknown,
 	}
 	if len(cands) == 0 {

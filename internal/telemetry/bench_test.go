@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// The registry sits on the monitor's per-epoch fast path, so its primitives
+// are benchmarked directly; BenchmarkObserveEpoch in internal/monitor
+// measures the end-to-end overhead (< 5% is the budget).
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("c_total", "h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("c_total", "h")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkNilCounterInc(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("g", "h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h_seconds", "h", TimeBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("h_seconds", "h", TimeBuckets())
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(float64(i%1000) * 1e-6)
+			i++
+		}
+	})
+}
+
+func BenchmarkHistogramObserveSince(b *testing.B) {
+	h := NewRegistry().Histogram("h_seconds", "h", TimeBuckets())
+	t0 := time.Now()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSince(t0)
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	for _, stage := range []string{"quantile", "sla", "thresholds", "selection", "identify"} {
+		r.Histogram("dcfp_monitor_stage_seconds", "h", TimeBuckets(),
+			Label{"stage", stage}).Observe(1e-4)
+	}
+	r.Counter("dcfp_crises_detected_total", "h").Add(9)
+	r.Gauge("dcfp_crisis_store_size", "h").SetInt(9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

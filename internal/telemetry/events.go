@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"log/slog"
+)
+
+// EventLog emits the structured crisis-lifecycle event stream of the online
+// pipeline: crisis detected → advice emitted (with fingerprint distances
+// and the matched label or the unknown verdict) → crisis ended → crisis
+// resolved, plus simulator progress events. It wraps a *slog.Logger so
+// callers choose the handler (text for operators, JSON for shipping).
+//
+// A nil *EventLog is a valid disabled log: every method is a no-op, so
+// library code can call it unconditionally.
+type EventLog struct {
+	l *slog.Logger
+}
+
+// NewEventLog wraps l; a nil logger yields a disabled (nil) event log.
+func NewEventLog(l *slog.Logger) *EventLog {
+	if l == nil {
+		return nil
+	}
+	return &EventLog{l: l}
+}
+
+// Enabled reports whether events are actually recorded.
+func (e *EventLog) Enabled() bool { return e != nil }
+
+// Event emits a free-form event with slog key/value pairs.
+func (e *EventLog) Event(name string, args ...any) {
+	if e != nil {
+		e.l.Info(name, args...)
+	}
+}
+
+// CrisisDetected records the first SLA-violating epoch of a new crisis.
+func (e *EventLog) CrisisDetected(epoch int64, id string) {
+	if e != nil {
+		e.l.Info("crisis.detected", "epoch", epoch, "crisis", id)
+	}
+}
+
+// AdviceEmitted records one identification attempt: the verdict ("known"
+// or "unknown"), the emitted label, and the nearest-candidate diagnostics.
+func (e *EventLog) AdviceEmitted(epoch int64, id string, identEpoch int,
+	verdict, emitted, nearest string, distance, threshold float64, candidates int) {
+	if e != nil {
+		e.l.Info("advice.emitted",
+			"epoch", epoch, "crisis", id, "ident_epoch", identEpoch,
+			"verdict", verdict, "emitted", emitted, "nearest", nearest,
+			"distance", distance, "threshold", threshold, "candidates", candidates)
+	}
+}
+
+// CrisisEnded records the close of a crisis episode; stored reports whether
+// its raw quantile rows were captured into the crisis store (requires
+// established thresholds).
+func (e *EventLog) CrisisEnded(epoch int64, id string, durationEpochs int, stored bool) {
+	if e != nil {
+		e.l.Info("crisis.ended",
+			"epoch", epoch, "crisis", id, "duration_epochs", durationEpochs, "stored", stored)
+	}
+}
+
+// CrisisResolved records an operator diagnosis being filed.
+func (e *EventLog) CrisisResolved(id, label string) {
+	if e != nil {
+		e.l.Info("crisis.resolved", "crisis", id, "label", label)
+	}
+}
+
+// SimDay records one simulated day of trace generation: epochs produced so
+// far, how many were in crisis, and how many crisis instances have begun.
+func (e *EventLog) SimDay(day int, epoch int64, crisisEpochs, crisesInjected int) {
+	if e != nil {
+		e.l.Info("sim.day",
+			"day", day, "epoch", epoch,
+			"crisis_epochs", crisisEpochs, "crises_injected", crisesInjected)
+	}
+}
+
+// CrisisInjected records the simulator scheduling a ground-truth instance.
+func (e *EventLog) CrisisInjected(id string, typ string, start int64, durationEpochs int) {
+	if e != nil {
+		e.l.Info("sim.crisis_injected",
+			"crisis", id, "type", typ, "start", start, "duration_epochs", durationEpochs)
+	}
+}

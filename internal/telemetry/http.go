@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler bundles the observability endpoints into one http.Handler:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/healthz        JSON from health() (a static {"status":"ok"} when nil)
+//	/crises         JSON from crises() (404 when nil)
+//	/debug/pprof/*  net/http/pprof profiles
+//
+// health and crises are called per request, so they should return cheap
+// point-in-time snapshots.
+func Handler(reg *Registry, health func() any, crises func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		var payload any = map[string]string{"status": "ok"}
+		if health != nil {
+			payload = health()
+		}
+		writeJSON(w, payload)
+	})
+	if crises != nil {
+		mux.HandleFunc("/crises", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, crises())
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(payload); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Serve listens on addr and serves h in a background goroutine, returning
+// the server (Close/Shutdown it when done) and the bound address — useful
+// with ":0" in tests. Listen errors (port in use, bad address) surface
+// immediately rather than asynchronously.
+func Serve(addr string, h http.Handler) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dcfp_crises_detected_total", "Crises detected.").Add(2)
+	reg.Histogram("dcfp_observe_epoch_seconds", "ObserveEpoch latency.", TimeBuckets()).Observe(0.001)
+
+	health := func() any { return map[string]any{"status": "ok", "epochs": 42} }
+	crises := func() any { return []map[string]string{{"id": "crisis-001", "label": "db-overload"}} }
+	srv := httptest.NewServer(Handler(reg, health, crises))
+	defer srv.Close()
+
+	t.Run("metrics", func(t *testing.T) {
+		body, ct := get(t, srv.URL+"/metrics")
+		if !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("content-type = %q", ct)
+		}
+		for _, want := range []string{
+			"dcfp_crises_detected_total 2",
+			`dcfp_observe_epoch_seconds_bucket{le="+Inf"} 1`,
+			"dcfp_observe_epoch_seconds_count 1",
+		} {
+			if !strings.Contains(body, want) {
+				t.Fatalf("metrics missing %q:\n%s", want, body)
+			}
+		}
+	})
+
+	t.Run("healthz", func(t *testing.T) {
+		body, ct := get(t, srv.URL+"/healthz")
+		if ct != "application/json" {
+			t.Fatalf("content-type = %q", ct)
+		}
+		var payload map[string]any
+		if err := json.Unmarshal([]byte(body), &payload); err != nil {
+			t.Fatalf("healthz not JSON: %v\n%s", err, body)
+		}
+		if payload["status"] != "ok" || payload["epochs"] != float64(42) {
+			t.Fatalf("healthz payload = %v", payload)
+		}
+	})
+
+	t.Run("crises", func(t *testing.T) {
+		body, _ := get(t, srv.URL+"/crises")
+		var payload []map[string]string
+		if err := json.Unmarshal([]byte(body), &payload); err != nil {
+			t.Fatalf("crises not JSON: %v\n%s", err, body)
+		}
+		if len(payload) != 1 || payload[0]["id"] != "crisis-001" {
+			t.Fatalf("crises payload = %v", payload)
+		}
+	})
+
+	t.Run("pprof", func(t *testing.T) {
+		body, _ := get(t, srv.URL+"/debug/pprof/")
+		if !strings.Contains(body, "profile") {
+			t.Fatalf("pprof index unexpected:\n%.200s", body)
+		}
+	})
+}
+
+func TestHandlerDefaults(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry(), nil, nil))
+	defer srv.Close()
+	body, _ := get(t, srv.URL+"/healthz")
+	if !strings.Contains(body, `"status": "ok"`) {
+		t.Fatalf("default healthz = %s", body)
+	}
+	resp, err := http.Get(srv.URL + "/crises")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/crises without provider: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServe(t *testing.T) {
+	srv, addr, err := Serve("127.0.0.1:0", Handler(NewRegistry(), nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	body, _ := get(t, "http://"+addr+"/healthz")
+	if !strings.Contains(body, "ok") {
+		t.Fatalf("healthz over Serve = %s", body)
+	}
+	if _, _, err := Serve("256.0.0.1:bad", nil); err == nil {
+		t.Fatal("want listen error for bad address")
+	}
+}
+
+func get(t *testing.T, url string) (body, contentType string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", url, resp.StatusCode, b)
+	}
+	return string(b), resp.Header.Get("Content-Type")
+}
