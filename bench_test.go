@@ -272,13 +272,35 @@ func BenchmarkFingerprintStorage(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := store.Fingerprint(0, f); err != nil {
+	b.Run("uncached", func(b *testing.B) {
+		// Generation 0 bypasses the cache: every call re-discretizes.
+		for i := 0; i < b.N; i++ {
+			if _, err := store.Fingerprint(0, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(core.BytesPerCrisis(tr.Catalog.Len(), core.DefaultSummaryRange())), "bytes/crisis")
+	})
+	b.Run("cached", func(b *testing.B) {
+		// A generation-tagged fingerprinter memoizes per (generation,
+		// relevant-set) window — the online monitor's repeat-call pattern
+		// during the five identification epochs.
+		g, err := core.NewFingerprinter(th, rel)
+		if err != nil {
 			b.Fatal(err)
 		}
-	}
-	b.ReportMetric(float64(core.BytesPerCrisis(tr.Catalog.Len(), core.DefaultSummaryRange())), "bytes/crisis")
+		g.SetGeneration(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := store.Fingerprint(0, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+		hits, _ := store.CacheStats()
+		if uint64(b.N) > 1 && hits == 0 {
+			b.Fatal("cache never hit")
+		}
+	})
 }
 
 // BenchmarkIdentificationThresholdRules measures the §5.3 online threshold

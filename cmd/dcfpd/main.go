@@ -16,7 +16,7 @@
 //
 //	dcfpd [-addr :9137] [-machines 100] [-seed 42] [-interval 100ms]
 //	      [-mean-gap-days 2] [-resolve-after 96] [-threshold-days 2]
-//	      [-max-epochs 0] [-log text|json]
+//	      [-max-epochs 0] [-workers 0] [-log text|json]
 package main
 
 import (
@@ -61,6 +61,7 @@ func main() {
 		thresholdDays = flag.Int("threshold-days", 2, "days of history before hot/cold thresholds are established")
 		maxEpochs     = flag.Int("max-epochs", 0, "stop after this many epochs (0 = run until signalled)")
 		alpha         = flag.Float64("alpha", 0.05, "identification false-positive budget")
+		workers       = flag.Int("workers", 0, "epoch ingestion worker pool (0 = GOMAXPROCS, 1 = serial)")
 		logFormat     = flag.String("log", "text", "event log format on stderr: text or json")
 	)
 	flag.Parse()
@@ -93,6 +94,7 @@ func main() {
 	mcfg.MinEpochsForThresholds = *thresholdDays * metrics.EpochsPerDay
 	mcfg.Telemetry = reg
 	mcfg.Events = events
+	mcfg.Workers = *workers
 	mon, err := monitor.New(mcfg)
 	if err != nil {
 		log.Fatal(err)
@@ -141,6 +143,9 @@ loop:
 	shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(shCtx)
+	if d.flush() {
+		log.Print("finalized crisis still open at stream end")
+	}
 	st := d.stats()
 	log.Printf("done: %d epochs, %d crises stored (%d labeled)",
 		st.EpochsSeen, st.CrisesStored, st.CrisesLabeled)
@@ -213,6 +218,14 @@ func (d *daemon) stats() monitor.Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.mon.Stats()
+}
+
+// flush finalizes a crisis still open when the epoch loop stops, so the
+// shutdown stats count it.
+func (d *daemon) flush() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.mon.Flush()
 }
 
 // health is the /healthz payload.

@@ -54,6 +54,11 @@ func (r SummaryRange) validate() error {
 type Fingerprinter struct {
 	thresholds *metrics.Thresholds
 	relevant   []int // sorted metric columns
+	// gen is the caller-assigned thresholds generation (0 = untagged).
+	// Together with relHash it identifies the (thresholds, relevant-set)
+	// pair for Store's fingerprint cache.
+	gen     uint64
+	relHash uint64
 }
 
 // NewFingerprinter builds a fingerprinter over the given thresholds and
@@ -76,8 +81,38 @@ func NewFingerprinter(th *metrics.Thresholds, relevant []int) (*Fingerprinter, e
 			return nil, fmt.Errorf("core: duplicate relevant metric %d", m)
 		}
 	}
-	return &Fingerprinter{thresholds: th, relevant: rel}, nil
+	return &Fingerprinter{thresholds: th, relevant: rel, relHash: hashRelevant(rel)}, nil
 }
+
+// hashRelevant is an FNV-1a hash of the sorted relevant-metric columns —
+// the relevant-set half of the fingerprint cache key.
+func hashRelevant(rel []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, m := range rel {
+		v := uint64(m)
+		for b := 0; b < 8; b++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	return h
+}
+
+// SetGeneration tags the fingerprinter with the caller's thresholds
+// generation. Generations are opaque to core; callers (the online monitor)
+// bump theirs whenever thresholds are re-estimated, so a (generation,
+// relevant-set) pair uniquely identifies the discretization in force.
+// Generation 0 — the default — disables Store-side fingerprint caching,
+// which keeps one-shot offline fingerprinters safe by construction.
+func (f *Fingerprinter) SetGeneration(gen uint64) { f.gen = gen }
+
+// Generation returns the tagged thresholds generation (0 = untagged).
+func (f *Fingerprinter) Generation() uint64 { return f.gen }
 
 // AllMetrics returns the identity relevant set for a catalog of n metrics —
 // the "fingerprints (all metrics)" baseline of §4.2.

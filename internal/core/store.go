@@ -40,6 +40,21 @@ type Store struct {
 
 	width  int
 	crises []StoredCrisis
+
+	// Fingerprint cache for update mode. Re-discretizing every stored
+	// crisis's raw rows on each of the 5 identification epochs is the
+	// online hot path's dominant repeated cost; within one (thresholds
+	// generation, relevant-set) window the result cannot change, so it is
+	// memoized per crisis. The whole cache is dropped the moment a
+	// fingerprinter with a different generation or relevant set arrives —
+	// exactly when the monitor refreshes thresholds or the relevant
+	// metrics move. Untagged fingerprinters (generation 0) bypass the
+	// cache entirely.
+	cacheGen  uint64
+	cacheRel  uint64
+	cache     map[int][]float64
+	cacheHits uint64
+	cacheMiss uint64
 }
 
 // NewStore returns an empty store in the given update mode.
@@ -123,6 +138,11 @@ func (s *Store) Add(id, label string, detectedStart metrics.Epoch, rows [][]floa
 // with the fingerprinter's current thresholds; in frozen mode the state
 // saved at storage time is reused, and only the relevant-metric projection
 // is current.
+//
+// When f carries a non-zero generation (SetGeneration), update-mode results
+// are cached per (generation, relevant-set) window, making repeat calls
+// O(1). Cached results are shared slices: callers must not modify the
+// returned fingerprint.
 func (s *Store) Fingerprint(i int, f *Fingerprinter) ([]float64, error) {
 	c, err := s.Crisis(i)
 	if err != nil {
@@ -132,6 +152,17 @@ func (s *Store) Fingerprint(i int, f *Fingerprinter) ([]float64, error) {
 		return nil, fmt.Errorf("core: fingerprinter width mismatch")
 	}
 	if s.UpdateFingerprints {
+		cacheable := f.gen != 0
+		if cacheable {
+			if f.gen != s.cacheGen || f.relHash != s.cacheRel {
+				s.cacheGen, s.cacheRel = f.gen, f.relHash
+				s.cache = nil
+			}
+			if fp, ok := s.cache[i]; ok {
+				s.cacheHits++
+				return fp, nil
+			}
+		}
 		eps := make([][]float64, len(c.Rows))
 		for j, r := range c.Rows {
 			fp, err := f.EpochFingerprint(r)
@@ -140,7 +171,18 @@ func (s *Store) Fingerprint(i int, f *Fingerprinter) ([]float64, error) {
 			}
 			eps[j] = fp
 		}
-		return stats.MeanVector(eps)
+		fp, err := stats.MeanVector(eps)
+		if err != nil {
+			return nil, err
+		}
+		if cacheable {
+			if s.cache == nil {
+				s.cache = make(map[int][]float64, len(s.crises))
+			}
+			s.cache[i] = fp
+			s.cacheMiss++
+		}
+		return fp, nil
 	}
 	// Frozen mode: project the stored full-width state onto the current
 	// relevant set.
@@ -166,6 +208,11 @@ func (s *Store) Fingerprints(f *Fingerprinter) ([][]float64, error) {
 	}
 	return out, nil
 }
+
+// CacheStats reports cumulative fingerprint-cache hits and misses (update
+// mode, generation-tagged fingerprinters only). A miss is a cacheable
+// computation that had to run; untagged calls count as neither.
+func (s *Store) CacheStats() (hits, misses uint64) { return s.cacheHits, s.cacheMiss }
 
 // BytesPerCrisis reports the raw-quantile storage cost of one crisis with
 // the given summary window, reproducing the §6.3 accounting (the paper

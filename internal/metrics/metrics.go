@@ -13,6 +13,7 @@ package metrics
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"dcfp/internal/quantile"
@@ -139,8 +140,20 @@ func (t *QuantileTrack) EpochRow(e Epoch) ([]float64, error) {
 // Aggregator turns raw per-machine metric samples for one epoch into the
 // cross-machine quantile summary, using a caller-supplied estimator per
 // metric (exact for hundreds of machines, GK sketches for thousands).
+//
+// An Aggregator may hold several shards — independent estimator sets that
+// concurrent workers feed without synchronization (one shard per worker).
+// Summarize merges shard estimators back into shard 0 before reading the
+// tracked quantiles, which requires the estimator to implement
+// quantile.Merger. With the exact estimator the sharded result is
+// byte-identical to serial insertion, since only the value multiset
+// matters; with the sketch estimators it is approximate in exactly the way
+// the sketch already is.
 type Aggregator struct {
-	ests []quantile.Estimator
+	// shards[shard][metric]; shard 0 always exists and is the target of
+	// the serial Observe path.
+	shards [][]quantile.Estimator
+	newEst func() quantile.Estimator
 }
 
 // NewAggregator builds an aggregator with one estimator per metric produced
@@ -152,35 +165,141 @@ func NewAggregator(numMetrics int, newEst func() quantile.Estimator) (*Aggregato
 	if newEst == nil {
 		return nil, errors.New("metrics: nil estimator factory")
 	}
-	a := &Aggregator{ests: make([]quantile.Estimator, numMetrics)}
-	for i := range a.ests {
-		a.ests[i] = newEst()
-	}
+	a := &Aggregator{newEst: newEst}
+	a.shards = append(a.shards, a.newShard(numMetrics))
 	return a, nil
 }
 
-// Observe records one machine's sample row (one value per metric).
-func (a *Aggregator) Observe(row []float64) error {
-	if len(row) != len(a.ests) {
-		return fmt.Errorf("metrics: row has %d values, want %d", len(row), len(a.ests))
+func (a *Aggregator) newShard(numMetrics int) []quantile.Estimator {
+	ests := make([]quantile.Estimator, numMetrics)
+	for i := range ests {
+		ests[i] = a.newEst()
 	}
-	for m, v := range row {
-		a.ests[m].Insert(v)
+	return ests
+}
+
+// NumMetrics reports the number of metrics per sample row.
+func (a *Aggregator) NumMetrics() int { return len(a.shards[0]) }
+
+// EnsureShards grows the aggregator to at least n estimator shards. It must
+// be called from a single goroutine before concurrent ObserveBatch calls;
+// it is a no-op once enough shards exist.
+func (a *Aggregator) EnsureShards(n int) {
+	for len(a.shards) < n {
+		a.shards = append(a.shards, a.newShard(a.NumMetrics()))
+	}
+}
+
+// Shards reports how many estimator shards have been allocated.
+func (a *Aggregator) Shards() int { return len(a.shards) }
+
+// Observe records one machine's sample row (one value per metric) into
+// shard 0 — the serial path.
+func (a *Aggregator) Observe(row []float64) error {
+	return a.observeInto(a.shards[0], row)
+}
+
+// ObserveBatch records a batch of machine rows into the given shard.
+// Distinct shards may be fed concurrently; a single shard must not.
+func (a *Aggregator) ObserveBatch(shard int, rows [][]float64) error {
+	if shard < 0 || shard >= len(a.shards) {
+		return fmt.Errorf("metrics: shard %d out of %d (call EnsureShards first)", shard, len(a.shards))
+	}
+	ests := a.shards[shard]
+	for _, row := range rows {
+		if err := a.observeInto(ests, row); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// Summarize returns the per-metric tracked quantiles for the epoch and
-// resets the aggregator for the next epoch.
+func (a *Aggregator) observeInto(ests []quantile.Estimator, row []float64) error {
+	if len(row) != len(ests) {
+		return fmt.Errorf("metrics: row has %d values, want %d", len(row), len(ests))
+	}
+	for m, v := range row {
+		ests[m].Insert(v)
+	}
+	return nil
+}
+
+// summarizeMetric merges metric m's shard estimators into shard 0, reads
+// the tracked quantiles, and resets every shard's estimator for the next
+// epoch.
+func (a *Aggregator) summarizeMetric(m int) ([3]float64, error) {
+	primary := a.shards[0][m]
+	for s := 1; s < len(a.shards); s++ {
+		est := a.shards[s][m]
+		if est.Count() == 0 {
+			continue
+		}
+		mg, ok := primary.(quantile.Merger)
+		if !ok {
+			return [3]float64{}, fmt.Errorf("metrics: estimator %T does not support sharded aggregation (quantile.Merger)", primary)
+		}
+		if err := mg.Merge(est); err != nil {
+			return [3]float64{}, fmt.Errorf("metrics: metric %d: %w", m, err)
+		}
+		est.Reset()
+	}
+	out, err := quantile.Summarize(primary)
+	if err != nil {
+		return out, fmt.Errorf("metrics: metric %d: %w", m, err)
+	}
+	primary.Reset()
+	return out, nil
+}
+
+// Summarize returns the per-metric tracked quantiles for the epoch (merging
+// any shards) and resets the aggregator for the next epoch.
 func (a *Aggregator) Summarize() ([][3]float64, error) {
-	out := make([][3]float64, len(a.ests))
-	for m, est := range a.ests {
-		s, err := quantile.Summarize(est)
+	out := make([][3]float64, a.NumMetrics())
+	for m := range out {
+		s, err := a.summarizeMetric(m)
 		if err != nil {
-			return nil, fmt.Errorf("metrics: metric %d: %w", m, err)
+			return nil, err
 		}
 		out[m] = s
-		est.Reset()
+	}
+	return out, nil
+}
+
+// SummarizeParallel is Summarize with the per-metric merge+query work
+// spread over the given number of worker goroutines. Metrics are
+// independent, so the result is identical to Summarize for any worker
+// count.
+func (a *Aggregator) SummarizeParallel(workers int) ([][3]float64, error) {
+	n := a.NumMetrics()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return a.Summarize()
+	}
+	out := make([][3]float64, n)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for m := lo; m < hi; m++ {
+				s, err := a.summarizeMetric(m)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out[m] = s
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

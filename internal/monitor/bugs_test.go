@@ -1,0 +1,263 @@
+package monitor
+
+import (
+	"testing"
+
+	"dcfp/internal/metrics"
+	"dcfp/internal/sla"
+)
+
+// TestStatsThresholdAgeConvention pins the threshold-age convention shared
+// by Stats and the dcfp_threshold_age_epochs gauge: age is measured from
+// the most recently observed epoch, not the next expected one. Stats used
+// to report one epoch more than the gauge for the same state.
+func TestStatsThresholdAgeConvention(t *testing.T) {
+	tb, reg, _ := instrumentedTestbed(t)
+	tb.quiet(100) // first refresh lands at epoch 96
+	st := tb.m.Stats()
+	if !st.ThresholdsReady {
+		t.Fatal("thresholds not established after 100 epochs")
+	}
+	if tb.m.lastThresh != 96 {
+		t.Fatalf("precondition: lastThresh = %d, want 96", tb.m.lastThresh)
+	}
+	// 100 epochs observed, the last at index 99, refreshed at 96 → age 3.
+	if st.ThresholdAgeEpochs != 3 {
+		t.Fatalf("Stats.ThresholdAgeEpochs = %d, want 3", st.ThresholdAgeEpochs)
+	}
+	gauge := reg.Gauge("dcfp_threshold_age_epochs", "").Value()
+	if float64(st.ThresholdAgeEpochs) != gauge {
+		t.Fatalf("Stats age %d disagrees with gauge %v", st.ThresholdAgeEpochs, gauge)
+	}
+}
+
+// TestEndCrisisReleasesBuffersWhenUnstored pins the fix for the feature-
+// selection buffer leak: a crisis that ends before thresholds exist (so it
+// can never be stored) must still release its raw machine rows.
+func TestEndCrisisReleasesBuffersWhenUnstored(t *testing.T) {
+	tb := newTestbed(t)
+	tb.quiet(10) // far too early for thresholds
+	tb.effects = map[int]float64{tbLatency: 5}
+	for i := 0; i < 4; i++ {
+		if rep := tb.step(); !rep.CrisisActive {
+			t.Fatal("crisis not detected")
+		}
+	}
+	tb.effects = map[int]float64{}
+	tb.step()
+	tb.step() // second calm epoch closes the episode
+	if tb.m.activeIdx >= 0 {
+		t.Fatal("crisis still active")
+	}
+	if tb.m.store.Len() != 0 {
+		t.Fatal("precondition: crisis must be unstorable without thresholds")
+	}
+	if p := tb.m.past[0]; p.fsX != nil || p.fsY != nil {
+		t.Fatalf("feature-selection buffers leaked on the unstored path: %d rows retained", len(p.fsX))
+	}
+}
+
+// TestBackToBackCrisesSkipStaleRing covers two satellite behaviours at
+// once: crises separated by exactly two calm epochs form two distinct
+// episodes, and the second crisis's pre-crisis seed skips ring slots
+// filled before the first crisis (they are older than RawPad epochs and
+// are not this crisis's baseline).
+func TestBackToBackCrisesSkipStaleRing(t *testing.T) {
+	tb := newTestbed(t)
+	tb.quiet(200)
+	// Crisis 1: epochs 200..207.
+	tb.effects = map[int]float64{tbLatency: 5, tbQueueA: 8}
+	for i := 0; i < 8; i++ {
+		if rep := tb.step(); !rep.CrisisActive {
+			t.Fatal("first crisis not detected")
+		}
+	}
+	// Exactly two calm epochs (208, 209) close it; 209 is also the first
+	// idle epoch, so it is the only fresh ring entry.
+	tb.effects = map[int]float64{}
+	if rep := tb.step(); !rep.CrisisActive {
+		t.Fatal("one calm epoch must not close the episode")
+	}
+	if rep := tb.step(); rep.CrisisActive {
+		t.Fatal("two calm epochs must close the episode")
+	}
+	if tb.m.store.Len() != 1 {
+		t.Fatalf("store.Len = %d after first crisis", tb.m.store.Len())
+	}
+	// Crisis 2 opens on the very next epoch (210).
+	tb.effects = map[int]float64{tbLatency: 5, tbQueueB: 8}
+	if rep := tb.step(); !rep.CrisisActive {
+		t.Fatal("second crisis not detected")
+	}
+	stored, _ := tb.m.KnownCrises()
+	if stored != 2 {
+		t.Fatalf("KnownCrises stored = %d, want 2 distinct episodes", stored)
+	}
+	// The active crisis's samples: one fresh ring epoch (209) plus the
+	// detection epoch's rows. Ring slots from epochs 193..199 predate the
+	// first crisis by more than RawPad epochs relative to 210 and must be
+	// skipped — before the fix they were all seeded in.
+	p := tb.m.past[tb.m.activeIdx]
+	maxFresh := (1 + 2) * tbMachines // ring(209) + detection epoch collected on begin+active paths
+	if got := len(p.fsX); got > maxFresh {
+		t.Fatalf("fsX holds %d rows, want <= %d (stale pre-first-crisis ring rows seeded?)", got, maxFresh)
+	}
+	if len(p.fsX) != len(p.fsY) {
+		t.Fatalf("fsX/fsY length mismatch: %d vs %d", len(p.fsX), len(p.fsY))
+	}
+}
+
+// TestThresholdRefreshCatchesUpAfterCrisis pins the age-based refresh rule:
+// when a crisis straddles a refresh boundary, the refresh happens on the
+// first idle epoch after the episode instead of waiting for the next
+// aligned boundary (which silently doubled the threshold age).
+func TestThresholdRefreshCatchesUpAfterCrisis(t *testing.T) {
+	tb := newTestbed(t)
+	tb.quiet(142) // refresh at 96; next due at 144
+	if tb.m.lastThresh != 96 {
+		t.Fatalf("precondition: lastThresh = %d, want 96", tb.m.lastThresh)
+	}
+	// Crisis over epochs 142..146 straddles the 144 boundary.
+	tb.effects = map[int]float64{tbLatency: 5, tbQueueA: 8}
+	for i := 0; i < 5; i++ {
+		if rep := tb.step(); !rep.CrisisActive {
+			t.Fatal("crisis not detected")
+		}
+	}
+	tb.effects = map[int]float64{}
+	tb.step() // 147: first calm epoch, episode still open
+	tb.step() // 148: closes the episode and is the first idle epoch
+	if tb.m.lastThresh != 148 {
+		t.Fatalf("lastThresh = %d, want refresh to catch up at 148", tb.m.lastThresh)
+	}
+}
+
+// TestFlushFinalizesTrailingCrisis covers the stream-end path: a crisis
+// still open when no more epochs arrive can never satisfy the two-calm-
+// epoch close rule, so Flush finalizes it explicitly.
+func TestFlushFinalizesTrailingCrisis(t *testing.T) {
+	tb := newTestbed(t)
+	if tb.m.Flush() {
+		t.Fatal("Flush with no active crisis must be a no-op")
+	}
+	tb.quiet(200)
+	tb.effects = map[int]float64{tbLatency: 5, tbQueueA: 8}
+	for i := 0; i < 4; i++ {
+		if rep := tb.step(); !rep.CrisisActive {
+			t.Fatal("crisis not detected")
+		}
+	}
+	if !tb.m.Flush() {
+		t.Fatal("Flush did not finalize the active crisis")
+	}
+	if tb.m.activeIdx >= 0 {
+		t.Fatal("crisis still active after Flush")
+	}
+	if tb.m.store.Len() != 1 {
+		t.Fatalf("store.Len = %d, want the trailing crisis stored", tb.m.store.Len())
+	}
+	if p := tb.m.past[0]; p.fsX != nil || p.fsY != nil {
+		t.Fatal("feature-selection buffers retained after Flush")
+	}
+	if tb.m.Flush() {
+		t.Fatal("second Flush must be a no-op")
+	}
+	// The monitor keeps ingesting normally afterwards.
+	tb.effects = map[int]float64{}
+	if rep := tb.step(); rep.CrisisActive {
+		t.Fatal("state machine wedged after Flush")
+	}
+}
+
+// TestResolveCrisisOnUnstoredThenStored pins the label-propagation fix: a
+// crisis that failed to store makes past and store indices diverge, and
+// resolving a *later, stored* crisis must still reach its store entry.
+func TestResolveCrisisOnUnstoredThenStored(t *testing.T) {
+	tb := newTestbed(t)
+	// Crisis 1 lands before thresholds exist → never stored.
+	tb.quiet(10)
+	tb.effects = map[int]float64{tbLatency: 5}
+	for i := 0; i < 4; i++ {
+		tb.step()
+	}
+	tb.effects = map[int]float64{}
+	tb.step()
+	tb.step()
+	tb.step()
+	if tb.m.store.Len() != 0 {
+		t.Fatal("precondition: crisis 1 must be unstored")
+	}
+	// Establish thresholds, then a second crisis that does store.
+	tb.quiet(150)
+	id2, _ := tb.crisis("X", 8)
+	if tb.m.store.Len() != 1 {
+		t.Fatal("crisis 2 not stored")
+	}
+	// Resolving the unstored crisis records the label on the episode and
+	// leaves the store untouched.
+	id1 := tb.m.past[0].id
+	if err := tb.m.ResolveCrisis(id1, "A"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.m.past[0].label != "A" {
+		t.Fatalf("past label = %q", tb.m.past[0].label)
+	}
+	c, err := tb.m.store.Crisis(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Label != "" {
+		t.Fatalf("unstored crisis's label leaked onto store entry %q", c.ID)
+	}
+	// Resolving the stored crisis must reach the store even though its
+	// past index (1) differs from its store index (0).
+	if err := tb.m.ResolveCrisis(id2, "X"); err != nil {
+		t.Fatal(err)
+	}
+	c, err = tb.m.store.Crisis(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Label != "X" {
+		t.Fatalf("store label = %q, want X (index-gated propagation)", c.Label)
+	}
+}
+
+func TestWorkersValidation(t *testing.T) {
+	cat, _ := metrics.NewCatalog([]string{"a"})
+	cfg := DefaultConfig(cat, sla.Config{KPIs: []sla.KPI{{Metric: 0, Threshold: 1}}, CrisisFraction: 0.1})
+	cfg.Workers = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("want negative-workers error")
+	}
+}
+
+func TestEpochWorkersResolution(t *testing.T) {
+	cat, _ := metrics.NewCatalog([]string{"a"})
+	cfg := DefaultConfig(cat, sla.Config{KPIs: []sla.KPI{{Metric: 0, Threshold: 1}}, CrisisFraction: 0.1})
+	cfg.Workers = 8
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small installations stay on the serial path regardless of the knob.
+	if w := m.epochWorkers(20); w != 1 {
+		t.Fatalf("epochWorkers(20) = %d, want 1", w)
+	}
+	// The ~32-machines-per-worker cap bounds mid-size pools.
+	if w := m.epochWorkers(100); w != 4 {
+		t.Fatalf("epochWorkers(100) = %d, want 4", w)
+	}
+	// Large installations use the configured pool.
+	if w := m.epochWorkers(10000); w != 8 {
+		t.Fatalf("epochWorkers(10000) = %d, want 8", w)
+	}
+	cfg.Workers = 1
+	m, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := m.epochWorkers(10000); w != 1 {
+		t.Fatalf("Workers=1 must force the serial path, got %d", w)
+	}
+}

@@ -17,7 +17,9 @@ package monitor
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"dcfp/internal/core"
@@ -58,6 +60,16 @@ type Config struct {
 	// quantile estimator (nil = exact; use a GK sketch for very large
 	// installations).
 	NewEstimator func() quantile.Estimator
+	// Workers bounds the worker pool ObserveEpoch shards its per-machine
+	// work across: quantile feeds, SLA violation checks, and the row
+	// copies the ring buffer and feature selection retain. 0 resolves to
+	// GOMAXPROCS; 1 forces the serial path, which remains the reference
+	// implementation. The pool is additionally capped so each worker gets
+	// at least ~32 machines, keeping small installations serial. With the
+	// default exact estimator the sharded path produces byte-identical
+	// reports to the serial one; with sketch estimators the result is
+	// approximate in exactly the way the sketch already is.
+	Workers int
 	// Telemetry optionally receives the monitor's operational metrics:
 	// per-stage latency histograms on the ObserveEpoch hot path and
 	// decision counters/gauges (see the README's metric reference). Nil
@@ -147,9 +159,10 @@ type Monitor struct {
 	nextID int
 
 	// Raw-sample ring buffer for feature selection (pre-crisis epochs).
-	rawRing  [][][]float64 // [slot][machine][metric]
-	violRing [][]bool
-	ringPos  int
+	rawRing   [][][]float64 // [slot][machine][metric]
+	violRing  [][]bool
+	ringEpoch []metrics.Epoch // epoch each slot was filled at
+	ringPos   int
 
 	// Active crisis state.
 	activeStart metrics.Epoch
@@ -157,6 +170,16 @@ type Monitor struct {
 	calm        int // consecutive non-crisis epochs while active
 
 	epoch metrics.Epoch
+
+	// thGen counts successful threshold refreshes. It tags the
+	// fingerprinters handed to the store so its fingerprint cache can tell
+	// discretization windows apart (0 = no thresholds yet, caching off).
+	thGen uint64
+
+	// lastCacheHits/lastCacheMiss remember the store's cumulative cache
+	// stats so the telemetry counters advance by delta.
+	lastCacheHits uint64
+	lastCacheMiss uint64
 
 	// tel is nil when no telemetry registry is attached; every
 	// instrumentation site checks it before reading the clock.
@@ -175,12 +198,15 @@ type monitorMetrics struct {
 	adviceKnown    *telemetry.Counter
 	adviceUnknown  *telemetry.Counter
 	crisesResolved *telemetry.Counter
+	cacheHits      *telemetry.Counter
+	cacheMiss      *telemetry.Counter
 
 	storeSize       *telemetry.Gauge
 	crisesLabeled   *telemetry.Gauge
 	crisisActive    *telemetry.Gauge
 	thresholdAge    *telemetry.Gauge
 	identCandidates *telemetry.Gauge
+	workers         *telemetry.Gauge
 }
 
 // Stage label values of dcfp_monitor_stage_seconds, one per pipeline stage
@@ -214,6 +240,12 @@ func newMonitorMetrics(r *telemetry.Registry) *monitorMetrics {
 			telemetry.Label{Key: "verdict", Value: "unknown"}),
 		crisesResolved: r.Counter("dcfp_crises_resolved_total",
 			"Operator diagnoses filed via ResolveCrisis."),
+		cacheHits: r.Counter("dcfp_fingerprint_cache_total",
+			"Stored-crisis fingerprint cache lookups, by result.",
+			telemetry.Label{Key: "result", Value: "hit"}),
+		cacheMiss: r.Counter("dcfp_fingerprint_cache_total",
+			"Stored-crisis fingerprint cache lookups, by result.",
+			telemetry.Label{Key: "result", Value: "miss"}),
 		storeSize: r.Gauge("dcfp_crisis_store_size",
 			"Finalized crises held in the fingerprint store."),
 		crisesLabeled: r.Gauge("dcfp_crises_labeled",
@@ -224,6 +256,8 @@ func newMonitorMetrics(r *telemetry.Registry) *monitorMetrics {
 			"Epochs since the last hot/cold threshold refresh (-1 before the first)."),
 		identCandidates: r.Gauge("dcfp_ident_candidates",
 			"Labeled past crises compared in the latest identification."),
+		workers: r.Gauge("dcfp_monitor_workers",
+			"Worker-pool size resolved for the latest ObserveEpoch."),
 	}
 	for _, s := range []string{stageQuantile, stageSLA, stageThresholds, stageSelection, stageIdentify} {
 		t.stages[s] = r.Histogram("dcfp_monitor_stage_seconds",
@@ -254,6 +288,9 @@ func New(cfg Config) (*Monitor, error) {
 	if cfg.MinEpochsForThresholds < cfg.ThresholdRefreshEpochs {
 		return nil, errors.New("monitor: MinEpochsForThresholds below refresh interval")
 	}
+	if cfg.Workers < 0 {
+		return nil, errors.New("monitor: Workers must be non-negative")
+	}
 	track, err := metrics.NewQuantileTrack(cfg.Catalog.Len())
 	if err != nil {
 		return nil, err
@@ -273,6 +310,7 @@ func New(cfg Config) (*Monitor, error) {
 		store:     core.NewStore(true),
 		rawRing:   make([][][]float64, cfg.RawPad),
 		violRing:  make([][]bool, cfg.RawPad),
+		ringEpoch: make([]metrics.Epoch, cfg.RawPad),
 		activeIdx: -1,
 		tel:       newMonitorMetrics(cfg.Telemetry),
 		events:    cfg.Events,
@@ -296,6 +334,11 @@ func (m *Monitor) KnownCrises() (stored, labeled int) {
 // ObserveEpoch ingests one epoch of per-machine samples (samples[machine]
 // [metric]) and returns the epoch report.
 //
+// Per-machine work — quantile aggregation, SLA violation checks, and the
+// row copies the ring buffer and feature selection retain — is sharded
+// across the Config.Workers pool when the machine count warrants it; see
+// the Workers documentation for the equivalence guarantee.
+//
 // When a telemetry registry is attached, each pipeline stage (quantile
 // aggregation, SLA evaluation, threshold refresh, selection,
 // identification) is timed into dcfp_monitor_stage_seconds and the whole
@@ -314,23 +357,51 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 		if len(row) != m.cfg.Catalog.Len() {
 			return nil, fmt.Errorf("monitor: sample row width %d, want %d", len(row), m.cfg.Catalog.Len())
 		}
-		if err := m.agg.Observe(row); err != nil {
+	}
+	workers := m.epochWorkers(len(samples))
+	// copies/viol are the per-machine artifacts the state machine below
+	// consumes: retained row copies (ring buffer, feature selection) and
+	// any-KPI violation flags. Both ingestion paths produce them in their
+	// single pass over the samples.
+	copies := make([][]float64, len(samples))
+	viol := make([]bool, len(samples))
+	var status sla.EpochStatus
+	if workers > 1 {
+		partials, err := m.observeParallel(samples, copies, viol, workers)
+		if err != nil {
 			return nil, err
 		}
+		// The fused fan-out interleaves aggregation and SLA checks, so the
+		// serial path's split attribution is unavailable: the sharded pass
+		// plus the quantile merge bills to "quantile", the (cheap) status
+		// merge to "sla".
+		ts = m.span(stageQuantile, ts)
+		status = m.cfg.SLA.MergeStatuses(partials)
+		ts = m.span(stageSLA, ts)
+	} else {
+		for _, row := range samples {
+			if err := m.agg.Observe(row); err != nil {
+				return nil, err
+			}
+		}
+		summary, err := m.agg.Summarize()
+		if err != nil {
+			return nil, err
+		}
+		if err := m.track.AppendEpoch(summary); err != nil {
+			return nil, err
+		}
+		ts = m.span(stageQuantile, ts)
+		st, err := m.cfg.SLA.EvaluateInto(samples, viol)
+		if err != nil {
+			return nil, err
+		}
+		status = st
+		ts = m.span(stageSLA, ts)
+		for i, row := range samples {
+			copies[i] = append([]float64(nil), row...)
+		}
 	}
-	summary, err := m.agg.Summarize()
-	if err != nil {
-		return nil, err
-	}
-	if err := m.track.AppendEpoch(summary); err != nil {
-		return nil, err
-	}
-	ts = m.span(stageQuantile, ts)
-	status, err := m.cfg.SLA.Evaluate(samples)
-	if err != nil {
-		return nil, err
-	}
-	ts = m.span(stageSLA, ts)
 	e := m.epoch
 	m.epoch++
 	m.inCrisis = append(m.inCrisis, status.InCrisis)
@@ -341,7 +412,7 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 	// leave after two consecutive calm epochs (the detector's merge gap).
 	switch {
 	case m.activeIdx < 0 && status.InCrisis:
-		m.beginCrisis(e, samples)
+		m.beginCrisis(e, copies, viol)
 	case m.activeIdx >= 0 && status.InCrisis:
 		m.calm = 0
 	case m.activeIdx >= 0 && !status.InCrisis:
@@ -354,7 +425,7 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 	if m.activeIdx >= 0 {
 		rep.CrisisActive = true
 		rep.CrisisStart = m.activeStart
-		m.collectCrisisSamples(samples)
+		m.collectCrisisSamples(copies, viol)
 		k := int(e - m.activeStart)
 		if k < ident.IdentificationEpochs {
 			if m.tel != nil {
@@ -365,9 +436,14 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 			m.recordAdvice(rep.Advice)
 		}
 	} else {
-		// Idle: feed the pre-crisis raw ring and refresh thresholds.
-		m.pushRing(samples)
-		if int(e)%m.cfg.ThresholdRefreshEpochs == 0 && int(e) >= m.cfg.MinEpochsForThresholds {
+		// Idle: feed the pre-crisis raw ring and refresh thresholds. The
+		// refresh fires on threshold *age*, not calendar alignment: a
+		// crisis straddling a refresh boundary would otherwise postpone
+		// the refresh by a further full interval while the thresholds
+		// silently grew stale, whereas age-based refresh catches up on the
+		// first idle epoch.
+		m.pushRing(e, copies, viol)
+		if int(e) >= m.cfg.MinEpochsForThresholds && int(e-m.lastThresh) >= m.cfg.ThresholdRefreshEpochs {
 			if m.tel != nil {
 				ts = time.Now()
 			}
@@ -379,6 +455,7 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 	}
 	if m.tel != nil {
 		m.tel.epochs.Inc()
+		m.tel.workers.SetInt(int64(workers))
 		m.tel.crisisActive.SetInt(boolToGauge(m.activeIdx >= 0))
 		if m.thresholds != nil {
 			m.tel.thresholdAge.SetInt(int64(m.epoch - 1 - m.lastThresh))
@@ -386,6 +463,75 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 		m.tel.observeEpoch.ObserveSince(t0)
 	}
 	return rep, nil
+}
+
+// minMachinesPerWorker caps the epoch worker pool so every worker gets a
+// meaningful share of machines: below it, goroutine fan-out costs more than
+// it saves, and small deployments always take the serial path.
+const minMachinesPerWorker = 32
+
+// epochWorkers resolves the worker count for one epoch of the given size.
+func (m *Monitor) epochWorkers(machines int) int {
+	w := m.cfg.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if maxW := (machines + minMachinesPerWorker - 1) / minMachinesPerWorker; w > maxW {
+		w = maxW
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// observeParallel shards the per-machine ingestion work across the worker
+// pool: each worker feeds its own aggregator shard, SLA-checks its machine
+// range into a disjoint segment of viol, and retains its row copies. After
+// the barrier the shard estimators are merged and the epoch summary is
+// appended. It returns the per-worker partial SLA statuses; the caller
+// merges them with sla.Config.MergeStatuses.
+func (m *Monitor) observeParallel(samples, copies [][]float64, viol []bool, workers int) ([]sla.EpochStatus, error) {
+	m.agg.EnsureShards(workers)
+	n := len(samples)
+	partials := make([]sla.EpochStatus, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rows := samples[lo:hi]
+			if err := m.agg.ObserveBatch(w, rows); err != nil {
+				errs[w] = err
+				return
+			}
+			st, err := m.cfg.SLA.EvaluateInto(rows, viol[lo:hi])
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			partials[w] = st
+			for i, row := range rows {
+				copies[lo+i] = append([]float64(nil), row...)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	summary, err := m.agg.SummarizeParallel(workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.track.AppendEpoch(summary); err != nil {
+		return nil, err
+	}
+	return partials, nil
 }
 
 // span observes the elapsed stage time and returns a fresh stage start; a
@@ -424,25 +570,27 @@ func boolToGauge(v bool) int64 {
 	return 0
 }
 
-func (m *Monitor) pushRing(samples [][]float64) {
-	viol := make([]bool, len(samples))
-	cp := make([][]float64, len(samples))
-	for i, row := range samples {
-		cp[i] = append([]float64(nil), row...)
-		viol[i] = m.cfg.SLA.MachineViolates(row)
-	}
-	m.rawRing[m.ringPos] = cp
+// pushRing retains one idle epoch's row copies and violation flags for the
+// pre-crisis feature-selection window, tagging the slot with its epoch.
+func (m *Monitor) pushRing(e metrics.Epoch, copies [][]float64, viol []bool) {
+	m.rawRing[m.ringPos] = copies
 	m.violRing[m.ringPos] = viol
+	m.ringEpoch[m.ringPos] = e
 	m.ringPos = (m.ringPos + 1) % m.cfg.RawPad
 }
 
-func (m *Monitor) beginCrisis(e metrics.Epoch, samples [][]float64) {
+func (m *Monitor) beginCrisis(e metrics.Epoch, copies [][]float64, viol []bool) {
 	m.nextID++
 	p := pastCrisis{id: fmt.Sprintf("crisis-%03d", m.nextID), start: e}
-	// Seed feature-selection samples with the buffered pre-crisis epochs.
+	// Seed feature-selection samples with the buffered pre-crisis epochs,
+	// oldest first. Slots carry the epoch they were filled at: the ring is
+	// not drained when a crisis ends, so when crises come back to back its
+	// older slots still hold rows from *before the previous episode*.
+	// Those are not this crisis's baseline — only slots within RawPad
+	// epochs of the new start qualify.
 	for s := 0; s < m.cfg.RawPad; s++ {
 		slot := (m.ringPos + s) % m.cfg.RawPad
-		if m.rawRing[slot] == nil {
+		if m.rawRing[slot] == nil || m.ringEpoch[slot]+metrics.Epoch(m.cfg.RawPad) < e {
 			continue
 		}
 		for i, row := range m.rawRing[slot] {
@@ -454,18 +602,18 @@ func (m *Monitor) beginCrisis(e metrics.Epoch, samples [][]float64) {
 	m.activeIdx = len(m.past) - 1
 	m.activeStart = e
 	m.calm = 0
-	m.collectCrisisSamples(samples)
+	m.collectCrisisSamples(copies, viol)
 	if m.tel != nil {
 		m.tel.crisesDetected.Inc()
 	}
 	m.events.CrisisDetected(int64(e), p.id)
 }
 
-func (m *Monitor) collectCrisisSamples(samples [][]float64) {
+func (m *Monitor) collectCrisisSamples(copies [][]float64, viol []bool) {
 	p := &m.past[m.activeIdx]
-	for _, row := range samples {
-		p.fsX = append(p.fsX, append([]float64(nil), row...))
-		p.fsY = append(p.fsY, boolToLabel(m.cfg.SLA.MachineViolates(row)))
+	for i, row := range copies {
+		p.fsX = append(p.fsX, row)
+		p.fsY = append(p.fsY, boolToLabel(viol[i]))
 	}
 }
 
@@ -483,7 +631,12 @@ func (m *Monitor) endCrisis(e metrics.Epoch) {
 	m.activeIdx = -1
 	m.calm = 0
 	stored := false
+	// The raw feature-selection buffers are released on *every* exit path:
+	// when the crisis cannot be finalized (no thresholds yet, capture or
+	// store failure) keeping them would leak every machine row of the
+	// episode for the life of the process.
 	defer func() {
+		p.fsX, p.fsY = nil, nil
 		m.events.CrisisEnded(int64(e), p.id, int(e-p.start), stored)
 	}()
 	if m.thresholds == nil {
@@ -508,8 +661,24 @@ func (m *Monitor) endCrisis(e metrics.Epoch) {
 	if m.tel != nil {
 		m.tel.storeSize.SetInt(int64(m.store.Len()))
 	}
-	// Raw FS samples are no longer needed once the selection is cached.
-	p.fsX, p.fsY = nil, nil
+}
+
+// Flush finalizes a crisis that is still active when the input stream ends.
+// The two-calm-epoch close rule can never fire once no more epochs arrive,
+// so without Flush a trailing crisis would never be stored (nor its
+// feature-selection buffers released). The crisis is closed as of the last
+// observed epoch. It reports whether an active crisis was finalized; with
+// no crisis open it is a no-op.
+func (m *Monitor) Flush() bool {
+	if m.activeIdx < 0 {
+		return false
+	}
+	e := m.epoch
+	if e > 0 {
+		e--
+	}
+	m.endCrisis(e)
+	return true
 }
 
 // ResolveCrisis records the operator's diagnosis of a stored crisis.
@@ -526,13 +695,14 @@ func (m *Monitor) ResolveCrisis(id, label string) error {
 				m.tel.crisesLabeled.SetInt(int64(labeled))
 			}
 			m.events.CrisisResolved(id, label)
-			if i < m.store.Len() {
-				// Store order matches past order for finalized
-				// crises; locate by ID to be safe.
-				for j := 0; j < m.store.Len(); j++ {
-					if c, err := m.store.Crisis(j); err == nil && c.ID == id {
-						return m.store.SetLabel(j, label)
-					}
+			// Propagate the label to the store when this crisis was
+			// finalized. Located by ID, never by index: crises that
+			// failed to store make past and store indices diverge, so
+			// any index-based gate would skip stored crises that come
+			// after an unstored one.
+			for j := 0; j < m.store.Len(); j++ {
+				if c, err := m.store.Crisis(j); err == nil && c.ID == id {
+					return m.store.SetLabel(j, label)
 				}
 			}
 			return nil
@@ -575,7 +745,10 @@ func (m *Monitor) Stats() Stats {
 		ThresholdAgeEpochs: -1,
 	}
 	if m.thresholds != nil {
-		s.ThresholdAgeEpochs = int64(m.epoch - m.lastThresh)
+		// Same convention as the dcfp_threshold_age_epochs gauge: age is
+		// measured from the most recently observed epoch (m.epoch-1), not
+		// from the next epoch the monitor expects.
+		s.ThresholdAgeEpochs = int64(m.epoch) - 1 - int64(m.lastThresh)
 	}
 	if m.activeIdx >= 0 {
 		s.CrisisActive = true
@@ -633,6 +806,7 @@ func (m *Monitor) refreshThresholds(e metrics.Epoch) error {
 	}
 	m.thresholds = th
 	m.lastThresh = e
+	m.thGen++
 	return nil
 }
 
@@ -658,7 +832,12 @@ func (m *Monitor) currentFingerprinter() (*core.Fingerprinter, error) {
 	if pool == 0 {
 		// No crisis history yet: fall back to the all-metrics
 		// fingerprint until the first crisis's feature selection lands.
-		return core.NewFingerprinter(m.thresholds, core.AllMetrics(m.cfg.Catalog.Len()))
+		f, err := core.NewFingerprinter(m.thresholds, core.AllMetrics(m.cfg.Catalog.Len()))
+		if err != nil {
+			return nil, err
+		}
+		f.SetGeneration(m.thGen)
+		return f, nil
 	}
 	cols := make([]int, 0, len(freq))
 	for c := range freq {
@@ -677,7 +856,15 @@ func (m *Monitor) currentFingerprinter() (*core.Fingerprinter, error) {
 	if len(cols) > m.cfg.Selection.NumRelevant {
 		cols = cols[:m.cfg.Selection.NumRelevant]
 	}
-	return core.NewFingerprinter(m.thresholds, cols)
+	f, err := core.NewFingerprinter(m.thresholds, cols)
+	if err != nil {
+		return nil, err
+	}
+	// Tagging the fingerprinter with the thresholds generation lets the
+	// store cache per-crisis fingerprints within one (thresholds,
+	// relevant-set) window; see core.Store.
+	f.SetGeneration(m.thGen)
+	return f, nil
 }
 
 // identify performs the per-epoch identification of the active crisis; e is
@@ -707,6 +894,12 @@ func (m *Monitor) identify(e metrics.Epoch, k int) *Advice {
 			continue
 		}
 		cands = append(cands, candidate{label: c.Label, fp: fp})
+	}
+	if m.tel != nil {
+		h, miss := m.store.CacheStats()
+		m.tel.cacheHits.Add(h - m.lastCacheHits)
+		m.tel.cacheMiss.Add(miss - m.lastCacheMiss)
+		m.lastCacheHits, m.lastCacheMiss = h, miss
 	}
 	adv := &Advice{
 		CrisisID:   m.past[m.activeIdx].id,

@@ -1,0 +1,212 @@
+package monitor
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dcfp/internal/dcsim"
+	"dcfp/internal/metrics"
+	"dcfp/internal/sla"
+	"dcfp/internal/telemetry"
+)
+
+func equivStream(t *testing.T, seed int64) *dcsim.Stream {
+	t.Helper()
+	scfg := dcsim.DefaultStreamConfig(seed)
+	scfg.WarmupEpochs = 48
+	scfg.MeanGapEpochs = 24
+	s, err := dcsim.NewStream(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func equivMonitor(t *testing.T, s *dcsim.Stream, workers int, reg *telemetry.Registry) *Monitor {
+	t.Helper()
+	cfg := DefaultConfig(s.Catalog(), s.SLA())
+	cfg.ThresholdRefreshEpochs = 48
+	cfg.MinEpochsForThresholds = 96
+	cfg.Workers = workers
+	cfg.Telemetry = reg
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSerialParallelEquivalence is the tentpole determinism guarantee: on
+// the same seeded dcsim trace, a Workers=1 monitor and a Workers=4 monitor
+// produce identical EpochReport sequences — crises, advice, distances, the
+// lot — because exact-estimator shard merges preserve the value multiset
+// and SLA counts are order-independent sums.
+func TestSerialParallelEquivalence(t *testing.T) {
+	const seed, epochs = 42, 420
+	// Two streams with the same seed emit identical rows; each monitor
+	// gets its own because Next reuses the row buffer.
+	s1, sN := equivStream(t, seed), equivStream(t, seed)
+	m1 := equivMonitor(t, s1, 1, nil)
+	mN := equivMonitor(t, sN, 4, nil)
+
+	lastActive := false
+	label := ""
+	for i := 0; i < epochs; i++ {
+		rows1, act, err := s1.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowsN, _, err := sN.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := m1.ObserveEpoch(rows1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rN, err := mN.ObserveEpoch(rowsN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r1, rN) {
+			t.Fatalf("epoch %d: serial and parallel reports diverge:\nserial:   %+v\nparallel: %+v", i, r1, rN)
+		}
+		if act != nil {
+			label = fmt.Sprintf("type-%d", act.Type)
+		}
+		// Resolve each episode as it closes (in both monitors alike) so
+		// later identifications run with labeled candidates, exercising
+		// the fingerprint cache on both sides.
+		if lastActive && !r1.CrisisActive {
+			recs := m1.Crises()
+			id := recs[len(recs)-1].ID
+			if err := m1.ResolveCrisis(id, label); err != nil {
+				t.Fatal(err)
+			}
+			if err := mN.ResolveCrisis(id, label); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lastActive = r1.CrisisActive
+	}
+	if !reflect.DeepEqual(m1.Stats(), mN.Stats()) {
+		t.Fatalf("final stats diverge:\nserial:   %+v\nparallel: %+v", m1.Stats(), mN.Stats())
+	}
+	if got, want := mN.Crises(), m1.Crises(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("crisis records diverge:\nserial:   %+v\nparallel: %+v", want, got)
+	}
+	// The serial monitor never allocated extra shards; the parallel one did.
+	if m1.agg.Shards() != 1 {
+		t.Fatalf("serial monitor grew %d shards", m1.agg.Shards())
+	}
+	if mN.agg.Shards() < 2 {
+		t.Fatal("parallel monitor never sharded")
+	}
+}
+
+// TestParallelCacheHits checks the fingerprint cache pays off during online
+// identification: repeated Fingerprint calls within one threshold window
+// hit, and telemetry exports the counts.
+func TestParallelCacheHits(t *testing.T) {
+	const seed, epochs = 7, 420
+	s := equivStream(t, seed)
+	reg := telemetry.NewRegistry()
+	m := equivMonitor(t, s, 0, reg)
+	lastActive := false
+	label := ""
+	for i := 0; i < epochs; i++ {
+		rows, act, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := m.ObserveEpoch(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if act != nil {
+			label = fmt.Sprintf("type-%d", act.Type)
+		}
+		if lastActive && !rep.CrisisActive {
+			recs := m.Crises()
+			if err := m.ResolveCrisis(recs[len(recs)-1].ID, label); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lastActive = rep.CrisisActive
+	}
+	hits, misses := m.store.CacheStats()
+	if misses == 0 {
+		t.Fatal("identification never computed a cacheable fingerprint (no labeled candidates reached?)")
+	}
+	if hits == 0 {
+		t.Fatalf("fingerprint cache never hit (misses=%d)", misses)
+	}
+	hitC := reg.Counter("dcfp_fingerprint_cache_total", "", telemetry.Label{Key: "result", Value: "hit"}).Value()
+	missC := reg.Counter("dcfp_fingerprint_cache_total", "", telemetry.Label{Key: "result", Value: "miss"}).Value()
+	if hitC != hits || missC != misses {
+		t.Fatalf("telemetry counters %d/%d disagree with store stats %d/%d", hitC, missC, hits, misses)
+	}
+	if w := reg.Gauge("dcfp_monitor_workers", "").Value(); w < 1 {
+		t.Fatalf("dcfp_monitor_workers = %v", w)
+	}
+}
+
+// benchMonitorSized builds a monitor over nMachines x 100 metrics with the
+// given worker knob and pre-generates sample epochs.
+func benchMonitorSized(b *testing.B, nMachines, workers int) (*Monitor, [][][]float64) {
+	b.Helper()
+	const nMetrics = 100
+	names := make([]string, nMetrics)
+	for i := range names {
+		names[i] = fmt.Sprintf("metric_%03d", i)
+	}
+	cat, err := metrics.NewCatalog(names)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(cat, sla.Config{
+		KPIs:           []sla.KPI{{Name: "metric_000", Metric: 0, Threshold: 1e12}},
+		CrisisFraction: 0.10,
+	})
+	cfg.Workers = workers
+	m, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	epochs := make([][][]float64, 16)
+	for e := range epochs {
+		rows := make([][]float64, nMachines)
+		for i := range rows {
+			row := make([]float64, nMetrics)
+			for j := range row {
+				row[j] = 100 + rng.NormFloat64()*10
+			}
+			rows[i] = row
+		}
+		epochs[e] = rows
+	}
+	return m, epochs
+}
+
+// BenchmarkObserveEpochScale sweeps datacenter size x worker pool. The
+// Workers=1 rows are the serial reference; the speedup claim for the
+// sharded path is Workers=4 at 500 machines and above.
+func BenchmarkObserveEpochScale(b *testing.B) {
+	for _, machines := range []int{100, 500, 2000} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%dmach/workers%d", machines, workers), func(b *testing.B) {
+				m, epochs := benchMonitorSized(b, machines, workers)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := m.ObserveEpoch(epochs[i%len(epochs)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

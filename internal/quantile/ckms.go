@@ -183,6 +183,25 @@ func (s *CKMS) Query(q float64) (float64, error) {
 	return s.tuples[len(s.tuples)-1].v, nil
 }
 
+// Merge absorbs another CKMS sketch by re-inserting its buffered values and
+// its tuples weighted by coverage. Estimates stay within the combined error
+// budget; results are not bit-identical across shardings.
+func (s *CKMS) Merge(src Estimator) error {
+	o, ok := src.(*CKMS)
+	if !ok {
+		return fmt.Errorf("quantile: cannot merge %T into *CKMS", src)
+	}
+	for _, v := range o.buf {
+		s.Insert(v)
+	}
+	for _, t := range o.tuples {
+		for i := 0; i < t.g; i++ {
+			s.Insert(t.v)
+		}
+	}
+	return nil
+}
+
 // Count reports the number of observations inserted.
 func (s *CKMS) Count() int { return s.n + len(s.buf) }
 

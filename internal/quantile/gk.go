@@ -108,6 +108,24 @@ func (s *GK) Query(q float64) (float64, error) {
 	return s.tuples[len(s.tuples)-1].v, nil
 }
 
+// Merge absorbs another GK sketch by re-inserting its tuples weighted by
+// their coverage g. The merged sketch remains a valid ε'-summary with
+// ε' ≤ εa+εb; unlike Exact.Merge the result is not bit-identical across
+// different shardings, so sharded aggregation over GK trades exactness for
+// memory just like the underlying sketch does.
+func (s *GK) Merge(src Estimator) error {
+	o, ok := src.(*GK)
+	if !ok {
+		return fmt.Errorf("quantile: cannot merge %T into *GK", src)
+	}
+	for _, t := range o.tuples {
+		for i := 0; i < t.g; i++ {
+			s.Insert(t.v)
+		}
+	}
+	return nil
+}
+
 // Count reports the number of observations inserted.
 func (s *GK) Count() int { return s.n }
 
@@ -126,3 +144,7 @@ func (s *GK) Epsilon() float64 { return s.eps }
 
 var _ Estimator = (*GK)(nil)
 var _ Estimator = (*Exact)(nil)
+var _ Merger = (*GK)(nil)
+var _ Merger = (*Exact)(nil)
+var _ Merger = (*CKMS)(nil)
+var _ Merger = (*Reservoir)(nil)

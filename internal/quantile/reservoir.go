@@ -66,6 +66,25 @@ func (r *Reservoir) Query(q float64) (float64, error) {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
 }
 
+// Merge absorbs another reservoir by re-inserting its retained sample. The
+// union is a biased approximation of sampling the concatenated stream (each
+// retained value re-competes for a slot), which is acceptable for the
+// baseline role this estimator plays.
+func (r *Reservoir) Merge(src Estimator) error {
+	o, ok := src.(*Reservoir)
+	if !ok {
+		return fmt.Errorf("quantile: cannot merge %T into *Reservoir", src)
+	}
+	for _, v := range o.vals {
+		r.Insert(v)
+	}
+	// Insert only counted the retained sample; account for the source
+	// observations that were evicted so Count still reports the whole
+	// stream.
+	r.n += o.n - len(o.vals)
+	return nil
+}
+
 // Count reports the number of observations inserted (not the sample size).
 func (r *Reservoir) Count() int { return r.n }
 

@@ -78,6 +78,16 @@ func (c Config) MachineViolates(row []float64) bool {
 // Evaluate applies the KPI SLAs to every machine's sample row for an epoch
 // (values[machine][metric]) and applies the crisis rule.
 func (c Config) Evaluate(values [][]float64) (EpochStatus, error) {
+	return c.EvaluateInto(values, nil)
+}
+
+// EvaluateInto is Evaluate that additionally records each machine's any-KPI
+// violation flag into viol[i] when viol is non-nil (it must then have
+// len(values) entries). It exists so the one pass over the samples serves
+// both the crisis rule and the per-machine labels that feature selection
+// consumes, and so sharded evaluation can fill disjoint segments of one
+// flag slice concurrently.
+func (c Config) EvaluateInto(values [][]float64, viol []bool) (EpochStatus, error) {
 	st := EpochStatus{
 		ViolatingPerKPI: make([]int, len(c.KPIs)),
 		Machines:        len(values),
@@ -85,7 +95,10 @@ func (c Config) Evaluate(values [][]float64) (EpochStatus, error) {
 	if len(values) == 0 {
 		return st, errors.New("sla: no machines to evaluate")
 	}
-	for _, row := range values {
+	if viol != nil && len(viol) != len(values) {
+		return st, fmt.Errorf("sla: viol has %d entries for %d machines", len(viol), len(values))
+	}
+	for m, row := range values {
 		any := false
 		for i, k := range c.KPIs {
 			if k.Metric >= len(row) {
@@ -99,9 +112,30 @@ func (c Config) Evaluate(values [][]float64) (EpochStatus, error) {
 		if any {
 			st.ViolatingAny++
 		}
+		if viol != nil {
+			viol[m] = any
+		}
 	}
 	st.InCrisis = float64(st.ViolatingAny) >= c.CrisisFraction*float64(st.Machines)
 	return st, nil
+}
+
+// MergeStatuses combines partial epoch statuses computed over disjoint
+// machine subsets (one per worker shard) into the datacenter-wide status,
+// re-applying the crisis rule over the summed counts. Counts are sums, so
+// the merged status is identical to evaluating all machines in one call,
+// regardless of how the machines were split.
+func (c Config) MergeStatuses(parts []EpochStatus) EpochStatus {
+	st := EpochStatus{ViolatingPerKPI: make([]int, len(c.KPIs))}
+	for _, p := range parts {
+		for i, v := range p.ViolatingPerKPI {
+			st.ViolatingPerKPI[i] += v
+		}
+		st.ViolatingAny += p.ViolatingAny
+		st.Machines += p.Machines
+	}
+	st.InCrisis = float64(st.ViolatingAny) >= c.CrisisFraction*float64(st.Machines)
+	return st
 }
 
 // Episode is a contiguous run of crisis epochs, inclusive on both ends.
