@@ -12,15 +12,35 @@
 // accuracy improves as the store fills — watch dcfp_advice_emitted_total
 // {verdict="known"} start moving once repeat crisis types arrive.
 //
+// The telemetry pipeline between simulator and monitor can be made hostile
+// with the -fault-* flags (machine dropout, NaN/Inf/spike corruption,
+// duplicated/delayed/dropped/truncated epochs); the monitor's degraded-data
+// ingestion and the epoch reorder window (-reorder-window) absorb them.
+//
+// With -checkpoint-dir set the daemon atomically snapshots the full monitor
+// state every -checkpoint-every epochs (and on graceful shutdown), and
+// restores from the latest snapshot at startup — a crash loses at most one
+// checkpoint interval of learning. A corrupt checkpoint is logged and
+// ignored (cold start), never trusted.
+//
 // Usage:
 //
 //	dcfpd [-addr :9137] [-machines 100] [-seed 42] [-interval 100ms]
 //	      [-mean-gap-days 2] [-resolve-after 96] [-threshold-days 2]
 //	      [-max-epochs 0] [-workers 0] [-log text|json]
+//	      [-checkpoint-dir DIR] [-checkpoint-every 96]
+//	      [-min-coverage 0.5] [-reorder-window 4] [-advice-out FILE]
+//	      [-fault-seed 1] [-fault-dropout 0] [-fault-blank 0]
+//	      [-fault-corrupt 0] [-fault-duplicate 0] [-fault-delay 0]
+//	      [-fault-drop-epoch 0] [-fault-truncate 0]
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -59,10 +79,26 @@ func main() {
 		meanGapDays   = flag.Float64("mean-gap-days", 2, "mean days between injected crises")
 		resolveAfter  = flag.Int("resolve-after", metrics.EpochsPerDay, "epochs after a crisis ends until its ground-truth diagnosis is filed (0 = never)")
 		thresholdDays = flag.Int("threshold-days", 2, "days of history before hot/cold thresholds are established")
-		maxEpochs     = flag.Int("max-epochs", 0, "stop after this many epochs (0 = run until signalled)")
+		maxEpochs     = flag.Int("max-epochs", 0, "stop after this many source epochs, counting any restored from a checkpoint (0 = run until signalled)")
 		alpha         = flag.Float64("alpha", 0.05, "identification false-positive budget")
 		workers       = flag.Int("workers", 0, "epoch ingestion worker pool (0 = GOMAXPROCS, 1 = serial)")
 		logFormat     = flag.String("log", "text", "event log format on stderr: text or json")
+
+		minCoverage   = flag.Float64("min-coverage", 0.5, "minimum reporting-machine fraction before an epoch is flagged degraded (0 disables the floor)")
+		reorderWindow = flag.Int("reorder-window", 4, "epochs of out-of-order arrival the ingestor buffers before declaring stragglers lost")
+		adviceOut     = flag.String("advice-out", "", "append each identification advice as a JSON line to this file")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for atomic monitor snapshots (empty = checkpointing off)")
+		ckptEvery = flag.Int("checkpoint-every", metrics.EpochsPerDay, "epochs between checkpoints")
+
+		faultSeed      = flag.Int64("fault-seed", 1, "fault injector RNG seed")
+		faultDropout   = flag.Float64("fault-dropout", 0, "per-machine-epoch probability of starting a dropout stretch")
+		faultBlank     = flag.Float64("fault-blank", 0, "per-cell probability a metric value is blanked to NaN")
+		faultCorrupt   = flag.Float64("fault-corrupt", 0, "per-cell probability a value is corrupted (NaN/Inf/spike)")
+		faultDuplicate = flag.Float64("fault-duplicate", 0, "per-epoch probability the epoch is emitted twice")
+		faultDelay     = flag.Float64("fault-delay", 0, "per-epoch probability the epoch arrives late and out of order")
+		faultDropEpoch = flag.Float64("fault-drop-epoch", 0, "per-epoch probability the epoch vanishes entirely")
+		faultTruncate  = flag.Float64("fault-truncate", 0, "per-epoch probability the epoch is cut off mid-machine")
 	)
 	flag.Parse()
 
@@ -88,6 +124,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	inj, err := dcsim.NewFaultInjector(stream, dcsim.FaultConfig{
+		Seed:          *faultSeed,
+		DropoutRate:   *faultDropout,
+		BlankRate:     *faultBlank,
+		CorruptRate:   *faultCorrupt,
+		DuplicateRate: *faultDuplicate,
+		DelayRate:     *faultDelay,
+		DropEpochRate: *faultDropEpoch,
+		TruncateRate:  *faultTruncate,
+		Telemetry:     reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	mcfg := monitor.DefaultConfig(stream.Catalog(), stream.SLA())
 	mcfg.Alpha = *alpha
@@ -95,14 +145,71 @@ func main() {
 	mcfg.Telemetry = reg
 	mcfg.Events = events
 	mcfg.Workers = *workers
+	mcfg.MinCoverage = *minCoverage
+	mcfg.ExpectedMachines = *machines
 	mon, err := monitor.New(mcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ing, err := monitor.NewIngestor(mon, monitor.IngestConfig{
+		ReorderWindow: *reorderWindow,
+		Telemetry:     reg,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The monitor is single-goroutine; the daemon wraps all access (the
 	// epoch loop and the HTTP snapshot functions) in one mutex.
-	d := &daemon{mon: mon, start: time.Now()}
+	d := &daemon{mon: mon, ing: ing, start: time.Now()}
+
+	// Restore from the newest checkpoint, if any. A corrupt or unreadable
+	// checkpoint is logged and skipped — a cold start beats trusting it.
+	var emitted int64
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		n, restored, rerr := d.restore(*ckptDir)
+		switch {
+		case rerr != nil:
+			// The monitor may be partially restored; rebuild it (the
+			// registry hands back the already-registered collectors).
+			log.Printf("WARNING: ignoring checkpoint in %s (starting cold): %v", *ckptDir, rerr)
+			if mon, err = monitor.New(mcfg); err != nil {
+				log.Fatal(err)
+			}
+			ing, err = monitor.NewIngestor(mon, monitor.IngestConfig{
+				ReorderWindow: *reorderWindow,
+				Telemetry:     reg,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			d.mon, d.ing = mon, ing
+		case restored:
+			emitted = n
+			log.Printf("restored checkpoint: %d emissions already ingested, monitor at epoch %d",
+				n, d.stats().EpochsSeen)
+		}
+	}
+	// Fast-forward the deterministic simulator+injector past everything the
+	// restored monitor has already seen (both are rebuilt from their seeds).
+	for i := int64(0); i < emitted; i++ {
+		if _, err := inj.Next(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var adviceW *os.File
+	if *adviceOut != "" {
+		adviceW, err = os.OpenFile(*adviceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer adviceW.Close()
+		d.adviceW = adviceW
+	}
 
 	h := telemetry.Handler(reg, d.health, d.crises)
 	srv, bound, err := telemetry.Serve(*addr, h)
@@ -121,13 +228,20 @@ func main() {
 		defer tick.Stop()
 	}
 loop:
-	for n := 0; *maxEpochs == 0 || n < *maxEpochs; n++ {
-		rows, active, err := stream.Next()
+	for *maxEpochs == 0 || inj.Stats().Epochs < int64(*maxEpochs) {
+		ep, err := inj.NextContext(ctx)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				break
+			}
 			log.Fatal(err)
 		}
-		if err := d.step(rows, active, *resolveAfter); err != nil {
+		emitted++
+		if err := d.step(ep, *resolveAfter); err != nil {
 			log.Fatal(err)
+		}
+		if *ckptDir != "" && *ckptEvery > 0 && emitted%int64(*ckptEvery) == 0 {
+			d.checkpoint(*ckptDir)
 		}
 		if tick != nil {
 			select {
@@ -143,6 +257,9 @@ loop:
 	shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(shCtx)
+	if *ckptDir != "" {
+		d.checkpoint(*ckptDir)
+	}
 	if d.flush() {
 		log.Print("finalized crisis still open at stream end")
 	}
@@ -155,28 +272,49 @@ loop:
 type daemon struct {
 	mu      sync.Mutex
 	mon     *monitor.Monitor
+	ing     *monitor.Ingestor
 	start   time.Time
 	advice  []monitor.Advice
 	truth   map[string]string // monitor crisis ID -> ground-truth label
 	pending []pendingResolve
 	lastID  string // monitor ID of the most recent active crisis
 	wasIn   bool
+	emitted int64 // injector emissions ingested (for checkpoint fast-forward)
+	adviceW *os.File
 }
 
-// step feeds one epoch into the monitor and advances the simulated
-// operator: ground-truth bookkeeping and scheduled resolutions.
-func (d *daemon) step(rows [][]float64, active *crisis.Instance, resolveAfter int) error {
+// step feeds one (possibly faulty) source-epoch emission through the
+// ingestor and advances the simulated operator for every epoch report the
+// sequencer released.
+func (d *daemon) step(ep dcsim.FaultyEpoch, resolveAfter int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	rep, err := d.mon.ObserveEpoch(rows)
+	d.emitted++
+	reps, err := d.ing.Ingest(metrics.Epoch(ep.Epoch), ep.Rows)
 	if err != nil {
 		return err
 	}
+	for _, rep := range reps {
+		if err := d.observe(rep, ep.Active, resolveAfter); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// observe runs the operator bookkeeping for one epoch report. Caller holds
+// the mutex.
+func (d *daemon) observe(rep *monitor.EpochReport, active *crisis.Instance, resolveAfter int) error {
 	if rep.Advice != nil {
 		if len(d.advice) == adviceRingSize {
 			d.advice = d.advice[1:]
 		}
 		d.advice = append(d.advice, *rep.Advice)
+		if d.adviceW != nil {
+			if b, err := json.Marshal(rep.Advice); err == nil {
+				fmt.Fprintf(d.adviceW, "%s\n", b)
+			}
+		}
 	}
 	if rep.CrisisActive {
 		st := d.mon.Stats()
@@ -212,6 +350,80 @@ func (d *daemon) step(rows [][]float64, active *crisis.Instance, resolveAfter in
 	}
 	d.pending = kept
 	return nil
+}
+
+// daemonState is the daemon-side bookkeeping carried in a checkpoint's
+// Extra blob (exported mirror of the unexported working fields).
+type daemonState struct {
+	Truth   map[string]string
+	Pending []pendingState
+	LastID  string
+	WasIn   bool
+	Advice  []monitor.Advice
+	Ingest  monitor.IngestorState
+	Emitted int64
+}
+
+type pendingState struct {
+	Due   metrics.Epoch
+	ID    string
+	Label string
+}
+
+// checkpoint snapshots monitor + daemon state into dir. Failures are logged
+// and survived: the daemon keeps running and retries at the next interval.
+func (d *daemon) checkpoint(dir string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ds := daemonState{
+		Truth:   d.truth,
+		LastID:  d.lastID,
+		WasIn:   d.wasIn,
+		Advice:  d.advice,
+		Ingest:  d.ing.State(),
+		Emitted: d.emitted,
+	}
+	for _, p := range d.pending {
+		ds.Pending = append(ds.Pending, pendingState{Due: p.due, ID: p.id, Label: p.label})
+	}
+	var extra bytes.Buffer
+	if err := gob.NewEncoder(&extra).Encode(&ds); err != nil {
+		log.Printf("WARNING: checkpoint skipped (daemon state encode): %v", err)
+		return
+	}
+	meta := monitor.CheckpointMeta{SourceEpoch: d.emitted, Extra: extra.Bytes()}
+	if _, err := d.mon.SaveCheckpoint(dir, meta, 3, 200*time.Millisecond); err != nil {
+		log.Printf("WARNING: checkpoint save failed: %v", err)
+	}
+}
+
+// restore loads the checkpoint in dir, if present, into the monitor and the
+// daemon bookkeeping. It returns how many injector emissions the snapshot
+// had consumed so the caller can fast-forward the simulator.
+func (d *daemon) restore(dir string) (int64, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	meta, ok, err := monitor.LoadCheckpoint(dir, d.mon)
+	if err != nil || !ok {
+		return 0, false, err
+	}
+	var ds daemonState
+	if err := gob.NewDecoder(bytes.NewReader(meta.Extra)).Decode(&ds); err != nil {
+		return 0, false, fmt.Errorf("daemon state decode (monitor state was consistent, but restarting cold for coherence): %w", err)
+	}
+	if err := d.ing.SetState(ds.Ingest); err != nil {
+		return 0, false, err
+	}
+	d.truth = ds.Truth
+	d.pending = d.pending[:0]
+	for _, p := range ds.Pending {
+		d.pending = append(d.pending, pendingResolve{due: p.Due, id: p.ID, label: p.Label})
+	}
+	d.lastID = ds.LastID
+	d.wasIn = ds.WasIn
+	d.advice = ds.Advice
+	d.emitted = ds.Emitted
+	return ds.Emitted, true, nil
 }
 
 func (d *daemon) stats() monitor.Stats {

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dcfp/internal/monitor"
+)
+
+// buildDaemon compiles dcfpd into dir and returns the binary path.
+func buildDaemon(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "dcfpd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemonArgs is the shared deterministic configuration: faults off, fixed
+// seed, a short crisis cadence so several identifications land within the
+// horizon.
+func daemonArgs(extra ...string) []string {
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-machines", "30",
+		"-seed", "42",
+		"-interval", "0",
+		"-mean-gap-days", "0.25",
+		"-threshold-days", "1",
+		"-resolve-after", "24",
+		"-max-epochs", "360",
+	}
+	return append(args, extra...)
+}
+
+// readAdvice parses a JSON-lines advice file into a per-epoch map. A torn
+// final line (the writer may have been SIGKILLed mid-write) is skipped.
+func readAdvice(t *testing.T, path string) map[int64]monitor.Advice {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	out := make(map[int64]monitor.Advice)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var a monitor.Advice
+		if err := json.Unmarshal(sc.Bytes(), &a); err != nil {
+			continue
+		}
+		out[int64(a.Epoch)] = a
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestCheckpointKillAndRestore is the crash-recovery satellite: a daemon
+// SIGKILLed mid-stream and restarted from its checkpoint directory must end
+// up emitting exactly the identification advice of an uninterrupted run.
+func TestCheckpointKillAndRestore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec test: builds and runs the daemon three times")
+	}
+	dir := t.TempDir()
+	bin := buildDaemon(t, dir)
+
+	// Run A: uninterrupted reference.
+	adviceA := filepath.Join(dir, "adviceA.jsonl")
+	cmd := exec.Command(bin, daemonArgs("-advice-out", adviceA)...)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, out)
+	}
+	refAdvice := readAdvice(t, adviceA)
+	if len(refAdvice) == 0 {
+		t.Fatal("reference run emitted no advice; the comparison would be vacuous")
+	}
+
+	// Run B phase 1: checkpoint every 24 epochs, throttled so we can
+	// SIGKILL it mid-stream, well past at least one checkpoint.
+	adviceB := filepath.Join(dir, "adviceB.jsonl")
+	ckptDir := filepath.Join(dir, "ckpt")
+	bArgs := daemonArgs(
+		"-advice-out", adviceB,
+		"-checkpoint-dir", ckptDir,
+		"-checkpoint-every", "24",
+	)
+	phase1 := exec.Command(bin, replaceFlag(bArgs, "-interval", "10ms")...)
+	var phase1Log bytes.Buffer
+	phase1.Stdout, phase1.Stderr = &phase1Log, &phase1Log
+	if err := phase1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ckptFile := filepath.Join(ckptDir, monitor.CheckpointFileName)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(ckptFile); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = phase1.Process.Kill()
+			t.Fatalf("no checkpoint appeared within 30s; daemon log:\n%s", phase1Log.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Let it get some epochs past the checkpoint before the crash, so the
+	// restart genuinely replays work that was lost.
+	time.Sleep(500 * time.Millisecond)
+	if err := phase1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	err := phase1.Wait()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ProcessState.Success() {
+		t.Fatalf("daemon was not killed mid-run (err=%v); log:\n%s", err, phase1Log.String())
+	}
+
+	// Run B phase 2: same command line, flat out. It must restore from the
+	// checkpoint and finish the remaining epochs.
+	phase2 := exec.Command(bin, bArgs...)
+	out, err := phase2.CombinedOutput()
+	if err != nil {
+		t.Fatalf("restart after kill: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "restored checkpoint") {
+		t.Fatalf("restart did not restore from checkpoint; log:\n%s", out)
+	}
+
+	gotAdvice := readAdvice(t, adviceB)
+	if len(gotAdvice) != len(refAdvice) {
+		t.Errorf("advice count differs: uninterrupted %d, kill-and-restore %d",
+			len(refAdvice), len(gotAdvice))
+	}
+	for e, want := range refAdvice {
+		got, ok := gotAdvice[e]
+		if !ok {
+			t.Errorf("epoch %d: advice missing after kill-and-restore", e)
+			continue
+		}
+		if got != want {
+			t.Errorf("epoch %d: advice differs after kill-and-restore:\n got %+v\nwant %+v", e, got, want)
+		}
+	}
+}
+
+// replaceFlag returns args with the value following name replaced.
+func replaceFlag(args []string, name, value string) []string {
+	out := append([]string(nil), args...)
+	for i := 0; i < len(out)-1; i++ {
+		if out[i] == name {
+			out[i+1] = value
+		}
+	}
+	return out
+}
+
+// TestDaemonColdStartWithCorruptCheckpoint: a mangled checkpoint file must
+// be logged and skipped, not trusted — the daemon starts cold and completes.
+func TestDaemonColdStartWithCorruptCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec test")
+	}
+	dir := t.TempDir()
+	bin := buildDaemon(t, dir)
+	ckptDir := filepath.Join(dir, "ckpt")
+	if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(ckptDir, monitor.CheckpointFileName), []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, replaceFlag(daemonArgs("-checkpoint-dir", ckptDir), "-max-epochs", "50")...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("daemon with corrupt checkpoint failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "starting cold") {
+		t.Fatalf("corrupt checkpoint was not reported; log:\n%s", out)
+	}
+}

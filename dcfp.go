@@ -228,6 +228,33 @@ func TelemetryHandler(reg *TelemetryRegistry, health func() any, crises func() a
 	return telemetry.Handler(reg, health, crises)
 }
 
+// CheckpointMeta is caller-owned metadata stored alongside a Monitor
+// checkpoint (source position, opaque daemon state).
+type CheckpointMeta = monitor.CheckpointMeta
+
+// LoadCheckpoint restores the newest checkpoint in dir into mon. A missing
+// checkpoint is a clean cold start (ok=false, nil error); a corrupt one is
+// an error with mon untouched.
+func LoadCheckpoint(dir string, mon *Monitor) (CheckpointMeta, bool, error) {
+	return monitor.LoadCheckpoint(dir, mon)
+}
+
+// Ingestor sequences a possibly duplicated/reordered epoch stream in front
+// of a Monitor: duplicates drop, stragglers buffer inside a bounded reorder
+// window and replay in order, overdue epochs are declared lost.
+type Ingestor = monitor.Ingestor
+
+// IngestConfig tunes an Ingestor.
+type IngestConfig = monitor.IngestConfig
+
+// DefaultIngestConfig returns the default reorder window.
+func DefaultIngestConfig() IngestConfig { return monitor.DefaultIngestConfig() }
+
+// NewIngestor wraps a Monitor in an epoch sequencer.
+func NewIngestor(mon *Monitor, cfg IngestConfig) (*Ingestor, error) {
+	return monitor.NewIngestor(mon, cfg)
+}
+
 // IdentificationEpochs is how many epochs identification runs per crisis.
 const IdentificationEpochs = ident.IdentificationEpochs
 
@@ -262,6 +289,27 @@ func DefaultSimStreamConfig(seed int64) SimStreamConfig { return dcsim.DefaultSt
 
 // NewSimStream builds a continuous epoch stream.
 func NewSimStream(cfg SimStreamConfig) (*SimStream, error) { return dcsim.NewStream(cfg) }
+
+// FaultConfig tunes the telemetry-pipeline fault injector: machine dropout
+// stretches, NaN/Inf/spike cell corruption, duplicated/delayed/dropped/
+// truncated epochs. The zero value (plus a seed) is a clean passthrough.
+type FaultConfig = dcsim.FaultConfig
+
+// FaultInjector wraps a SimStream and corrupts its output reproducibly.
+type FaultInjector = dcsim.FaultInjector
+
+// FaultyEpoch is one emission of a FaultInjector: a source epoch index
+// (which may repeat, skip, or go backwards) plus its possibly corrupted
+// rows.
+type FaultyEpoch = dcsim.FaultyEpoch
+
+// DefaultFaultConfig returns mild real-world-ish fault rates.
+func DefaultFaultConfig(seed int64) FaultConfig { return dcsim.DefaultFaultConfig(seed) }
+
+// NewFaultInjector wraps a stream in a seeded fault injector.
+func NewFaultInjector(s *SimStream, cfg FaultConfig) (*FaultInjector, error) {
+	return dcsim.NewFaultInjector(s, cfg)
+}
 
 // StandardCatalog returns the simulator's ~100-metric catalog.
 func StandardCatalog() *Catalog { return dcsim.StandardCatalog() }

@@ -1,0 +1,273 @@
+package dcsim
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func faultStream(t *testing.T, seed int64) *Stream {
+	t.Helper()
+	cfg := DefaultStreamConfig(seed)
+	cfg.WarmupEpochs = 8
+	cfg.MeanGapEpochs = 16
+	s, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFaultInjectorPassthroughWhenDisabled: a zero config emits exactly the
+// clean stream's epochs, in order, with equal values — but in freshly owned
+// slices, immune to the stream's buffer reuse.
+func TestFaultInjectorPassthroughWhenDisabled(t *testing.T) {
+	clean := faultStream(t, 5)
+	wrapped := faultStream(t, 5)
+	inj, err := NewFaultInjector(wrapped, FaultConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev [][]float64
+	for e := 0; e < 50; e++ {
+		want, _, err := clean.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := inj.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Epoch != int64(e) {
+			t.Fatalf("epoch %d emitted as %d", e, got.Epoch)
+		}
+		if !reflect.DeepEqual(got.Rows, want) {
+			t.Fatalf("epoch %d rows differ from clean stream", e)
+		}
+		if prev != nil && &prev[0][0] == &got.Rows[0][0] {
+			t.Fatal("injector reused row storage across epochs")
+		}
+		prev = got.Rows
+	}
+	st := inj.Stats()
+	if st.Emitted != 50 || st.MachineDrops+st.CellsBlanked+st.CellsCorrupt+st.Duplicated+st.Delayed+st.DroppedEpochs+st.Truncated != 0 {
+		t.Fatalf("disabled injector recorded faults: %+v", st)
+	}
+}
+
+// TestFaultInjectorDeterministic: same (stream seed, fault seed) replays the
+// identical corrupted sequence.
+func TestFaultInjectorDeterministic(t *testing.T) {
+	run := func() []FaultyEpoch {
+		inj, err := NewFaultInjector(faultStream(t, 5), DefaultFaultConfig(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []FaultyEpoch
+		for i := 0; i < 200; i++ {
+			ep, err := inj.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, ep)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("emission counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !faultyEpochsEqual(a[i], b[i]) {
+			t.Fatalf("same seeds diverged at emission %d", i)
+		}
+	}
+}
+
+// faultyEpochsEqual compares emissions treating NaN cells as equal
+// (reflect.DeepEqual would call every blanked cell a mismatch).
+func faultyEpochsEqual(a, b FaultyEpoch) bool {
+	if a.Epoch != b.Epoch || len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	if (a.Active == nil) != (b.Active == nil) || (a.Active != nil && *a.Active != *b.Active) {
+		return false
+	}
+	for m := range a.Rows {
+		ra, rb := a.Rows[m], b.Rows[m]
+		if (ra == nil) != (rb == nil) || len(ra) != len(rb) {
+			return false
+		}
+		for j := range ra {
+			if ra[j] != rb[j] && !(math.IsNaN(ra[j]) && math.IsNaN(rb[j])) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestFaultInjectorFaultClasses drives aggressive rates and checks each
+// fault class actually manifests in the emitted epochs.
+func TestFaultInjectorFaultClasses(t *testing.T) {
+	cfg := FaultConfig{
+		Seed:             3,
+		DropoutRate:      0.02,
+		DropoutMinEpochs: 2,
+		DropoutMaxEpochs: 6,
+		BlankRate:        0.01,
+		CorruptRate:      0.01,
+		SpikeFactor:      1e6,
+		DuplicateRate:    0.05,
+		DelayRate:        0.05,
+		DelayMaxEpochs:   3,
+		DropEpochRate:    0.03,
+		TruncateRate:     0.05,
+	}
+	inj, err := NewFaultInjector(faultStream(t, 5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := 100 // DefaultStreamConfig
+	var sawNil, sawNaN, sawInf, sawSpike, sawShort, sawDup, sawBackward bool
+	seen := map[int64]int{}
+	lastEpoch := int64(-1)
+	for i := 0; i < 600; i++ {
+		ep, err := inj.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[ep.Epoch]++
+		if seen[ep.Epoch] > 1 {
+			sawDup = true
+		}
+		if ep.Epoch < lastEpoch {
+			sawBackward = true
+		}
+		lastEpoch = ep.Epoch
+		if len(ep.Rows) < machines {
+			sawShort = true
+		}
+		for _, row := range ep.Rows {
+			if row == nil {
+				sawNil = true
+				continue
+			}
+			for _, v := range row {
+				switch {
+				case math.IsNaN(v):
+					sawNaN = true
+				case math.IsInf(v, 0):
+					sawInf = true
+				case v > 1e8: // spike: base values are worlds below SpikeFactor
+					sawSpike = true
+				}
+			}
+		}
+	}
+	st := inj.Stats()
+	if !sawNil || st.MachineDrops == 0 {
+		t.Errorf("dropout never manifested (stats %+v)", st)
+	}
+	if !sawNaN || st.CellsBlanked == 0 {
+		t.Errorf("blanking never manifested (stats %+v)", st)
+	}
+	if !sawInf || !sawSpike || st.CellsCorrupt == 0 {
+		t.Errorf("corruption incomplete: inf=%v spike=%v (stats %+v)", sawInf, sawSpike, st)
+	}
+	if !sawShort || st.Truncated == 0 {
+		t.Errorf("truncation never manifested (stats %+v)", st)
+	}
+	if !sawDup || st.Duplicated == 0 {
+		t.Errorf("duplication never manifested (stats %+v)", st)
+	}
+	if !sawBackward || st.Delayed == 0 {
+		t.Errorf("delay/reorder never manifested (stats %+v)", st)
+	}
+	if st.DroppedEpochs == 0 {
+		t.Errorf("epoch drops never manifested (stats %+v)", st)
+	}
+	// Dropped epochs leave holes: some source epochs were never emitted.
+	missing := 0
+	for e := int64(0); e < st.Epochs; e++ {
+		if seen[e] == 0 {
+			missing++
+		}
+	}
+	if missing == 0 {
+		t.Error("no source epoch is missing despite DropEpochRate")
+	}
+}
+
+// TestFaultInjectorDropoutStretches: a dropped-out machine stays dark for a
+// consecutive stretch within the configured bounds, then comes back.
+func TestFaultInjectorDropoutStretches(t *testing.T) {
+	cfg := FaultConfig{Seed: 7, DropoutRate: 0.01, DropoutMinEpochs: 3, DropoutMaxEpochs: 5}
+	inj, err := NewFaultInjector(faultStream(t, 5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const epochs = 300
+	dark := map[int][]int64{} // machine -> epochs it was dark at
+	for i := 0; i < epochs; i++ {
+		ep, err := inj.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m, row := range ep.Rows {
+			if row == nil {
+				dark[m] = append(dark[m], ep.Epoch)
+			}
+		}
+	}
+	if len(dark) == 0 {
+		t.Fatal("no machine ever dropped out")
+	}
+	for m, es := range dark {
+		// Split into consecutive runs and bound-check each (the final run
+		// may be cut short by the end of the trace).
+		run := 1
+		for i := 1; i <= len(es); i++ {
+			if i < len(es) && es[i] == es[i-1]+1 {
+				run++
+				continue
+			}
+			if i < len(es) && run < cfg.DropoutMinEpochs {
+				t.Fatalf("machine %d dark for %d epochs, min %d", m, run, cfg.DropoutMinEpochs)
+			}
+			if run > cfg.DropoutMaxEpochs {
+				t.Fatalf("machine %d dark for %d epochs, max %d", m, run, cfg.DropoutMaxEpochs)
+			}
+			run = 1
+		}
+	}
+}
+
+// TestStreamNextContextCancellation is the satellite check: a cancelled
+// context aborts promptly even at 2000 machines, and a live context behaves
+// exactly like Next.
+func TestStreamNextContextCancellation(t *testing.T) {
+	cfg := DefaultStreamConfig(21)
+	cfg.Machines = 2000
+	s, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.NextContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.NextContext(ctx); err != context.Canceled {
+		t.Fatalf("cancelled NextContext returned %v, want context.Canceled", err)
+	}
+	// Cancellation propagates through the injector, too.
+	inj, err := NewFaultInjector(s, FaultConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inj.NextContext(ctx); err != context.Canceled {
+		t.Fatalf("cancelled injector NextContext returned %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package dcsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -29,6 +30,11 @@ type StreamConfig struct {
 	MeanGapEpochs float64
 	// MinDuration/MaxDuration bound per-instance fault length in epochs.
 	MinDuration, MaxDuration int
+	// Types, when non-empty, restricts the crisis pool: each scheduled
+	// instance draws uniformly from this list instead of the full catalog.
+	// Repeating a type makes repeat crises (and thus known-crisis
+	// identification) far more likely on short traces.
+	Types []crisis.Type
 	// Workload shapes the load signal.
 	Workload workload.Config
 	// Telemetry optionally receives the same dcfp_sim_* metrics Simulate
@@ -66,6 +72,11 @@ func (c StreamConfig) validate() error {
 	}
 	if c.MinDuration < 1 || c.MaxDuration < c.MinDuration {
 		return fmt.Errorf("dcsim: bad duration bounds [%d,%d]", c.MinDuration, c.MaxDuration)
+	}
+	for _, ty := range c.Types {
+		if int(ty) < 0 || int(ty) >= crisis.NumTypes {
+			return fmt.Errorf("dcsim: unknown crisis type %d in Types", ty)
+		}
 	}
 	return nil
 }
@@ -171,6 +182,9 @@ func (s *Stream) schedule(notBefore metrics.Epoch) error {
 	gap := metrics.Epoch(1 + int(s.rng.ExpFloat64()*s.cfg.MeanGapEpochs))
 	start := notBefore + gap
 	ty := crisis.UnlabeledTypes(1, s.rng)[0]
+	if len(s.cfg.Types) > 0 {
+		ty = s.cfg.Types[s.rng.Intn(len(s.cfg.Types))]
+	}
 	win := crisis.ScheduleConfig{
 		PeriodStart:   start,
 		PeriodEnd:     start + metrics.Epoch(s.cfg.MaxDuration),
@@ -212,6 +226,24 @@ func (s *Stream) schedule(notBefore metrics.Epoch) error {
 // crises). The returned slice is reused on the following call — consumers
 // that retain rows must copy them (monitor.ObserveEpoch already does).
 func (s *Stream) Next() ([][]float64, *crisis.Instance, error) {
+	return s.NextContext(context.Background())
+}
+
+// checkCancelEvery is how many machine rows NextContext generates between
+// context checks: frequent enough that a 2000-machine epoch aborts promptly,
+// rare enough to stay off the per-row hot path.
+const checkCancelEvery = 64
+
+// NextContext is Next with cancellation: the context is checked before any
+// state advances and again every checkCancelEvery machine rows. A cancelled
+// call returns ctx.Err() with the epoch only partially generated — the
+// stream's RNG and workload state have advanced, so the stream must not be
+// reused for a deterministic continuation afterwards (tear it down; this is
+// shutdown support, not pause/resume).
+func (s *Stream) NextContext(ctx context.Context) ([][]float64, *crisis.Instance, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	var t0 time.Time
 	if s.tel != nil {
 		t0 = time.Now()
@@ -235,6 +267,11 @@ func (s *Stream) Next() ([][]float64, *crisis.Instance, error) {
 	}
 
 	for m := 0; m < s.cfg.Machines; m++ {
+		if m%checkCancelEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		row := s.rows[m]
 		for j, sp := range s.specs {
 			v := sp.base * math.Pow(intensity, sp.loadExp) * s.mf[m][j] *

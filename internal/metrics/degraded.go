@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"dcfp/internal/quantile"
+)
+
+// Degraded-data ingestion: real collectors deliver rows with holes — NaN for
+// a metric the agent failed to sample, Inf from a division blow-up, or no
+// row at all for a machine that is down. The paper assumes complete
+// telemetry (§4.1); these variants keep the per-epoch quantile summary
+// well-defined anyway by filtering non-finite values before they reach the
+// estimators and by carrying the previous epoch's quantiles forward for a
+// metric no machine reported.
+
+// ObserveFiltered is Observe that skips non-finite values instead of feeding
+// them to the estimators. It reports how many values were dropped.
+func (a *Aggregator) ObserveFiltered(row []float64) (int, error) {
+	return observeFilteredInto(a.shards[0], row)
+}
+
+// ObserveBatchFiltered is ObserveBatch with the same non-finite filtering.
+// A nil row marks a machine that delivered nothing this epoch and is skipped
+// whole. When reporting is non-nil (len(rows) entries), reporting[i] is set
+// to whether row i contributed at least one finite value.
+func (a *Aggregator) ObserveBatchFiltered(shard int, rows [][]float64, reporting []bool) (int, error) {
+	if shard < 0 || shard >= len(a.shards) {
+		return 0, fmt.Errorf("metrics: shard %d out of %d (call EnsureShards first)", shard, len(a.shards))
+	}
+	if reporting != nil && len(reporting) != len(rows) {
+		return 0, fmt.Errorf("metrics: reporting has %d entries for %d rows", len(reporting), len(rows))
+	}
+	ests := a.shards[shard]
+	dropped := 0
+	for i, row := range rows {
+		if row == nil {
+			if reporting != nil {
+				reporting[i] = false
+			}
+			continue
+		}
+		d, err := observeFilteredInto(ests, row)
+		if err != nil {
+			return dropped, err
+		}
+		dropped += d
+		if reporting != nil {
+			reporting[i] = d < len(row)
+		}
+	}
+	return dropped, nil
+}
+
+func observeFilteredInto(ests []quantile.Estimator, row []float64) (int, error) {
+	if len(row) != len(ests) {
+		return 0, fmt.Errorf("metrics: row has %d values, want %d", len(row), len(ests))
+	}
+	dropped := 0
+	for m, v := range row {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			dropped++
+			continue
+		}
+		ests[m].Insert(v)
+	}
+	return dropped, nil
+}
+
+// summarizeMetricLenient is summarizeMetric that tolerates a metric with no
+// observations this epoch: instead of failing the whole epoch it reports a
+// gap and falls back to prev[m] (the previous epoch's quantiles — last
+// observation carried forward), or zeros when no previous summary exists.
+func (a *Aggregator) summarizeMetricLenient(m int, prev [][3]float64) ([3]float64, bool, error) {
+	primary, err := a.mergeMetricShards(m)
+	if err != nil {
+		return [3]float64{}, false, err
+	}
+	if primary.Count() == 0 {
+		if prev != nil {
+			return prev[m], true, nil
+		}
+		return [3]float64{}, true, nil
+	}
+	out, err := quantile.Summarize(primary)
+	if err != nil {
+		return out, false, fmt.Errorf("metrics: metric %d: %w", m, err)
+	}
+	primary.Reset()
+	return out, false, nil
+}
+
+// SummarizeLenient is Summarize that survives metrics nobody reported,
+// substituting prev (typically the previous epoch's summary; nil means
+// zeros) and reporting how many metrics needed the fallback.
+func (a *Aggregator) SummarizeLenient(prev [][3]float64) ([][3]float64, int, error) {
+	if prev != nil && len(prev) != a.NumMetrics() {
+		return nil, 0, fmt.Errorf("metrics: fallback summary has %d metrics, want %d", len(prev), a.NumMetrics())
+	}
+	out := make([][3]float64, a.NumMetrics())
+	gaps := 0
+	for m := range out {
+		s, gap, err := a.summarizeMetricLenient(m, prev)
+		if err != nil {
+			return nil, 0, err
+		}
+		if gap {
+			gaps++
+		}
+		out[m] = s
+	}
+	return out, gaps, nil
+}
+
+// SummarizeLenientParallel is SummarizeLenient with the per-metric work
+// spread over worker goroutines; metrics are independent, so the result is
+// identical to SummarizeLenient for any worker count.
+func (a *Aggregator) SummarizeLenientParallel(workers int, prev [][3]float64) ([][3]float64, int, error) {
+	n := a.NumMetrics()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return a.SummarizeLenient(prev)
+	}
+	if prev != nil && len(prev) != n {
+		return nil, 0, fmt.Errorf("metrics: fallback summary has %d metrics, want %d", len(prev), n)
+	}
+	out := make([][3]float64, n)
+	gapCounts := make([]int, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for m := lo; m < hi; m++ {
+				s, gap, err := a.summarizeMetricLenient(m, prev)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if gap {
+					gapCounts[w]++
+				}
+				out[m] = s
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	gaps := 0
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, 0, errs[w]
+		}
+		gaps += gapCounts[w]
+	}
+	return out, gaps, nil
+}

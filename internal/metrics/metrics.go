@@ -224,10 +224,9 @@ func (a *Aggregator) observeInto(ests []quantile.Estimator, row []float64) error
 	return nil
 }
 
-// summarizeMetric merges metric m's shard estimators into shard 0, reads
-// the tracked quantiles, and resets every shard's estimator for the next
-// epoch.
-func (a *Aggregator) summarizeMetric(m int) ([3]float64, error) {
+// mergeMetricShards folds metric m's shard estimators into shard 0 and
+// returns the merged primary estimator (resetting the drained shards).
+func (a *Aggregator) mergeMetricShards(m int) (quantile.Estimator, error) {
 	primary := a.shards[0][m]
 	for s := 1; s < len(a.shards); s++ {
 		est := a.shards[s][m]
@@ -236,12 +235,23 @@ func (a *Aggregator) summarizeMetric(m int) ([3]float64, error) {
 		}
 		mg, ok := primary.(quantile.Merger)
 		if !ok {
-			return [3]float64{}, fmt.Errorf("metrics: estimator %T does not support sharded aggregation (quantile.Merger)", primary)
+			return nil, fmt.Errorf("metrics: estimator %T does not support sharded aggregation (quantile.Merger)", primary)
 		}
 		if err := mg.Merge(est); err != nil {
-			return [3]float64{}, fmt.Errorf("metrics: metric %d: %w", m, err)
+			return nil, fmt.Errorf("metrics: metric %d: %w", m, err)
 		}
 		est.Reset()
+	}
+	return primary, nil
+}
+
+// summarizeMetric merges metric m's shard estimators into shard 0, reads
+// the tracked quantiles, and resets every shard's estimator for the next
+// epoch.
+func (a *Aggregator) summarizeMetric(m int) ([3]float64, error) {
+	primary, err := a.mergeMetricShards(m)
+	if err != nil {
+		return [3]float64{}, err
 	}
 	out, err := quantile.Summarize(primary)
 	if err != nil {

@@ -1,0 +1,351 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dcfp/internal/core"
+	"dcfp/internal/metrics"
+)
+
+// Checkpoint/restore for the Monitor, so a crashed or restarted dcfpd
+// resumes where it left off instead of relearning thresholds and forgetting
+// every fingerprint. A checkpoint is a versioned, atomically written
+// snapshot of all mutable monitor state:
+//
+//   - the quantile track and hot/cold thresholds (plus their age/generation)
+//   - the per-epoch crisis/degraded flags and the crisis state machine
+//     (open episode, calm counter, pre-crisis ring buffer and the
+//     feature-selection samples of unfinalized crises)
+//   - the crisis store with its raw rows and frozen fingerprints
+//   - the degraded-ingestion carry state (last summary, liveness, coverage)
+//
+// Two things are deliberately NOT persisted. The aggregator's shard
+// estimators are empty at every epoch boundary (Summarize drains them), so
+// there is nothing to save. The store's fingerprint cache is a pure
+// memoization and repopulates after restore.
+//
+// A checkpoint written with the default exact estimator restores
+// byte-identically: replaying the same epochs through the restored monitor
+// yields the same reports and advice as an uninterrupted run. Sketching
+// estimators restore their serialized sketch state exactly too, with one
+// caveat inherited from quantile.Reservoir: its eviction RNG is reseeded on
+// decode, so *future* reservoir evictions may differ from the uninterrupted
+// run (the retained sample itself is preserved).
+
+// checkpointMagic and checkpointVersion head every checkpoint file. The
+// version is bumped whenever checkpointPayload changes incompatibly;
+// ReadCheckpoint refuses versions it does not understand rather than
+// guessing at field layouts.
+const checkpointMagic = "DCFPCKPT"
+const checkpointVersion uint32 = 1
+
+// CheckpointFileName is the name SaveCheckpoint writes inside its directory.
+const CheckpointFileName = "monitor.ckpt"
+
+// CheckpointMeta rides alongside the monitor state: the daemon records
+// which source epoch the snapshot covers plus any of its own state (gob
+// bytes in Extra, e.g. cmd/dcfpd's pending-resolution queue and ingestor
+// sequencing state).
+type CheckpointMeta struct {
+	// SourceEpoch is the last source-stream epoch ingested before the
+	// snapshot (-1 when the writer does not track source epochs).
+	SourceEpoch int64
+	// Extra is an opaque writer-owned blob restored verbatim.
+	Extra []byte
+}
+
+// checkpointCrisis mirrors pastCrisis with exported fields.
+type checkpointCrisis struct {
+	ID    string
+	Label string
+	Start metrics.Epoch
+	FsX   [][]float64
+	FsY   []int
+	Top   []int
+}
+
+// checkpointPayload is the gob image of all mutable Monitor state.
+type checkpointPayload struct {
+	Epoch      metrics.Epoch
+	InCrisis   []bool
+	Degraded   []bool
+	Track      *metrics.QuantileTrack
+	HasThresh  bool
+	Thresholds metrics.Thresholds
+	LastThresh metrics.Epoch
+	ThGen      uint64
+
+	LastSummary   [][3]float64
+	LastSeen      []metrics.Epoch
+	Expected      int
+	DegradedCount int64
+	LastCoverage  float64
+
+	Store  *core.Store
+	Past   []checkpointCrisis
+	NextID int
+
+	RawRing   [][][]float64
+	ViolRing  [][]bool
+	RingEpoch []metrics.Epoch
+	RingPos   int
+
+	ActiveStart metrics.Epoch
+	ActiveIdx   int
+	Calm        int
+}
+
+type checkpointFile struct {
+	Meta  CheckpointMeta
+	State checkpointPayload
+}
+
+// WriteCheckpoint serializes the monitor's mutable state to w.
+func (m *Monitor) WriteCheckpoint(w io.Writer, meta CheckpointMeta) error {
+	hdr := make([]byte, len(checkpointMagic)+4)
+	copy(hdr, checkpointMagic)
+	binary.BigEndian.PutUint32(hdr[len(checkpointMagic):], checkpointVersion)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("monitor: checkpoint header: %w", err)
+	}
+	f := checkpointFile{
+		Meta: meta,
+		State: checkpointPayload{
+			Epoch:         m.epoch,
+			InCrisis:      m.inCrisis,
+			Degraded:      m.degraded,
+			Track:         m.track,
+			HasThresh:     m.thresholds != nil,
+			LastThresh:    m.lastThresh,
+			ThGen:         m.thGen,
+			LastSummary:   m.lastSummary,
+			LastSeen:      m.lastSeen,
+			Expected:      m.expected,
+			DegradedCount: m.degradedCount,
+			LastCoverage:  m.lastCoverage,
+			Store:         m.store,
+			NextID:        m.nextID,
+			RawRing:       m.rawRing,
+			ViolRing:      m.violRing,
+			RingEpoch:     m.ringEpoch,
+			RingPos:       m.ringPos,
+			ActiveStart:   m.activeStart,
+			ActiveIdx:     m.activeIdx,
+			Calm:          m.calm,
+		},
+	}
+	if m.thresholds != nil {
+		f.State.Thresholds = *m.thresholds
+	}
+	for _, p := range m.past {
+		f.State.Past = append(f.State.Past, checkpointCrisis{
+			ID: p.id, Label: p.label, Start: p.start,
+			FsX: p.fsX, FsY: p.fsY, Top: p.top,
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(&f); err != nil {
+		return fmt.Errorf("monitor: checkpoint encode: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint restores monitor state from r into m, which must have been
+// built with New using the same Config (catalog width, estimator kind). The
+// payload is validated before any field of m is touched: a truncated,
+// corrupt or version-mismatched checkpoint leaves m unchanged so the caller
+// can log and start cold.
+func (m *Monitor) ReadCheckpoint(r io.Reader) (CheckpointMeta, error) {
+	hdr := make([]byte, len(checkpointMagic)+4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return CheckpointMeta{}, fmt.Errorf("monitor: checkpoint header: %w", err)
+	}
+	if !bytes.Equal(hdr[:len(checkpointMagic)], []byte(checkpointMagic)) {
+		return CheckpointMeta{}, fmt.Errorf("monitor: not a checkpoint file (bad magic)")
+	}
+	if v := binary.BigEndian.Uint32(hdr[len(checkpointMagic):]); v != checkpointVersion {
+		return CheckpointMeta{}, fmt.Errorf("monitor: checkpoint version %d, want %d", v, checkpointVersion)
+	}
+	var f checkpointFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return CheckpointMeta{}, fmt.Errorf("monitor: checkpoint decode: %w", err)
+	}
+	s := &f.State
+	if err := m.validatePayload(s); err != nil {
+		return CheckpointMeta{}, err
+	}
+
+	m.epoch = s.Epoch
+	m.inCrisis = s.InCrisis
+	m.degraded = s.Degraded
+	m.track = s.Track
+	if s.HasThresh {
+		th := s.Thresholds
+		m.thresholds = &th
+	} else {
+		m.thresholds = nil
+	}
+	m.lastThresh = s.LastThresh
+	m.thGen = s.ThGen
+	m.lastSummary = s.LastSummary
+	m.lastSeen = s.LastSeen
+	m.expected = s.Expected
+	m.degradedCount = s.DegradedCount
+	m.lastCoverage = s.LastCoverage
+	m.store = s.Store
+	m.past = m.past[:0]
+	for _, p := range s.Past {
+		m.past = append(m.past, pastCrisis{
+			id: p.ID, label: p.Label, start: p.Start,
+			fsX: p.FsX, fsY: p.FsY, top: p.Top,
+		})
+	}
+	m.nextID = s.NextID
+	m.rawRing = s.RawRing
+	// Gob turns nil inner slices into empty ones; the ring uses nil to mark
+	// never-filled slots, so normalize.
+	for i, slot := range m.rawRing {
+		if len(slot) == 0 {
+			m.rawRing[i] = nil
+		}
+	}
+	m.violRing = s.ViolRing
+	m.ringEpoch = s.RingEpoch
+	m.ringPos = s.RingPos
+	m.activeStart = s.ActiveStart
+	m.activeIdx = s.ActiveIdx
+	m.calm = s.Calm
+	// The restored store's fingerprint cache starts cold; reset the
+	// telemetry deltas so counters don't jump backward.
+	m.lastCacheHits, m.lastCacheMiss = 0, 0
+	return f.Meta, nil
+}
+
+// validatePayload sanity-checks a decoded checkpoint against the monitor's
+// configuration before it replaces any state.
+func (m *Monitor) validatePayload(s *checkpointPayload) error {
+	width := m.cfg.Catalog.Len()
+	if s.Epoch < 0 {
+		return fmt.Errorf("monitor: checkpoint epoch %d negative", s.Epoch)
+	}
+	if len(s.InCrisis) != int(s.Epoch) || len(s.Degraded) != int(s.Epoch) {
+		return fmt.Errorf("monitor: checkpoint flag lengths (%d, %d) disagree with epoch %d",
+			len(s.InCrisis), len(s.Degraded), s.Epoch)
+	}
+	if s.Track == nil {
+		return fmt.Errorf("monitor: checkpoint has no quantile track")
+	}
+	if s.Track.NumMetrics() != width {
+		return fmt.Errorf("monitor: checkpoint track width %d, catalog %d", s.Track.NumMetrics(), width)
+	}
+	if s.Track.NumEpochs() != int(s.Epoch) {
+		return fmt.Errorf("monitor: checkpoint track epochs %d, epoch %d", s.Track.NumEpochs(), s.Epoch)
+	}
+	if s.HasThresh && (len(s.Thresholds.Cold) != width || len(s.Thresholds.Hot) != width) {
+		return fmt.Errorf("monitor: checkpoint thresholds width (%d, %d), catalog %d",
+			len(s.Thresholds.Cold), len(s.Thresholds.Hot), width)
+	}
+	if s.LastSummary != nil && len(s.LastSummary) != width {
+		return fmt.Errorf("monitor: checkpoint last summary width %d, catalog %d", len(s.LastSummary), width)
+	}
+	if s.Store == nil {
+		return fmt.Errorf("monitor: checkpoint has no crisis store")
+	}
+	if s.ActiveIdx >= len(s.Past) {
+		return fmt.Errorf("monitor: checkpoint active index %d with %d past crises", s.ActiveIdx, len(s.Past))
+	}
+	if s.ActiveIdx < -1 {
+		return fmt.Errorf("monitor: checkpoint active index %d invalid", s.ActiveIdx)
+	}
+	if len(s.RawRing) != m.cfg.RawPad || len(s.ViolRing) != m.cfg.RawPad || len(s.RingEpoch) != m.cfg.RawPad {
+		return fmt.Errorf("monitor: checkpoint ring size (%d, %d, %d), RawPad %d",
+			len(s.RawRing), len(s.ViolRing), len(s.RingEpoch), m.cfg.RawPad)
+	}
+	if s.RingPos < 0 || s.RingPos >= m.cfg.RawPad {
+		return fmt.Errorf("monitor: checkpoint ring position %d out of [0, %d)", s.RingPos, m.cfg.RawPad)
+	}
+	for i, p := range s.Past {
+		if p.ID == "" {
+			return fmt.Errorf("monitor: checkpoint crisis %d has no ID", i)
+		}
+		if len(p.FsX) != len(p.FsY) {
+			return fmt.Errorf("monitor: checkpoint crisis %q samples misaligned (%d rows, %d labels)",
+				p.ID, len(p.FsX), len(p.FsY))
+		}
+	}
+	return nil
+}
+
+// SaveCheckpoint atomically writes the monitor's checkpoint into dir as
+// CheckpointFileName: the snapshot goes to a temp file first, is synced,
+// and then renamed over the previous checkpoint, so a crash mid-write
+// leaves the old checkpoint intact. Transient failures are retried up to
+// retries times with the given backoff between attempts (the serialized
+// snapshot is built once; only the filesystem steps retry).
+func (m *Monitor) SaveCheckpoint(dir string, meta CheckpointMeta, retries int, backoff time.Duration) (string, error) {
+	var buf bytes.Buffer
+	if err := m.WriteCheckpoint(&buf, meta); err != nil {
+		return "", err
+	}
+	final := filepath.Join(dir, CheckpointFileName)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = writeFileAtomic(final, buf.Bytes())
+		if lastErr == nil {
+			return final, nil
+		}
+		if attempt >= retries {
+			break
+		}
+		time.Sleep(backoff)
+	}
+	return "", fmt.Errorf("monitor: checkpoint save after %d attempts: %w", retries+1, lastErr)
+}
+
+func writeFileAtomic(final string, data []byte) error {
+	dir := filepath.Dir(final)
+	tmp, err := os.CreateTemp(dir, CheckpointFileName+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, final)
+}
+
+// LoadCheckpoint restores the monitor from dir's checkpoint file. ok is
+// false when no checkpoint exists (a cold start, not an error); a present
+// but unreadable/corrupt checkpoint returns an error with the monitor
+// untouched, letting the caller decide to start cold.
+func LoadCheckpoint(dir string, m *Monitor) (meta CheckpointMeta, ok bool, err error) {
+	f, err := os.Open(filepath.Join(dir, CheckpointFileName))
+	if os.IsNotExist(err) {
+		return CheckpointMeta{}, false, nil
+	}
+	if err != nil {
+		return CheckpointMeta{}, false, err
+	}
+	defer f.Close()
+	meta, err = m.ReadCheckpoint(f)
+	if err != nil {
+		return CheckpointMeta{}, false, err
+	}
+	return meta, true, nil
+}

@@ -1,0 +1,261 @@
+package monitor
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestCheckpointRoundTripByteIdentical is the restore guarantee: run a
+// monitor over a seeded trace, snapshot mid-stream (mid-crisis when one is
+// open), restore the snapshot into a fresh monitor, and replay the next 50
+// epochs into both. With the default exact estimator every EpochReport —
+// statuses, advice, distances — must be identical, as must the final stats
+// and crisis records.
+func TestCheckpointRoundTripByteIdentical(t *testing.T) {
+	const seed, total, replay = 42, 420, 50
+	s := equivStream(t, seed)
+	a := equivMonitor(t, s, 1, nil)
+
+	// Run until a crisis is active past epoch 150 (so thresholds exist and
+	// the snapshot covers an open episode), then snapshot.
+	lastActive := false
+	label := ""
+	snapAt := -1
+	resolve := func(m *Monitor, id string) {
+		t.Helper()
+		if err := m.ResolveCrisis(id, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var e int
+	for e = 0; e < total; e++ {
+		rows, act, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := a.ObserveEpoch(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if act != nil {
+			label = fmt.Sprintf("type-%d", act.Type)
+		}
+		if lastActive && !rep.CrisisActive {
+			recs := a.Crises()
+			resolve(a, recs[len(recs)-1].ID)
+		}
+		lastActive = rep.CrisisActive
+		if e > 150 && rep.CrisisActive {
+			snapAt = e
+			break
+		}
+	}
+	if snapAt < 0 {
+		t.Fatal("no crisis became active after epoch 150; trace unsuitable")
+	}
+
+	var buf bytes.Buffer
+	if err := a.WriteCheckpoint(&buf, CheckpointMeta{SourceEpoch: int64(snapAt), Extra: []byte("daemon")}); err != nil {
+		t.Fatal(err)
+	}
+	b := equivMonitor(t, s, 1, nil)
+	meta, err := b.ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.SourceEpoch != int64(snapAt) || string(meta.Extra) != "daemon" {
+		t.Fatalf("restored meta %+v, want source %d / extra daemon", meta, snapAt)
+	}
+	if b.Epoch() != a.Epoch() {
+		t.Fatalf("restored monitor at epoch %d, original %d", b.Epoch(), a.Epoch())
+	}
+
+	// Replay the next epochs into both monitors; reports must be identical.
+	for i := 0; i < replay; i++ {
+		rows, act, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := a.ObserveEpoch(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.ObserveEpoch(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("epoch +%d after restore: reports diverge:\noriginal: %+v\nrestored: %+v", i+1, ra, rb)
+		}
+		if act != nil {
+			label = fmt.Sprintf("type-%d", act.Type)
+		}
+		if lastActive && !ra.CrisisActive {
+			recs := a.Crises()
+			id := recs[len(recs)-1].ID
+			resolve(a, id)
+			resolve(b, id)
+		}
+		lastActive = ra.CrisisActive
+	}
+	if !reflect.DeepEqual(a.Stats(), b.Stats()) {
+		t.Fatalf("stats diverge after replay:\noriginal: %+v\nrestored: %+v", a.Stats(), b.Stats())
+	}
+	if got, want := b.Crises(), a.Crises(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("crisis records diverge:\noriginal: %+v\nrestored: %+v", want, got)
+	}
+	if got, want := b.MachineLiveness(), a.MachineLiveness(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("liveness diverges:\noriginal: %v\nrestored: %v", want, got)
+	}
+}
+
+// TestCheckpointSaveLoadFile exercises the atomic file path: save, load
+// into a fresh monitor, and confirm a second save replaces the first.
+func TestCheckpointSaveLoadFile(t *testing.T) {
+	const seed = 9
+	dir := t.TempDir()
+	s := equivStream(t, seed)
+	m := equivMonitor(t, s, 1, nil)
+	for i := 0; i < 100; i++ {
+		rows, _, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.ObserveEpoch(rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, err := m.SaveCheckpoint(dir, CheckpointMeta{SourceEpoch: 99}, 2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != CheckpointFileName {
+		t.Fatalf("checkpoint written to %q", path)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("checkpoint dir holds %d entries, want 1", len(entries))
+	}
+
+	restored := equivMonitor(t, s, 1, nil)
+	meta, ok, err := LoadCheckpoint(dir, restored)
+	if err != nil || !ok {
+		t.Fatalf("LoadCheckpoint = (%+v, %v, %v)", meta, ok, err)
+	}
+	if meta.SourceEpoch != 99 || restored.Epoch() != 100 {
+		t.Fatalf("restored source=%d epoch=%d, want 99/100", meta.SourceEpoch, restored.Epoch())
+	}
+
+	// A newer save atomically replaces the old checkpoint.
+	rows, _, err := s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ObserveEpoch(rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SaveCheckpoint(dir, CheckpointMeta{SourceEpoch: 100}, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	again := equivMonitor(t, s, 1, nil)
+	meta, ok, err = LoadCheckpoint(dir, again)
+	if err != nil || !ok || meta.SourceEpoch != 100 {
+		t.Fatalf("second load = (%+v, %v, %v), want source 100", meta, ok, err)
+	}
+
+	// Missing checkpoint is a clean cold start, not an error.
+	cold := equivMonitor(t, s, 1, nil)
+	if _, ok, err := LoadCheckpoint(t.TempDir(), cold); ok || err != nil {
+		t.Fatalf("empty dir load = (%v, %v), want cold start", ok, err)
+	}
+}
+
+// TestCheckpointCorruptLeavesMonitorUntouched feeds broken checkpoint bytes
+// and asserts the monitor keeps its pre-restore state on every failure.
+func TestCheckpointCorruptLeavesMonitorUntouched(t *testing.T) {
+	const seed = 11
+	s := equivStream(t, seed)
+	m := equivMonitor(t, s, 1, nil)
+	for i := 0; i < 20; i++ {
+		rows, _, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.ObserveEpoch(rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := m.WriteCheckpoint(&buf, CheckpointMeta{SourceEpoch: 19}); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("NOTCKPT!"), good[8:]...),
+		"bad version": append(append([]byte{}, good[:8]...), append([]byte{0xff, 0xff, 0xff, 0xff}, good[12:]...)...),
+		"truncated":   good[:len(good)/2],
+		"bit flipped": flipByte(good, len(good)-10),
+	}
+	for name, data := range cases {
+		fresh := equivMonitor(t, s, 1, nil)
+		if _, err := fresh.ReadCheckpoint(bytes.NewReader(data)); err == nil {
+			t.Fatalf("%s: restore should fail", name)
+		}
+		if fresh.Epoch() != 0 {
+			t.Fatalf("%s: failed restore mutated the monitor (epoch %d)", name, fresh.Epoch())
+		}
+	}
+
+	// A corrupt on-disk checkpoint surfaces as an error (caller starts cold).
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, CheckpointFileName), good[:len(good)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := equivMonitor(t, s, 1, nil)
+	if _, ok, err := LoadCheckpoint(dir, fresh); err == nil || ok {
+		t.Fatalf("corrupt file load = (%v, %v), want error", ok, err)
+	}
+}
+
+// TestSaveCheckpointRetriesTransientFailure points the save at a missing
+// directory: every attempt fails, the error reports the attempt count, and
+// with the directory created the same save succeeds.
+func TestSaveCheckpointRetriesTransientFailure(t *testing.T) {
+	const seed = 13
+	s := equivStream(t, seed)
+	m := equivMonitor(t, s, 1, nil)
+	rows, _, err := s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ObserveEpoch(rows); err != nil {
+		t.Fatal(err)
+	}
+	missing := filepath.Join(t.TempDir(), "nope")
+	if _, err := m.SaveCheckpoint(missing, CheckpointMeta{}, 2, time.Millisecond); err == nil {
+		t.Fatal("save into a missing directory should fail")
+	}
+	if err := os.Mkdir(missing, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SaveCheckpoint(missing, CheckpointMeta{}, 2, time.Millisecond); err != nil {
+		t.Fatalf("save after the directory appeared: %v", err)
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0xa5
+	return out
+}

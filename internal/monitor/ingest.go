@@ -1,0 +1,213 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"dcfp/internal/metrics"
+	"dcfp/internal/telemetry"
+)
+
+// Ingestor sequences a possibly disordered epoch stream into a Monitor.
+//
+// The Monitor itself assumes epochs arrive exactly once, in order — the
+// quantile track, the ring buffer and the crisis state machine all index by
+// arrival position. Real telemetry pipelines deliver worse: collectors
+// retry and duplicate epochs, shards flush out of order, and whole epochs
+// vanish. The Ingestor absorbs that at the boundary: duplicates are
+// dropped, early epochs are buffered inside a bounded reorder window until
+// the missing predecessors arrive, and when the window is exceeded the
+// missing epochs are declared lost and the stream resumes (a lost epoch is
+// simply never observed; the Monitor's internal epoch counter keeps its own
+// gapless sequence).
+type Ingestor struct {
+	cfg IngestConfig
+	mon *Monitor
+
+	next metrics.Epoch                 // next source epoch the monitor expects
+	buf  map[metrics.Epoch][][]float64 // early epochs awaiting predecessors
+
+	duplicates *telemetry.Counter
+	reordered  *telemetry.Counter
+	lost       *telemetry.Counter
+}
+
+// IngestConfig tunes the reorder window.
+type IngestConfig struct {
+	// ReorderWindow is how many epochs past the next expected one the
+	// ingestor will buffer while waiting for stragglers. When an epoch
+	// arrives more than ReorderWindow ahead, the oldest missing epochs are
+	// declared lost so the stream can advance. 0 disables buffering: any
+	// out-of-order epoch immediately forfeits the epochs before it.
+	ReorderWindow int
+	// Telemetry, when non-nil, registers the ingestor's sequencing counters
+	// (dcfp_ingest_epochs_{duplicate,reordered,lost}_total).
+	Telemetry *telemetry.Registry
+}
+
+// DefaultIngestConfig buffers a modest four epochs of disorder.
+func DefaultIngestConfig() IngestConfig {
+	return IngestConfig{ReorderWindow: 4}
+}
+
+// NewIngestor wraps the monitor with epoch sequencing.
+func NewIngestor(m *Monitor, cfg IngestConfig) (*Ingestor, error) {
+	if m == nil {
+		return nil, fmt.Errorf("monitor: nil monitor")
+	}
+	if cfg.ReorderWindow < 0 {
+		return nil, fmt.Errorf("monitor: ReorderWindow %d negative", cfg.ReorderWindow)
+	}
+	r := cfg.Telemetry
+	return &Ingestor{
+		cfg: cfg,
+		mon: m,
+		buf: make(map[metrics.Epoch][][]float64),
+		duplicates: r.Counter("dcfp_ingest_epochs_duplicate_total",
+			"Epochs dropped because their sequence number was already observed or buffered."),
+		reordered: r.Counter("dcfp_ingest_epochs_reordered_total",
+			"Epochs that arrived ahead of sequence and were buffered in the reorder window."),
+		lost: r.Counter("dcfp_ingest_epochs_lost_total",
+			"Epochs given up on after the reorder window passed without their arrival."),
+	}, nil
+}
+
+// Ingest feeds one source epoch. It returns the epoch reports produced —
+// empty when the epoch was dropped (duplicate) or buffered (early), one
+// report for the common in-order case, and several when this epoch
+// unblocked buffered successors. Buffered rows are deep-copied, so callers
+// may reuse their row slices between calls (dcsim.Stream does).
+func (in *Ingestor) Ingest(e metrics.Epoch, samples [][]float64) ([]*EpochReport, error) {
+	if e < 0 {
+		return nil, fmt.Errorf("monitor: negative source epoch %d", e)
+	}
+	if e < in.next {
+		in.duplicates.Inc()
+		return nil, nil
+	}
+	if _, ok := in.buf[e]; ok {
+		in.duplicates.Inc()
+		return nil, nil
+	}
+
+	var reports []*EpochReport
+	if e == in.next {
+		rep, err := in.mon.ObserveEpoch(samples)
+		if err != nil {
+			return nil, err
+		}
+		in.next++
+		reports = append(reports, rep)
+	} else {
+		in.buf[e] = copyRows(samples)
+		in.reordered.Inc()
+	}
+
+	// Drain: observe consecutive buffered epochs, and once the buffered
+	// span exceeds the window give up on the missing predecessors.
+	for len(in.buf) > 0 {
+		if rows, ok := in.buf[in.next]; ok {
+			delete(in.buf, in.next)
+			rep, err := in.mon.ObserveEpoch(rows)
+			if err != nil {
+				return reports, err
+			}
+			in.next++
+			reports = append(reports, rep)
+			continue
+		}
+		maxB := maxBuffered(in.buf)
+		if int(maxB-in.next) <= in.cfg.ReorderWindow {
+			break // still inside the window: keep waiting
+		}
+		// Window exhausted: the next missing epoch is lost; skip to the
+		// oldest epoch we actually hold.
+		minB := minBuffered(in.buf)
+		in.lost.Add(uint64(minB - in.next))
+		in.next = minB
+	}
+	return reports, nil
+}
+
+// Pending reports how many early epochs are buffered and the next source
+// epoch the ingestor is waiting for.
+func (in *Ingestor) Pending() (buffered int, next metrics.Epoch) {
+	return len(in.buf), in.next
+}
+
+// BufferedEpoch is one early epoch held in the reorder window, exported for
+// checkpointing.
+type BufferedEpoch struct {
+	Epoch metrics.Epoch
+	Rows  [][]float64
+}
+
+// IngestorState is the sequencing state a checkpoint must carry so a
+// restored monitor resumes at the right source epoch.
+type IngestorState struct {
+	Next     metrics.Epoch
+	Buffered []BufferedEpoch
+}
+
+// State snapshots the sequencing state (buffered rows are deep-copied,
+// sorted by epoch for determinism).
+func (in *Ingestor) State() IngestorState {
+	st := IngestorState{Next: in.next}
+	for e, rows := range in.buf {
+		st.Buffered = append(st.Buffered, BufferedEpoch{Epoch: e, Rows: copyRows(rows)})
+	}
+	sort.Slice(st.Buffered, func(i, j int) bool { return st.Buffered[i].Epoch < st.Buffered[j].Epoch })
+	return st
+}
+
+// SetState restores sequencing state captured by State.
+func (in *Ingestor) SetState(st IngestorState) error {
+	if st.Next < 0 {
+		return fmt.Errorf("monitor: ingestor state next epoch %d negative", st.Next)
+	}
+	buf := make(map[metrics.Epoch][][]float64, len(st.Buffered))
+	for _, b := range st.Buffered {
+		if b.Epoch <= st.Next {
+			return fmt.Errorf("monitor: buffered epoch %d not ahead of next %d", b.Epoch, st.Next)
+		}
+		if _, dup := buf[b.Epoch]; dup {
+			return fmt.Errorf("monitor: buffered epoch %d duplicated in state", b.Epoch)
+		}
+		buf[b.Epoch] = copyRows(b.Rows)
+	}
+	in.next = st.Next
+	in.buf = buf
+	return nil
+}
+
+func copyRows(rows [][]float64) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		if r != nil {
+			out[i] = append([]float64(nil), r...)
+		}
+	}
+	return out
+}
+
+func minBuffered(buf map[metrics.Epoch][][]float64) metrics.Epoch {
+	first := true
+	var min metrics.Epoch
+	for e := range buf {
+		if first || e < min {
+			min, first = e, false
+		}
+	}
+	return min
+}
+
+func maxBuffered(buf map[metrics.Epoch][][]float64) metrics.Epoch {
+	first := true
+	var max metrics.Epoch
+	for e := range buf {
+		if first || e > max {
+			max, first = e, false
+		}
+	}
+	return max
+}

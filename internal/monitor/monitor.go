@@ -17,6 +17,7 @@ package monitor
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -70,6 +71,18 @@ type Config struct {
 	// reports to the serial one; with sketch estimators the result is
 	// approximate in exactly the way the sketch already is.
 	Workers int
+	// MinCoverage is the minimum fraction of expected machines that must
+	// deliver at least one finite value for an epoch to be trusted. Below
+	// the floor the epoch is flagged degraded: its quantile summary is still
+	// tracked (over whatever machines did report) but the crisis state
+	// machine is frozen — a mass telemetry outage must not read as an SLA
+	// crisis, nor may it end one. 0 disables the floor; epochs with zero
+	// reporting machines are always degraded.
+	MinCoverage float64
+	// ExpectedMachines fixes the coverage denominator. 0 (the default)
+	// learns it as the running maximum of observed row counts, which is
+	// exact once one full epoch has arrived.
+	ExpectedMachines int
 	// Telemetry optionally receives the monitor's operational metrics:
 	// per-stage latency histograms on the ObserveEpoch hot path and
 	// decision counters/gauges (see the README's metric reference). Nil
@@ -94,6 +107,7 @@ func DefaultConfig(cat *metrics.Catalog, slaCfg sla.Config) Config {
 		CrisisPool:             20,
 		RawPad:                 8,
 		MinEpochsForThresholds: 7 * metrics.EpochsPerDay,
+		MinCoverage:            0.5,
 	}
 }
 
@@ -116,6 +130,10 @@ type Advice struct {
 	Nearest   string
 	Distance  float64
 	Threshold float64
+	// Degraded marks advice computed during an epoch whose input coverage
+	// fell below the floor — the fingerprint window includes carried-forward
+	// or sparse quantiles, so operators should weigh it accordingly.
+	Degraded bool
 }
 
 // EpochReport is the result of feeding one epoch into the monitor.
@@ -128,6 +146,14 @@ type EpochReport struct {
 	// Advice is non-nil during the first ident.IdentificationEpochs
 	// epochs of a crisis (once thresholds exist).
 	Advice *Advice
+	// Degraded marks an epoch whose machine coverage fell below the
+	// configured floor (or that had no reporting machines at all): its
+	// Status is computed over too small a sample to drive crisis
+	// transitions, so the state machine held still.
+	Degraded bool
+	// Coverage is the fraction of expected machines that reported at least
+	// one finite value this epoch.
+	Coverage float64
 }
 
 // pastCrisis is a stored crisis plus its label state.
@@ -151,8 +177,19 @@ type Monitor struct {
 	agg   *metrics.Aggregator
 
 	inCrisis   []bool
+	degraded   []bool // parallel to inCrisis: epoch was below the coverage floor
 	thresholds *metrics.Thresholds
 	lastThresh metrics.Epoch
+
+	// Degraded-ingestion state: the previous epoch's quantile summary (the
+	// carry-forward source for metrics nobody reported), the last epoch each
+	// machine delivered a finite value (-1 = never), the learned or
+	// configured machine-count denominator, and running degradation stats.
+	lastSummary   [][3]float64
+	lastSeen      []metrics.Epoch
+	expected      int
+	degradedCount int64
+	lastCoverage  float64
 
 	store  *core.Store
 	past   []pastCrisis
@@ -201,12 +238,21 @@ type monitorMetrics struct {
 	cacheHits      *telemetry.Counter
 	cacheMiss      *telemetry.Counter
 
+	ingestDropped      *telemetry.Counter
+	ingestNonReporting *telemetry.Counter
+	ingestGaps         *telemetry.Counter
+	ingestEpochsOK     *telemetry.Counter
+	ingestEpochsDeg    *telemetry.Counter
+
 	storeSize       *telemetry.Gauge
 	crisesLabeled   *telemetry.Gauge
 	crisisActive    *telemetry.Gauge
 	thresholdAge    *telemetry.Gauge
 	identCandidates *telemetry.Gauge
 	workers         *telemetry.Gauge
+
+	ingestCoverage  *telemetry.Gauge
+	ingestReporting *telemetry.Gauge
 }
 
 // Stage label values of dcfp_monitor_stage_seconds, one per pipeline stage
@@ -258,6 +304,22 @@ func newMonitorMetrics(r *telemetry.Registry) *monitorMetrics {
 			"Labeled past crises compared in the latest identification."),
 		workers: r.Gauge("dcfp_monitor_workers",
 			"Worker-pool size resolved for the latest ObserveEpoch."),
+		ingestDropped: r.Counter("dcfp_ingest_values_dropped_total",
+			"Non-finite metric values filtered before reaching the quantile estimators."),
+		ingestNonReporting: r.Counter("dcfp_ingest_machines_nonreporting_total",
+			"Machine-epochs with no finite values (machine down or fully blanked)."),
+		ingestGaps: r.Counter("dcfp_ingest_metric_gaps_total",
+			"Metric-epochs no machine reported; the previous summary was carried forward."),
+		ingestEpochsOK: r.Counter("dcfp_ingest_epochs_total",
+			"Epochs ingested, by input quality.",
+			telemetry.Label{Key: "quality", Value: "ok"}),
+		ingestEpochsDeg: r.Counter("dcfp_ingest_epochs_total",
+			"Epochs ingested, by input quality.",
+			telemetry.Label{Key: "quality", Value: "degraded"}),
+		ingestCoverage: r.Gauge("dcfp_ingest_coverage_ratio",
+			"Fraction of expected machines reporting in the latest epoch."),
+		ingestReporting: r.Gauge("dcfp_ingest_machines_reporting",
+			"Machines that delivered at least one finite value in the latest epoch."),
 	}
 	for _, s := range []string{stageQuantile, stageSLA, stageThresholds, stageSelection, stageIdentify} {
 		t.stages[s] = r.Histogram("dcfp_monitor_stage_seconds",
@@ -291,6 +353,12 @@ func New(cfg Config) (*Monitor, error) {
 	if cfg.Workers < 0 {
 		return nil, errors.New("monitor: Workers must be non-negative")
 	}
+	if cfg.MinCoverage < 0 || cfg.MinCoverage > 1 {
+		return nil, fmt.Errorf("monitor: MinCoverage %v out of [0,1]", cfg.MinCoverage)
+	}
+	if cfg.ExpectedMachines < 0 {
+		return nil, errors.New("monitor: ExpectedMachines must be non-negative")
+	}
 	track, err := metrics.NewQuantileTrack(cfg.Catalog.Len())
 	if err != nil {
 		return nil, err
@@ -312,6 +380,7 @@ func New(cfg Config) (*Monitor, error) {
 		violRing:  make([][]bool, cfg.RawPad),
 		ringEpoch: make([]metrics.Epoch, cfg.RawPad),
 		activeIdx: -1,
+		expected:  cfg.ExpectedMachines,
 		tel:       newMonitorMetrics(cfg.Telemetry),
 		events:    cfg.Events,
 	}, nil
@@ -334,6 +403,14 @@ func (m *Monitor) KnownCrises() (stored, labeled int) {
 // ObserveEpoch ingests one epoch of per-machine samples (samples[machine]
 // [metric]) and returns the epoch report.
 //
+// The input may be dirty: a nil row marks a machine that delivered nothing,
+// and NaN/Inf cells are filtered before they reach the quantile estimators
+// or the SLA rule (a corrupt value is a telemetry fault, not an SLA breach).
+// Machines with no finite values this epoch leave the crisis-rule
+// denominator; when the reporting fraction falls below Config.MinCoverage
+// the whole epoch is flagged degraded and the crisis state machine holds
+// still rather than acting on unrepresentative data.
+//
 // Per-machine work — quantile aggregation, SLA violation checks, and the
 // row copies the ring buffer and feature selection retain — is sharded
 // across the Config.Workers pool when the machine count warrants it; see
@@ -354,23 +431,30 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 		return nil, errors.New("monitor: no machine samples")
 	}
 	for _, row := range samples {
-		if len(row) != m.cfg.Catalog.Len() {
+		if row != nil && len(row) != m.cfg.Catalog.Len() {
 			return nil, fmt.Errorf("monitor: sample row width %d, want %d", len(row), m.cfg.Catalog.Len())
 		}
 	}
+	if m.cfg.ExpectedMachines == 0 && len(samples) > m.expected {
+		m.expected = len(samples)
+	}
 	workers := m.epochWorkers(len(samples))
-	// copies/viol are the per-machine artifacts the state machine below
-	// consumes: retained row copies (ring buffer, feature selection) and
-	// any-KPI violation flags. Both ingestion paths produce them in their
-	// single pass over the samples.
+	// copies/viol/reporting are the per-machine artifacts the state machine
+	// below consumes: retained row copies (ring buffer, feature selection),
+	// any-KPI violation flags, and the liveness mask. Both ingestion paths
+	// produce them in their single pass over the samples.
 	copies := make([][]float64, len(samples))
 	viol := make([]bool, len(samples))
+	reporting := make([]bool, len(samples))
 	var status sla.EpochStatus
+	var summary [][3]float64
+	var dropped, gaps int
 	if workers > 1 {
-		partials, err := m.observeParallel(samples, copies, viol, workers)
+		partials, sum, d, g, err := m.observeParallel(samples, copies, viol, reporting, workers)
 		if err != nil {
 			return nil, err
 		}
+		summary, dropped, gaps = sum, d, g
 		// The fused fan-out interleaves aggregation and SLA checks, so the
 		// serial path's split attribution is unavailable: the sharded pass
 		// plus the quantile merge bills to "quantile", the (cheap) status
@@ -379,38 +463,61 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 		status = m.cfg.SLA.MergeStatuses(partials)
 		ts = m.span(stageSLA, ts)
 	} else {
-		for _, row := range samples {
-			if err := m.agg.Observe(row); err != nil {
-				return nil, err
-			}
-		}
-		summary, err := m.agg.Summarize()
+		d, err := m.agg.ObserveBatchFiltered(0, samples, reporting)
 		if err != nil {
 			return nil, err
 		}
+		dropped = d
+		sum, g, err := m.agg.SummarizeLenient(m.lastSummary)
+		if err != nil {
+			return nil, err
+		}
+		summary, gaps = sum, g
 		if err := m.track.AppendEpoch(summary); err != nil {
 			return nil, err
 		}
 		ts = m.span(stageQuantile, ts)
-		st, err := m.cfg.SLA.EvaluateInto(samples, viol)
+		st, err := m.cfg.SLA.EvaluateMasked(samples, viol, reporting)
 		if err != nil {
 			return nil, err
 		}
 		status = st
 		ts = m.span(stageSLA, ts)
 		for i, row := range samples {
-			copies[i] = append([]float64(nil), row...)
+			if reporting[i] {
+				copies[i] = append([]float64(nil), row...)
+			}
 		}
 	}
+	m.lastSummary = summary
+	reportCount := m.noteLiveness(reporting)
+	coverage := 0.0
+	if m.expected > 0 {
+		coverage = float64(reportCount) / float64(m.expected)
+	}
+	degraded := reportCount == 0 || (m.cfg.MinCoverage > 0 && coverage < m.cfg.MinCoverage)
+	// Retained rows must be clean and aligned with viol: substitute any
+	// surviving non-finite cells and compact away non-reporting machines.
+	copies, viol = sanitizeRetained(copies, viol, reporting, summary, dropped, reportCount)
+
 	e := m.epoch
 	m.epoch++
 	m.inCrisis = append(m.inCrisis, status.InCrisis)
+	m.degraded = append(m.degraded, degraded)
+	m.lastCoverage = coverage
+	if degraded {
+		m.degradedCount++
+	}
 
-	rep := &EpochReport{Epoch: e, Status: status}
+	rep := &EpochReport{Epoch: e, Status: status, Degraded: degraded, Coverage: coverage}
 
 	// Crisis episode state machine: enter on the first violating epoch,
 	// leave after two consecutive calm epochs (the detector's merge gap).
+	// Degraded epochs freeze it entirely: too few machines reported to
+	// either declare a crisis (spurious start on a sliver of survivors) or
+	// to count as a calm epoch toward ending one.
 	switch {
+	case degraded:
 	case m.activeIdx < 0 && status.InCrisis:
 		m.beginCrisis(e, copies, viol)
 	case m.activeIdx >= 0 && status.InCrisis:
@@ -425,23 +532,30 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 	if m.activeIdx >= 0 {
 		rep.CrisisActive = true
 		rep.CrisisStart = m.activeStart
-		m.collectCrisisSamples(copies, viol)
+		if !degraded {
+			m.collectCrisisSamples(copies, viol)
+		}
 		k := int(e - m.activeStart)
 		if k < ident.IdentificationEpochs {
 			if m.tel != nil {
 				ts = time.Now()
 			}
 			rep.Advice = m.identify(e, k)
+			if rep.Advice != nil {
+				rep.Advice.Degraded = degraded
+			}
 			m.span(stageIdentify, ts)
 			m.recordAdvice(rep.Advice)
 		}
-	} else {
+	} else if !degraded {
 		// Idle: feed the pre-crisis raw ring and refresh thresholds. The
 		// refresh fires on threshold *age*, not calendar alignment: a
 		// crisis straddling a refresh boundary would otherwise postpone
 		// the refresh by a further full interval while the thresholds
 		// silently grew stale, whereas age-based refresh catches up on the
-		// first idle epoch.
+		// first idle epoch. Degraded epochs feed neither: sparse rows are
+		// not a usable pre-crisis baseline, and thresholds estimated over
+		// them would drift toward outage artifacts.
 		m.pushRing(e, copies, viol)
 		if int(e) >= m.cfg.MinEpochsForThresholds && int(e-m.lastThresh) >= m.cfg.ThresholdRefreshEpochs {
 			if m.tel != nil {
@@ -460,9 +574,66 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 		if m.thresholds != nil {
 			m.tel.thresholdAge.SetInt(int64(m.epoch - 1 - m.lastThresh))
 		}
+		m.tel.ingestDropped.Add(uint64(dropped))
+		if nr := m.expected - reportCount; nr > 0 {
+			m.tel.ingestNonReporting.Add(uint64(nr))
+		}
+		m.tel.ingestGaps.Add(uint64(gaps))
+		if degraded {
+			m.tel.ingestEpochsDeg.Inc()
+		} else {
+			m.tel.ingestEpochsOK.Inc()
+		}
+		m.tel.ingestCoverage.Set(coverage)
+		m.tel.ingestReporting.SetInt(int64(reportCount))
 		m.tel.observeEpoch.ObserveSince(t0)
 	}
 	return rep, nil
+}
+
+// noteLiveness records which machines reported this epoch into the
+// per-machine last-seen table and returns the reporting count.
+func (m *Monitor) noteLiveness(reporting []bool) int {
+	for len(m.lastSeen) < len(reporting) {
+		m.lastSeen = append(m.lastSeen, -1)
+	}
+	count := 0
+	for i, r := range reporting {
+		if r {
+			count++
+			m.lastSeen[i] = m.epoch
+		}
+	}
+	return count
+}
+
+// sanitizeRetained prepares the retained row copies for the ring buffer and
+// feature selection: non-reporting machines are compacted away (with viol
+// kept aligned) and any non-finite cells a reporting machine still carried
+// are substituted with the epoch's cross-machine median for that metric, so
+// downstream standardization in feature selection never sees NaN/Inf. On a
+// fully clean epoch it returns its inputs untouched.
+func sanitizeRetained(copies [][]float64, viol, reporting []bool, summary [][3]float64, dropped, reportCount int) ([][]float64, []bool) {
+	if dropped == 0 && reportCount == len(copies) {
+		return copies, viol
+	}
+	outRows := make([][]float64, 0, reportCount)
+	outViol := make([]bool, 0, reportCount)
+	for i, row := range copies {
+		if !reporting[i] {
+			continue
+		}
+		if dropped > 0 {
+			for j, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					row[j] = summary[j][1]
+				}
+			}
+		}
+		outRows = append(outRows, row)
+		outViol = append(outViol, viol[i])
+	}
+	return outRows, outViol
 }
 
 // minMachinesPerWorker caps the epoch worker pool so every worker gets a
@@ -486,15 +657,18 @@ func (m *Monitor) epochWorkers(machines int) int {
 }
 
 // observeParallel shards the per-machine ingestion work across the worker
-// pool: each worker feeds its own aggregator shard, SLA-checks its machine
-// range into a disjoint segment of viol, and retains its row copies. After
-// the barrier the shard estimators are merged and the epoch summary is
-// appended. It returns the per-worker partial SLA statuses; the caller
-// merges them with sla.Config.MergeStatuses.
-func (m *Monitor) observeParallel(samples, copies [][]float64, viol []bool, workers int) ([]sla.EpochStatus, error) {
+// pool: each worker feeds its own aggregator shard through the filtered
+// path, SLA-checks its machine range into disjoint segments of viol and
+// reporting, and retains its row copies for reporting machines. After the
+// barrier the shard estimators are merged leniently and the epoch summary
+// is appended. It returns the per-worker partial SLA statuses plus the
+// summary, the non-finite drop count, and the metric gap count; the caller
+// merges the statuses with sla.Config.MergeStatuses.
+func (m *Monitor) observeParallel(samples, copies [][]float64, viol, reporting []bool, workers int) ([]sla.EpochStatus, [][3]float64, int, int, error) {
 	m.agg.EnsureShards(workers)
 	n := len(samples)
 	partials := make([]sla.EpochStatus, workers)
+	droppedBy := make([]int, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -503,35 +677,43 @@ func (m *Monitor) observeParallel(samples, copies [][]float64, viol []bool, work
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			rows := samples[lo:hi]
-			if err := m.agg.ObserveBatch(w, rows); err != nil {
+			d, err := m.agg.ObserveBatchFiltered(w, rows, reporting[lo:hi])
+			if err != nil {
 				errs[w] = err
 				return
 			}
-			st, err := m.cfg.SLA.EvaluateInto(rows, viol[lo:hi])
+			droppedBy[w] = d
+			st, err := m.cfg.SLA.EvaluateMasked(rows, viol[lo:hi], reporting[lo:hi])
 			if err != nil {
 				errs[w] = err
 				return
 			}
 			partials[w] = st
 			for i, row := range rows {
-				copies[lo+i] = append([]float64(nil), row...)
+				if reporting[lo+i] {
+					copies[lo+i] = append([]float64(nil), row...)
+				}
 			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, 0, 0, err
 		}
 	}
-	summary, err := m.agg.SummarizeParallel(workers)
+	dropped := 0
+	for _, d := range droppedBy {
+		dropped += d
+	}
+	summary, gaps, err := m.agg.SummarizeLenientParallel(workers, m.lastSummary)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, 0, err
 	}
 	if err := m.track.AppendEpoch(summary); err != nil {
-		return nil, err
+		return nil, nil, 0, 0, err
 	}
-	return partials, nil
+	return partials, summary, dropped, gaps, nil
 }
 
 // span observes the elapsed stage time and returns a fresh stage start; a
@@ -730,6 +912,12 @@ type Stats struct {
 	// the first one).
 	ThresholdsReady    bool  `json:"thresholds_ready"`
 	ThresholdAgeEpochs int64 `json:"threshold_age_epochs"`
+	// DegradedEpochs counts epochs flagged degraded (below the coverage
+	// floor); MachinesExpected is the coverage denominator currently in
+	// force; LastCoverage is the most recent epoch's reporting fraction.
+	DegradedEpochs   int64   `json:"degraded_epochs"`
+	MachinesExpected int     `json:"machines_expected"`
+	LastCoverage     float64 `json:"last_coverage"`
 }
 
 // Stats snapshots the monitor. Like every Monitor method it must be called
@@ -743,6 +931,9 @@ func (m *Monitor) Stats() Stats {
 		StoreSize:          m.store.Len(),
 		ThresholdsReady:    m.thresholds != nil,
 		ThresholdAgeEpochs: -1,
+		DegradedEpochs:     m.degradedCount,
+		MachinesExpected:   m.expected,
+		LastCoverage:       m.lastCoverage,
 	}
 	if m.thresholds != nil {
 		// Same convention as the dcfp_threshold_age_epochs gauge: age is
@@ -793,12 +984,23 @@ func (m *Monitor) Crises() []CrisisRecord {
 	return out
 }
 
+// MachineLiveness returns, per machine index, the last epoch at which the
+// machine delivered at least one finite sample (-1 if never). The slice is
+// a copy sized to the widest epoch observed so far. Same single-goroutine
+// contract as Stats.
+func (m *Monitor) MachineLiveness() []metrics.Epoch {
+	return append([]metrics.Epoch(nil), m.lastSeen...)
+}
+
 func (m *Monitor) refreshThresholds(e metrics.Epoch) error {
+	// Normal epochs are crisis-free AND fully covered: a degraded epoch's
+	// quantiles describe whatever sliver of machines reported, not the
+	// datacenter, so they must not shape the hot/cold percentiles.
 	isNormal := func(t metrics.Epoch) bool {
 		if t < 0 || int(t) >= len(m.inCrisis) {
 			return true
 		}
-		return !m.inCrisis[t]
+		return !m.inCrisis[t] && !m.degraded[t]
 	}
 	th, err := metrics.ComputeThresholds(m.track, isNormal, e, m.cfg.Thresholds)
 	if err != nil {

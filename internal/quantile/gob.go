@@ -1,0 +1,185 @@
+package quantile
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+)
+
+// Gob support for every estimator, so a Monitor checkpoint can persist any
+// estimator configuration, not just the default exact one. Each type encodes
+// through an exported mirror struct (the working representations keep their
+// fields unexported) and validates on decode, mirroring the defensive
+// pattern of metrics' track/catalog gob codecs.
+//
+// Decoding reconstructs an estimator whose queries are indistinguishable
+// from the original's, with one documented exception: Reservoir cannot
+// persist its *rand.Rand, so a decoded reservoir reseeds deterministically
+// from its counters — the retained sample is preserved exactly, but future
+// eviction decisions draw from a different random stream than the original
+// process would have.
+
+type gobExact struct {
+	Vals []float64
+}
+
+// GobEncode serializes the observation multiset.
+func (e *Exact) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobExact{Vals: e.vals}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores the observation multiset; quantiles re-sort lazily.
+func (e *Exact) GobDecode(p []byte) error {
+	var g gobExact
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&g); err != nil {
+		return err
+	}
+	e.vals = g.Vals
+	e.sorted = false
+	return nil
+}
+
+type gobGK struct {
+	Eps           float64
+	N             int
+	V             []float64
+	G             []int
+	Delta         []int
+	SinceCompress int
+}
+
+// GobEncode serializes the sketch tuples column-wise.
+func (s *GK) GobEncode() ([]byte, error) {
+	g := gobGK{Eps: s.eps, N: s.n, SinceCompress: s.sinceCompress}
+	for _, t := range s.tuples {
+		g.V = append(g.V, t.v)
+		g.G = append(g.G, t.g)
+		g.Delta = append(g.Delta, t.delta)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores the sketch, validating the tuple columns agree.
+func (s *GK) GobDecode(p []byte) error {
+	var g gobGK
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&g); err != nil {
+		return err
+	}
+	if g.Eps <= 0 || g.Eps >= 1 {
+		return fmt.Errorf("quantile: decoded GK eps=%v out of (0,1)", g.Eps)
+	}
+	if len(g.V) != len(g.G) || len(g.V) != len(g.Delta) {
+		return fmt.Errorf("quantile: decoded GK tuple columns disagree (%d/%d/%d)", len(g.V), len(g.G), len(g.Delta))
+	}
+	if g.N < 0 {
+		return fmt.Errorf("quantile: decoded GK count %d negative", g.N)
+	}
+	s.eps = g.Eps
+	s.n = g.N
+	s.sinceCompress = g.SinceCompress
+	s.tuples = s.tuples[:0]
+	for i := range g.V {
+		s.tuples = append(s.tuples, gkTuple{v: g.V[i], g: g.G[i], delta: g.Delta[i]})
+	}
+	return nil
+}
+
+type gobCKMS struct {
+	Targets []Target
+	N       int
+	V       []float64
+	G       []int
+	Delta   []int
+	Buf     []float64
+}
+
+// GobEncode serializes the targets, tuples and the unmerged insert buffer.
+func (s *CKMS) GobEncode() ([]byte, error) {
+	g := gobCKMS{Targets: s.targets, N: s.n, Buf: s.buf}
+	for _, t := range s.tuples {
+		g.V = append(g.V, t.v)
+		g.G = append(g.G, t.g)
+		g.Delta = append(g.Delta, t.delta)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores the sketch, validating targets and tuple columns.
+func (s *CKMS) GobDecode(p []byte) error {
+	var g gobCKMS
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&g); err != nil {
+		return err
+	}
+	if _, err := NewCKMS(g.Targets); err != nil {
+		return fmt.Errorf("quantile: decoded CKMS: %w", err)
+	}
+	if len(g.V) != len(g.G) || len(g.V) != len(g.Delta) {
+		return fmt.Errorf("quantile: decoded CKMS tuple columns disagree (%d/%d/%d)", len(g.V), len(g.G), len(g.Delta))
+	}
+	if g.N < 0 {
+		return fmt.Errorf("quantile: decoded CKMS count %d negative", g.N)
+	}
+	s.targets = append([]Target(nil), g.Targets...)
+	s.n = g.N
+	s.buf = g.Buf
+	if s.buf == nil {
+		s.buf = make([]float64, 0, ckmsBufSize)
+	}
+	s.tuples = s.tuples[:0]
+	for i := range g.V {
+		s.tuples = append(s.tuples, ckmsTuple{v: g.V[i], g: g.G[i], delta: g.Delta[i]})
+	}
+	return nil
+}
+
+type gobReservoir struct {
+	K    int
+	N    int
+	Vals []float64
+}
+
+// GobEncode serializes the sample and counters. The random source is not
+// persisted (see the package comment above).
+func (r *Reservoir) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobReservoir{K: r.k, N: r.n, Vals: r.vals}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode restores the sample and reseeds the eviction source
+// deterministically from the counters.
+func (r *Reservoir) GobDecode(p []byte) error {
+	var g gobReservoir
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&g); err != nil {
+		return err
+	}
+	if g.K <= 0 {
+		return fmt.Errorf("quantile: decoded reservoir size %d must be positive", g.K)
+	}
+	if g.N < 0 || len(g.Vals) > g.K {
+		return fmt.Errorf("quantile: decoded reservoir holds %d values for size %d, count %d", len(g.Vals), g.K, g.N)
+	}
+	r.k = g.K
+	r.n = g.N
+	r.vals = g.Vals
+	if r.vals == nil {
+		r.vals = make([]float64, 0, g.K)
+	}
+	r.rng = rand.New(rand.NewSource(int64(g.K)<<32 ^ int64(g.N)))
+	return nil
+}

@@ -1,0 +1,114 @@
+package quantile
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+// roundTrip gob-encodes est into a freshly allocated value of the same type
+// and returns it as an Estimator.
+func roundTrip(t *testing.T, est Estimator) Estimator {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(est); err != nil {
+		t.Fatalf("encode %T: %v", est, err)
+	}
+	var out Estimator
+	switch est.(type) {
+	case *Exact:
+		out = &Exact{}
+	case *GK:
+		out = &GK{}
+	case *CKMS:
+		out = &CKMS{}
+	case *Reservoir:
+		out = &Reservoir{}
+	default:
+		t.Fatalf("unhandled estimator %T", est)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(out); err != nil {
+		t.Fatalf("decode %T: %v", est, err)
+	}
+	return out
+}
+
+func TestEstimatorGobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ests := map[string]Estimator{
+		"exact": NewExact(),
+		"gk":    MustGK(0.01),
+		"ckms":  MustCKMS(TrackedTargets()),
+	}
+	res, err := NewReservoir(64, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests["reservoir"] = res
+
+	for name, est := range ests {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 1500; i++ {
+				est.Insert(rng.NormFloat64()*10 + 100)
+			}
+			got := roundTrip(t, est)
+			if got.Count() != est.Count() {
+				t.Fatalf("count %d after round trip, want %d", got.Count(), est.Count())
+			}
+			for _, q := range TrackedQuantiles {
+				want, err := est.Query(q)
+				if err != nil {
+					t.Fatalf("query original q=%v: %v", q, err)
+				}
+				have, err := got.Query(q)
+				if err != nil {
+					t.Fatalf("query decoded q=%v: %v", q, err)
+				}
+				if have != want {
+					t.Fatalf("q=%v: decoded %v, original %v", q, have, want)
+				}
+			}
+			// The decoded estimator must remain usable: insert more and
+			// re-query without error.
+			got.Insert(42)
+			if _, err := got.Query(0.5); err != nil {
+				t.Fatalf("query after post-decode insert: %v", err)
+			}
+		})
+	}
+}
+
+func TestEstimatorGobEmptyRoundTrip(t *testing.T) {
+	for _, est := range []Estimator{NewExact(), MustGK(0.05), MustCKMS(TrackedTargets())} {
+		got := roundTrip(t, est)
+		if got.Count() != 0 {
+			t.Fatalf("%T: empty round trip has count %d", est, got.Count())
+		}
+		if _, err := got.Query(0.5); err == nil {
+			t.Fatalf("%T: query on empty decoded estimator should error", est)
+		}
+	}
+}
+
+func TestGKGobRejectsCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobGK{Eps: 2, N: 1, V: []float64{1}, G: []int{1}, Delta: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	var s GK
+	if err := s.GobDecode(buf.Bytes()); err == nil {
+		t.Fatal("decoding GK with eps=2 should fail")
+	}
+}
+
+func TestReservoirGobRejectsCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobReservoir{K: 0, N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var r Reservoir
+	if err := r.GobDecode(buf.Bytes()); err == nil {
+		t.Fatal("decoding reservoir with k=0 should fail")
+	}
+}

@@ -1,0 +1,136 @@
+package sla
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func maskedConfig() Config {
+	return Config{
+		KPIs: []KPI{
+			{Name: "latency", Metric: 0, Threshold: 100},
+			{Name: "queue", Metric: 1, Threshold: 50},
+		},
+		CrisisFraction: 0.10,
+	}
+}
+
+func TestEvaluateMaskedMatchesEvaluateIntoWhenAllReporting(t *testing.T) {
+	cfg := maskedConfig()
+	values := [][]float64{
+		{150, 10}, {90, 10}, {90, 60}, {90, 10}, {90, 10},
+		{90, 10}, {90, 10}, {90, 10}, {90, 10}, {90, 10},
+	}
+	reporting := make([]bool, len(values))
+	for i := range reporting {
+		reporting[i] = true
+	}
+	violA := make([]bool, len(values))
+	violB := make([]bool, len(values))
+	want, err := cfg.EvaluateInto(values, violA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cfg.EvaluateMasked(values, violB, reporting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("masked status %+v, unmasked %+v", got, want)
+	}
+	if !reflect.DeepEqual(violA, violB) {
+		t.Fatalf("masked viol %v, unmasked %v", violB, violA)
+	}
+}
+
+func TestEvaluateMaskedExcludesNonReportingMachines(t *testing.T) {
+	cfg := maskedConfig()
+	// 2 reporting machines, 1 violating: 50% >= 10% -> crisis over the
+	// reporting set; the 8 masked machines are out of the denominator.
+	values := make([][]float64, 10)
+	reporting := make([]bool, 10)
+	values[0] = []float64{150, 10}
+	values[1] = []float64{90, 10}
+	reporting[0], reporting[1] = true, true
+	for i := 2; i < 10; i++ {
+		values[i] = nil // machine down: no row at all
+	}
+	viol := make([]bool, 10)
+	st, err := cfg.EvaluateMasked(values, viol, reporting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Machines != 2 {
+		t.Fatalf("Machines = %d, want 2 (reporting only)", st.Machines)
+	}
+	if st.ViolatingAny != 1 || !st.InCrisis {
+		t.Fatalf("status %+v, want 1 violator and InCrisis over the reporting set", st)
+	}
+	if !viol[0] || viol[1] {
+		t.Fatalf("viol = %v, want [true false ...]", viol[:2])
+	}
+	for i := 2; i < 10; i++ {
+		if viol[i] {
+			t.Fatalf("masked machine %d marked violating", i)
+		}
+	}
+}
+
+func TestEvaluateMaskedNonFiniteNeverViolates(t *testing.T) {
+	cfg := maskedConfig()
+	values := [][]float64{
+		{math.Inf(1), 10},  // corrupt +Inf latency: not an SLA breach
+		{math.NaN(), 10},   // blanked latency: not a breach
+		{90, math.Inf(-1)}, // corrupt -Inf queue: not a breach
+		{90, 10},
+	}
+	reporting := []bool{true, true, true, true}
+	st, err := cfg.EvaluateMasked(values, nil, reporting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ViolatingAny != 0 || st.InCrisis {
+		t.Fatalf("status %+v, want no violations from non-finite samples", st)
+	}
+	if st.Machines != 4 {
+		t.Fatalf("Machines = %d, want 4", st.Machines)
+	}
+}
+
+func TestEvaluateMaskedZeroReportingIsNotACrisis(t *testing.T) {
+	cfg := maskedConfig()
+	values := make([][]float64, 5)
+	reporting := make([]bool, 5)
+	st, err := cfg.EvaluateMasked(values, nil, reporting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InCrisis {
+		t.Fatal("zero reporting machines must not satisfy the crisis rule")
+	}
+	if st.Machines != 0 || st.ViolatingAny != 0 {
+		t.Fatalf("status %+v, want empty", st)
+	}
+}
+
+func TestMergeStatusesZeroMachinesIsNotACrisis(t *testing.T) {
+	cfg := maskedConfig()
+	st := cfg.MergeStatuses([]EpochStatus{
+		{ViolatingPerKPI: []int{0, 0}},
+		{ViolatingPerKPI: []int{0, 0}},
+	})
+	if st.InCrisis {
+		t.Fatal("merging empty partials must not declare a crisis")
+	}
+}
+
+func TestEvaluateMaskedLengthMismatch(t *testing.T) {
+	cfg := maskedConfig()
+	if _, err := cfg.EvaluateMasked(make([][]float64, 3), nil, make([]bool, 2)); err == nil {
+		t.Fatal("want error for reporting length mismatch")
+	}
+	if _, err := cfg.EvaluateMasked(make([][]float64, 3), make([]bool, 2), make([]bool, 3)); err == nil {
+		t.Fatal("want error for viol length mismatch")
+	}
+}

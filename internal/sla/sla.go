@@ -12,6 +12,7 @@ package sla
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"dcfp/internal/metrics"
 )
@@ -120,11 +121,59 @@ func (c Config) EvaluateInto(values [][]float64, viol []bool) (EpochStatus, erro
 	return st, nil
 }
 
+// EvaluateMasked is EvaluateInto over only the machines whose reporting flag
+// is set: masked machines contribute to no counts (including the crisis-rule
+// denominator) and get viol[m] = false. Non-finite KPI samples on reporting
+// machines never count as violations — a corrupt +Inf latency is a telemetry
+// fault, not an SLA breach. With zero reporting machines there is no
+// evidence either way, so InCrisis is false; callers (the monitor) flag such
+// epochs as degraded instead. On fully reporting, finite input it returns
+// exactly what EvaluateInto returns.
+func (c Config) EvaluateMasked(values [][]float64, viol, reporting []bool) (EpochStatus, error) {
+	st := EpochStatus{ViolatingPerKPI: make([]int, len(c.KPIs))}
+	if len(reporting) != len(values) {
+		return st, fmt.Errorf("sla: reporting has %d entries for %d machines", len(reporting), len(values))
+	}
+	if viol != nil && len(viol) != len(values) {
+		return st, fmt.Errorf("sla: viol has %d entries for %d machines", len(viol), len(values))
+	}
+	for m, row := range values {
+		if viol != nil {
+			viol[m] = false
+		}
+		if !reporting[m] {
+			continue
+		}
+		st.Machines++
+		any := false
+		for i, k := range c.KPIs {
+			if k.Metric >= len(row) {
+				return st, fmt.Errorf("sla: KPI %s metric %d outside row of %d", k.Name, k.Metric, len(row))
+			}
+			v := row[k.Metric]
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && v > k.Threshold {
+				st.ViolatingPerKPI[i]++
+				any = true
+			}
+		}
+		if any {
+			st.ViolatingAny++
+		}
+		if viol != nil {
+			viol[m] = any
+		}
+	}
+	st.InCrisis = st.Machines > 0 && float64(st.ViolatingAny) >= c.CrisisFraction*float64(st.Machines)
+	return st, nil
+}
+
 // MergeStatuses combines partial epoch statuses computed over disjoint
 // machine subsets (one per worker shard) into the datacenter-wide status,
 // re-applying the crisis rule over the summed counts. Counts are sums, so
 // the merged status is identical to evaluating all machines in one call,
-// regardless of how the machines were split.
+// regardless of how the machines were split. Zero evaluated machines (every
+// shard fully masked) is not a crisis — without the guard the >= comparison
+// against 0 would fire vacuously.
 func (c Config) MergeStatuses(parts []EpochStatus) EpochStatus {
 	st := EpochStatus{ViolatingPerKPI: make([]int, len(c.KPIs))}
 	for _, p := range parts {
@@ -134,7 +183,7 @@ func (c Config) MergeStatuses(parts []EpochStatus) EpochStatus {
 		st.ViolatingAny += p.ViolatingAny
 		st.Machines += p.Machines
 	}
-	st.InCrisis = float64(st.ViolatingAny) >= c.CrisisFraction*float64(st.Machines)
+	st.InCrisis = st.Machines > 0 && float64(st.ViolatingAny) >= c.CrisisFraction*float64(st.Machines)
 	return st
 }
 
