@@ -5,12 +5,20 @@
 //	/metrics       Prometheus text exposition of all dcfp_* series
 //	/healthz       JSON liveness + monitor snapshot
 //	/crises        JSON crisis records and recent identification advice
+//	/traces        JSON ring of recent per-epoch pipeline traces
+//	/accuracy      JSON identification scoreboard (confusion matrix, recall)
+//	/explain/{id}  JSON audit record of one crisis's identification decisions
 //	/debug/pprof/  standard Go profiling endpoints
 //
 // An "operator" is simulated too: -resolve-after epochs after each crisis
 // ends, its ground-truth label is filed via ResolveCrisis, so identification
 // accuracy improves as the store fills — watch dcfp_advice_emitted_total
-// {verdict="known"} start moving once repeat crisis types arrive.
+// {verdict="known"} start moving once repeat crisis types arrive. Each filed
+// diagnosis is also scored against the advice the monitor emitted while the
+// crisis was open (§4.3 criteria), feeding the /accuracy scoreboard and the
+// dcfp_ident_* metric family; with -audit-out set, every identification
+// decision and every scored resolution is appended to a JSONL audit journal
+// that survives restarts.
 //
 // The telemetry pipeline between simulator and monitor can be made hostile
 // with the -fault-* flags (machine dropout, NaN/Inf/spike corruption,
@@ -30,6 +38,7 @@
 //	      [-max-epochs 0] [-workers 0] [-log text|json]
 //	      [-checkpoint-dir DIR] [-checkpoint-every 96]
 //	      [-min-coverage 0.5] [-reorder-window 4] [-advice-out FILE]
+//	      [-audit-out FILE] [-trace-capacity 256]
 //	      [-fault-seed 1] [-fault-dropout 0] [-fault-blank 0]
 //	      [-fault-corrupt 0] [-fault-duplicate 0] [-fault-delay 0]
 //	      [-fault-drop-epoch 0] [-fault-truncate 0]
@@ -53,6 +62,7 @@ import (
 
 	"dcfp/internal/crisis"
 	"dcfp/internal/dcsim"
+	"dcfp/internal/ident"
 	"dcfp/internal/metrics"
 	"dcfp/internal/monitor"
 	"dcfp/internal/telemetry"
@@ -87,6 +97,8 @@ func main() {
 		minCoverage   = flag.Float64("min-coverage", 0.5, "minimum reporting-machine fraction before an epoch is flagged degraded (0 disables the floor)")
 		reorderWindow = flag.Int("reorder-window", 4, "epochs of out-of-order arrival the ingestor buffers before declaring stragglers lost")
 		adviceOut     = flag.String("advice-out", "", "append each identification advice as a JSON line to this file")
+		auditOut      = flag.String("audit-out", "", "append identification audit records (decisions with explanations, scored resolutions) as JSON lines to this file")
+		traceCap      = flag.Int("trace-capacity", 256, "per-epoch pipeline traces retained for /traces (0 disables tracing)")
 
 		ckptDir   = flag.String("checkpoint-dir", "", "directory for atomic monitor snapshots (empty = checkpointing off)")
 		ckptEvery = flag.Int("checkpoint-every", metrics.EpochsPerDay, "epochs between checkpoints")
@@ -139,6 +151,7 @@ func main() {
 		log.Fatal(err)
 	}
 
+	tracer := telemetry.NewTracer(*traceCap)
 	mcfg := monitor.DefaultConfig(stream.Catalog(), stream.SLA())
 	mcfg.Alpha = *alpha
 	mcfg.MinEpochsForThresholds = *thresholdDays * metrics.EpochsPerDay
@@ -147,21 +160,16 @@ func main() {
 	mcfg.Workers = *workers
 	mcfg.MinCoverage = *minCoverage
 	mcfg.ExpectedMachines = *machines
-	mon, err := monitor.New(mcfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ing, err := monitor.NewIngestor(mon, monitor.IngestConfig{
-		ReorderWindow: *reorderWindow,
-		Telemetry:     reg,
-	})
+	mcfg.Tracer = tracer
+	mon, ing, err := buildPipeline(mcfg, *reorderWindow, reg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The monitor is single-goroutine; the daemon wraps all access (the
 	// epoch loop and the HTTP snapshot functions) in one mutex.
-	d := &daemon{mon: mon, ing: ing, start: time.Now()}
+	d := &daemon{mon: mon, ing: ing, start: time.Now(),
+		tracer: tracer, score: monitor.NewScoreboard(reg)}
 
 	// Restore from the newest checkpoint, if any. A corrupt or unreadable
 	// checkpoint is logged and skipped — a cold start beats trusting it.
@@ -176,14 +184,7 @@ func main() {
 			// The monitor may be partially restored; rebuild it (the
 			// registry hands back the already-registered collectors).
 			log.Printf("WARNING: ignoring checkpoint in %s (starting cold): %v", *ckptDir, rerr)
-			if mon, err = monitor.New(mcfg); err != nil {
-				log.Fatal(err)
-			}
-			ing, err = monitor.NewIngestor(mon, monitor.IngestConfig{
-				ReorderWindow: *reorderWindow,
-				Telemetry:     reg,
-			})
-			if err != nil {
+			if mon, ing, err = buildPipeline(mcfg, *reorderWindow, reg); err != nil {
 				log.Fatal(err)
 			}
 			d.mon, d.ing = mon, ing
@@ -210,13 +211,21 @@ func main() {
 		defer adviceW.Close()
 		d.adviceW = adviceW
 	}
+	if *auditOut != "" {
+		auditW, err := os.OpenFile(*auditOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer auditW.Close()
+		d.auditW = auditW
+	}
 
-	h := telemetry.Handler(reg, d.health, d.crises)
+	h := telemetry.NewHandler(reg, d.endpoints())
 	srv, bound, err := telemetry.Serve(*addr, h)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("serving http://%s/{metrics,healthz,crises,debug/pprof} — %d machines, %d metrics, epoch interval %v",
+	log.Printf("serving http://%s/{metrics,healthz,crises,traces,accuracy,explain,debug/pprof} — %d machines, %d metrics, epoch interval %v",
 		bound, *machines, stream.Catalog().Len(), *interval)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -268,6 +277,23 @@ loop:
 		st.EpochsSeen, st.CrisesStored, st.CrisesLabeled)
 }
 
+// buildPipeline assembles a cold monitor + ingestor pair; used at startup
+// and again when a corrupt checkpoint forces a cold restart.
+func buildPipeline(mcfg monitor.Config, reorderWindow int, reg *telemetry.Registry) (*monitor.Monitor, *monitor.Ingestor, error) {
+	mon, err := monitor.New(mcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ing, err := monitor.NewIngestor(mon, monitor.IngestConfig{
+		ReorderWindow: reorderWindow,
+		Telemetry:     reg,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return mon, ing, nil
+}
+
 // daemon owns the monitor and the bookkeeping the HTTP endpoints read.
 type daemon struct {
 	mu      sync.Mutex
@@ -281,6 +307,43 @@ type daemon struct {
 	wasIn   bool
 	emitted int64 // injector emissions ingested (for checkpoint fast-forward)
 	adviceW *os.File
+	auditW  *os.File
+	tracer  *telemetry.Tracer
+	score   *monitor.Scoreboard
+}
+
+// auditAdvice is one audit-journal line recording an identification
+// decision, explanation included.
+type auditAdvice struct {
+	Type   string          `json:"type"` // "advice"
+	Advice *monitor.Advice `json:"advice"`
+}
+
+// auditResolve is one audit-journal line recording a scored operator
+// diagnosis: the truth label, whether the crisis was known at identification
+// time, the vote sequence, and the §4.3 verdict.
+type auditResolve struct {
+	Type      string        `json:"type"` // "resolve"
+	Epoch     metrics.Epoch `json:"epoch"`
+	CrisisID  string        `json:"crisis_id"`
+	Truth     string        `json:"truth"`
+	Known     bool          `json:"known"`
+	Votes     []string      `json:"votes"`
+	Stable    bool          `json:"stable"`
+	Emitted   string        `json:"emitted"`
+	Correct   bool          `json:"correct"`
+	TTIEpochs int           `json:"tti_epochs"`
+}
+
+// audit appends one JSON line to the audit journal; a no-op without
+// -audit-out.
+func (d *daemon) audit(v any) {
+	if d.auditW == nil {
+		return
+	}
+	if b, err := json.Marshal(v); err == nil {
+		fmt.Fprintf(d.auditW, "%s\n", b)
+	}
 }
 
 // step feeds one (possibly faulty) source-epoch emission through the
@@ -315,6 +378,7 @@ func (d *daemon) observe(rep *monitor.EpochReport, active *crisis.Instance, reso
 				fmt.Fprintf(d.adviceW, "%s\n", b)
 			}
 		}
+		d.audit(auditAdvice{Type: "advice", Advice: rep.Advice})
 	}
 	if rep.CrisisActive {
 		st := d.mon.Stats()
@@ -347,9 +411,37 @@ func (d *daemon) observe(rep *monitor.EpochReport, active *crisis.Instance, reso
 		if err := d.mon.ResolveCrisis(p.id, p.label); err != nil {
 			return fmt.Errorf("resolving %s: %w", p.id, err)
 		}
+		d.scoreResolution(rep.Epoch, p.id, p.label)
 	}
 	d.pending = kept
 	return nil
+}
+
+// scoreResolution feeds one filed diagnosis into the accuracy scoreboard and
+// the audit journal. Caller holds the mutex. Crises that never produced an
+// identification attempt (detected before thresholds existed) carry no vote
+// sequence and are not scorable.
+func (d *daemon) scoreResolution(e metrics.Epoch, id, truth string) {
+	expls, ok := d.mon.Explanations(id)
+	if !ok || len(expls) == 0 {
+		return
+	}
+	votes := expls[len(expls)-1].Votes
+	// The crisis was "known" iff a labeled crisis of the same type already
+	// sat in the store when identification first ran.
+	known := false
+	for _, c := range expls[0].Candidates {
+		if c.Label == truth {
+			known = true
+			break
+		}
+	}
+	o := d.score.Record(monitor.Feedback{CrisisID: id, Truth: truth, Known: known, Votes: votes})
+	d.audit(auditResolve{
+		Type: "resolve", Epoch: e, CrisisID: id, Truth: truth, Known: known,
+		Votes: votes, Stable: o.Stable, Emitted: o.Emitted, Correct: o.Correct,
+		TTIEpochs: o.TTIEpochs,
+	})
 }
 
 // daemonState is the daemon-side bookkeeping carried in a checkpoint's
@@ -362,6 +454,7 @@ type daemonState struct {
 	Advice  []monitor.Advice
 	Ingest  monitor.IngestorState
 	Emitted int64
+	Score   monitor.ScoreboardState
 }
 
 type pendingState struct {
@@ -382,6 +475,7 @@ func (d *daemon) checkpoint(dir string) {
 		Advice:  d.advice,
 		Ingest:  d.ing.State(),
 		Emitted: d.emitted,
+		Score:   d.score.State(),
 	}
 	for _, p := range d.pending {
 		ds.Pending = append(ds.Pending, pendingState{Due: p.due, ID: p.id, Label: p.label})
@@ -423,6 +517,7 @@ func (d *daemon) restore(dir string) (int64, bool, error) {
 	d.wasIn = ds.WasIn
 	d.advice = ds.Advice
 	d.emitted = ds.Emitted
+	d.score.SetState(ds.Score)
 	return ds.Emitted, true, nil
 }
 
@@ -451,13 +546,42 @@ func (d *daemon) health() any {
 	}{"ok", time.Since(d.start).Seconds(), d.mon.Stats()}
 }
 
-// crises is the /crises payload.
+// crises is the /crises payload. Both slices are always non-nil so the JSON
+// renders [] rather than null before any crisis has been seen.
 func (d *daemon) crises() any {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	advice := append([]monitor.Advice(nil), d.advice...)
+	advice := append([]monitor.Advice{}, d.advice...)
 	return struct {
 		Crises []monitor.CrisisRecord `json:"crises"`
 		Advice []monitor.Advice       `json:"recent_advice"`
 	}{d.mon.Crises(), advice}
+}
+
+// endpoints wires the daemon's snapshot functions into the HTTP handler.
+// The /traces and /accuracy payloads always render JSON arrays/objects, [],
+// never null, matching the /crises guarantee.
+func (d *daemon) endpoints() telemetry.Endpoints {
+	return telemetry.Endpoints{
+		Health:   d.health,
+		Crises:   d.crises,
+		Traces:   func() any { return d.tracer.Snapshots() },
+		Accuracy: func() any { return d.score.State() },
+		Explain:  d.explain,
+	}
+}
+
+// explain is the /explain/{crisisID} payload: every identification audit
+// record of one crisis, ident-epoch order.
+func (d *daemon) explain(id string) (any, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	expls, ok := d.mon.Explanations(id)
+	if !ok {
+		return nil, false
+	}
+	return struct {
+		CrisisID     string               `json:"crisis_id"`
+		Explanations []*ident.Explanation `json:"explanations"`
+	}{id, expls}, true
 }

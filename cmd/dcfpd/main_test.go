@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"syscall"
 	"testing"
@@ -150,7 +151,8 @@ func TestCheckpointKillAndRestore(t *testing.T) {
 			t.Errorf("epoch %d: advice missing after kill-and-restore", e)
 			continue
 		}
-		if got != want {
+		// Advice carries a pointer-typed Explanation, so compare by value.
+		if !reflect.DeepEqual(got, want) {
 			t.Errorf("epoch %d: advice differs after kill-and-restore:\n got %+v\nwant %+v", e, got, want)
 		}
 	}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"dcfp/internal/core"
+	"dcfp/internal/ident"
+	"dcfp/internal/monitor"
+	"dcfp/internal/quantile"
+)
+
+// explain mode: read identification decisions saved as JSON lines — dcfpd's
+// -advice-out stream, its -audit-out journal, or a /explain payload's raw
+// explanation records — and pretty-print each decision's top-k metric
+// contributions as a ranked table. The human debugging path for the same
+// Explanation record the HTTP endpoints serve.
+
+// runExplain reads path ("-" for stdin) and prints every explanation found
+// to out. top limits the rows printed per candidate (0 = all recorded terms).
+func runExplain(out io.Writer, path string, top int) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+
+	n, skipped := 0, 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24) // explanations can be long lines
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		e, ok := parseExplanation([]byte(line))
+		if !ok {
+			skipped++
+			continue
+		}
+		n++
+		printExplanation(w, e, top)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("no identification explanations found in %s (%d other lines)", path, skipped)
+	}
+	fmt.Fprintf(w, "%d identification decisions explained", n)
+	if skipped > 0 {
+		fmt.Fprintf(w, " (%d non-decision lines skipped)", skipped)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// parseExplanation accepts an audit-journal line ({"type":"advice",...}), a
+// bare advice line, or a bare explanation record. Journal lines of any
+// other type (e.g. "resolve") are not decisions and are skipped.
+func parseExplanation(b []byte) (*ident.Explanation, bool) {
+	var probe struct {
+		Type string `json:"type"`
+	}
+	switch err := json.Unmarshal(b, &probe); {
+	case err != nil:
+		return nil, false
+	case probe.Type == "advice":
+		var al struct {
+			Advice *monitor.Advice `json:"advice"`
+		}
+		if err := json.Unmarshal(b, &al); err == nil && al.Advice != nil && al.Advice.Explanation != nil {
+			return al.Advice.Explanation, true
+		}
+		return nil, false
+	case probe.Type != "":
+		return nil, false
+	}
+	var adv monitor.Advice
+	if err := json.Unmarshal(b, &adv); err == nil && adv.Explanation != nil {
+		return adv.Explanation, true
+	}
+	var e ident.Explanation
+	if err := json.Unmarshal(b, &e); err == nil && e.CrisisID != "" && len(e.Votes) > 0 {
+		return &e, true
+	}
+	return nil, false
+}
+
+func printExplanation(w io.Writer, e *ident.Explanation, top int) {
+	stability := "unstable"
+	if e.Stable {
+		stability = "stable"
+	}
+	fmt.Fprintf(w, "crisis %s  epoch %d  ident-epoch %d  emitted %q (%s)\n",
+		e.CrisisID, e.Epoch, e.IdentEpoch, e.Emitted, stability)
+	fmt.Fprintf(w, "  alpha %.3f  threshold %.4f (generation %d)  votes [%s]  relevant metrics %d\n",
+		e.Alpha, e.Threshold, e.Generation, strings.Join(e.Votes, " "), len(e.Relevant))
+	if len(e.Candidates) == 0 {
+		fmt.Fprintf(w, "  no labeled candidates in the store\n\n")
+		return
+	}
+	for i, c := range e.Candidates {
+		marker := " "
+		if i == 0 {
+			marker = "*" // nearest; the decision compared this distance
+		}
+		fmt.Fprintf(w, " %s candidate %s  label=%q  distance %.4f  (squared %.6f)\n",
+			marker, c.CrisisID, c.Label, c.Distance, c.SquaredDistance)
+		printContributions(w, c, top)
+	}
+	fmt.Fprintln(w)
+}
+
+func printContributions(w io.Writer, c core.CandidateExplanation, top int) {
+	rows := c.Top
+	if top > 0 && top < len(rows) {
+		rows = rows[:top]
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "   %4s  %-12s %-4s %8s %8s %8s %13s %7s\n",
+		"rank", "metric", "q", "ongoing", "stored", "delta", "contribution", "share")
+	shown := 0.0
+	for i, t := range rows {
+		share := 0.0
+		if c.SquaredDistance > 0 {
+			share = 100 * t.Contribution / c.SquaredDistance
+		}
+		shown += t.Contribution
+		fmt.Fprintf(w, "   %4d  %-12s %-4s %+8.3f %+8.3f %+8.3f %13.6f %6.1f%%\n",
+			i+1, fmt.Sprintf("metric_%03d", t.Metric), quantileName(t.Quantile),
+			t.Ongoing, t.Stored, t.Delta, t.Contribution, share)
+	}
+	if rest := c.SquaredDistance - shown; rest > 1e-12 {
+		share := 100 * rest / c.SquaredDistance
+		fmt.Fprintf(w, "   %4s  %-12s %31s %13.6f %6.1f%%\n", "", "(remaining)", "", rest, share)
+	}
+}
+
+// quantileName renders quantile index qi as q25/q50/q95.
+func quantileName(qi int) string {
+	if qi < 0 || qi >= len(quantile.TrackedQuantiles) {
+		return fmt.Sprintf("q?%d", qi)
+	}
+	return fmt.Sprintf("q%d", int(quantile.TrackedQuantiles[qi]*100+0.5))
+}
+
+// mustExplain is the -explain entry point from main.
+func mustExplain(path string, top int) {
+	if err := runExplain(os.Stdout, path, top); err != nil {
+		log.Fatal(err)
+	}
+}

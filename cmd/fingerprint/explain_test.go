@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcfp/internal/core"
+	"dcfp/internal/ident"
+	"dcfp/internal/monitor"
+)
+
+func sampleAdvice() *monitor.Advice {
+	expl := &ident.Explanation{
+		CrisisID:   "crisis-0007",
+		Epoch:      241,
+		IdentEpoch: 2,
+		Generation: 4,
+		Relevant:   []int{3, 12, 40},
+		Alpha:      0.05,
+		Threshold:  1.5,
+		Emitted:    "overload",
+		Votes:      []string{"x", "overload", "overload"},
+		Candidates: []core.CandidateExplanation{{
+			CrisisID:        "crisis-0003",
+			Label:           "overload",
+			Distance:        1.2,
+			SquaredDistance: 1.44,
+			Top: []core.Contribution{
+				{Metric: 12, Quantile: 2, Ongoing: 1, Stored: 0, Delta: 1, Contribution: 1},
+				{Metric: 3, Quantile: 1, Ongoing: 0.4, Stored: 0, Delta: 0.4, Contribution: 0.16},
+			},
+			Residual: 0.28,
+		}},
+	}
+	return &monitor.Advice{
+		CrisisID: "crisis-0007", Epoch: 241, IdentEpoch: 2, Candidates: 1,
+		Emitted: "overload", Nearest: "overload", Distance: 1.2, Threshold: 1.5,
+		Explanation: expl,
+	}
+}
+
+// TestRunExplain: the explain mode accepts bare advice lines, audit-journal
+// wrappers, and bare explanation records, skips non-decision lines, and
+// renders the ranked contribution table.
+func TestRunExplain(t *testing.T) {
+	adv := sampleAdvice()
+	var lines [][]byte
+	for _, v := range []any{
+		adv,
+		struct {
+			Type   string          `json:"type"`
+			Advice *monitor.Advice `json:"advice"`
+		}{"advice", adv},
+		adv.Explanation,
+		struct {
+			Type  string `json:"type"`
+			Truth string `json:"truth"`
+		}{"resolve", "overload"},
+	} {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, b)
+	}
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := runExplain(&out, path, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"crisis crisis-0007",
+		`emitted "overload"`,
+		"threshold 1.5000 (generation 4)",
+		"votes [x overload overload]",
+		`candidate crisis-0003  label="overload"  distance 1.2000`,
+		"metric_012   q95",
+		"metric_003   q50",
+		"(remaining)",
+		"3 identification decisions explained (1 non-decision lines skipped)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Count(got, "candidate crisis-0003") != 3 {
+		t.Fatalf("expected 3 rendered decisions:\n%s", got)
+	}
+
+	// -top 1 keeps only the largest contribution row.
+	out.Reset()
+	if err := runExplain(&out, path, 1); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "metric_003") {
+		t.Fatalf("-top 1 still shows rank-2 row:\n%s", out.String())
+	}
+
+	// A journal with no decisions is an error, not silent empty output.
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, []byte(`{"type":"resolve"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runExplain(&out, empty, 0); err == nil {
+		t.Fatal("explain over a decision-free journal should fail")
+	}
+}

@@ -3,9 +3,16 @@
 // nearest past crisis and the identification verdict — the operator-facing
 // view of the method.
 //
+// With -explain FILE it instead reads saved identification decisions (the
+// JSON lines written by dcfpd's -advice-out or -audit-out, "-" for stdin)
+// and pretty-prints each decision's ranked per-metric-quantile distance
+// contributions — the human debugging path for the Explanation records the
+// /explain endpoint serves.
+//
 // Usage:
 //
 //	fingerprint [-scale small|full] [-seed N] [-metrics N] [-alpha A] [-grids]
+//	fingerprint -explain FILE [-top K]
 package main
 
 import (
@@ -26,13 +33,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fingerprint: ")
 	var (
-		scale = flag.String("scale", "small", "trace scale: small or full")
-		seed  = flag.Int64("seed", 42, "simulation seed")
-		nrel  = flag.Int("metrics", 30, "number of relevant metrics")
-		alpha = flag.Float64("alpha", 0.05, "false-positive budget for the identification threshold")
-		grids = flag.Bool("grids", false, "print fingerprint heatmaps")
+		scale   = flag.String("scale", "small", "trace scale: small or full")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+		nrel    = flag.Int("metrics", 30, "number of relevant metrics")
+		alpha   = flag.Float64("alpha", 0.05, "false-positive budget for the identification threshold")
+		grids   = flag.Bool("grids", false, "print fingerprint heatmaps")
+		explain = flag.String("explain", "", "explain mode: read advice/audit JSON lines from this file (- for stdin) and print ranked contribution tables")
+		top     = flag.Int("top", 0, "explain mode: rows per candidate (0 = all recorded terms)")
 	)
 	flag.Parse()
+
+	if *explain != "" {
+		mustExplain(*explain, *top)
+		return
+	}
 
 	var cfg dcsim.Config
 	switch *scale {

@@ -228,6 +228,61 @@ func TelemetryHandler(reg *TelemetryRegistry, health func() any, crises func() a
 	return telemetry.Handler(reg, health, crises)
 }
 
+// TelemetryEndpoints wires JSON payload providers into the observability
+// handler: health, crises, traces, the accuracy scoreboard, and per-crisis
+// explanations. Nil providers 404.
+type TelemetryEndpoints = telemetry.Endpoints
+
+// NewTelemetryHandler is TelemetryHandler plus the decision-tracing routes
+// /traces, /accuracy and /explain/{crisisID}.
+func NewTelemetryHandler(reg *TelemetryRegistry, ep TelemetryEndpoints) http.Handler {
+	return telemetry.NewHandler(reg, ep)
+}
+
+// Tracer records one bounded ring of per-epoch pipeline traces; attach one
+// via MonitorConfig.Tracer. A nil Tracer disables tracing at zero cost —
+// every span call on the nil chain is an allocation-free no-op.
+type Tracer = telemetry.Tracer
+
+// NewTracer returns a tracer retaining the capacity most recent traces
+// (capacity < 1 returns nil: tracing disabled).
+func NewTracer(capacity int) *Tracer { return telemetry.NewTracer(capacity) }
+
+// TraceSnapshot is one completed trace: the stage spans of a single epoch's
+// journey through ingest → filter → summarize → fingerprint → match → advise.
+type TraceSnapshot = telemetry.TraceSnapshot
+
+// SpanSnapshot is one completed stage span within a TraceSnapshot.
+type SpanSnapshot = telemetry.SpanSnapshot
+
+// Explanation is the audit record attached to Advice: per-candidate distance
+// breakdowns, the relevant set and threshold generation used, the α
+// threshold compared against, and the stability vote sequence (§4–5).
+type Explanation = ident.Explanation
+
+// CandidateExplanation decomposes one candidate's L2 distance into its
+// top-k per-metric-quantile contributions plus a residual.
+type CandidateExplanation = core.CandidateExplanation
+
+// Contribution is one signed (metric, quantile) term of a squared distance.
+type Contribution = core.Contribution
+
+// Scoreboard is the live identification-accuracy ledger: operator feedback
+// in, rolling confusion matrix, known/unknown accuracy, time-to-stable-
+// identification histogram and per-type recall out (dcfp_ident_* metrics).
+type Scoreboard = monitor.Scoreboard
+
+// NewScoreboard builds a scoreboard, optionally exporting dcfp_ident_*
+// metrics into reg (nil disables the export, never the ledger).
+func NewScoreboard(reg *TelemetryRegistry) *Scoreboard { return monitor.NewScoreboard(reg) }
+
+// ScoreboardFeedback is one scored operator diagnosis.
+type ScoreboardFeedback = monitor.Feedback
+
+// ScoreboardState is the serializable scoreboard snapshot (the /accuracy
+// payload).
+type ScoreboardState = monitor.ScoreboardState
+
 // CheckpointMeta is caller-owned metadata stored alongside a Monitor
 // checkpoint (source position, opaque daemon state).
 type CheckpointMeta = monitor.CheckpointMeta

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dcfp/internal/metrics"
+)
+
+// Distance explanations: §4's identification decision is a nearest-neighbor
+// test under the L2 distance between crisis fingerprints, so the decision
+// decomposes exactly into per-element terms — one per (relevant metric,
+// quantile) — with (a[i]-b[i])² summing to the squared distance. Exposing
+// the top terms, signed, lets an operator reconstruct *why* a candidate was
+// near or far: "hot CPU_USER q50 contributed 0.41" means the ongoing
+// crisis's median CPU state sat hotter than the stored candidate's by
+// √0.41 fingerprint units.
+
+// Contribution is one (metric, quantile) term of a squared L2 distance.
+type Contribution struct {
+	// Metric is the catalog column; Quantile indexes the tracked quantile
+	// (0 = 25th, 1 = 50th, 2 = 95th).
+	Metric   int `json:"metric"`
+	Quantile int `json:"quantile"`
+	// Ongoing and Stored are the averaged discretized states being
+	// compared, each in [-1, +1] (-1 cold, +1 hot).
+	Ongoing float64 `json:"ongoing"`
+	Stored  float64 `json:"stored"`
+	// Delta = Ongoing - Stored carries the sign: positive means the
+	// ongoing crisis ran hotter on this quantile than the candidate.
+	Delta float64 `json:"delta"`
+	// Contribution = Delta², this term's share of the squared distance.
+	Contribution float64 `json:"contribution"`
+}
+
+// CandidateExplanation is the audit record of one candidate comparison: the
+// distance the identification decision actually used, decomposed so that
+// the sum of the top contributions plus the residual reproduces the squared
+// distance exactly.
+type CandidateExplanation struct {
+	// CrisisID and Label identify the stored candidate crisis.
+	CrisisID string `json:"crisis_id"`
+	Label    string `json:"label"`
+	// Distance is the L2 distance; SquaredDistance its square, computed
+	// with the same element order as Distance so the two never disagree.
+	Distance        float64 `json:"distance"`
+	SquaredDistance float64 `json:"squared_distance"`
+	// Top holds the k largest contributions, descending; Residual is the
+	// squared distance carried by the remaining elements, so
+	// sum(Top[i].Contribution) + Residual == SquaredDistance.
+	Top      []Contribution `json:"top_contributions"`
+	Residual float64        `json:"residual"`
+}
+
+// ExplainDistance compares the ongoing crisis fingerprint a against a
+// stored candidate fingerprint b (both produced by this fingerprinter, so
+// element i maps to relevant metric i/3, quantile i%3) and returns the
+// distance with its top-k per-metric-quantile breakdown. topK < 1 keeps
+// every term.
+func (f *Fingerprinter) ExplainDistance(a, b []float64, topK int) (CandidateExplanation, error) {
+	if len(a) != f.Size() || len(b) != f.Size() {
+		return CandidateExplanation{}, fmt.Errorf("core: explain lengths %d/%d, want %d", len(a), len(b), f.Size())
+	}
+	terms := make([]Contribution, len(a))
+	ss := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		c := d * d
+		ss += c
+		terms[i] = Contribution{
+			Metric:       f.relevant[i/metrics.NumQuantiles],
+			Quantile:     i % metrics.NumQuantiles,
+			Ongoing:      a[i],
+			Stored:       b[i],
+			Delta:        d,
+			Contribution: c,
+		}
+	}
+	// Largest terms first; ties broken by element order for determinism.
+	sort.SliceStable(terms, func(i, j int) bool { return terms[i].Contribution > terms[j].Contribution })
+	if topK < 1 || topK > len(terms) {
+		topK = len(terms)
+	}
+	kept := 0.0
+	for _, t := range terms[:topK] {
+		kept += t.Contribution
+	}
+	return CandidateExplanation{
+		Distance:        math.Sqrt(ss),
+		SquaredDistance: ss,
+		Top:             append([]Contribution(nil), terms[:topK]...),
+		Residual:        ss - kept,
+	}, nil
+}
+
+// ExplainStored is ExplainDistance against stored crisis i of the store:
+// the candidate fingerprint is read through the store's cache exactly as
+// Identify reads it, and the candidate's identity is filled in.
+func (s *Store) ExplainStored(i int, f *Fingerprinter, ongoing []float64, topK int) (CandidateExplanation, error) {
+	c, err := s.Crisis(i)
+	if err != nil {
+		return CandidateExplanation{}, err
+	}
+	fp, err := s.Fingerprint(i, f)
+	if err != nil {
+		return CandidateExplanation{}, err
+	}
+	exp, err := f.ExplainDistance(ongoing, fp, topK)
+	if err != nil {
+		return CandidateExplanation{}, err
+	}
+	exp.CrisisID = c.ID
+	exp.Label = c.Label
+	return exp, nil
+}

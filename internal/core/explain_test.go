@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dcfp/internal/metrics"
+)
+
+// explainThresholds builds a threshold table over n metrics where values
+// below 10 are cold and above 90 hot, so fingerprint states are easy to
+// construct.
+func explainThresholds(t *testing.T, n int) *metrics.Thresholds {
+	t.Helper()
+	track, err := metrics.NewQuantileTrack(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 epochs of quantile rows spread uniformly over [10, 90].
+	for e := 0; e < 200; e++ {
+		row := make([][3]float64, n)
+		v := 10 + 80*float64(e)/199
+		for m := range row {
+			row[m] = [3]float64{v, v, v}
+		}
+		if err := track.AppendEpoch(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	th, err := metrics.ComputeThresholds(track, func(metrics.Epoch) bool { return true }, 199, metrics.DefaultThresholdConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return th
+}
+
+func TestExplainDistanceBreakdown(t *testing.T) {
+	const n = 4
+	th := explainThresholds(t, n)
+	f, err := NewFingerprinter(th, []int{0, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []float64{1, 0.5, 0, -1, 0, 0.25, 1, 1, -0.5}
+	b := []float64{0, 0.5, -1, -1, 1, 0.25, -1, 0, -0.5}
+
+	exp, err := f.ExplainDistance(a, b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDist, err := Distance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exp.Distance-wantDist) > 1e-12 {
+		t.Fatalf("explanation distance %v != Distance %v", exp.Distance, wantDist)
+	}
+	sum := exp.Residual
+	for _, c := range exp.Top {
+		sum += c.Contribution
+	}
+	if math.Abs(sum-exp.SquaredDistance) > 1e-9 {
+		t.Fatalf("top+residual = %v, squared distance %v", sum, exp.SquaredDistance)
+	}
+	if math.Abs(exp.SquaredDistance-wantDist*wantDist) > 1e-9 {
+		t.Fatalf("squared %v vs distance² %v", exp.SquaredDistance, wantDist*wantDist)
+	}
+
+	// Top must be the k largest terms, descending, with signed deltas.
+	if len(exp.Top) != 3 {
+		t.Fatalf("top has %d terms, want 3", len(exp.Top))
+	}
+	for i := 1; i < len(exp.Top); i++ {
+		if exp.Top[i].Contribution > exp.Top[i-1].Contribution {
+			t.Fatalf("top not descending: %+v", exp.Top)
+		}
+	}
+	// Element 6 (metric 3, q25) has delta +2 — the largest term.
+	lead := exp.Top[0]
+	if lead.Metric != 3 || lead.Quantile != 0 || lead.Delta != 2 || lead.Contribution != 4 {
+		t.Fatalf("leading contribution = %+v, want metric 3 q0 delta +2", lead)
+	}
+	// Element 2 (metric 0, q95) has delta +1: ongoing hotter than stored.
+	found := false
+	for _, c := range exp.Top {
+		if c.Metric == 0 && c.Quantile == 2 {
+			found = true
+			if c.Delta != 1 || c.Ongoing != 0 || c.Stored != -1 {
+				t.Fatalf("metric 0 q95 term = %+v", c)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("metric 0 q95 (delta +1) missing from top 3: %+v", exp.Top)
+	}
+}
+
+func TestExplainDistanceFullBreakdown(t *testing.T) {
+	th := explainThresholds(t, 2)
+	f, err := NewFingerprinter(th, []int{0, 1}) // 6 elements
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []float64{1, 0, 0, 0.5, -1, 0}
+	b := []float64{0, 0, 1, 0.5, -1, -1}
+	exp, err := f.ExplainDistance(a, b, 0) // keep everything
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Top) != 6 || exp.Residual != 0 {
+		t.Fatalf("full breakdown: %d terms, residual %v", len(exp.Top), exp.Residual)
+	}
+	sum := 0.0
+	for _, c := range exp.Top {
+		sum += c.Contribution
+	}
+	if math.Abs(sum-exp.SquaredDistance) > 1e-12 {
+		t.Fatalf("full sum %v != squared %v", sum, exp.SquaredDistance)
+	}
+	if _, err := f.ExplainDistance(a[:3], b, 5); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+}
+
+func TestExplainStored(t *testing.T) {
+	const n = 3
+	th := explainThresholds(t, n)
+	s := NewStore(true)
+	rows := [][]float64{
+		{100, 100, 100, 5, 5, 5, 50, 50, 50},
+		{100, 100, 100, 5, 5, 5, 50, 50, 50},
+	}
+	if err := s.Add("crisis-001", "db-overload", 10, rows, th); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFingerprinter(th, AllMetrics(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ongoing := make([]float64, f.Size()) // all-normal ongoing crisis
+	exp, err := s.ExplainStored(0, f, ongoing, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.CrisisID != "crisis-001" || exp.Label != "db-overload" {
+		t.Fatalf("identity = %q/%q", exp.CrisisID, exp.Label)
+	}
+	// Stored crisis is hot on metric 0 (all +1) and cold on metric 1: the
+	// squared distance is 6, and the explanation must agree with the
+	// store's own fingerprint.
+	fp, err := s.Fingerprint(0, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Distance(ongoing, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exp.Distance-want) > 1e-12 {
+		t.Fatalf("stored explanation distance %v, want %v", exp.Distance, want)
+	}
+	if math.Abs(exp.SquaredDistance-6) > 1e-9 {
+		t.Fatalf("squared distance %v, want 6", exp.SquaredDistance)
+	}
+	for _, c := range exp.Top {
+		if c.Metric == 1 && c.Delta != 1 {
+			// ongoing (0) minus stored (-1) = +1: ongoing ran hotter
+			// than the cold stored state.
+			t.Fatalf("cold stored metric delta = %v, want +1: %+v", c.Delta, c)
+		}
+	}
+}

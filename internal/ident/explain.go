@@ -1,0 +1,55 @@
+package ident
+
+import (
+	"dcfp/internal/core"
+	"dcfp/internal/metrics"
+)
+
+// Explanation is the identification audit record produced at match time:
+// everything needed to reconstruct — and defend to an operator — one
+// epoch's identification decision. It captures the §4.2 distance evidence
+// (per-candidate L2 distances with their top per-metric-quantile
+// contributions), the discretization context (relevant-metric set and
+// threshold generation in force), the §5.3 online threshold the nearest
+// distance was compared against, and the §4.3 stability state of the vote
+// sequence so far.
+//
+// The record is attached to the epoch's Advice and retained per crisis, so
+// /explain/{crisisID} and the audit journal can replay exactly why a label
+// was or was not emitted.
+type Explanation struct {
+	// CrisisID is the ongoing crisis being identified; Epoch the absolute
+	// epoch of this identification attempt; IdentEpoch its 0-based index
+	// (0..IdentificationEpochs-1).
+	CrisisID   string        `json:"crisis_id"`
+	Epoch      metrics.Epoch `json:"epoch"`
+	IdentEpoch int           `json:"ident_epoch"`
+	// Generation is the hot/cold threshold generation the fingerprints
+	// were discretized under; Relevant the metric columns of the relevant
+	// set used (sorted).
+	Generation uint64 `json:"threshold_generation"`
+	Relevant   []int  `json:"relevant_metrics"`
+	// Alpha is the false-positive budget; Threshold the online
+	// identification threshold (§5.3) the nearest distance was compared
+	// against (0 when fewer than two labeled crises existed).
+	Alpha     float64 `json:"alpha"`
+	Threshold float64 `json:"threshold"`
+	// Emitted is this epoch's label; Votes the label sequence emitted so
+	// far for this crisis including this epoch; Stable whether Votes is
+	// stable in the §4.3 sense (x's followed by identical labels).
+	Emitted string   `json:"emitted"`
+	Votes   []string `json:"votes"`
+	Stable  bool     `json:"stable"`
+	// Candidates holds one comparison record per labeled past crisis,
+	// sorted by distance ascending — Candidates[0] is the nearest match
+	// the decision was made on.
+	Candidates []core.CandidateExplanation `json:"candidates"`
+}
+
+// Nearest returns the closest candidate, ok=false when none were compared.
+func (e *Explanation) Nearest() (core.CandidateExplanation, bool) {
+	if e == nil || len(e.Candidates) == 0 {
+		return core.CandidateExplanation{}, false
+	}
+	return e.Candidates[0], true
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dcfp/internal/core"
+	"dcfp/internal/ident"
 	"dcfp/internal/metrics"
 )
 
@@ -61,7 +62,10 @@ type CheckpointMeta struct {
 	Extra []byte
 }
 
-// checkpointCrisis mirrors pastCrisis with exported fields.
+// checkpointCrisis mirrors pastCrisis with exported fields. Votes and Expl
+// were added after version 1 shipped; gob tolerates the asymmetry in both
+// directions (old checkpoints restore with empty audit state), so the
+// version stays 1.
 type checkpointCrisis struct {
 	ID    string
 	Label string
@@ -69,6 +73,8 @@ type checkpointCrisis struct {
 	FsX   [][]float64
 	FsY   []int
 	Top   []int
+	Votes []string
+	Expl  []*ident.Explanation
 }
 
 // checkpointPayload is the gob image of all mutable Monitor state.
@@ -148,6 +154,7 @@ func (m *Monitor) WriteCheckpoint(w io.Writer, meta CheckpointMeta) error {
 		f.State.Past = append(f.State.Past, checkpointCrisis{
 			ID: p.id, Label: p.label, Start: p.start,
 			FsX: p.fsX, FsY: p.fsY, Top: p.top,
+			Votes: p.votes, Expl: p.expl,
 		})
 	}
 	if err := gob.NewEncoder(w).Encode(&f); err != nil {
@@ -204,6 +211,7 @@ func (m *Monitor) ReadCheckpoint(r io.Reader) (CheckpointMeta, error) {
 		m.past = append(m.past, pastCrisis{
 			id: p.ID, label: p.Label, start: p.Start,
 			fsX: p.FsX, fsY: p.FsY, top: p.Top,
+			votes: p.Votes, expl: p.Expl,
 		})
 	}
 	m.nextID = s.NextID

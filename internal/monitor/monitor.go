@@ -91,7 +91,22 @@ type Config struct {
 	// Events optionally receives the structured crisis-lifecycle event
 	// stream (detected → advice emitted → ended → resolved). Nil disables.
 	Events *telemetry.EventLog
+	// Tracer optionally records one trace per ObserveEpoch call — the
+	// epoch's journey through ingest → filter → summarize → fingerprint →
+	// match → advise, with per-stage timings and counts — into a bounded
+	// ring served by cmd/dcfpd's /traces endpoint. Nil disables; the
+	// disabled path is a zero-allocation no-op.
+	Tracer *telemetry.Tracer
+	// ExplainTopK bounds how many per-metric-quantile contributions each
+	// identification explanation retains per candidate (the rest is folded
+	// into the residual). 0 resolves to DefaultExplainTopK; negative is
+	// rejected.
+	ExplainTopK int
 }
+
+// DefaultExplainTopK is the per-candidate contribution count retained in
+// identification explanations when Config.ExplainTopK is left zero.
+const DefaultExplainTopK = 10
 
 // DefaultConfig returns the paper's online parameters for the given catalog
 // and SLA.
@@ -108,6 +123,7 @@ func DefaultConfig(cat *metrics.Catalog, slaCfg sla.Config) Config {
 		RawPad:                 8,
 		MinEpochsForThresholds: 7 * metrics.EpochsPerDay,
 		MinCoverage:            0.5,
+		ExplainTopK:            DefaultExplainTopK,
 	}
 }
 
@@ -134,6 +150,11 @@ type Advice struct {
 	// fell below the floor — the fingerprint window includes carried-forward
 	// or sparse quantiles, so operators should weigh it accordingly.
 	Degraded bool
+	// Explanation is the full audit record behind this advice: every
+	// candidate's distance with its top per-metric-quantile contributions,
+	// the threshold context, and the vote sequence so far. Nil only when no
+	// fingerprinter could be assembled (then the whole Advice is nil too).
+	Explanation *ident.Explanation `json:"explanation,omitempty"`
 }
 
 // EpochReport is the result of feeding one epoch into the monitor.
@@ -167,6 +188,11 @@ type pastCrisis struct {
 	fsY []int
 	// top is the cached per-crisis top-K metric selection.
 	top []int
+	// votes is the label sequence emitted across the identification epochs
+	// (§4.3 stability is judged over it); expl retains the audit record of
+	// each identification attempt for /explain and the audit journal.
+	votes []string
+	expl  []*ident.Explanation
 }
 
 // Monitor is the online fingerprinting engine. Not safe for concurrent use;
@@ -359,6 +385,12 @@ func New(cfg Config) (*Monitor, error) {
 	if cfg.ExpectedMachines < 0 {
 		return nil, errors.New("monitor: ExpectedMachines must be non-negative")
 	}
+	if cfg.ExplainTopK < 0 {
+		return nil, errors.New("monitor: ExplainTopK must be non-negative")
+	}
+	if cfg.ExplainTopK == 0 {
+		cfg.ExplainTopK = DefaultExplainTopK
+	}
 	track, err := metrics.NewQuantileTrack(cfg.Catalog.Len())
 	if err != nil {
 		return nil, err
@@ -427,6 +459,9 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 		t0 = time.Now()
 		ts = t0
 	}
+	tr := m.cfg.Tracer.StartTrace("observe_epoch")
+	defer tr.End()
+	sp := tr.StartSpan("ingest")
 	if len(samples) == 0 {
 		return nil, errors.New("monitor: no machine samples")
 	}
@@ -439,6 +474,8 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 		m.expected = len(samples)
 	}
 	workers := m.epochWorkers(len(samples))
+	sp.SetAttr("machines", int64(len(samples)))
+	sp.End()
 	// copies/viol/reporting are the per-machine artifacts the state machine
 	// below consumes: retained row copies (ring buffer, feature selection),
 	// any-KPI violation flags, and the liveness mask. Both ingestion paths
@@ -450,7 +487,7 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 	var summary [][3]float64
 	var dropped, gaps int
 	if workers > 1 {
-		partials, sum, d, g, err := m.observeParallel(samples, copies, viol, reporting, workers)
+		partials, sum, d, g, err := m.observeParallel(tr, samples, copies, viol, reporting, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -460,14 +497,20 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 		// plus the quantile merge bills to "quantile", the (cheap) status
 		// merge to "sla".
 		ts = m.span(stageQuantile, ts)
+		sp = tr.StartSpan("sla")
 		status = m.cfg.SLA.MergeStatuses(partials)
+		sp.End()
 		ts = m.span(stageSLA, ts)
 	} else {
+		sp = tr.StartSpan("filter")
 		d, err := m.agg.ObserveBatchFiltered(0, samples, reporting)
 		if err != nil {
 			return nil, err
 		}
 		dropped = d
+		sp.SetAttr("values_dropped", int64(dropped))
+		sp.End()
+		sp = tr.StartSpan("summarize")
 		sum, g, err := m.agg.SummarizeLenient(m.lastSummary)
 		if err != nil {
 			return nil, err
@@ -476,12 +519,16 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 		if err := m.track.AppendEpoch(summary); err != nil {
 			return nil, err
 		}
+		sp.SetAttr("metric_gaps", int64(gaps))
+		sp.End()
 		ts = m.span(stageQuantile, ts)
+		sp = tr.StartSpan("sla")
 		st, err := m.cfg.SLA.EvaluateMasked(samples, viol, reporting)
 		if err != nil {
 			return nil, err
 		}
 		status = st
+		sp.End()
 		ts = m.span(stageSLA, ts)
 		for i, row := range samples {
 			if reporting[i] {
@@ -507,6 +554,13 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 	m.lastCoverage = coverage
 	if degraded {
 		m.degradedCount++
+	}
+
+	tr.SetAttr("epoch", int64(e))
+	tr.SetAttr("machines_reporting", int64(reportCount))
+	tr.SetAttr("workers", int64(workers))
+	if degraded {
+		tr.SetAttr("degraded", 1)
 	}
 
 	rep := &EpochReport{Epoch: e, Status: status, Degraded: degraded, Coverage: coverage}
@@ -540,7 +594,7 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 			if m.tel != nil {
 				ts = time.Now()
 			}
-			rep.Advice = m.identify(e, k)
+			rep.Advice = m.identify(tr, e, k)
 			if rep.Advice != nil {
 				rep.Advice.Degraded = degraded
 			}
@@ -561,9 +615,11 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 			if m.tel != nil {
 				ts = time.Now()
 			}
+			sp = tr.StartSpan("thresholds")
 			if err := m.refreshThresholds(e); err != nil && !errors.Is(err, metrics.ErrNoNormalEpochs) {
 				return nil, err
 			}
+			sp.End()
 			m.span(stageThresholds, ts)
 		}
 	}
@@ -664,7 +720,8 @@ func (m *Monitor) epochWorkers(machines int) int {
 // is appended. It returns the per-worker partial SLA statuses plus the
 // summary, the non-finite drop count, and the metric gap count; the caller
 // merges the statuses with sla.Config.MergeStatuses.
-func (m *Monitor) observeParallel(samples, copies [][]float64, viol, reporting []bool, workers int) ([]sla.EpochStatus, [][3]float64, int, int, error) {
+func (m *Monitor) observeParallel(tr *telemetry.Trace, samples, copies [][]float64, viol, reporting []bool, workers int) ([]sla.EpochStatus, [][3]float64, int, int, error) {
+	sp := tr.StartSpan("filter")
 	m.agg.EnsureShards(workers)
 	n := len(samples)
 	partials := make([]sla.EpochStatus, workers)
@@ -706,6 +763,10 @@ func (m *Monitor) observeParallel(samples, copies [][]float64, viol, reporting [
 	for _, d := range droppedBy {
 		dropped += d
 	}
+	sp.SetAttr("values_dropped", int64(dropped))
+	sp.End()
+	sp = tr.StartSpan("summarize")
+	defer sp.End()
 	summary, gaps, err := m.agg.SummarizeLenientParallel(workers, m.lastSummary)
 	if err != nil {
 		return nil, nil, 0, 0, err
@@ -713,6 +774,7 @@ func (m *Monitor) observeParallel(samples, copies [][]float64, viol, reporting [
 	if err := m.track.AppendEpoch(summary); err != nil {
 		return nil, nil, 0, 0, err
 	}
+	sp.SetAttr("metric_gaps", int64(gaps))
 	return partials, summary, dropped, gaps, nil
 }
 
@@ -1070,20 +1132,41 @@ func (m *Monitor) currentFingerprinter() (*core.Fingerprinter, error) {
 }
 
 // identify performs the per-epoch identification of the active crisis; e is
-// the epoch being observed, k the 0-based identification epoch.
-func (m *Monitor) identify(e metrics.Epoch, k int) *Advice {
+// the epoch being observed, k the 0-based identification epoch. Alongside
+// the Advice it builds the full audit Explanation: the decision below reads
+// its nearest distance from the explanation's own candidate records, so the
+// audit trail can never disagree with the decision it explains.
+func (m *Monitor) identify(tr *telemetry.Trace, e metrics.Epoch, k int) *Advice {
+	isp := tr.StartSpan("identify")
+	defer isp.End()
 	f, err := m.currentFingerprinter()
 	if err != nil {
 		return nil
 	}
+	sp := tr.StartSpan("fingerprint")
 	part, err := f.CrisisFingerprintUpTo(m.track, m.activeStart, m.cfg.Range, m.epoch-1)
+	sp.End()
 	if err != nil {
 		return nil
 	}
-	// Fingerprints and pairwise distances of labeled past crises.
+	p := &m.past[m.activeIdx]
+	expl := &ident.Explanation{
+		CrisisID:   p.id,
+		Epoch:      e,
+		IdentEpoch: k,
+		Generation: f.Generation(),
+		Relevant:   append([]int(nil), f.Relevant()...),
+		Alpha:      m.cfg.Alpha,
+		Emitted:    ident.Unknown,
+	}
+	sp = tr.StartSpan("match")
+	// Each labeled candidate is compared through ExplainDistance, which
+	// accumulates the squared distance in the same element order as
+	// core.Distance — the decision value and its breakdown are one
+	// computation.
 	type candidate struct {
-		label string
-		fp    []float64
+		exp core.CandidateExplanation
+		fp  []float64
 	}
 	var cands []candidate
 	for j := 0; j < m.store.Len(); j++ {
@@ -1095,8 +1178,14 @@ func (m *Monitor) identify(e metrics.Epoch, k int) *Advice {
 		if err != nil {
 			continue
 		}
-		cands = append(cands, candidate{label: c.Label, fp: fp})
+		exp, err := f.ExplainDistance(part, fp, m.cfg.ExplainTopK)
+		if err != nil {
+			continue
+		}
+		exp.CrisisID, exp.Label = c.ID, c.Label
+		cands = append(cands, candidate{exp: exp, fp: fp})
 	}
+	sp.SetAttr("candidates", int64(len(cands)))
 	if m.tel != nil {
 		h, miss := m.store.CacheStats()
 		m.tel.cacheHits.Add(h - m.lastCacheHits)
@@ -1104,44 +1193,65 @@ func (m *Monitor) identify(e metrics.Epoch, k int) *Advice {
 		m.lastCacheHits, m.lastCacheMiss = h, miss
 	}
 	adv := &Advice{
-		CrisisID:   m.past[m.activeIdx].id,
+		CrisisID:   p.id,
 		Epoch:      e,
 		IdentEpoch: k,
 		Candidates: len(cands),
 		Emitted:    ident.Unknown,
 	}
-	if len(cands) == 0 {
-		return adv
-	}
-	var pairs []core.LabeledPair
-	for a := 0; a < len(cands); a++ {
-		for b := a + 1; b < len(cands); b++ {
-			d, err := core.Distance(cands[a].fp, cands[b].fp)
-			if err != nil {
-				continue
+	if len(cands) > 0 {
+		var pairs []core.LabeledPair
+		for a := 0; a < len(cands); a++ {
+			for b := a + 1; b < len(cands); b++ {
+				d, err := core.Distance(cands[a].fp, cands[b].fp)
+				if err != nil {
+					continue
+				}
+				pairs = append(pairs, core.LabeledPair{Distance: d, Same: cands[a].exp.Label == cands[b].exp.Label})
 			}
-			pairs = append(pairs, core.LabeledPair{Distance: d, Same: cands[a].label == cands[b].label})
 		}
-	}
-	thr, err := core.OnlineThreshold(pairs, m.cfg.Alpha)
-	if err != nil {
-		thr = 0 // fewer than two labeled crises: everything is unknown
-	}
-	best, bestLabel := -1.0, ""
-	for _, c := range cands {
-		d, err := core.Distance(part, c.fp)
+		thr, err := core.OnlineThreshold(pairs, m.cfg.Alpha)
 		if err != nil {
-			continue
+			thr = 0 // fewer than two labeled crises: everything is unknown
 		}
-		if best < 0 || d < best {
-			best, bestLabel = d, c.label
+		// Nearest first; stable sort keeps store order on ties, matching the
+		// previous strictly-less scan.
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].exp.Distance < cands[j].exp.Distance })
+		best := cands[0].exp
+		adv.Nearest = best.Label
+		adv.Distance = best.Distance
+		adv.Threshold = thr
+		expl.Threshold = thr
+		if best.Distance < thr {
+			adv.Emitted = best.Label
+		}
+		expl.Candidates = make([]core.CandidateExplanation, len(cands))
+		for i, c := range cands {
+			expl.Candidates[i] = c.exp
 		}
 	}
-	adv.Nearest = bestLabel
-	adv.Distance = best
-	adv.Threshold = thr
-	if best >= 0 && best < thr {
-		adv.Emitted = bestLabel
-	}
+	sp.End()
+	sp = tr.StartSpan("advise")
+	expl.Emitted = adv.Emitted
+	p.votes = append(p.votes, adv.Emitted)
+	expl.Votes = append([]string(nil), p.votes...)
+	expl.Stable = ident.IsStable(p.votes)
+	adv.Explanation = expl
+	p.expl = append(p.expl, expl)
+	sp.End()
 	return adv
+}
+
+// Explanations returns the identification audit records of crisis id in
+// ident-epoch order (a copy of the slice; the records themselves are shared
+// and must be treated as read-only). ok=false for an unknown crisis; an
+// empty non-nil slice for a crisis identified before thresholds existed.
+// Same single-goroutine contract as Stats.
+func (m *Monitor) Explanations(id string) ([]*ident.Explanation, bool) {
+	for i := range m.past {
+		if m.past[i].id == id {
+			return append([]*ident.Explanation{}, m.past[i].expl...), true
+		}
+	}
+	return nil, false
 }

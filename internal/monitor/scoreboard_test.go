@@ -1,0 +1,120 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+
+	"dcfp/internal/telemetry"
+)
+
+func TestScoreboardLedger(t *testing.T) {
+	s := NewScoreboard(nil)
+
+	// Known crisis, identified correctly at epoch 2 after two x's.
+	o := s.Record(Feedback{CrisisID: "c1", Truth: "overload", Known: true,
+		Votes: []string{"x", "x", "overload", "overload", "overload"}})
+	if !o.Correct || o.TTIEpochs != 2 {
+		t.Fatalf("correct known case scored %+v", o)
+	}
+	// Known crisis mislabeled — stable but wrong.
+	s.Record(Feedback{CrisisID: "c2", Truth: "overload", Known: true,
+		Votes: []string{"netsplit", "netsplit", "netsplit", "netsplit", "netsplit"}})
+	// Unknown crisis that stayed unlabeled: correct.
+	s.Record(Feedback{CrisisID: "c3", Truth: "novel", Known: false,
+		Votes: []string{"x", "x", "x", "x", "x"}})
+	// Unknown crisis that was labeled: incorrect.
+	s.Record(Feedback{CrisisID: "c4", Truth: "novel2", Known: false,
+		Votes: []string{"x", "overload", "overload", "overload", "overload"}})
+
+	st := s.State()
+	if st.Resolved != 4 || st.KnownTotal != 2 || st.UnknownTotal != 2 {
+		t.Fatalf("totals: %+v", st)
+	}
+	if st.KnownAccuracy != 0.5 || st.UnknownAccuracy != 0.5 {
+		t.Fatalf("accuracy: known %v unknown %v", st.KnownAccuracy, st.UnknownAccuracy)
+	}
+	if len(st.TTIEpochs) == 0 || st.TTIEpochs[2] != 1 {
+		t.Fatalf("tti histogram: %v", st.TTIEpochs)
+	}
+	// Confusion matrix: (overload, overload), (netsplit, overload),
+	// (x, novel), (overload, novel2).
+	if len(st.Confusion) != 4 {
+		t.Fatalf("confusion: %+v", st.Confusion)
+	}
+	cells := map[[2]string]uint64{}
+	for _, c := range st.Confusion {
+		cells[[2]string{c.Emitted, c.Truth}] = c.Count
+	}
+	if cells[[2]string{"netsplit", "overload"}] != 1 || cells[[2]string{"x", "novel"}] != 1 {
+		t.Fatalf("confusion cells: %+v", st.Confusion)
+	}
+	// Per-label recall covers known truths only.
+	if len(st.PerLabel) != 1 || st.PerLabel[0].Label != "overload" || st.PerLabel[0].Recall != 0.5 {
+		t.Fatalf("per-label: %+v", st.PerLabel)
+	}
+}
+
+func TestScoreboardStateNonNilSlices(t *testing.T) {
+	st := NewScoreboard(nil).State()
+	if st.Confusion == nil || st.PerLabel == nil || st.TTIEpochs == nil {
+		t.Fatalf("empty scoreboard snapshot has nil slices: %+v", st)
+	}
+}
+
+// TestScoreboardMetricsAndRestore: the dcfp_ident_* series reflect the
+// ledger, and a gob round-trip through SetState (the checkpoint path)
+// reproduces both the snapshot and the exported metrics.
+func TestScoreboardMetricsAndRestore(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := NewScoreboard(reg)
+	s.Record(Feedback{CrisisID: "c1", Truth: "overload", Known: true,
+		Votes: []string{"overload", "overload", "overload", "overload", "overload"}})
+	s.Record(Feedback{CrisisID: "c2", Truth: "novel", Known: false,
+		Votes: []string{"x", "x", "x", "x", "x"}})
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`dcfp_ident_feedback_total{kind="known"} 1`,
+		`dcfp_ident_accuracy{kind="known"} 1`,
+		`dcfp_ident_accuracy{kind="unknown"} 1`,
+		`dcfp_ident_confusion_total{emitted="overload",truth="overload"} 1`,
+		`dcfp_ident_recall{label="overload"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q;\n%s", want, text)
+		}
+	}
+
+	// Round-trip the state the way the daemon checkpoint does.
+	var blob bytes.Buffer
+	if err := gob.NewEncoder(&blob).Encode(s.State()); err != nil {
+		t.Fatal(err)
+	}
+	var st ScoreboardState
+	if err := gob.NewDecoder(bytes.NewReader(blob.Bytes())).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := telemetry.NewRegistry()
+	s2 := NewScoreboard(reg2)
+	s2.SetState(st)
+	got := s2.State()
+	if got.KnownTotal != 1 || got.UnknownTotal != 1 || got.KnownAccuracy != 1 {
+		t.Fatalf("restored state: %+v", got)
+	}
+	if len(got.Confusion) != 2 {
+		t.Fatalf("restored confusion: %+v", got.Confusion)
+	}
+	buf.Reset()
+	if err := reg2.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `dcfp_ident_feedback_total{kind="known"} 1`) {
+		t.Fatalf("restored metrics missing feedback counter:\n%s", buf.String())
+	}
+}

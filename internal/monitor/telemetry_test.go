@@ -192,7 +192,7 @@ func TestStatsActiveCrisis(t *testing.T) {
 
 // benchMonitor builds a production-shaped monitor (100 machines x 100
 // metrics) and pre-generates sample epochs for the ObserveEpoch benchmark.
-func benchMonitor(b *testing.B, reg *telemetry.Registry) (*Monitor, [][][]float64) {
+func benchMonitor(b *testing.B, reg *telemetry.Registry, tracer *telemetry.Tracer) (*Monitor, [][][]float64) {
 	b.Helper()
 	const nMetrics = 100
 	const nMachines = 100
@@ -209,6 +209,7 @@ func benchMonitor(b *testing.B, reg *telemetry.Registry) (*Monitor, [][][]float6
 		CrisisFraction: 0.10,
 	})
 	cfg.Telemetry = reg
+	cfg.Tracer = tracer
 	m, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -235,7 +236,7 @@ func benchMonitor(b *testing.B, reg *telemetry.Registry) (*Monitor, [][][]float6
 // adds a handful of clock reads and atomic ops to a ~100k-sample epoch).
 func BenchmarkObserveEpoch(b *testing.B) {
 	b.Run("nil-registry", func(b *testing.B) {
-		m, epochs := benchMonitor(b, nil)
+		m, epochs := benchMonitor(b, nil, nil)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -246,7 +247,7 @@ func BenchmarkObserveEpoch(b *testing.B) {
 	})
 	b.Run("telemetry", func(b *testing.B) {
 		reg := telemetry.NewRegistry()
-		m, epochs := benchMonitor(b, reg)
+		m, epochs := benchMonitor(b, reg, nil)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -256,6 +257,21 @@ func BenchmarkObserveEpoch(b *testing.B) {
 		}
 		if got := reg.Histogram("dcfp_observe_epoch_seconds", "", telemetry.TimeBuckets()).Count(); got != uint64(b.N) {
 			b.Fatalf("histogram count %d != b.N %d", got, b.N)
+		}
+	})
+	b.Run("tracing", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		tracer := telemetry.NewTracer(64)
+		m, epochs := benchMonitor(b, reg, tracer)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.ObserveEpoch(epochs[i%len(epochs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if got := tracer.Total(); got != uint64(b.N) {
+			b.Fatalf("tracer recorded %d traces, want %d", got, b.N)
 		}
 	})
 }

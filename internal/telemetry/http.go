@@ -5,18 +5,38 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
 
-// Handler bundles the observability endpoints into one http.Handler:
+// Endpoints wires the JSON observability endpoints of NewHandler. Every
+// func is called per request and should return a cheap point-in-time
+// snapshot; a nil func 404s its route. All JSON routes share the same
+// response guarantee: Content-Type is application/json and slice payloads
+// render [] rather than null (providers return non-nil slices; see the
+// cmd/dcfpd wiring).
+type Endpoints struct {
+	// Health backs /healthz; a static {"status":"ok"} when nil.
+	Health func() any
+	// Crises backs /crises.
+	Crises func() any
+	// Traces backs /traces (the tracer ring, newest first).
+	Traces func() any
+	// Accuracy backs /accuracy (the identification scoreboard).
+	Accuracy func() any
+	// Explain backs /explain/{crisisID}; ok=false yields a JSON 404.
+	Explain func(crisisID string) (any, bool)
+}
+
+// NewHandler bundles the observability endpoints into one http.Handler:
 //
-//	/metrics        Prometheus text exposition of reg
-//	/healthz        JSON from health() (a static {"status":"ok"} when nil)
-//	/crises         JSON from crises() (404 when nil)
-//	/debug/pprof/*  net/http/pprof profiles
-//
-// health and crises are called per request, so they should return cheap
-// point-in-time snapshots.
-func Handler(reg *Registry, health func() any, crises func() any) http.Handler {
+//	/metrics             Prometheus text exposition of reg
+//	/healthz             JSON from Health (a static {"status":"ok"} when nil)
+//	/crises              JSON from Crises (404 when nil)
+//	/traces              JSON from Traces (404 when nil)
+//	/accuracy            JSON from Accuracy (404 when nil)
+//	/explain/{crisisID}  JSON from Explain (404 when nil or unknown ID)
+//	/debug/pprof/*       net/http/pprof profiles
+func NewHandler(reg *Registry, ep Endpoints) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -26,14 +46,37 @@ func Handler(reg *Registry, health func() any, crises func() any) http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		var payload any = map[string]string{"status": "ok"}
-		if health != nil {
-			payload = health()
+		if ep.Health != nil {
+			payload = ep.Health()
 		}
 		writeJSON(w, payload)
 	})
-	if crises != nil {
-		mux.HandleFunc("/crises", func(w http.ResponseWriter, _ *http.Request) {
-			writeJSON(w, crises())
+	for route, snap := range map[string]func() any{
+		"/crises":   ep.Crises,
+		"/traces":   ep.Traces,
+		"/accuracy": ep.Accuracy,
+	} {
+		if snap == nil {
+			continue
+		}
+		snap := snap
+		mux.HandleFunc(route, func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, snap())
+		})
+	}
+	if ep.Explain != nil {
+		mux.HandleFunc("/explain/", func(w http.ResponseWriter, r *http.Request) {
+			id := strings.TrimPrefix(r.URL.Path, "/explain/")
+			if id == "" || strings.Contains(id, "/") {
+				writeJSONStatus(w, http.StatusNotFound, map[string]string{"error": "usage: /explain/{crisisID}"})
+				return
+			}
+			payload, ok := ep.Explain(id)
+			if !ok {
+				writeJSONStatus(w, http.StatusNotFound, map[string]string{"error": "unknown crisis " + id})
+				return
+			}
+			writeJSON(w, payload)
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -44,8 +87,19 @@ func Handler(reg *Registry, health func() any, crises func() any) http.Handler {
 	return mux
 }
 
+// Handler is the original three-argument form, kept for callers predating
+// Endpoints.
+func Handler(reg *Registry, health func() any, crises func() any) http.Handler {
+	return NewHandler(reg, Endpoints{Health: health, Crises: crises})
+}
+
 func writeJSON(w http.ResponseWriter, payload any) {
+	writeJSONStatus(w, http.StatusOK, payload)
+}
+
+func writeJSONStatus(w http.ResponseWriter, status int, payload any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(payload); err != nil {

@@ -85,6 +85,116 @@ func TestHandlerDefaults(t *testing.T) {
 	}
 }
 
+// TestNewHandlerObservability covers the decision-tracing endpoints:
+// /traces and /accuracy share the /crises JSON guarantee (application/json,
+// [] never null), and /explain/{id} resolves known IDs and 404s unknown
+// ones with a JSON body.
+func TestNewHandlerObservability(t *testing.T) {
+	tracer := NewTracer(4)
+	tracer.StartTrace("observe_epoch").End()
+	srv := httptest.NewServer(NewHandler(NewRegistry(), Endpoints{
+		Traces:   func() any { return tracer.Snapshots() },
+		Accuracy: func() any { return map[string]any{"known_accuracy": 0.8} },
+		Explain: func(id string) (any, bool) {
+			if id != "crisis-001" {
+				return nil, false
+			}
+			return map[string]string{"crisis_id": id}, true
+		},
+	}))
+	defer srv.Close()
+
+	t.Run("traces", func(t *testing.T) {
+		body, ct := get(t, srv.URL+"/traces")
+		if ct != "application/json" {
+			t.Fatalf("content-type = %q", ct)
+		}
+		var snaps []TraceSnapshot
+		if err := json.Unmarshal([]byte(body), &snaps); err != nil {
+			t.Fatalf("traces not JSON: %v\n%s", err, body)
+		}
+		if len(snaps) != 1 || snaps[0].Name != "observe_epoch" {
+			t.Fatalf("traces payload = %+v", snaps)
+		}
+	})
+
+	t.Run("accuracy", func(t *testing.T) {
+		body, ct := get(t, srv.URL+"/accuracy")
+		if ct != "application/json" {
+			t.Fatalf("content-type = %q", ct)
+		}
+		var payload map[string]any
+		if err := json.Unmarshal([]byte(body), &payload); err != nil {
+			t.Fatalf("accuracy not JSON: %v\n%s", err, body)
+		}
+		if payload["known_accuracy"] != 0.8 {
+			t.Fatalf("accuracy payload = %v", payload)
+		}
+	})
+
+	t.Run("explain", func(t *testing.T) {
+		body, ct := get(t, srv.URL+"/explain/crisis-001")
+		if ct != "application/json" {
+			t.Fatalf("content-type = %q", ct)
+		}
+		if !strings.Contains(body, "crisis-001") {
+			t.Fatalf("explain payload = %s", body)
+		}
+	})
+
+	t.Run("explain-unknown", func(t *testing.T) {
+		for _, path := range []string{"/explain/nope", "/explain/", "/explain/a/b"} {
+			resp, err := http.Get(srv.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNotFound {
+				t.Fatalf("GET %s: status %d, want 404", path, resp.StatusCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("GET %s: content-type %q, want JSON error body", path, ct)
+			}
+			var payload map[string]string
+			if err := json.Unmarshal(b, &payload); err != nil || payload["error"] == "" {
+				t.Fatalf("GET %s: error body not JSON: %v\n%s", path, err, b)
+			}
+		}
+	})
+
+	t.Run("empty-traces-render-array", func(t *testing.T) {
+		// A disabled tracer still yields [], never null — the guarantee the
+		// dashboard parsers rely on.
+		var disabled *Tracer
+		srv2 := httptest.NewServer(NewHandler(NewRegistry(), Endpoints{
+			Traces: func() any { return disabled.Snapshots() },
+		}))
+		defer srv2.Close()
+		body, _ := get(t, srv2.URL+"/traces")
+		if strings.TrimSpace(body) != "[]" {
+			t.Fatalf("empty traces rendered %q, want []", body)
+		}
+	})
+}
+
+// TestNewHandlerDefaults404: unwired observability routes 404 rather than
+// serving empty bodies.
+func TestNewHandlerDefaults404(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewRegistry(), Endpoints{}))
+	defer srv.Close()
+	for _, path := range []string{"/traces", "/accuracy", "/explain/x"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s without provider: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
 func TestServe(t *testing.T) {
 	srv, addr, err := Serve("127.0.0.1:0", Handler(NewRegistry(), nil, nil))
 	if err != nil {

@@ -1,0 +1,272 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracing: a lightweight, stdlib-only span facility for the per-epoch
+// pipeline. One Trace covers one epoch's journey through the monitor
+// (ingest → filter → summarize → fingerprint → match → advise); Spans nest
+// parent-child via an open-span stack, carry integer attributes (row and
+// machine counts, candidate counts), and completed traces land in a bounded
+// ring buffer the /traces endpoint snapshots.
+//
+// Like the rest of the package, tracing follows the nil-is-disabled
+// convention, but with a harder guarantee: with a nil Tracer the entire
+// span path — StartTrace, StartSpan, SetAttr, End — is a zero-allocation
+// no-op (verified by TestDisabledTracingZeroAlloc), so the monitor hot path
+// can be instrumented unconditionally.
+//
+// Concurrency: a Tracer is safe for concurrent use — many goroutines may
+// each build their own Trace and End them concurrently; only End touches
+// the shared ring, under the Tracer's mutex. One Trace (and its Spans) is
+// single-goroutine, matching the Monitor's feeding-goroutine contract.
+
+// Attr is one integer attribute attached to a span or trace — counts and
+// sizes, deliberately not free-form strings, so recording one never formats.
+type Attr struct {
+	Key   string `json:"key"`
+	Value int64  `json:"value"`
+}
+
+// Tracer owns the ring buffer of the most recently completed traces.
+type Tracer struct {
+	capacity int
+	nextID   atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []TraceSnapshot // fixed-capacity circular buffer
+	pos   int             // next write slot
+	count uint64          // total traces ever completed
+}
+
+// NewTracer returns a tracer retaining the capacity most recently completed
+// traces. A capacity below 1 returns nil — the disabled tracer, on which
+// every tracing call is a zero-allocation no-op.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		return nil
+	}
+	return &Tracer{capacity: capacity, ring: make([]TraceSnapshot, 0, capacity)}
+}
+
+// Enabled reports whether traces are actually recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Capacity reports the ring size (0 when disabled).
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return t.capacity
+}
+
+// Total reports how many traces have completed since construction,
+// including ones the ring has since evicted.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// span is the in-flight representation of one pipeline stage.
+type span struct {
+	name   string
+	parent int // index into Trace.spans; -1 = root
+	start  time.Time
+	end    time.Time
+	attrs  []Attr
+}
+
+// Trace is one in-flight trace: a named root with nested spans. Build it
+// with StartSpan/End calls and finish with End, which files the completed
+// trace into the tracer's ring. All methods are no-ops on a nil receiver.
+type Trace struct {
+	tracer *Tracer
+	id     uint64
+	name   string
+	start  time.Time
+	attrs  []Attr
+	spans  []span
+	open   []int // stack of started-but-unended span indices
+}
+
+// StartTrace begins a trace; nil (a no-op trace) on a disabled tracer.
+func (t *Tracer) StartTrace(name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{
+		tracer: t,
+		id:     t.nextID.Add(1),
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// SetAttr attaches an integer attribute to the trace itself.
+func (tr *Trace) SetAttr(key string, value int64) {
+	if tr != nil {
+		tr.attrs = append(tr.attrs, Attr{Key: key, Value: value})
+	}
+}
+
+// Span is a handle to one started span within a trace. The zero of the
+// disabled path is a nil *Span; all methods are no-ops on it.
+type Span struct {
+	tr  *Trace
+	idx int
+}
+
+// StartSpan opens a new span nested under the innermost span still open
+// (or under the trace root when none is). Returns nil on a nil trace.
+func (tr *Trace) StartSpan(name string) *Span {
+	if tr == nil {
+		return nil
+	}
+	parent := -1
+	if n := len(tr.open); n > 0 {
+		parent = tr.open[n-1]
+	}
+	idx := len(tr.spans)
+	tr.spans = append(tr.spans, span{name: name, parent: parent, start: time.Now()})
+	tr.open = append(tr.open, idx)
+	return &Span{tr: tr, idx: idx}
+}
+
+// SetAttr attaches an integer attribute to the span.
+func (s *Span) SetAttr(key string, value int64) {
+	if s == nil {
+		return
+	}
+	sp := &s.tr.spans[s.idx]
+	sp.attrs = append(sp.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span. Ending out of order is tolerated: the span is
+// removed from wherever it sits in the open stack, so a forgotten inner
+// End cannot corrupt later parentage. Ending twice is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	tr := s.tr
+	sp := &tr.spans[s.idx]
+	if !sp.end.IsZero() {
+		return
+	}
+	sp.end = time.Now()
+	for i := len(tr.open) - 1; i >= 0; i-- {
+		if tr.open[i] == s.idx {
+			tr.open = append(tr.open[:i], tr.open[i+1:]...)
+			break
+		}
+	}
+}
+
+// End completes the trace: any spans still open are closed at the trace's
+// end time, and the finished trace is filed into the tracer's ring buffer,
+// evicting the oldest entry once the ring is full. Ending twice files once.
+func (tr *Trace) End() {
+	if tr == nil || tr.tracer == nil {
+		return
+	}
+	end := time.Now()
+	for _, idx := range tr.open {
+		tr.spans[idx].end = end
+	}
+	tr.open = nil
+	snap := tr.snapshot(end)
+	t := tr.tracer
+	tr.tracer = nil // second End is a no-op
+	t.mu.Lock()
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, snap)
+	} else {
+		t.ring[t.pos] = snap
+	}
+	t.pos = (t.pos + 1) % t.capacity
+	t.count++
+	t.mu.Unlock()
+}
+
+// SpanSnapshot is the immutable JSON form of one completed span.
+type SpanSnapshot struct {
+	Name string `json:"name"`
+	// Parent is the index of the parent span within the trace's Spans
+	// (-1 for spans directly under the trace root).
+	Parent int `json:"parent"`
+	// StartOffsetSeconds is the span start relative to the trace start.
+	StartOffsetSeconds float64 `json:"start_offset_seconds"`
+	DurationSeconds    float64 `json:"duration_seconds"`
+	Attrs              []Attr  `json:"attrs,omitempty"`
+}
+
+// TraceSnapshot is the immutable JSON form of one completed trace.
+type TraceSnapshot struct {
+	ID              uint64         `json:"id"`
+	Name            string         `json:"name"`
+	StartUnixNano   int64          `json:"start_unix_nano"`
+	DurationSeconds float64        `json:"duration_seconds"`
+	Attrs           []Attr         `json:"attrs,omitempty"`
+	Spans           []SpanSnapshot `json:"spans"`
+}
+
+// snapshot freezes the trace. Attr slices move, not copy: the Trace is
+// dead after End, so nothing else aliases them.
+func (tr *Trace) snapshot(end time.Time) TraceSnapshot {
+	snap := TraceSnapshot{
+		ID:              tr.id,
+		Name:            tr.name,
+		StartUnixNano:   tr.start.UnixNano(),
+		DurationSeconds: end.Sub(tr.start).Seconds(),
+		Attrs:           tr.attrs,
+		Spans:           make([]SpanSnapshot, len(tr.spans)),
+	}
+	for i, sp := range tr.spans {
+		snap.Spans[i] = SpanSnapshot{
+			Name:               sp.name,
+			Parent:             sp.parent,
+			StartOffsetSeconds: sp.start.Sub(tr.start).Seconds(),
+			DurationSeconds:    sp.end.Sub(sp.start).Seconds(),
+			Attrs:              sp.attrs,
+		}
+	}
+	return snap
+}
+
+// Snapshots returns the retained traces, most recently completed first.
+// Always non-nil, so JSON callers render [] rather than null; empty on a
+// disabled tracer.
+func (t *Tracer) Snapshots() []TraceSnapshot {
+	if t == nil {
+		return []TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceSnapshot, 0, len(t.ring))
+	// t.pos-1 is the most recent write; walk backwards.
+	for i := 0; i < len(t.ring); i++ {
+		out = append(out, t.ring[(t.pos-1-i+2*len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// Latest returns the most recently completed trace, ok=false when none.
+func (t *Tracer) Latest() (TraceSnapshot, bool) {
+	if t == nil {
+		return TraceSnapshot{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) == 0 {
+		return TraceSnapshot{}, false
+	}
+	idx := (t.pos - 1 + len(t.ring)) % len(t.ring)
+	return t.ring[idx], true
+}
