@@ -249,6 +249,10 @@ loop:
 		if err := d.step(ep, *resolveAfter); err != nil {
 			log.Fatal(err)
 		}
+		// The ingestor deep-copies anything it buffers and the monitor
+		// copies anything it retains, so the emission's pooled rows can
+		// go back for reuse as soon as the step returns.
+		inj.Recycle(ep)
 		if *ckptDir != "" && *ckptEvery > 0 && emitted%int64(*ckptEvery) == 0 {
 			d.checkpoint(*ckptDir)
 		}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	dcsim [-scale small|full] [-seed N] [-crises] [-metrics]
-//	      [-progress] [-telemetry-addr :9137]
+//	      [-progress] [-telemetry-addr :9137] [-workers N]
 //
 // -progress streams one structured log line per simulated day to stderr;
 // -telemetry-addr serves /metrics (dcfp_sim_* series) and /debug/pprof for
@@ -40,6 +40,7 @@ func main() {
 		save        = flag.String("save", "", "save the simulated trace to this path")
 		progress    = flag.Bool("progress", false, "log one line per simulated day to stderr")
 		telAddr     = flag.String("telemetry-addr", "", "serve /metrics and /debug/pprof on this address during the run")
+		workers     = flag.Int("workers", 0, "worker goroutines for epoch generation (0 = GOMAXPROCS; the trace is identical for any value)")
 	)
 	flag.Parse()
 
@@ -74,6 +75,7 @@ func main() {
 			log.Fatalf("unknown scale %q", *scale)
 		}
 		cfg.Telemetry = reg
+		cfg.Workers = *workers
 		if *progress {
 			cfg.Events = telemetry.NewEventLog(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 		}

@@ -7,10 +7,14 @@
 //	experiments [-scale small|full] [-seed N] [-run all|table1|figure1|
 //	             figure3|figure4|figure5|figure6|figure7|figure8|table2|
 //	             sensitivity|hotcold|ablation|storage|relevant]
+//	            [-workers N] [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // The full scale matches the paper's setup (100 machines, 120 background +
 // 120 unlabeled + 120 labeled days) and takes a few minutes; small is the
-// test-sized trace.
+// test-sized trace. -workers fans both the trace simulation and the
+// identification alpha grid across N goroutines (0 = GOMAXPROCS) with
+// byte-identical results for any value; -cpuprofile/-memprofile write pprof
+// profiles of the run.
 package main
 
 import (
@@ -19,6 +23,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -34,14 +40,44 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		scale = flag.String("scale", "full", "trace scale: small or full")
-		seed  = flag.Int64("seed", 42, "simulation seed")
-		run   = flag.String("run", "all", "which experiment to run (comma-separated)")
-		load  = flag.String("load", "", "load a saved trace instead of simulating")
-		save  = flag.String("save", "", "save the simulated trace to this path")
-		tel   = flag.String("telemetry-addr", "", "serve /metrics and /debug/pprof on this address during the run")
+		scale      = flag.String("scale", "full", "trace scale: small or full")
+		seed       = flag.Int64("seed", 42, "simulation seed")
+		run        = flag.String("run", "all", "which experiment to run (comma-separated)")
+		load       = flag.String("load", "", "load a saved trace instead of simulating")
+		save       = flag.String("save", "", "save the simulated trace to this path")
+		tel        = flag.String("telemetry-addr", "", "serve /metrics and /debug/pprof on this address during the run")
+		workers    = flag.Int("workers", 0, "worker goroutines for simulation and the identification grid (0 = GOMAXPROCS; results are identical for any value)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
+	experiment.SetDefaultWorkers(*workers)
 
 	var reg *telemetry.Registry
 	if *tel != "" {
@@ -75,6 +111,7 @@ func main() {
 			log.Fatalf("unknown scale %q", *scale)
 		}
 		cfg.Telemetry = reg
+		cfg.Workers = *workers
 		log.Printf("simulating trace (%s scale, seed %d)...", *scale, *seed)
 		tr, err = dcsim.Simulate(cfg)
 	}

@@ -82,6 +82,18 @@ func NewQuantileTrack(numMetrics int) (*QuantileTrack, error) {
 	return metrics.NewQuantileTrack(numMetrics)
 }
 
+// Matrix is a dense row-major epoch sample matrix (one row per machine, one
+// column per metric) backed by contiguous storage — the allocation-free
+// representation the simulator, fault injector, and monitor move epochs in.
+type Matrix = metrics.Matrix
+
+// NewMatrix allocates a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix { return metrics.NewMatrix(rows, cols) }
+
+// MatrixPool recycles equally-shaped matrices so steady-state epoch loops
+// stop allocating.
+type MatrixPool = metrics.MatrixPool
+
 // Thresholds holds hot/cold boundaries per metric quantile (§3.3).
 type Thresholds = metrics.Thresholds
 

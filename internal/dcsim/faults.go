@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"dcfp/internal/crisis"
+	"dcfp/internal/metrics"
 	"dcfp/internal/telemetry"
 )
 
@@ -119,6 +120,11 @@ type FaultyEpoch struct {
 	Epoch  int64
 	Rows   [][]float64
 	Active *crisis.Instance
+
+	// mat is the pooled matrix backing Rows; FaultInjector.Recycle returns
+	// it. Every emission owns its matrix (duplicates are cloned), so a
+	// recycled epoch can never clobber one still in flight.
+	mat *metrics.Matrix
 }
 
 // FaultStats counts what the injector has done so far.
@@ -149,6 +155,7 @@ type FaultInjector struct {
 	queue  []queuedEpoch
 	stats  FaultStats
 	tel    *faultMetrics
+	pool   metrics.MatrixPool // backs emitted epochs; refilled via Recycle
 }
 
 type queuedEpoch struct {
@@ -233,14 +240,16 @@ func (f *FaultInjector) NextContext(ctx context.Context) (FaultyEpoch, error) {
 		}
 		e := f.stats.Epochs
 		f.stats.Epochs++
-		ep := FaultyEpoch{Epoch: e, Rows: f.corruptRows(e, rows), Active: cloneInstance(active)}
+		corrupted, mat := f.corruptRows(e, rows)
+		ep := FaultyEpoch{Epoch: e, Rows: corrupted, Active: cloneInstance(active), mat: mat}
 
 		// Epoch-level faults. An epoch can be truncated AND duplicated/
-		// delayed (both emissions share the same corrupted snapshot), but
-		// dropping wins over everything.
+		// delayed (the second emission gets its own copy of the corrupted
+		// snapshot), but dropping wins over everything.
 		if f.roll(f.cfg.DropEpochRate) {
 			f.stats.DroppedEpochs++
 			f.count(func(m *faultMetrics) { m.dropped.Inc() })
+			f.Recycle(ep)
 			continue
 		}
 		if f.roll(f.cfg.TruncateRate) && len(ep.Rows) > 1 {
@@ -256,7 +265,7 @@ func (f *FaultInjector) NextContext(ctx context.Context) (FaultyEpoch, error) {
 			continue
 		}
 		if f.roll(f.cfg.DuplicateRate) {
-			f.queue = append(f.queue, queuedEpoch{due: f.stats.Epochs, ep: ep})
+			f.queue = append(f.queue, queuedEpoch{due: f.stats.Epochs, ep: f.cloneEpoch(ep)})
 			f.stats.Duplicated++
 			f.count(func(m *faultMetrics) { m.duplicated.Inc() })
 		}
@@ -265,10 +274,47 @@ func (f *FaultInjector) NextContext(ctx context.Context) (FaultyEpoch, error) {
 	}
 }
 
-// corruptRows deep-copies one epoch of rows and applies machine dropout and
-// cell-level blanking/corruption.
-func (f *FaultInjector) corruptRows(e int64, rows [][]float64) [][]float64 {
-	out := make([][]float64, len(rows))
+// Recycle returns ep's pooled row storage to the injector for reuse. Call it
+// once nothing references ep.Rows anymore; skipping it is safe (the garbage
+// collector reclaims the rows) but reintroduces the per-epoch allocation the
+// pool exists to avoid. Each emission owns its storage, so recycling one
+// never invalidates another (duplicates included).
+func (f *FaultInjector) Recycle(ep FaultyEpoch) {
+	f.pool.Put(ep.mat)
+}
+
+// cloneEpoch deep-copies an emission into its own pooled matrix, preserving
+// the dark-machine (nil row) pattern and any truncation.
+func (f *FaultInjector) cloneEpoch(ep FaultyEpoch) FaultyEpoch {
+	cp := ep
+	if ep.mat == nil {
+		return cp
+	}
+	cp.mat = f.pool.Get(ep.mat.Rows(), ep.mat.Cols())
+	views := cp.mat.RowViews()
+	for m, row := range ep.Rows {
+		if row == nil {
+			cp.mat.MarkMissing(m)
+			continue
+		}
+		cp.mat.CopyRow(m, row)
+	}
+	cp.Rows = views[:len(ep.Rows)]
+	cp.Active = cloneInstance(ep.Active)
+	return cp
+}
+
+// corruptRows deep-copies one epoch of rows into a pooled matrix and applies
+// machine dropout and cell-level blanking/corruption. The returned rows are
+// views into the matrix; the caller threads the matrix into the emission so
+// Recycle can return it.
+func (f *FaultInjector) corruptRows(e int64, rows [][]float64) ([][]float64, *metrics.Matrix) {
+	cols := 0
+	if len(rows) > 0 {
+		cols = len(rows[0])
+	}
+	mat := f.pool.Get(len(rows), cols)
+	out := mat.RowViews()
 	cellFaults := f.cfg.BlankRate > 0 || f.cfg.CorruptRate > 0
 	for m, row := range rows {
 		// A machine only re-rolls dropout after at least one epoch back up
@@ -284,9 +330,11 @@ func (f *FaultInjector) corruptRows(e int64, rows [][]float64) [][]float64 {
 		if e < f.downTo[m] {
 			f.stats.MachineDrops++
 			f.count(func(t *faultMetrics) { t.machineDrops.Inc() })
-			continue // out[m] stays nil: machine is dark
+			mat.MarkMissing(m)
+			continue // out[m] is nil: machine is dark
 		}
-		cp := append([]float64(nil), row...)
+		cp := out[m]
+		copy(cp, row)
 		if cellFaults {
 			for j := range cp {
 				r := f.rng.Float64()
@@ -311,9 +359,8 @@ func (f *FaultInjector) corruptRows(e int64, rows [][]float64) [][]float64 {
 				}
 			}
 		}
-		out[m] = cp
 	}
-	return out
+	return out, mat
 }
 
 func (f *FaultInjector) roll(p float64) bool {

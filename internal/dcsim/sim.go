@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"dcfp/internal/crisis"
@@ -44,6 +46,12 @@ type Config struct {
 	// NewEstimator builds the per-metric cross-machine quantile
 	// estimator. Nil means exact.
 	NewEstimator func() quantile.Estimator
+	// Workers bounds the goroutines generating epochs. Epoch noise comes
+	// from independent per-epoch RNG streams derived from (Seed, epoch),
+	// so any worker count produces a byte-identical Trace. 0 resolves to
+	// GOMAXPROCS; 1 forces the serial reference path. Runtime-only; not
+	// persisted with saved traces.
+	Workers int
 	// Telemetry optionally receives simulator metrics: epoch-generation
 	// timing and injected-crisis counters. Runtime-only; not persisted
 	// with saved traces.
@@ -107,6 +115,21 @@ func (c Config) validate() error {
 type FSEpoch struct {
 	X         [][]float64
 	Violating []bool
+}
+
+// newFSEpoch allocates an FSEpoch whose n rows are views into one contiguous
+// block — same columnar layout as metrics.Matrix, one allocation per retained
+// epoch, while keeping the gob-encoded [][]float64 shape stable.
+func newFSEpoch(n, cols int) *FSEpoch {
+	flat := make([]float64, n*cols)
+	fse := &FSEpoch{
+		X:         make([][]float64, n),
+		Violating: make([]bool, n),
+	}
+	for i := range fse.X {
+		fse.X[i] = flat[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return fse
 }
 
 // Trace is a fully simulated history of the datacenter.
@@ -279,19 +302,64 @@ func Simulate(cfg Config) (*Trace, error) {
 		mf[m] = row
 	}
 
-	// Datacenter-wide AR(1) drift state per metric.
+	// The serial RNG work ends here. Workload intensity and the
+	// datacenter-wide AR(1) drift are both serially-dependent series, so
+	// they are rolled forward once, up front; per-machine noise inside an
+	// epoch comes from an independent RNG stream derived from
+	// (Seed, epoch), which is what lets epochs generate in any order — and
+	// hence in parallel — while staying byte-identical to the serial run.
+	intensity := make([]float64, numEpochs)
+	for e := range intensity {
+		_, intensity[e] = wl.Next()
+	}
+	sharedSeries := make([]float64, numEpochs*len(specs))
 	shared := make([]float64, len(specs))
+	for e := 0; e < numEpochs; e++ {
+		for j, sp := range specs {
+			shared[j] = sp.sharedAR*shared[j] + rng.NormFloat64()*sp.sharedStd
+		}
+		copy(sharedSeries[e*len(specs):(e+1)*len(specs)], shared)
+	}
+
+	// Per-epoch crisis and chaos lookups, resolved once so workers index
+	// instead of scanning. Instances are sorted and non-overlapping within
+	// each period; chaos spans [start-FSPad, end+FSPad] of the nearest
+	// instance at a constant level (instances are separated by far more
+	// than two pads, so at most one window covers any epoch).
+	activeAt := make([]int32, numEpochs) // instance index, -1 = none
+	chaosAt := make([]int32, numEpochs)  // chaos window's instance, -1 = none
+	for e := range activeAt {
+		activeAt[e], chaosAt[e] = -1, -1
+	}
+	for i, in := range instances {
+		for e := in.Start; e <= in.End(); e++ {
+			if e >= 0 && int(e) < numEpochs {
+				activeAt[e] = int32(i)
+			}
+		}
+		for e := in.Start - metrics.Epoch(cfg.FSPad); e <= in.End()+metrics.Epoch(cfg.FSPad); e++ {
+			if e >= 0 && int(e) < numEpochs && chaosAt[e] == -1 {
+				chaosAt[e] = int32(i)
+			}
+		}
+	}
+
+	// fsKeep marks epochs whose raw rows must be retained; it coincides
+	// with the chaos windows.
+	fsKeep := make([]bool, numEpochs)
+	for e := range fsKeep {
+		fsKeep[e] = chaosAt[e] >= 0
+	}
 
 	newEst := cfg.NewEstimator
 	if newEst == nil {
 		newEst = func() quantile.Estimator { return quantile.NewExact() }
 	}
-	agg, err := metrics.NewAggregator(cat.Len(), newEst)
+	track, err := metrics.NewQuantileTrack(cat.Len())
 	if err != nil {
 		return nil, err
 	}
-	track, err := metrics.NewQuantileTrack(cat.Len())
-	if err != nil {
+	if err := track.Grow(numEpochs); err != nil {
 		return nil, err
 	}
 
@@ -300,79 +368,52 @@ func Simulate(cfg Config) (*Trace, error) {
 		Catalog:        cat,
 		SLA:            slaCfg,
 		Track:          track,
+		Status:         make([]sla.EpochStatus, numEpochs),
+		InCrisis:       make([]bool, numEpochs),
 		Instances:      instances,
 		UnlabeledStart: unlabeledStart,
 		LabeledStart:   labeledStart,
 		fs:             make(map[metrics.Epoch]*FSEpoch),
 	}
+	fsOut := make([]*FSEpoch, numEpochs)
 
-	// fsKeep marks epochs whose raw rows must be retained.
-	fsKeep := make(map[metrics.Epoch]bool)
-	for _, in := range instances {
-		for e := in.Start - metrics.Epoch(cfg.FSPad); e <= in.End()+metrics.Epoch(cfg.FSPad); e++ {
-			if e >= 0 && int(e) < numEpochs {
-				fsKeep[e] = true
+	// genRange generates epochs [lo, hi) with worker-private scratch
+	// (aggregator, row matrix, summary buffer), writing results into the
+	// disjoint per-epoch slots of track/Status/InCrisis/fsOut.
+	genRange := func(lo, hi int) error {
+		agg, err := metrics.NewAggregator(cat.Len(), newEst)
+		if err != nil {
+			return err
+		}
+		mat := metrics.NewMatrix(cfg.Machines, len(specs))
+		rows := mat.RowViews()
+		summary := make([][3]float64, cat.Len())
+		for e := lo; e < hi; e++ {
+			var t0 time.Time
+			if tel != nil {
+				t0 = time.Now()
 			}
-		}
-	}
+			erng := rand.New(rand.NewSource(epochSeed(cfg.Seed, int64(e))))
+			sh := sharedSeries[e*len(specs) : (e+1)*len(specs)]
 
-	// Active-instance pointer (instances are sorted and non-overlapping
-	// within each period; the two periods do not overlap either).
-	nextInst := 0
-	chaosIdx := 0
-	rows := make([][]float64, cfg.Machines)
-	for m := range rows {
-		rows[m] = make([]float64, len(specs))
-	}
-
-	crisisEpochs := 0 // running count for telemetry/progress
-	injIdx := 0       // instances with Start <= e, for progress events
-	for e := metrics.Epoch(0); int(e) < numEpochs; e++ {
-		var t0 time.Time
-		if tel != nil {
-			t0 = time.Now()
-		}
-		_, intensity := wl.Next()
-
-		// Advance shared drift.
-		for j, sp := range specs {
-			shared[j] = sp.sharedAR*shared[j] + rng.NormFloat64()*sp.sharedStd
-		}
-
-		// Resolve active crisis, if any.
-		var active *crisis.Instance
-		for nextInst < len(instances) && e > instances[nextInst].End() {
-			nextInst++
-		}
-		if nextInst < len(instances) {
-			if in := &instances[nextInst]; e >= in.Start && e <= in.End() {
-				active = in
-			}
-		}
-
-		// Generate machine rows.
-		for m := 0; m < cfg.Machines; m++ {
-			row := rows[m]
-			for j, sp := range specs {
-				v := sp.base * math.Pow(intensity, sp.loadExp) * mf[m][j] *
-					(1 + shared[j]) * (1 + rng.NormFloat64()*sp.noiseStd)
-				if v < 0 {
-					v = 0
+			// Generate machine rows.
+			for m := 0; m < cfg.Machines; m++ {
+				row := rows[m]
+				for j, sp := range specs {
+					v := sp.base * math.Pow(intensity[e], sp.loadExp) * mf[m][j] *
+						(1 + sh[j]) * (1 + erng.NormFloat64()*sp.noiseStd)
+					if v < 0 {
+						v = 0
+					}
+					row[j] = v
 				}
-				row[j] = v
 			}
-		}
-		if active != nil {
-			applyCrisis(rows, active, profiles[active.Type], e, cfg.Machines)
-		}
-		// Chaos spans [start-FSPad, end+FSPad] of the nearest instance
-		// at a constant level (instances are separated by far more than
-		// two pads, so at most one window covers any epoch).
-		for chaosIdx < len(instances) && e > instances[chaosIdx].End()+metrics.Epoch(cfg.FSPad) {
-			chaosIdx++
-		}
-		if chaosIdx < len(instances) {
-			if in := instances[chaosIdx]; e >= in.Start-metrics.Epoch(cfg.FSPad) {
+			if ai := activeAt[e]; ai >= 0 {
+				in := &instances[ai]
+				applyCrisis(rows, in, profiles[in.Type], metrics.Epoch(e), cfg.Machines)
+			}
+			if ci := chaosAt[e]; ci >= 0 {
+				in := instances[ci]
 				for _, eff := range chaos[in.ID] {
 					f := math.Pow(eff.factor, in.Severity)
 					for m := 0; m < cfg.Machines; m++ {
@@ -380,66 +421,118 @@ func Simulate(cfg Config) (*Trace, error) {
 					}
 				}
 			}
-		}
 
-		// Aggregate quantiles and evaluate SLAs.
-		for m := 0; m < cfg.Machines; m++ {
-			if err := agg.Observe(rows[m]); err != nil {
+			// Aggregate quantiles and evaluate SLAs.
+			for m := 0; m < cfg.Machines; m++ {
+				if err := agg.Observe(rows[m]); err != nil {
+					return err
+				}
+			}
+			if err := agg.SummarizeInto(summary); err != nil {
+				return err
+			}
+			if err := track.SetEpoch(metrics.Epoch(e), summary); err != nil {
+				return err
+			}
+			status, err := slaCfg.Evaluate(rows)
+			if err != nil {
+				return err
+			}
+			tr.Status[e] = status
+			tr.InCrisis[e] = status.InCrisis
+
+			// Retain raw rows for feature selection, spreading the
+			// retained subset evenly across the whole machine range so
+			// any contiguous affected window overlaps it.
+			if fsKeep[e] {
+				fse := newFSEpoch(cfg.FSMachines, len(specs))
+				for i := 0; i < cfg.FSMachines; i++ {
+					m := i * cfg.Machines / cfg.FSMachines
+					copy(fse.X[i], rows[m])
+					fse.Violating[i] = slaCfg.MachineViolates(rows[m])
+				}
+				fsOut[e] = fse
+			}
+
+			if tel != nil {
+				if status.InCrisis {
+					tel.crisisEpochs.Inc()
+				}
+				tel.epochs.Inc()
+				tel.epochGen.ObserveSince(t0)
+			}
+		}
+		return nil
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numEpochs {
+		workers = numEpochs
+	}
+	if workers <= 1 {
+		if err := genRange(0, numEpochs); err != nil {
+			return nil, err
+		}
+	} else {
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := w*numEpochs/workers, (w+1)*numEpochs/workers
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				errs[w] = genRange(lo, hi)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
 				return nil, err
 			}
 		}
-		summary, err := agg.Summarize()
-		if err != nil {
-			return nil, err
+	}
+	for e, fse := range fsOut {
+		if fse != nil {
+			tr.fs[metrics.Epoch(e)] = fse
 		}
-		if err := track.AppendEpoch(summary); err != nil {
-			return nil, err
-		}
-		status, err := slaCfg.Evaluate(rows)
-		if err != nil {
-			return nil, err
-		}
-		tr.Status = append(tr.Status, status)
-		tr.InCrisis = append(tr.InCrisis, status.InCrisis)
+	}
 
-		// Retain raw rows for feature selection.
-		if fsKeep[e] {
-			fse := &FSEpoch{
-				X:         make([][]float64, cfg.FSMachines),
-				Violating: make([]bool, cfg.FSMachines),
+	// Progress events are emitted in day order after generation (workers
+	// finish epochs out of order; the event content is identical).
+	if cfg.Events.Enabled() {
+		crisisEpochs, injIdx := 0, 0
+		for e := 0; e < numEpochs; e++ {
+			if tr.InCrisis[e] {
+				crisisEpochs++
 			}
-			// Spread the retained subset evenly across the whole
-			// machine range so any contiguous affected window
-			// overlaps it.
-			for i := 0; i < cfg.FSMachines; i++ {
-				m := i * cfg.Machines / cfg.FSMachines
-				fse.X[i] = append([]float64(nil), rows[m]...)
-				fse.Violating[i] = slaCfg.MachineViolates(rows[m])
+			if (e+1)%epd == 0 {
+				for injIdx < len(instances) && instances[injIdx].Start <= metrics.Epoch(e) {
+					injIdx++
+				}
+				cfg.Events.SimDay((e+1)/epd, int64(e), crisisEpochs, injIdx)
 			}
-			tr.fs[e] = fse
-		}
-
-		if status.InCrisis {
-			crisisEpochs++
-			if tel != nil {
-				tel.crisisEpochs.Inc()
-			}
-		}
-		if tel != nil {
-			tel.epochs.Inc()
-			tel.epochGen.ObserveSince(t0)
-		}
-		if cfg.Events.Enabled() && (int(e)+1)%epd == 0 {
-			for injIdx < len(instances) && instances[injIdx].Start <= e {
-				injIdx++
-			}
-			cfg.Events.SimDay((int(e)+1)/epd, int64(e), crisisEpochs, injIdx)
 		}
 	}
 
 	// Detect episodes: merge one-epoch dips, require at least 2 epochs.
 	tr.Episodes = sla.Episodes(tr.InCrisis, 1, 2)
 	return tr, nil
+}
+
+// epochSeed derives epoch e's private RNG seed from the trace seed with a
+// splitmix64-style mix, so every epoch owns a statistically independent
+// noise stream no matter which goroutine generates it.
+func epochSeed(seed, e int64) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + (uint64(e)+1)*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
 }
 
 // applyCrisis multiplies crisis effects into the affected machines' rows.

@@ -102,7 +102,8 @@ type Stream struct {
 	wl           *workload.Generator
 	mf           [][]float64 // per-machine hardware spread
 	shared       []float64   // datacenter-wide AR(1) drift
-	rows         [][]float64 // reused output buffer
+	pool         metrics.MatrixPool
+	cur          *metrics.Matrix // the buffer handed out by the last Next
 	e            metrics.Epoch
 	next         *crisis.Instance // upcoming or currently active instance
 	chaos        []compiledEffect // side-effect chaos drawn for next
@@ -154,10 +155,6 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 		s.mf[m] = row
 	}
 	s.shared = make([]float64, len(s.specs))
-	s.rows = make([][]float64, cfg.Machines)
-	for m := range s.rows {
-		s.rows[m] = make([]float64, len(s.specs))
-	}
 	if err := s.schedule(metrics.Epoch(cfg.WarmupEpochs)); err != nil {
 		return nil, err
 	}
@@ -223,8 +220,9 @@ func (s *Stream) schedule(notBefore metrics.Epoch) error {
 
 // Next generates one epoch of per-machine rows and returns them together
 // with the injected crisis instance active at that epoch (nil outside
-// crises). The returned slice is reused on the following call — consumers
-// that retain rows must copy them (monitor.ObserveEpoch already does).
+// crises). The returned rows are views into a pooled buffer that is recycled
+// on the following call — consumers that retain rows must copy them
+// (monitor.ObserveEpoch already does).
 func (s *Stream) Next() ([][]float64, *crisis.Instance, error) {
 	return s.NextContext(context.Background())
 }
@@ -235,11 +233,14 @@ func (s *Stream) Next() ([][]float64, *crisis.Instance, error) {
 const checkCancelEvery = 64
 
 // NextContext is Next with cancellation: the context is checked before any
-// state advances and again every checkCancelEvery machine rows. A cancelled
-// call returns ctx.Err() with the epoch only partially generated — the
-// stream's RNG and workload state have advanced, so the stream must not be
-// reused for a deterministic continuation afterwards (tear it down; this is
-// shutdown support, not pause/resume).
+// state advances, between pooled-buffer refills (right after the epoch's
+// output buffer is acquired), and again every checkCancelEvery machine rows.
+// Every error path returns the in-progress buffer to the pool, so a
+// cancelled stream leaks nothing. A cancelled call returns ctx.Err() with
+// the epoch only partially generated — the stream's RNG and workload state
+// have advanced, so the stream must not be reused for a deterministic
+// continuation afterwards (tear it down; this is shutdown support, not
+// pause/resume).
 func (s *Stream) NextContext(ctx context.Context) ([][]float64, *crisis.Instance, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
@@ -256,8 +257,16 @@ func (s *Stream) NextContext(ctx context.Context) ([][]float64, *crisis.Instance
 		s.shared[j] = sp.sharedAR*s.shared[j] + s.rng.NormFloat64()*sp.sharedStd
 	}
 
+	buf := s.pool.Get(s.cfg.Machines, len(s.specs))
+	rows := buf.RowViews()
+	if err := ctx.Err(); err != nil {
+		s.pool.Put(buf)
+		return nil, nil, err
+	}
+
 	if e > s.next.End() {
 		if err := s.schedule(e); err != nil {
+			s.pool.Put(buf)
 			return nil, nil, err
 		}
 	}
@@ -267,12 +276,13 @@ func (s *Stream) NextContext(ctx context.Context) ([][]float64, *crisis.Instance
 	}
 
 	for m := 0; m < s.cfg.Machines; m++ {
-		if m%checkCancelEvery == 0 {
+		if m != 0 && m%checkCancelEvery == 0 {
 			if err := ctx.Err(); err != nil {
+				s.pool.Put(buf)
 				return nil, nil, err
 			}
 		}
-		row := s.rows[m]
+		row := rows[m]
 		for j, sp := range s.specs {
 			v := sp.base * math.Pow(intensity, sp.loadExp) * s.mf[m][j] *
 				(1 + s.shared[j]) * (1 + s.rng.NormFloat64()*sp.noiseStd)
@@ -283,13 +293,13 @@ func (s *Stream) NextContext(ctx context.Context) ([][]float64, *crisis.Instance
 		}
 	}
 	if active != nil {
-		applyCrisis(s.rows, active, s.profiles[active.Type], e, s.cfg.Machines)
+		applyCrisis(rows, active, s.profiles[active.Type], e, s.cfg.Machines)
 	}
 	if e >= s.next.Start-streamChaosPad && e <= s.next.End() {
 		for _, eff := range s.chaos {
 			f := math.Pow(eff.factor, s.next.Severity)
 			for m := 0; m < s.cfg.Machines; m++ {
-				s.rows[m][eff.metric] *= f
+				rows[m][eff.metric] *= f
 			}
 		}
 	}
@@ -307,5 +317,10 @@ func (s *Stream) NextContext(ctx context.Context) ([][]float64, *crisis.Instance
 	if s.cfg.Events.Enabled() && (int(e)+1)%metrics.EpochsPerDay == 0 {
 		s.cfg.Events.SimDay((int(e)+1)/metrics.EpochsPerDay, int64(e), s.crisisEpochs, s.injected)
 	}
-	return s.rows, active, nil
+	// The previous epoch's buffer goes back to the pool only now that this
+	// call has succeeded: the consumer contract is that rows stay valid
+	// until the next successful Next.
+	s.pool.Put(s.cur)
+	s.cur = buf
+	return rows, active, nil
 }

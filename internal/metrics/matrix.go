@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Matrix is a dense row-major sample matrix: one row per machine, one column
+// per metric, backed by a single contiguous []float64. The epoch pipeline
+// moves per-machine rows around constantly — generating them in dcsim,
+// copying them through the fault injector, retaining them in the monitor's
+// pre-crisis ring — and a contiguous block with row views keeps that traffic
+// to one allocation (and one cache-friendly stride) per epoch instead of one
+// allocation per machine.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+	views      [][]float64
+}
+
+// NewMatrix allocates a zeroed rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols <= 0 {
+		panic(fmt.Sprintf("metrics: invalid matrix shape %dx%d", rows, cols))
+	}
+	m := &Matrix{
+		rows: rows,
+		cols: cols,
+		data: make([]float64, rows*cols),
+	}
+	m.views = make([][]float64, rows)
+	m.ResetViews()
+	return m
+}
+
+// Rows reports the number of rows (machines).
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols reports the number of columns (metrics) — the row stride.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Data returns the backing storage, laid out row-major. It aliases the
+// matrix; rows*cols long.
+func (m *Matrix) Data() []float64 { return m.data }
+
+// Row returns row i as a slice view into the backing storage.
+func (m *Matrix) Row(i int) []float64 {
+	return m.data[i*m.cols : (i+1)*m.cols : (i+1)*m.cols]
+}
+
+// RowViews returns the per-row view slice, shaped like the [][]float64 the
+// rest of the pipeline speaks. The slice is owned by the matrix: callers may
+// nil individual entries to mark missing rows (see MarkMissing) and must call
+// ResetViews before reusing the matrix for the next epoch.
+func (m *Matrix) RowViews() [][]float64 { return m.views }
+
+// MarkMissing nils row i's view — the pipeline's convention for a machine
+// that reported nothing this epoch. The backing storage is untouched.
+func (m *Matrix) MarkMissing(i int) { m.views[i] = nil }
+
+// ResetViews re-points every row view at its backing storage, undoing any
+// MarkMissing calls from the previous epoch.
+func (m *Matrix) ResetViews() {
+	for i := range m.views {
+		m.views[i] = m.data[i*m.cols : (i+1)*m.cols : (i+1)*m.cols]
+	}
+}
+
+// CopyRow copies src into row i. src must not be longer than a row.
+func (m *Matrix) CopyRow(i int, src []float64) {
+	copy(m.Row(i), src)
+}
+
+// MatrixPool recycles equally-shaped matrices so steady-state epoch loops
+// stop allocating. Matrices of a different shape than requested are dropped
+// on Get rather than resized, so one pool can survive a reconfiguration
+// without handing out wrong-width rows.
+type MatrixPool struct {
+	pool sync.Pool
+}
+
+// Get returns a rows x cols matrix, reusing a pooled one when its shape
+// matches. The contents are unspecified (pooled matrices keep their old
+// values); all row views are reset.
+func (p *MatrixPool) Get(rows, cols int) *Matrix {
+	if v := p.pool.Get(); v != nil {
+		m := v.(*Matrix)
+		if m.rows == rows && m.cols == cols {
+			m.ResetViews()
+			return m
+		}
+		// Wrong shape (config changed): drop it and allocate fresh.
+	}
+	return NewMatrix(rows, cols)
+}
+
+// Put returns a matrix to the pool. The caller must not touch it afterwards
+// — its rows may be handed to another epoch at any time. Put(nil) is a no-op.
+func (p *MatrixPool) Put(m *Matrix) {
+	if m == nil {
+		return
+	}
+	p.pool.Put(m)
+}

@@ -112,6 +112,36 @@ func (t *QuantileTrack) AppendEpoch(summary [][3]float64) error {
 	return nil
 }
 
+// Grow extends the track by n zeroed epochs, to be filled in with SetEpoch.
+// This is the parallel-writer path: one goroutine grows the track up front,
+// then workers fill disjoint epochs concurrently.
+func (t *QuantileTrack) Grow(n int) error {
+	if n < 0 {
+		return fmt.Errorf("metrics: cannot grow track by %d epochs", n)
+	}
+	t.data = append(t.data, make([]float64, n*t.numMetrics*NumQuantiles)...)
+	return nil
+}
+
+// SetEpoch overwrites epoch e's quantile summary in place. Distinct epochs
+// may be written concurrently (the flat storage makes the writes disjoint);
+// the epoch must already exist (AppendEpoch or Grow).
+func (t *QuantileTrack) SetEpoch(e Epoch, summary [][3]float64) error {
+	if e < 0 || int(e) >= t.NumEpochs() {
+		return ErrEpochRange
+	}
+	if len(summary) != t.numMetrics {
+		return fmt.Errorf("metrics: summary has %d metrics, track expects %d", len(summary), t.numMetrics)
+	}
+	base := int(e) * t.numMetrics * NumQuantiles
+	for m, s := range summary {
+		t.data[base+m*NumQuantiles] = s[0]
+		t.data[base+m*NumQuantiles+1] = s[1]
+		t.data[base+m*NumQuantiles+2] = s[2]
+	}
+	return nil
+}
+
 // ErrEpochRange is returned for out-of-range epoch accesses.
 var ErrEpochRange = errors.New("metrics: epoch out of range")
 
@@ -265,14 +295,27 @@ func (a *Aggregator) summarizeMetric(m int) ([3]float64, error) {
 // any shards) and resets the aggregator for the next epoch.
 func (a *Aggregator) Summarize() ([][3]float64, error) {
 	out := make([][3]float64, a.NumMetrics())
+	if err := a.SummarizeInto(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SummarizeInto is Summarize writing into a caller-owned buffer of length
+// NumMetrics, so a tight epoch loop can reuse one buffer instead of
+// allocating per epoch.
+func (a *Aggregator) SummarizeInto(out [][3]float64) error {
+	if len(out) != a.NumMetrics() {
+		return fmt.Errorf("metrics: summary buffer has %d metrics, want %d", len(out), a.NumMetrics())
+	}
 	for m := range out {
 		s, err := a.summarizeMetric(m)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[m] = s
 	}
-	return out, nil
+	return nil
 }
 
 // SummarizeParallel is Summarize with the per-metric merge+query work

@@ -222,10 +222,27 @@ type Monitor struct {
 	nextID int
 
 	// Raw-sample ring buffer for feature selection (pre-crisis epochs).
+	// Each slot's rows are views into the pooled matrix parked in ringMat;
+	// eviction returns that matrix to the pool, so anything that outlives a
+	// slot (feature-selection samples) must copy the rows it keeps.
 	rawRing   [][][]float64 // [slot][machine][metric]
+	ringMat   []*metrics.Matrix
 	violRing  [][]bool
 	ringEpoch []metrics.Epoch // epoch each slot was filled at
 	ringPos   int
+
+	// pool recycles the per-epoch retained-row matrices: ObserveEpoch copies
+	// each reporting machine's row into one pooled matrix whose row views act
+	// as the copies slice, then either parks the matrix in the ring (idle
+	// epochs) or returns it to the pool before returning.
+	pool metrics.MatrixPool
+	// violBuf/reportBuf are the per-epoch violation and liveness masks,
+	// reused across calls so the steady-state path stops allocating them.
+	violBuf, reportBuf []bool
+	// Scratch for observeParallel's per-worker result slots, same idea.
+	partialsBuf  []sla.EpochStatus
+	droppedByBuf []int
+	errsBuf      []error
 
 	// Active crisis state.
 	activeStart metrics.Epoch
@@ -409,6 +426,7 @@ func New(cfg Config) (*Monitor, error) {
 		agg:       agg,
 		store:     core.NewStore(true),
 		rawRing:   make([][][]float64, cfg.RawPad),
+		ringMat:   make([]*metrics.Matrix, cfg.RawPad),
 		violRing:  make([][]bool, cfg.RawPad),
 		ringEpoch: make([]metrics.Epoch, cfg.RawPad),
 		activeIdx: -1,
@@ -479,15 +497,24 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 	// copies/viol/reporting are the per-machine artifacts the state machine
 	// below consumes: retained row copies (ring buffer, feature selection),
 	// any-KPI violation flags, and the liveness mask. Both ingestion paths
-	// produce them in their single pass over the samples.
-	copies := make([][]float64, len(samples))
-	viol := make([]bool, len(samples))
-	reporting := make([]bool, len(samples))
+	// produce them in their single pass over the samples. The copies live in
+	// one pooled matrix per epoch — its row views are the copies slice (nil =
+	// non-reporting) — and viol/reporting reuse the monitor's scratch masks,
+	// so a steady-state epoch allocates none of them.
+	mat := m.pool.Get(len(samples), m.cfg.Catalog.Len())
+	copies := mat.RowViews()
+	viol, reporting := m.scratchMasks(len(samples))
+	retained := false
+	defer func() {
+		if !retained {
+			m.pool.Put(mat)
+		}
+	}()
 	var status sla.EpochStatus
 	var summary [][3]float64
 	var dropped, gaps int
 	if workers > 1 {
-		partials, sum, d, g, err := m.observeParallel(tr, samples, copies, viol, reporting, workers)
+		partials, sum, d, g, err := m.observeParallel(tr, samples, mat, viol, reporting, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -532,7 +559,9 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 		ts = m.span(stageSLA, ts)
 		for i, row := range samples {
 			if reporting[i] {
-				copies[i] = append([]float64(nil), row...)
+				copy(copies[i], row)
+			} else {
+				mat.MarkMissing(i)
 			}
 		}
 	}
@@ -610,7 +639,8 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 		// first idle epoch. Degraded epochs feed neither: sparse rows are
 		// not a usable pre-crisis baseline, and thresholds estimated over
 		// them would drift toward outage artifacts.
-		m.pushRing(e, copies, viol)
+		m.pushRing(e, mat, copies, viol)
+		retained = true
 		if int(e) >= m.cfg.MinEpochsForThresholds && int(e-m.lastThresh) >= m.cfg.ThresholdRefreshEpochs {
 			if m.tel != nil {
 				ts = time.Now()
@@ -661,6 +691,24 @@ func (m *Monitor) noteLiveness(reporting []bool) int {
 		}
 	}
 	return count
+}
+
+// scratchMasks returns the per-epoch violation and liveness masks, zeroed,
+// reusing the monitor's scratch buffers so the steady-state path allocates
+// nothing. Both masks are overwritten by the next ObserveEpoch; anything
+// retained past the call (the ring's violation flags) is copied out first.
+func (m *Monitor) scratchMasks(n int) (viol, reporting []bool) {
+	if cap(m.violBuf) < n {
+		m.violBuf = make([]bool, n)
+		m.reportBuf = make([]bool, n)
+	}
+	viol = m.violBuf[:n]
+	reporting = m.reportBuf[:n]
+	for i := range viol {
+		viol[i] = false
+		reporting[i] = false
+	}
+	return viol, reporting
 }
 
 // sanitizeRetained prepares the retained row copies for the ring buffer and
@@ -720,13 +768,21 @@ func (m *Monitor) epochWorkers(machines int) int {
 // is appended. It returns the per-worker partial SLA statuses plus the
 // summary, the non-finite drop count, and the metric gap count; the caller
 // merges the statuses with sla.Config.MergeStatuses.
-func (m *Monitor) observeParallel(tr *telemetry.Trace, samples, copies [][]float64, viol, reporting []bool, workers int) ([]sla.EpochStatus, [][3]float64, int, int, error) {
+func (m *Monitor) observeParallel(tr *telemetry.Trace, samples [][]float64, mat *metrics.Matrix, viol, reporting []bool, workers int) ([]sla.EpochStatus, [][3]float64, int, int, error) {
 	sp := tr.StartSpan("filter")
 	m.agg.EnsureShards(workers)
 	n := len(samples)
-	partials := make([]sla.EpochStatus, workers)
-	droppedBy := make([]int, workers)
-	errs := make([]error, workers)
+	if cap(m.partialsBuf) < workers {
+		m.partialsBuf = make([]sla.EpochStatus, workers)
+		m.droppedByBuf = make([]int, workers)
+		m.errsBuf = make([]error, workers)
+	}
+	partials := m.partialsBuf[:workers]
+	droppedBy := m.droppedByBuf[:workers]
+	errs := m.errsBuf[:workers]
+	for w := range errs {
+		errs[w] = nil
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := w*n/workers, (w+1)*n/workers
@@ -746,9 +802,13 @@ func (m *Monitor) observeParallel(tr *telemetry.Trace, samples, copies [][]float
 				return
 			}
 			partials[w] = st
+			// Workers own disjoint row ranges of the epoch matrix, so the
+			// copies and MarkMissing calls never touch the same element.
 			for i, row := range rows {
 				if reporting[lo+i] {
-					copies[lo+i] = append([]float64(nil), row...)
+					copy(mat.Row(lo+i), row)
+				} else {
+					mat.MarkMissing(lo + i)
 				}
 			}
 		}(w, lo, hi)
@@ -815,10 +875,21 @@ func boolToGauge(v bool) int64 {
 }
 
 // pushRing retains one idle epoch's row copies and violation flags for the
-// pre-crisis feature-selection window, tagging the slot with its epoch.
-func (m *Monitor) pushRing(e metrics.Epoch, copies [][]float64, viol []bool) {
+// pre-crisis feature-selection window, tagging the slot with its epoch. The
+// slot takes ownership of the epoch's backing matrix and returns the evicted
+// slot's matrix to the pool; the violation flags are copied into the slot's
+// own reusable buffer because viol is per-epoch scratch.
+func (m *Monitor) pushRing(e metrics.Epoch, mat *metrics.Matrix, copies [][]float64, viol []bool) {
+	m.pool.Put(m.ringMat[m.ringPos])
+	m.ringMat[m.ringPos] = mat
 	m.rawRing[m.ringPos] = copies
-	m.violRing[m.ringPos] = viol
+	vb := m.violRing[m.ringPos]
+	if cap(vb) < len(viol) {
+		vb = make([]bool, len(viol))
+	}
+	vb = vb[:len(viol)]
+	copy(vb, viol)
+	m.violRing[m.ringPos] = vb
 	m.ringEpoch[m.ringPos] = e
 	m.ringPos = (m.ringPos + 1) % m.cfg.RawPad
 }
@@ -837,8 +908,11 @@ func (m *Monitor) beginCrisis(e metrics.Epoch, copies [][]float64, viol []bool) 
 		if m.rawRing[slot] == nil || m.ringEpoch[slot]+metrics.Epoch(m.cfg.RawPad) < e {
 			continue
 		}
+		// Ring rows are views into pooled matrices that are recycled when
+		// their slot is evicted, so feature selection keeps its own copies
+		// (crisis onsets are rare; the allocation is off the steady path).
 		for i, row := range m.rawRing[slot] {
-			p.fsX = append(p.fsX, row)
+			p.fsX = append(p.fsX, append([]float64(nil), row...))
 			p.fsY = append(p.fsY, boolToLabel(m.violRing[slot][i]))
 		}
 	}
@@ -855,8 +929,11 @@ func (m *Monitor) beginCrisis(e metrics.Epoch, copies [][]float64, viol []bool) 
 
 func (m *Monitor) collectCrisisSamples(copies [][]float64, viol []bool) {
 	p := &m.past[m.activeIdx]
+	// copies are views into the epoch's pooled matrix, which goes back to the
+	// pool when ObserveEpoch returns — the samples kept for feature selection
+	// must own their storage.
 	for i, row := range copies {
-		p.fsX = append(p.fsX, row)
+		p.fsX = append(p.fsX, append([]float64(nil), row...))
 		p.fsY = append(p.fsY, boolToLabel(viol[i]))
 	}
 }

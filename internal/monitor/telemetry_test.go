@@ -192,7 +192,7 @@ func TestStatsActiveCrisis(t *testing.T) {
 
 // benchMonitor builds a production-shaped monitor (100 machines x 100
 // metrics) and pre-generates sample epochs for the ObserveEpoch benchmark.
-func benchMonitor(b *testing.B, reg *telemetry.Registry, tracer *telemetry.Tracer) (*Monitor, [][][]float64) {
+func benchMonitor(b testing.TB, reg *telemetry.Registry, tracer *telemetry.Tracer) (*Monitor, [][][]float64) {
 	b.Helper()
 	const nMetrics = 100
 	const nMachines = 100
