@@ -8,7 +8,18 @@
 //	/traces        JSON ring of recent per-epoch pipeline traces
 //	/accuracy      JSON identification scoreboard (confusion matrix, recall)
 //	/explain/{id}  JSON audit record of one crisis's identification decisions
+//	/alerts        JSON alert-rule statuses (pending/firing/resolved)
+//	/api/history   JSON time series of any dcfp_* metric (?metric=&since=)
+//	/dash          HTML sparkline dashboard over the metric history
 //	/debug/pprof/  standard Go profiling endpoints
+//
+// Early warning: with -forecast (default on) the monitor runs its predictive
+// stage every epoch, exporting dcfp_forecast_* gauges; the alert engine
+// (rules from -alert-rules, or built-in defaults including a forecast-risk
+// rule) evaluates each epoch and POSTs firings/resolutions to -alert-webhook
+// when set. Forecast warning episodes are scored against later detections:
+// hits observe a negative time-to-identification (the lead, in epochs) into
+// dcfp_ident_tti_epochs, false alarms count in dcfp_ident_forecast_total.
 //
 // An "operator" is simulated too: -resolve-after epochs after each crisis
 // ends, its ground-truth label is filed via ResolveCrisis, so identification
@@ -42,6 +53,8 @@
 //	      [-fault-seed 1] [-fault-dropout 0] [-fault-blank 0]
 //	      [-fault-corrupt 0] [-fault-duplicate 0] [-fault-delay 0]
 //	      [-fault-drop-epoch 0] [-fault-truncate 0]
+//	      [-forecast] [-alert-rules FILE] [-alert-webhook URL]
+//	      [-history-raw 512]
 package main
 
 import (
@@ -52,14 +65,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 	"syscall"
 	"time"
 
+	"dcfp"
+	"dcfp/internal/alert"
 	"dcfp/internal/crisis"
 	"dcfp/internal/dcsim"
 	"dcfp/internal/ident"
@@ -103,6 +121,11 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "directory for atomic monitor snapshots (empty = checkpointing off)")
 		ckptEvery = flag.Int("checkpoint-every", metrics.EpochsPerDay, "epochs between checkpoints")
 
+		forecastOn   = flag.Bool("forecast", true, "run the online forecast stage (dcfp_forecast_* early-warning signals)")
+		alertRules   = flag.String("alert-rules", "", "JSON alert rule file (empty = built-in defaults)")
+		alertWebhook = flag.String("alert-webhook", "", "POST alert firings and resolutions to this URL as JSON (empty = off)")
+		historyRaw   = flag.Int("history-raw", telemetry.DefaultHistoryConfig().RawCapacity, "raw epochs of metric history retained per series for /api/history and /dash (0 disables history)")
+
 		faultSeed      = flag.Int64("fault-seed", 1, "fault injector RNG seed")
 		faultDropout   = flag.Float64("fault-dropout", 0, "per-machine-epoch probability of starting a dropout stretch")
 		faultBlank     = flag.Float64("fault-blank", 0, "per-cell probability a metric value is blanked to NaN")
@@ -125,6 +148,10 @@ func main() {
 	}
 	events := telemetry.NewEventLog(slog.New(handler))
 	reg := telemetry.NewRegistry()
+	reg.Gauge("dcfp_build_info", "Build information; the value is always 1.",
+		telemetry.Label{Key: "go_version", Value: runtime.Version()},
+		telemetry.Label{Key: "version", Value: dcfp.Version}).Set(1)
+	uptime := reg.Gauge("dcfp_uptime_seconds", "Seconds since daemon start.")
 
 	scfg := dcsim.DefaultStreamConfig(*seed)
 	scfg.Machines = *machines
@@ -161,6 +188,9 @@ func main() {
 	mcfg.MinCoverage = *minCoverage
 	mcfg.ExpectedMachines = *machines
 	mcfg.Tracer = tracer
+	if *forecastOn {
+		mcfg.Forecast = monitor.DefaultForecastConfig()
+	}
 	mon, ing, err := buildPipeline(mcfg, *reorderWindow, reg)
 	if err != nil {
 		log.Fatal(err)
@@ -169,7 +199,25 @@ func main() {
 	// The monitor is single-goroutine; the daemon wraps all access (the
 	// epoch loop and the HTTP snapshot functions) in one mutex.
 	d := &daemon{mon: mon, ing: ing, start: time.Now(),
-		tracer: tracer, score: monitor.NewScoreboard(reg)}
+		tracer: tracer, score: monitor.NewScoreboard(reg), uptime: uptime}
+	if *historyRaw > 0 {
+		hcfg := telemetry.DefaultHistoryConfig()
+		hcfg.RawCapacity = *historyRaw
+		d.hist = telemetry.NewHistory(reg, hcfg)
+	}
+	rules := alert.DefaultRules()
+	if *alertRules != "" {
+		if rules, err = alert.LoadRules(*alertRules); err != nil {
+			log.Fatal(err)
+		}
+	}
+	acfg := alert.Config{Rules: rules, Registry: reg, Events: events, Audit: d.audit}
+	if *alertWebhook != "" {
+		acfg.Notify = webhookNotifier(*alertWebhook)
+	}
+	if d.engine, err = alert.New(acfg); err != nil {
+		log.Fatal(err)
+	}
 
 	// Restore from the newest checkpoint, if any. A corrupt or unreadable
 	// checkpoint is logged and skipped — a cold start beats trusting it.
@@ -225,7 +273,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("serving http://%s/{metrics,healthz,crises,traces,accuracy,explain,debug/pprof} — %d machines, %d metrics, epoch interval %v",
+	log.Printf("serving http://%s/{metrics,healthz,crises,traces,accuracy,explain,alerts,api/history,dash,debug/pprof} — %d machines, %d metrics, epoch interval %v",
 		bound, *machines, stream.Catalog().Len(), *interval)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -314,6 +362,9 @@ type daemon struct {
 	auditW  *os.File
 	tracer  *telemetry.Tracer
 	score   *monitor.Scoreboard
+	hist    *telemetry.History
+	engine  *alert.Engine
+	uptime  *telemetry.Gauge
 }
 
 // auditAdvice is one audit-journal line recording an identification
@@ -372,6 +423,17 @@ func (d *daemon) step(ep dcsim.FaultyEpoch, resolveAfter int) error {
 // observe runs the operator bookkeeping for one epoch report. Caller holds
 // the mutex.
 func (d *daemon) observe(rep *monitor.EpochReport, active *crisis.Instance, resolveAfter int) error {
+	// Score the forecast stage's resolved warning episodes: a detection
+	// with lead earns a negative TTI observation, an expired episode a
+	// false-alarm count.
+	if rep.Forecast.Enabled {
+		if rep.Forecast.DetectionLead > 0 {
+			d.score.RecordForecast(rep.Forecast.DetectionLead, true)
+		}
+		if rep.Forecast.FalseAlarm {
+			d.score.RecordForecast(0, false)
+		}
+	}
 	if rep.Advice != nil {
 		if len(d.advice) == adviceRingSize {
 			d.advice = d.advice[1:]
@@ -418,7 +480,39 @@ func (d *daemon) observe(rep *monitor.EpochReport, active *crisis.Instance, reso
 		d.scoreResolution(rep.Epoch, p.id, p.label)
 	}
 	d.pending = kept
+
+	// With the epoch's gauges settled, run the alert rules and then record
+	// the registry (alert states included) into the history rings.
+	if d.uptime != nil {
+		d.uptime.Set(time.Since(d.start).Seconds())
+	}
+	d.engine.Eval(rep.Epoch)
+	if d.hist != nil {
+		d.hist.Sample(int64(rep.Epoch))
+	}
 	return nil
+}
+
+// webhookNotifier returns an alert Notify hook that POSTs each transition
+// to url as JSON. Delivery is fire-and-forget on a short timeout: a dead
+// receiver must never stall the epoch loop.
+func webhookNotifier(url string) func(alert.Notification) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	return func(n alert.Notification) {
+		body, err := json.Marshal(n)
+		if err != nil {
+			return
+		}
+		go func() {
+			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				log.Printf("WARNING: alert webhook: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+	}
 }
 
 // scoreResolution feeds one filed diagnosis into the accuracy scoreboard and
@@ -572,6 +666,8 @@ func (d *daemon) endpoints() telemetry.Endpoints {
 		Traces:   func() any { return d.tracer.Snapshots() },
 		Accuracy: func() any { return d.score.State() },
 		Explain:  d.explain,
+		History:  d.hist,
+		Alerts:   func() any { return d.engine.Snapshot() },
 	}
 }
 

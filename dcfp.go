@@ -39,6 +39,7 @@ import (
 	"log/slog"
 	"net/http"
 
+	"dcfp/internal/alert"
 	"dcfp/internal/core"
 	"dcfp/internal/crisis"
 	"dcfp/internal/dcsim"
@@ -52,6 +53,9 @@ import (
 	"dcfp/internal/telemetry"
 	"dcfp/internal/tracefile"
 )
+
+// Version is the library version, exposed by dcfpd as dcfp_build_info.
+const Version = "0.6.0"
 
 // Epoch indexes the 15-minute aggregation grid; see EpochDuration.
 type Epoch = metrics.Epoch
@@ -459,3 +463,73 @@ func NewCKMSQuantiles(targets []QuantileTarget) (QuantileEstimator, error) {
 
 // TrackedQuantileTargets are the paper's three quantiles at 0.5% rank error.
 func TrackedQuantileTargets() []QuantileTarget { return quantile.TrackedTargets() }
+
+// MonitorForecastConfig tunes the Monitor's online forecast stage: the
+// fleet-level "crisis probability within Horizon epochs" signal built from
+// violation trends, near-violation counts, out-of-band pressure and trained
+// per-type forecasters (dcfp_forecast_* metrics; MonitorConfig.Forecast).
+type MonitorForecastConfig = monitor.ForecastConfig
+
+// DefaultMonitorForecastConfig returns the enabled forecast-stage defaults.
+func DefaultMonitorForecastConfig() MonitorForecastConfig { return monitor.DefaultForecastConfig() }
+
+// ForecastSnapshot is the forecast stage's per-epoch output on EpochReport
+// and (during crises) Advice: the risk score, its components, and the
+// warning-episode lifecycle fields the Scoreboard scores for lead time.
+type ForecastSnapshot = monitor.ForecastSnapshot
+
+// MaxForecastLead caps the lead-time credit (in epochs) one forecast
+// warning can earn in the scoreboard's TTI histogram.
+const MaxForecastLead = monitor.MaxForecastLead
+
+// History is a bounded time-series store over a TelemetryRegistry: every
+// Sample records each series' current value into per-series raw and coarse
+// rings, answering /api/history queries and the /dash sparkline page.
+type History = telemetry.History
+
+// HistoryConfig sizes a History's raw and coarse rings.
+type HistoryConfig = telemetry.HistoryConfig
+
+// HistoryPoint is one (epoch, value) sample in a history ring.
+type HistoryPoint = telemetry.HistoryPoint
+
+// SeriesHistory is one labeled series' retained samples, both tiers.
+type SeriesHistory = telemetry.SeriesHistory
+
+// DefaultHistoryConfig returns the default ring sizing.
+func DefaultHistoryConfig() HistoryConfig { return telemetry.DefaultHistoryConfig() }
+
+// NewHistory attaches a history store to a registry (nil registry = nil
+// store; a nil store's methods are no-ops).
+func NewHistory(reg *TelemetryRegistry, cfg HistoryConfig) *History {
+	return telemetry.NewHistory(reg, cfg)
+}
+
+// AlertRule is one declarative alerting rule (threshold, rate-of-change or
+// absence) evaluated each epoch against live registry values.
+type AlertRule = alert.Rule
+
+// AlertConfig assembles an AlertEngine.
+type AlertConfig = alert.Config
+
+// AlertEngine evaluates alert rules once per epoch with a pending → firing
+// → resolved lifecycle, exporting dcfp_alert_* metrics and notifying a
+// webhook hook on every transition.
+type AlertEngine = alert.Engine
+
+// AlertNotification describes one firing or resolution.
+type AlertNotification = alert.Notification
+
+// AlertSnapshot is the /alerts payload: every rule's current status.
+type AlertSnapshot = alert.Snapshot
+
+// NewAlertEngine validates the rules and builds an engine.
+func NewAlertEngine(cfg AlertConfig) (*AlertEngine, error) { return alert.New(cfg) }
+
+// DefaultAlertRules is the built-in rule set dcfpd installs when no rule
+// file is given: forecast early warning, active crisis, degraded ingestion,
+// stalled epochs.
+func DefaultAlertRules() []AlertRule { return alert.DefaultRules() }
+
+// LoadAlertRules reads and validates a JSON alert rule file.
+func LoadAlertRules(path string) ([]AlertRule, error) { return alert.LoadRules(path) }

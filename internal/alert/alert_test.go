@@ -1,0 +1,207 @@
+package alert
+
+import (
+	"testing"
+
+	"dcfp/internal/metrics"
+	"dcfp/internal/telemetry"
+)
+
+func TestRuleValidation(t *testing.T) {
+	bad := []Rule{
+		{Kind: KindThreshold, Metric: "m", Op: OpGT},                     // no name
+		{Name: "r", Kind: KindThreshold, Op: OpGT},                       // no metric
+		{Name: "r", Kind: KindThreshold, Metric: "m", Op: "~"},           // bad op
+		{Name: "r", Kind: "typo", Metric: "m"},                           // bad kind
+		{Name: "r", Kind: KindRate, Metric: "m", Op: OpGT, Window: 0},    // no window
+		{Name: "r", Kind: KindThreshold, Metric: "m", Op: OpGT, For: -1}, // negative for
+	}
+	for i, r := range bad {
+		if _, err := New(Config{Rules: []Rule{r}}); err == nil {
+			t.Errorf("rule %d (%+v) accepted, want error", i, r)
+		}
+	}
+	dup := []Rule{
+		{Name: "r", Kind: KindAbsence, Metric: "m"},
+		{Name: "r", Kind: KindAbsence, Metric: "m"},
+	}
+	if _, err := New(Config{Rules: dup}); err == nil {
+		t.Error("duplicate rule names accepted")
+	}
+}
+
+func TestThresholdLifecycle(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	g := reg.Gauge("risk", "")
+	var notes []Notification
+	e, err := New(Config{
+		Rules: []Rule{{
+			Name: "risk-high", Kind: KindThreshold, Metric: "risk",
+			Op: OpGE, Value: 0.5, For: 2, Severity: "warning",
+		}},
+		Registry: reg,
+		Notify:   func(n Notification) { notes = append(notes, n) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	state := func() State { return e.Snapshot().Rules[0].State }
+
+	g.Set(0.1)
+	e.Eval(1)
+	if state() != StateInactive {
+		t.Fatalf("state %s after calm epoch, want inactive", state())
+	}
+	g.Set(0.9)
+	e.Eval(2)
+	if state() != StatePending {
+		t.Fatalf("state %s after first breach with for=2, want pending", state())
+	}
+	e.Eval(3)
+	if state() != StateFiring {
+		t.Fatalf("state %s after second breach, want firing", state())
+	}
+	if v, ok := reg.Value("dcfp_alert_firing"); !ok || v != 1 {
+		t.Fatalf("dcfp_alert_firing = %v (ok=%v), want 1", v, ok)
+	}
+	g.Set(0.2)
+	e.Eval(4)
+	if state() != StateResolved {
+		t.Fatalf("state %s after breach cleared, want resolved", state())
+	}
+	if v, ok := reg.Value("dcfp_alert_firing"); !ok || v != 0 {
+		t.Fatalf("dcfp_alert_firing = %v (ok=%v), want 0", v, ok)
+	}
+	if v, ok := reg.Value("dcfp_alert_fired_total", telemetry.Label{Key: "rule", Value: "risk-high"}); !ok || v != 1 {
+		t.Fatalf("fired counter = %v (ok=%v), want 1", v, ok)
+	}
+
+	if len(notes) != 2 || notes[0].State != StateFiring || notes[1].State != StateResolved {
+		t.Fatalf("notifications %+v, want firing then resolved", notes)
+	}
+	if notes[0].Epoch != 3 || notes[0].Value != 0.9 || notes[0].Severity != "warning" {
+		t.Fatalf("firing notification %+v", notes[0])
+	}
+	if notes[1].FiredAt != 3 {
+		t.Fatalf("resolution carries fired_at %d, want 3", notes[1].FiredAt)
+	}
+}
+
+func TestPendingFallsBack(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	g := reg.Gauge("risk", "")
+	e, err := New(Config{
+		Rules:    []Rule{{Name: "r", Kind: KindThreshold, Metric: "risk", Op: OpGE, Value: 1, For: 3}},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Set(2)
+	e.Eval(1)
+	g.Set(0)
+	e.Eval(2)
+	if s := e.Snapshot().Rules[0]; s.State != StateInactive || s.FiredCount != 0 {
+		t.Fatalf("short breach left %+v, want inactive and never fired", s)
+	}
+}
+
+func TestRateRule(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("epochs_total", "")
+	e, err := New(Config{
+		Rules: []Rule{{
+			Name: "stalled", Kind: KindRate, Metric: "epochs_total",
+			Op: OpLE, Value: 0, Window: 2, For: 1,
+		}},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While the counter advances each epoch the delta over the window is
+	// positive; nothing fires even once the ring is full.
+	for ep := metrics.Epoch(1); ep <= 5; ep++ {
+		c.Inc()
+		e.Eval(ep)
+		if s := e.Snapshot().Rules[0].State; s != StateInactive {
+			t.Fatalf("epoch %d: state %s while advancing, want inactive", ep, s)
+		}
+	}
+	// Counter stalls: after Window epochs of no movement the delta is 0.
+	e.Eval(6)
+	e.Eval(7)
+	if s := e.Snapshot().Rules[0].State; s != StateFiring {
+		t.Fatalf("state %s after stall, want firing", s)
+	}
+	c.Inc()
+	e.Eval(8)
+	if s := e.Snapshot().Rules[0].State; s != StateResolved {
+		t.Fatalf("state %s after counter resumed, want resolved", s)
+	}
+}
+
+func TestAbsenceRule(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var audits []any
+	e, err := New(Config{
+		Rules:    []Rule{{Name: "gone", Kind: KindAbsence, Metric: "heartbeat", For: 2}},
+		Registry: reg,
+		Audit:    func(v any) { audits = append(audits, v) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Eval(1)
+	e.Eval(2)
+	if s := e.Snapshot().Rules[0].State; s != StateFiring {
+		t.Fatalf("state %s with metric absent for 2 epochs, want firing", s)
+	}
+	// Registering the series resolves the absence.
+	reg.Gauge("heartbeat", "").Set(1)
+	e.Eval(3)
+	if s := e.Snapshot().Rules[0].State; s != StateResolved {
+		t.Fatalf("state %s after metric appeared, want resolved", s)
+	}
+	if len(audits) != 2 {
+		t.Fatalf("%d audit lines, want 2 (firing + resolved)", len(audits))
+	}
+	aa, okCast := audits[0].(auditAlert)
+	if !okCast || aa.State != StateFiring || aa.ValuePresent {
+		t.Fatalf("first audit line %+v", audits[0])
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	doc := []byte(`{"rules":[{"name":"a","kind":"threshold","metric":"m","op":">","value":1}]}`)
+	rules, err := ParseRules(doc)
+	if err != nil || len(rules) != 1 || rules[0].Name != "a" {
+		t.Fatalf("ParseRules(doc) = %+v, %v", rules, err)
+	}
+	bare := []byte(`[{"name":"b","kind":"absence","metric":"m"}]`)
+	rules, err = ParseRules(bare)
+	if err != nil || len(rules) != 1 || rules[0].Kind != KindAbsence {
+		t.Fatalf("ParseRules(bare) = %+v, %v", rules, err)
+	}
+	if _, err := ParseRules([]byte(`{"rules":[]}`)); err == nil {
+		t.Error("empty rule document accepted")
+	}
+	if _, err := ParseRules([]byte(`{"rules":[{"name":"x","kind":"threshold","metric":"m","op":"#"}]}`)); err == nil {
+		t.Error("invalid op accepted")
+	}
+}
+
+func TestDefaultRulesValid(t *testing.T) {
+	if _, err := New(Config{Rules: DefaultRules(), Registry: telemetry.NewRegistry()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilEngine(t *testing.T) {
+	var e *Engine
+	e.Eval(1)
+	if s := e.Snapshot(); s.Epoch != -1 || s.Rules == nil {
+		t.Fatalf("nil engine snapshot %+v", s)
+	}
+}

@@ -1,0 +1,92 @@
+package alert
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ruleFile is the on-disk rule document: {"rules": [...]}. A bare JSON array
+// of rules is accepted too.
+type ruleFile struct {
+	Rules []Rule `json:"rules"`
+}
+
+// ParseRules decodes a JSON rule document (either {"rules":[...]} or a bare
+// array) and validates every rule.
+func ParseRules(data []byte) ([]Rule, error) {
+	var doc ruleFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		var bare []Rule
+		if err2 := json.Unmarshal(data, &bare); err2 != nil {
+			return nil, fmt.Errorf("alert: parsing rules: %w", err)
+		}
+		doc.Rules = bare
+	}
+	if len(doc.Rules) == 0 {
+		return nil, fmt.Errorf("alert: rule document has no rules")
+	}
+	for _, r := range doc.Rules {
+		if err := r.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return doc.Rules, nil
+}
+
+// LoadRules reads and parses a JSON rule file.
+func LoadRules(path string) ([]Rule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseRules(data)
+}
+
+// DefaultRules is the rule set dcfpd installs when no -alert-rules file is
+// given: forecast early warning, active crisis, and degraded ingestion.
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			Name:     "forecast-risk-high",
+			Kind:     KindThreshold,
+			Metric:   "dcfp_forecast_risk",
+			Op:       OpGE,
+			Value:    0.5,
+			For:      1,
+			Severity: "warning",
+			Summary:  "fleet crisis risk is elevated: the forecast stage projects an SLA crisis within its horizon",
+		},
+		{
+			Name:     "crisis-active",
+			Kind:     KindThreshold,
+			Metric:   "dcfp_crisis_active",
+			Op:       OpGE,
+			Value:    1,
+			For:      1,
+			Severity: "critical",
+			Summary:  "an SLA performance crisis is in progress",
+		},
+		{
+			Name:     "ingest-coverage-low",
+			Kind:     KindThreshold,
+			Metric:   "dcfp_ingest_coverage_ratio",
+			Op:       OpLT,
+			Value:    0.5,
+			For:      3,
+			Severity: "warning",
+			Summary:  "fewer than half the expected machines are reporting",
+		},
+		{
+			Name:     "epochs-stalled",
+			Kind:     KindRate,
+			Metric:   "dcfp_epochs_observed_total",
+			Op:       OpLE,
+			Value:    0,
+			Window:   4,
+			For:      1,
+			Severity: "warning",
+			Summary:  "the monitor has not observed a new epoch across the last evaluation window",
+		},
+	}
+}

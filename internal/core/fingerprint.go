@@ -137,10 +137,17 @@ func (f *Fingerprinter) Size() int { return len(f.relevant) * metrics.NumQuantil
 // quantiles) into the epoch fingerprint over the relevant metrics: each
 // element is -1 (cold), 0 (normal) or +1 (hot).
 func (f *Fingerprinter) EpochFingerprint(row []float64) ([]float64, error) {
+	return f.EpochFingerprintInto(row, make([]float64, 0, f.Size()))
+}
+
+// EpochFingerprintInto is EpochFingerprint appending into dst (reset to
+// dst[:0] first), so per-epoch callers — the monitor's online forecast
+// stage — can reuse one buffer and keep the hot path allocation-free.
+func (f *Fingerprinter) EpochFingerprintInto(row, dst []float64) ([]float64, error) {
 	if len(row) != f.thresholds.NumMetrics()*metrics.NumQuantiles {
 		return nil, fmt.Errorf("core: row width %d, want %d", len(row), f.thresholds.NumMetrics()*metrics.NumQuantiles)
 	}
-	fp := make([]float64, 0, f.Size())
+	fp := dst[:0]
 	for _, m := range f.relevant {
 		for qi := 0; qi < metrics.NumQuantiles; qi++ {
 			v := row[m*metrics.NumQuantiles+qi]

@@ -5,9 +5,16 @@ import "testing"
 // observeEpochAllocs measures steady-state ObserveEpoch allocations on the
 // production-shaped benchmark monitor (100 machines x 100 metrics, never in
 // crisis) with the given worker setting.
-func observeEpochAllocs(t *testing.T, workers int) float64 {
+func observeEpochAllocs(t *testing.T, workers int, forecast bool) float64 {
 	t.Helper()
-	m, epochs := benchMonitor(t, nil, nil)
+	cfg, epochs := benchMonitorConfig(t, nil, nil)
+	if forecast {
+		cfg.Forecast = DefaultForecastConfig()
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m.cfg.Workers = workers
 	// Warm up: learn the expected machine count, fill the raw ring, and let
 	// the matrix pool and scratch masks reach steady state. Stay below
@@ -34,10 +41,15 @@ func observeEpochAllocs(t *testing.T, workers int) float64 {
 // ring-slot recycling only the per-epoch summary and a few bookkeeping
 // appends remain.
 func TestObserveEpochAllocs(t *testing.T) {
-	if avg := observeEpochAllocs(t, 1); avg > 20 {
+	if avg := observeEpochAllocs(t, 1, false); avg > 20 {
 		t.Errorf("serial ObserveEpoch allocates %.1f objects/epoch in steady state, want <= 20", avg)
 	}
-	if avg := observeEpochAllocs(t, 0); avg > 60 {
+	if avg := observeEpochAllocs(t, 0, false); avg > 60 {
 		t.Errorf("parallel ObserveEpoch allocates %.1f objects/epoch in steady state, want <= 60 (goroutine fan-out included)", avg)
+	}
+	// The forecast stage rides the same epoch: its trend ring, near-scan and
+	// band-scan are all in-place, so the budget holds with it enabled.
+	if avg := observeEpochAllocs(t, 1, true); avg > 20 {
+		t.Errorf("forecast-enabled ObserveEpoch allocates %.1f objects/epoch in steady state, want <= 20", avg)
 	}
 }

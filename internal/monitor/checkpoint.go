@@ -106,6 +106,11 @@ type checkpointPayload struct {
 	ActiveStart metrics.Epoch
 	ActiveIdx   int
 	Calm        int
+
+	// Forecast is the early-warning stage's state; nil when the stage is
+	// disabled or the checkpoint predates it. Added after version 1
+	// shipped, same gob-tolerated asymmetry as Votes/Expl above.
+	Forecast *forecastCheckpoint
 }
 
 type checkpointFile struct {
@@ -145,6 +150,7 @@ func (m *Monitor) WriteCheckpoint(w io.Writer, meta CheckpointMeta) error {
 			ActiveStart:   m.activeStart,
 			ActiveIdx:     m.activeIdx,
 			Calm:          m.calm,
+			Forecast:      m.fc.checkpoint(),
 		},
 	}
 	if m.thresholds != nil {
@@ -229,6 +235,7 @@ func (m *Monitor) ReadCheckpoint(r io.Reader) (CheckpointMeta, error) {
 	m.activeStart = s.ActiveStart
 	m.activeIdx = s.ActiveIdx
 	m.calm = s.Calm
+	m.fc.restore(s.Forecast)
 	// The restored store's fingerprint cache starts cold; reset the
 	// telemetry deltas so counters don't jump backward.
 	m.lastCacheHits, m.lastCacheMiss = 0, 0

@@ -1,0 +1,550 @@
+// The online forecast stage: the ROADMAP's early-warning item, built in the
+// spirit of the paper's §7 forecasting direction and DC-Prophet. Each epoch
+// it rolls four independent risk components into one fleet-level "crisis
+// probability within Horizon epochs" signal:
+//
+//   - trend: the violating-machine fraction's recent slope, projected
+//     Horizon epochs ahead and scaled against the crisis fraction — a
+//     crisis that is building linearly shows here first;
+//   - near: the fraction of machines already within NearFactor of any KPI
+//     SLA bound — backlog building toward the threshold before violations;
+//   - band: the fraction of summary quantile cells outside their hot/cold
+//     thresholds — crisis side-effects ripple through non-KPI metrics
+//     before the KPIs themselves breach (the §7 observation);
+//   - centroid: the offline internal/forecast nearest-centroid detectors,
+//     trained per crisis label once enough labeled history exists, scoring
+//     the live epoch fingerprint.
+//
+// Risk is the max of the components (any sufficient early signal should
+// warn). Warning episodes have hit/false-alarm accounting: an episode that
+// runs into a detection within Horizon epochs is a hit with a lead, one
+// that goes quiet for more than Horizon epochs is a false alarm. The
+// Scoreboard folds both into the §4.3 ledger, with leads recorded as
+// negative time-to-identification.
+package monitor
+
+import (
+	"fmt"
+
+	"dcfp/internal/core"
+	"dcfp/internal/forecast"
+	"dcfp/internal/metrics"
+	"dcfp/internal/sla"
+	"dcfp/internal/telemetry"
+)
+
+// ForecastConfig shapes the monitor's online forecast stage.
+type ForecastConfig struct {
+	// Enabled turns the stage on; the zero value keeps the monitor's hot
+	// path exactly as before (no clocks, no extra work).
+	Enabled bool
+	// Horizon is the prediction window in epochs: risk estimates the
+	// probability of a crisis within the next Horizon epochs, and a
+	// warning episode more than Horizon epochs quiet is a false alarm.
+	// Default 8 (two hours).
+	Horizon int
+	// WarnThreshold is the risk level at or above which the stage raises a
+	// warning. Default 0.5.
+	WarnThreshold float64
+	// TrendWindow is how many recent epochs of the violating-machine
+	// fraction feed the slope projection. Default 8.
+	TrendWindow int
+	// NearFactor is the fraction of a KPI's SLA bound beyond which a
+	// machine counts as near-violating. Default 0.8.
+	NearFactor float64
+	// BandBaseline and BandCrisis anchor the band-pressure normalization:
+	// the fraction of out-of-band summary cells maps linearly from
+	// [BandBaseline, BandCrisis] onto risk [0, 1]. With 2nd/98th-percentile
+	// thresholds ~4% of cells are out-of-band in normal operation, so the
+	// defaults are 0.05 and 0.12.
+	BandBaseline float64
+	BandCrisis   float64
+	// Model configures the per-label nearest-centroid forecasters; the
+	// zero value resolves to forecast.DefaultConfig().
+	Model forecast.Config
+}
+
+// DefaultForecastConfig returns the stage's defaults, enabled.
+func DefaultForecastConfig() ForecastConfig {
+	return ForecastConfig{
+		Enabled:       true,
+		Horizon:       8,
+		WarnThreshold: 0.5,
+		TrendWindow:   8,
+		NearFactor:    0.8,
+		BandBaseline:  0.05,
+		BandCrisis:    0.12,
+		Model:         forecast.DefaultConfig(),
+	}
+}
+
+// setDefaults fills zero fields; validate rejects nonsense.
+func (c *ForecastConfig) setDefaults() {
+	d := DefaultForecastConfig()
+	if c.Horizon == 0 {
+		c.Horizon = d.Horizon
+	}
+	if c.WarnThreshold == 0 {
+		c.WarnThreshold = d.WarnThreshold
+	}
+	if c.TrendWindow == 0 {
+		c.TrendWindow = d.TrendWindow
+	}
+	if c.NearFactor == 0 {
+		c.NearFactor = d.NearFactor
+	}
+	if c.BandBaseline == 0 {
+		c.BandBaseline = d.BandBaseline
+	}
+	if c.BandCrisis == 0 {
+		c.BandCrisis = d.BandCrisis
+	}
+	if c.Model == (forecast.Config{}) {
+		c.Model = d.Model
+	}
+}
+
+func (c ForecastConfig) validate() error {
+	if c.Horizon < 1 {
+		return fmt.Errorf("monitor: forecast horizon %d must be positive", c.Horizon)
+	}
+	if c.WarnThreshold <= 0 || c.WarnThreshold > 1 {
+		return fmt.Errorf("monitor: forecast warn threshold %v out of (0,1]", c.WarnThreshold)
+	}
+	if c.TrendWindow < 2 {
+		return fmt.Errorf("monitor: forecast trend window %d must be at least 2", c.TrendWindow)
+	}
+	if c.NearFactor <= 0 || c.NearFactor >= 1 {
+		return fmt.Errorf("monitor: forecast near factor %v out of (0,1)", c.NearFactor)
+	}
+	if c.BandBaseline < 0 || c.BandCrisis <= c.BandBaseline {
+		return fmt.Errorf("monitor: forecast band anchors [%v, %v] must be increasing and non-negative",
+			c.BandBaseline, c.BandCrisis)
+	}
+	return nil
+}
+
+// ForecastSnapshot is the stage's per-epoch output, carried on EpochReport
+// (by value — the steady state allocates nothing) and, during crises, on
+// Advice.
+type ForecastSnapshot struct {
+	// Enabled is false when the stage is off (every other field is zero).
+	Enabled bool `json:"enabled"`
+	// Epoch the snapshot describes.
+	Epoch metrics.Epoch `json:"epoch"`
+	// Risk is the fleet-level crisis probability within Horizon epochs:
+	// the max of the four components, each clamped to [0, 1].
+	Risk float64 `json:"risk"`
+	// Trend, Near, Band and Centroid are the individual components.
+	Trend    float64 `json:"trend"`
+	Near     float64 `json:"near"`
+	Band     float64 `json:"band"`
+	Centroid float64 `json:"centroid"`
+	// Warning is Risk >= WarnThreshold.
+	Warning bool `json:"warning"`
+	// WarnEpochs is the length of the open warning episode including this
+	// epoch (0 when not warning).
+	WarnEpochs int `json:"warn_epochs,omitempty"`
+	// DetectionLead is set only on a detection epoch: how many epochs the
+	// warning episode preceded the detection (0 = the crisis arrived
+	// unforecast). Consumers feed it to Scoreboard.RecordForecast.
+	DetectionLead int `json:"detection_lead,omitempty"`
+	// FalseAlarm is set on the epoch a warning episode expired: Horizon
+	// epochs passed since its last warning with no crisis.
+	FalseAlarm bool `json:"false_alarm,omitempty"`
+	// Models is how many per-label centroid forecasters are trained.
+	Models int `json:"models"`
+	// Degraded marks a snapshot carried forward through a degraded epoch
+	// (too little coverage to update the risk estimate).
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// forecastStage holds the stage's state inside the Monitor.
+type forecastStage struct {
+	cfg ForecastConfig
+
+	// fracHist is the ring of recent violating-machine fractions feeding
+	// the trend slope.
+	fracHist []float64
+	fracPos  int
+	fracN    int
+
+	// Warning-episode state: the first and latest warning epoch of the
+	// open episode, and whether one awaits hit/false-alarm resolution.
+	warnStart metrics.Epoch
+	lastWarn  metrics.Epoch
+	pending   bool
+
+	warnings    uint64
+	falseAlarms uint64
+
+	// Per-label centroid forecasters, lazily retrained when the thresholds
+	// generation or the labeled-crisis census changes.
+	models      []*forecast.Forecaster
+	modelLabels []string
+	fpr         *core.Fingerprinter
+	trainedGen  uint64
+	trainedN    int
+
+	fpBuf []float64 // epoch-fingerprint scratch
+
+	last ForecastSnapshot
+}
+
+func newForecastStage(cfg ForecastConfig) *forecastStage {
+	return &forecastStage{
+		cfg:       cfg,
+		fracHist:  make([]float64, cfg.TrendWindow),
+		warnStart: -1,
+		lastWarn:  -1,
+	}
+}
+
+// forecastMetrics holds the stage's telemetry handles.
+type forecastMetrics struct {
+	risk        *telemetry.Gauge
+	trend       *telemetry.Gauge
+	near        *telemetry.Gauge
+	band        *telemetry.Gauge
+	centroid    *telemetry.Gauge
+	warning     *telemetry.Gauge
+	models      *telemetry.Gauge
+	warnings    *telemetry.Counter
+	falseAlarms *telemetry.Counter
+}
+
+func newForecastMetrics(r *telemetry.Registry) *forecastMetrics {
+	if r == nil {
+		return nil
+	}
+	component := func(c string) *telemetry.Gauge {
+		return r.Gauge("dcfp_forecast_component",
+			"Individual forecast risk components, each clamped to [0, 1].",
+			telemetry.Label{Key: "component", Value: c})
+	}
+	return &forecastMetrics{
+		risk: r.Gauge("dcfp_forecast_risk",
+			"Fleet-level crisis probability within the forecast horizon (max of the components)."),
+		trend:    component("trend"),
+		near:     component("near"),
+		band:     component("band"),
+		centroid: component("centroid"),
+		warning: r.Gauge("dcfp_forecast_warning",
+			"1 while the forecast stage is warning of an impending crisis, else 0."),
+		models: r.Gauge("dcfp_forecast_models_trained",
+			"Per-label nearest-centroid forecasters currently trained."),
+		warnings: r.Counter("dcfp_forecast_warnings_total",
+			"Warning episodes opened by the forecast stage."),
+		falseAlarms: r.Counter("dcfp_forecast_false_alarms_total",
+			"Warning episodes that expired without a crisis within the horizon."),
+	}
+}
+
+// observe runs the stage for one non-degraded epoch: e is the epoch index,
+// status the merged SLA status, summary the epoch's quantile summary, and
+// rows/viol the sanitized reporting-machine rows with their violation
+// flags. crisisActive reflects the state machine BEFORE this epoch's
+// transition — warnings raised while a crisis is already open are not
+// "early" and feed no episode bookkeeping. Steady state allocates nothing.
+func (m *Monitor) forecastObserve(e metrics.Epoch, status sla.EpochStatus, summary [][3]float64, rows [][]float64, crisisActive bool) ForecastSnapshot {
+	s := m.fc
+	snap := ForecastSnapshot{Enabled: true, Epoch: e}
+
+	// Trend: least-squares slope of the recent violating fraction,
+	// projected Horizon epochs out, scaled against the crisis fraction.
+	frac := 0.0
+	if status.Machines > 0 {
+		frac = float64(status.ViolatingAny) / float64(status.Machines)
+	}
+	s.fracHist[s.fracPos] = frac
+	s.fracPos = (s.fracPos + 1) % len(s.fracHist)
+	if s.fracN < len(s.fracHist) {
+		s.fracN++
+	}
+	proj := frac + s.trendSlope()*float64(s.cfg.Horizon)
+	snap.Trend = clamp01(proj / m.cfg.SLA.CrisisFraction)
+
+	// Near: machines already inside NearFactor of any KPI bound.
+	near := 0
+	for _, row := range rows {
+		for _, k := range m.cfg.SLA.KPIs {
+			if row[k.Metric] > s.cfg.NearFactor*k.Threshold {
+				near++
+				break
+			}
+		}
+	}
+	if n := len(rows); n > 0 {
+		snap.Near = clamp01(float64(near) / float64(n) / m.cfg.SLA.CrisisFraction)
+	}
+
+	// Band: fraction of summary quantile cells outside their hot/cold
+	// thresholds, normalized between the baseline and crisis anchors.
+	if m.thresholds != nil {
+		out, cells := 0, 0
+		for mi := range summary {
+			for qi := 0; qi < metrics.NumQuantiles; qi++ {
+				cells++
+				if m.thresholds.State(mi, qi, summary[mi][qi]) != 0 {
+					out++
+				}
+			}
+		}
+		if cells > 0 {
+			bandFrac := float64(out) / float64(cells)
+			snap.Band = clamp01((bandFrac - s.cfg.BandBaseline) / (s.cfg.BandCrisis - s.cfg.BandBaseline))
+		}
+	}
+
+	// Centroid: the trained per-label forecasters scoring this epoch's
+	// fingerprint. Training is lazy and off the steady path.
+	s.maybeRetrain(m)
+	snap.Models = len(s.models)
+	if len(s.models) > 0 {
+		if row, err := m.track.EpochRow(e); err == nil {
+			if fp, err := s.fpr.EpochFingerprintInto(row, s.fpBuf); err == nil {
+				s.fpBuf = fp
+				for _, fc := range s.models {
+					if warn, err := fc.Warns(fp); err == nil && warn {
+						snap.Centroid = 1
+						break
+					}
+				}
+			}
+		}
+	}
+
+	snap.Risk = max4(snap.Trend, snap.Near, snap.Band, snap.Centroid)
+	snap.Warning = snap.Risk >= s.cfg.WarnThreshold
+
+	// Episode bookkeeping, skipped while a crisis is already open.
+	if !crisisActive {
+		if s.pending && e-s.lastWarn > metrics.Epoch(s.cfg.Horizon) {
+			s.pending = false
+			s.falseAlarms++
+			snap.FalseAlarm = true
+			m.events.Event("forecast.false_alarm",
+				"epoch", int64(e), "warn_start", int64(s.warnStart), "last_warn", int64(s.lastWarn))
+			if m.fcTel != nil {
+				m.fcTel.falseAlarms.Inc()
+			}
+		}
+		if snap.Warning {
+			if !s.pending {
+				s.pending = true
+				s.warnStart = e
+				s.warnings++
+				m.events.Event("forecast.warning",
+					"epoch", int64(e), "risk", snap.Risk,
+					"trend", snap.Trend, "near", snap.Near,
+					"band", snap.Band, "centroid", snap.Centroid)
+				if m.fcTel != nil {
+					m.fcTel.warnings.Inc()
+				}
+			}
+			s.lastWarn = e
+		}
+	}
+	if s.pending && snap.Warning {
+		snap.WarnEpochs = int(e-s.warnStart) + 1
+	}
+
+	if m.fcTel != nil {
+		m.fcTel.risk.Set(snap.Risk)
+		m.fcTel.trend.Set(snap.Trend)
+		m.fcTel.near.Set(snap.Near)
+		m.fcTel.band.Set(snap.Band)
+		m.fcTel.centroid.Set(snap.Centroid)
+		m.fcTel.warning.SetInt(boolToGauge(snap.Warning))
+		m.fcTel.models.SetInt(int64(len(s.models)))
+	}
+	s.last = snap
+	return snap
+}
+
+// resolveDetection closes the open warning episode against a detection at
+// epoch e: a hit when the episode is still live (last warning within
+// Horizon epochs) and actually preceded the detection. The returned lead is
+// the epochs from the episode's first warning to the detection.
+func (s *forecastStage) resolveDetection(e metrics.Epoch) (lead int, hit bool) {
+	if s == nil || !s.pending {
+		return 0, false
+	}
+	s.pending = false
+	if e-s.lastWarn > metrics.Epoch(s.cfg.Horizon) {
+		return 0, false
+	}
+	lead = int(e - s.warnStart)
+	if lead < 1 {
+		return 0, false
+	}
+	return lead, true
+}
+
+// trendSlope is the least-squares slope of the fraction ring in
+// chronological order (fractions per epoch); 0 until two points exist.
+func (s *forecastStage) trendSlope() float64 {
+	n := s.fracN
+	if n < 2 {
+		return 0
+	}
+	start := (s.fracPos - n + len(s.fracHist)) % len(s.fracHist)
+	// x = 0..n-1; slope = (n·Σxy − Σx·Σy) / (n·Σx² − (Σx)²).
+	var sumX, sumY, sumXY, sumXX float64
+	for i := 0; i < n; i++ {
+		x := float64(i)
+		y := s.fracHist[(start+i)%len(s.fracHist)]
+		sumX += x
+		sumY += y
+		sumXY += x * y
+		sumXX += x * x
+	}
+	den := float64(n)*sumXX - sumX*sumX
+	if den == 0 {
+		return 0
+	}
+	return (float64(n)*sumXY - sumX*sumY) / den
+}
+
+// maybeRetrain rebuilds the per-label centroid forecasters when the
+// thresholds generation or the labeled-crisis census changed. Labels with
+// fewer than Model.MinCrises crises train nothing; training failures (e.g.
+// a type with no early signs, MinCentroidNorm) are skipped silently — the
+// other components still cover those types.
+func (s *forecastStage) maybeRetrain(m *Monitor) {
+	if m.thresholds == nil {
+		return
+	}
+	_, labeled := m.KnownCrises()
+	if s.trainedGen == m.thGen && s.trainedN == labeled && s.fpr != nil {
+		return
+	}
+	s.trainedGen = m.thGen
+	s.trainedN = labeled
+	s.models = s.models[:0]
+	s.modelLabels = s.modelLabels[:0]
+	f, err := m.currentFingerprinter()
+	if err != nil {
+		s.fpr = nil
+		return
+	}
+	s.fpr = f
+	if cap(s.fpBuf) < f.Size() {
+		s.fpBuf = make([]float64, 0, f.Size())
+	}
+	byLabel := make(map[string][]metrics.Epoch)
+	for _, p := range m.past {
+		if p.label != "" {
+			byLabel[p.label] = append(byLabel[p.label], p.start)
+		}
+	}
+	for label, starts := range byLabel {
+		if len(starts) < s.cfg.Model.MinCrises {
+			continue
+		}
+		fc, err := forecast.Train(f, m.track, starts, s.cfg.Model)
+		if err != nil {
+			continue
+		}
+		s.models = append(s.models, fc)
+		s.modelLabels = append(s.modelLabels, label)
+	}
+}
+
+// forecastCheckpoint is the stage's gob image inside checkpointPayload.
+// Centroid models are not persisted: they retrain lazily from the restored
+// track and crisis history on the first post-restore epoch.
+type forecastCheckpoint struct {
+	FracHist    []float64
+	FracPos     int
+	FracN       int
+	WarnStart   metrics.Epoch
+	LastWarn    metrics.Epoch
+	Pending     bool
+	Warnings    uint64
+	FalseAlarms uint64
+	Last        ForecastSnapshot
+}
+
+func (s *forecastStage) checkpoint() *forecastCheckpoint {
+	if s == nil {
+		return nil
+	}
+	return &forecastCheckpoint{
+		FracHist:    append([]float64(nil), s.fracHist...),
+		FracPos:     s.fracPos,
+		FracN:       s.fracN,
+		WarnStart:   s.warnStart,
+		LastWarn:    s.lastWarn,
+		Pending:     s.pending,
+		Warnings:    s.warnings,
+		FalseAlarms: s.falseAlarms,
+		Last:        s.last,
+	}
+}
+
+// restore applies a checkpointed stage image; a nil image (old checkpoint,
+// or one written with the stage disabled) resets to cold. A ring sized for
+// a different TrendWindow is re-fitted rather than rejected.
+func (s *forecastStage) restore(c *forecastCheckpoint) {
+	if s == nil {
+		return
+	}
+	if c == nil {
+		*s = *newForecastStage(s.cfg)
+		return
+	}
+	if len(c.FracHist) == len(s.fracHist) && c.FracPos >= 0 && c.FracPos < len(s.fracHist) {
+		copy(s.fracHist, c.FracHist)
+		s.fracPos = c.FracPos
+		s.fracN = minInt(c.FracN, len(s.fracHist))
+	} else {
+		for i := range s.fracHist {
+			s.fracHist[i] = 0
+		}
+		s.fracPos, s.fracN = 0, 0
+	}
+	s.warnStart = c.WarnStart
+	s.lastWarn = c.LastWarn
+	s.pending = c.Pending
+	s.warnings = c.Warnings
+	s.falseAlarms = c.FalseAlarms
+	s.last = c.Last
+	// Models retrain lazily against the restored track.
+	s.models = nil
+	s.modelLabels = nil
+	s.fpr = nil
+	s.trainedGen = 0
+	s.trainedN = -1
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func max4(a, b, c, d float64) float64 {
+	m := a
+	if b > m {
+		m = b
+	}
+	if c > m {
+		m = c
+	}
+	if d > m {
+		m = d
+	}
+	return m
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

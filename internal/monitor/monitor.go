@@ -102,6 +102,12 @@ type Config struct {
 	// into the residual). 0 resolves to DefaultExplainTopK; negative is
 	// rejected.
 	ExplainTopK int
+	// Forecast configures the online early-warning stage (off by default;
+	// see ForecastConfig). When enabled, every ObserveEpoch rolls the
+	// fleet's violation trend, SLA proximity, out-of-band pressure and the
+	// trained centroid models into a crisis-probability signal exported as
+	// dcfp_forecast_* and carried on EpochReport.Forecast.
+	Forecast ForecastConfig
 }
 
 // DefaultExplainTopK is the per-candidate contribution count retained in
@@ -155,6 +161,9 @@ type Advice struct {
 	// the threshold context, and the vote sequence so far. Nil only when no
 	// fingerprinter could be assembled (then the whole Advice is nil too).
 	Explanation *ident.Explanation `json:"explanation,omitempty"`
+	// Forecast is the forecast stage's snapshot at this advice's epoch,
+	// nil when the stage is disabled.
+	Forecast *ForecastSnapshot `json:"forecast,omitempty"`
 }
 
 // EpochReport is the result of feeding one epoch into the monitor.
@@ -175,6 +184,10 @@ type EpochReport struct {
 	// Coverage is the fraction of expected machines that reported at least
 	// one finite value this epoch.
 	Coverage float64
+	// Forecast is the early-warning stage's snapshot for this epoch; the
+	// zero value (Enabled false) when the stage is off. A value type so
+	// the steady-state path allocates nothing for it.
+	Forecast ForecastSnapshot
 }
 
 // pastCrisis is a stored crisis plus its label state.
@@ -265,6 +278,11 @@ type Monitor struct {
 	// instrumentation site checks it before reading the clock.
 	tel    *monitorMetrics
 	events *telemetry.EventLog
+
+	// fc is the online forecast stage, nil unless Config.Forecast.Enabled;
+	// fcTel holds its metric handles (nil without a registry).
+	fc    *forecastStage
+	fcTel *forecastMetrics
 }
 
 // monitorMetrics holds the pre-registered metric handles of one Monitor so
@@ -306,6 +324,7 @@ const (
 	stageThresholds = "thresholds" // §3.3 hot/cold threshold refresh
 	stageSelection  = "selection"  // §3.4 per-crisis metric selection
 	stageIdentify   = "identify"   // §3.5/§5.3 identification
+	stageForecast   = "forecast"   // §7 early-warning risk estimation
 )
 
 func newMonitorMetrics(r *telemetry.Registry) *monitorMetrics {
@@ -364,7 +383,7 @@ func newMonitorMetrics(r *telemetry.Registry) *monitorMetrics {
 		ingestReporting: r.Gauge("dcfp_ingest_machines_reporting",
 			"Machines that delivered at least one finite value in the latest epoch."),
 	}
-	for _, s := range []string{stageQuantile, stageSLA, stageThresholds, stageSelection, stageIdentify} {
+	for _, s := range []string{stageQuantile, stageSLA, stageThresholds, stageSelection, stageIdentify, stageForecast} {
 		t.stages[s] = r.Histogram("dcfp_monitor_stage_seconds",
 			"Latency of one monitor pipeline stage.", buckets,
 			telemetry.Label{Key: "stage", Value: s})
@@ -408,6 +427,12 @@ func New(cfg Config) (*Monitor, error) {
 	if cfg.ExplainTopK == 0 {
 		cfg.ExplainTopK = DefaultExplainTopK
 	}
+	if cfg.Forecast.Enabled {
+		cfg.Forecast.setDefaults()
+		if err := cfg.Forecast.validate(); err != nil {
+			return nil, err
+		}
+	}
 	track, err := metrics.NewQuantileTrack(cfg.Catalog.Len())
 	if err != nil {
 		return nil, err
@@ -420,7 +445,7 @@ func New(cfg Config) (*Monitor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Monitor{
+	m := &Monitor{
 		cfg:       cfg,
 		track:     track,
 		agg:       agg,
@@ -433,7 +458,12 @@ func New(cfg Config) (*Monitor, error) {
 		expected:  cfg.ExpectedMachines,
 		tel:       newMonitorMetrics(cfg.Telemetry),
 		events:    cfg.Events,
-	}, nil
+	}
+	if cfg.Forecast.Enabled {
+		m.fc = newForecastStage(cfg.Forecast)
+		m.fcTel = newForecastMetrics(cfg.Telemetry)
+	}
+	return m, nil
 }
 
 // Epoch reports the next epoch index the monitor expects.
@@ -594,6 +624,30 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 
 	rep := &EpochReport{Epoch: e, Status: status, Degraded: degraded, Coverage: coverage}
 
+	// Early-warning forecast stage: runs on this epoch's status, summary
+	// and sanitized rows, BEFORE the crisis state machine so the detection
+	// below can be scored against the warning episode it closes. Degraded
+	// epochs carry the last snapshot forward — too few machines reported
+	// to move the risk estimate.
+	if m.fc != nil {
+		if degraded {
+			m.fc.last.Epoch = e
+			m.fc.last.Degraded = true
+			m.fc.last.DetectionLead = 0
+			m.fc.last.FalseAlarm = false
+			rep.Forecast = m.fc.last
+		} else {
+			if m.tel != nil {
+				ts = time.Now()
+			}
+			sp = tr.StartSpan("forecast")
+			rep.Forecast = m.forecastObserve(e, status, summary, copies, m.activeIdx >= 0)
+			sp.SetAttr("risk_permille", int64(rep.Forecast.Risk*1000))
+			sp.End()
+			ts = m.span(stageForecast, ts)
+		}
+	}
+
 	// Crisis episode state machine: enter on the first violating epoch,
 	// leave after two consecutive calm epochs (the detector's merge gap).
 	// Degraded epochs freeze it entirely: too few machines reported to
@@ -612,6 +666,18 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 		}
 	}
 
+	if m.fc != nil && m.activeIdx >= 0 && m.activeStart == e {
+		// A crisis was just detected: close the warning episode and score
+		// its lead. The snapshot's DetectionLead is what cmd/dcfpd feeds
+		// into Scoreboard.RecordForecast as a negative TTI.
+		if lead, hit := m.fc.resolveDetection(e); hit {
+			rep.Forecast.DetectionLead = lead
+			m.fc.last.DetectionLead = lead
+			m.events.Event("forecast.hit",
+				"epoch", int64(e), "lead_epochs", lead, "crisis", m.past[m.activeIdx].id)
+		}
+	}
+
 	if m.activeIdx >= 0 {
 		rep.CrisisActive = true
 		rep.CrisisStart = m.activeStart
@@ -626,6 +692,10 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 			rep.Advice = m.identify(tr, e, k)
 			if rep.Advice != nil {
 				rep.Advice.Degraded = degraded
+				if m.fc != nil {
+					fs := rep.Forecast
+					rep.Advice.Forecast = &fs
+				}
 			}
 			m.span(stageIdentify, ts)
 			m.recordAdvice(rep.Advice)

@@ -31,9 +31,22 @@ type Scoreboard struct {
 	perLabel       map[string]*labelTally
 	ttiCounts      []uint64 // index = epochs to first correct label
 
+	// Forecast ledger: detections the forecast stage warned about ahead of
+	// time (with their lead distribution) vs. warning episodes that expired
+	// without a crisis. Leads surface in the TTI histogram as negative
+	// observations — identification at epoch -k meaning "k epochs before
+	// the SLA rule even fired".
+	forecastHits  uint64
+	forecastFalse uint64
+	leadCounts    []uint64 // index = lead-1, clamped to MaxForecastLead
+
 	reg *telemetry.Registry
 	tel *scoreboardMetrics
 }
+
+// MaxForecastLead caps the per-lead histogram resolution: leads beyond it
+// all land in the deepest bucket.
+const MaxForecastLead = 8
 
 type labelTally struct {
 	total   uint64
@@ -48,16 +61,19 @@ type scoreboardMetrics struct {
 	accKnown        *telemetry.Gauge
 	accUnknown      *telemetry.Gauge
 	tti             *telemetry.Histogram
+	forecastHits    *telemetry.Counter
+	forecastFalse   *telemetry.Counter
 }
 
 // NewScoreboard builds a scoreboard, optionally exporting dcfp_ident_*
 // metrics into r (nil disables the export, never the ledger).
 func NewScoreboard(r *telemetry.Registry) *Scoreboard {
 	s := &Scoreboard{
-		confusion: make(map[[2]string]uint64),
-		perLabel:  make(map[string]*labelTally),
-		ttiCounts: make([]uint64, ident.IdentificationEpochs),
-		reg:       r,
+		confusion:  make(map[[2]string]uint64),
+		perLabel:   make(map[string]*labelTally),
+		ttiCounts:  make([]uint64, ident.IdentificationEpochs),
+		leadCounts: make([]uint64, MaxForecastLead),
+		reg:        r,
 	}
 	if r != nil {
 		s.tel = &scoreboardMetrics{
@@ -74,17 +90,27 @@ func NewScoreboard(r *telemetry.Registry) *Scoreboard {
 				"Rolling identification accuracy over scored diagnoses (§4.3 criteria).",
 				telemetry.Label{Key: "kind", Value: "unknown"}),
 			tti: r.Histogram("dcfp_ident_tti_epochs",
-				"Epochs from crisis detection to the first correct label, over correct known cases.",
+				"Epochs from crisis detection to the first correct label, over correct known cases; negative observations are forecast leads (warned that many epochs before detection).",
 				ttiBuckets()),
+			forecastHits: r.Counter("dcfp_ident_forecast_total",
+				"Resolved forecast warning episodes, by outcome.",
+				telemetry.Label{Key: "outcome", Value: "hit"}),
+			forecastFalse: r.Counter("dcfp_ident_forecast_total",
+				"Resolved forecast warning episodes, by outcome.",
+				telemetry.Label{Key: "outcome", Value: "false_alarm"}),
 		}
 	}
 	return s
 }
 
+// ttiBuckets spans pre-detection forecast leads (negative epochs, deepest
+// first) through the identification window: -MaxForecastLead..-1 then
+// 0..IdentificationEpochs-1. A pre-detected crisis observes its lead as a
+// negative TTI — identified before the SLA rule fired.
 func ttiBuckets() []float64 {
-	b := make([]float64, ident.IdentificationEpochs)
-	for i := range b {
-		b[i] = float64(i)
+	b := make([]float64, 0, MaxForecastLead+ident.IdentificationEpochs)
+	for i := -MaxForecastLead; i < ident.IdentificationEpochs; i++ {
+		b = append(b, float64(i))
 	}
 	return b
 }
@@ -177,6 +203,38 @@ func ratio(num, den uint64) float64 {
 	return float64(num) / float64(den)
 }
 
+// RecordForecast folds one resolved warning episode into the ledger: a hit
+// (the forecast warned leadEpochs before a detection — recorded as a
+// negative TTI observation) or a false alarm (the episode expired without a
+// crisis; leadEpochs is ignored). Hits with a non-positive lead are counted
+// but observe no TTI (the warning did not actually precede the detection).
+func (s *Scoreboard) RecordForecast(leadEpochs int, hit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !hit {
+		s.forecastFalse++
+		if s.tel != nil {
+			s.tel.forecastFalse.Inc()
+		}
+		return
+	}
+	s.forecastHits++
+	if s.tel != nil {
+		s.tel.forecastHits.Inc()
+	}
+	if leadEpochs < 1 {
+		return
+	}
+	lead := leadEpochs
+	if lead > MaxForecastLead {
+		lead = MaxForecastLead
+	}
+	s.leadCounts[lead-1]++
+	if s.tel != nil {
+		s.tel.tti.Observe(float64(-leadEpochs))
+	}
+}
+
 // ConfusionCell is one (emitted, truth) cell of the confusion matrix.
 type ConfusionCell struct {
 	Emitted string `json:"emitted"`
@@ -208,6 +266,13 @@ type ScoreboardState struct {
 	// TTIEpochs[k] counts correct known cases first labeled correctly at
 	// identification epoch k.
 	TTIEpochs []uint64 `json:"tti_epochs"`
+	// ForecastHits / ForecastFalseAlarms count resolved warning episodes:
+	// warnings that ran into a detection vs. ones that expired quiet.
+	ForecastHits        uint64 `json:"forecast_hits"`
+	ForecastFalseAlarms uint64 `json:"forecast_false_alarms"`
+	// ForecastLeadEpochs[k] counts pre-detected crises warned k+1 epochs
+	// ahead (the negative wing of the TTI histogram).
+	ForecastLeadEpochs []uint64 `json:"forecast_lead_epochs"`
 }
 
 // State snapshots the scoreboard. Slices are always non-nil so the JSON
@@ -216,16 +281,19 @@ func (s *Scoreboard) State() ScoreboardState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := ScoreboardState{
-		Resolved:        s.knownTotal + s.unknownTotal,
-		KnownTotal:      s.knownTotal,
-		KnownCorrect:    s.knownCorrect,
-		UnknownTotal:    s.unknownTotal,
-		UnknownCorrect:  s.unknownCorrect,
-		KnownAccuracy:   ratio(s.knownCorrect, s.knownTotal),
-		UnknownAccuracy: ratio(s.unknownCorrect, s.unknownTotal),
-		Confusion:       make([]ConfusionCell, 0, len(s.confusion)),
-		PerLabel:        make([]LabelScore, 0, len(s.perLabel)),
-		TTIEpochs:       append([]uint64{}, s.ttiCounts...),
+		Resolved:            s.knownTotal + s.unknownTotal,
+		KnownTotal:          s.knownTotal,
+		KnownCorrect:        s.knownCorrect,
+		UnknownTotal:        s.unknownTotal,
+		UnknownCorrect:      s.unknownCorrect,
+		KnownAccuracy:       ratio(s.knownCorrect, s.knownTotal),
+		UnknownAccuracy:     ratio(s.unknownCorrect, s.unknownTotal),
+		Confusion:           make([]ConfusionCell, 0, len(s.confusion)),
+		PerLabel:            make([]LabelScore, 0, len(s.perLabel)),
+		TTIEpochs:           append([]uint64{}, s.ttiCounts...),
+		ForecastHits:        s.forecastHits,
+		ForecastFalseAlarms: s.forecastFalse,
+		ForecastLeadEpochs:  append([]uint64{}, s.leadCounts...),
 	}
 	for k, n := range s.confusion {
 		st.Confusion = append(st.Confusion, ConfusionCell{Emitted: k[0], Truth: k[1], Count: n})
@@ -268,6 +336,10 @@ func (s *Scoreboard) SetState(st ScoreboardState) {
 	}
 	s.ttiCounts = make([]uint64, ident.IdentificationEpochs)
 	copy(s.ttiCounts, st.TTIEpochs)
+	s.forecastHits = st.ForecastHits
+	s.forecastFalse = st.ForecastFalseAlarms
+	s.leadCounts = make([]uint64, MaxForecastLead)
+	copy(s.leadCounts, st.ForecastLeadEpochs)
 	if s.tel != nil {
 		for _, c := range st.Confusion {
 			s.reg.Counter("dcfp_ident_confusion_total",
@@ -280,6 +352,13 @@ func (s *Scoreboard) SetState(st ScoreboardState) {
 		for k, n := range s.ttiCounts {
 			for i := uint64(0); i < n; i++ {
 				s.tel.tti.Observe(float64(k))
+			}
+		}
+		s.tel.forecastHits.Add(s.forecastHits)
+		s.tel.forecastFalse.Add(s.forecastFalse)
+		for k, n := range s.leadCounts {
+			for i := uint64(0); i < n; i++ {
+				s.tel.tti.Observe(float64(-(k + 1)))
 			}
 		}
 		s.exportDerived()

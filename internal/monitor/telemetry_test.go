@@ -190,9 +190,9 @@ func TestStatsActiveCrisis(t *testing.T) {
 	}
 }
 
-// benchMonitor builds a production-shaped monitor (100 machines x 100
+// benchMonitorConfig builds the production-shaped config (100 machines x 100
 // metrics) and pre-generates sample epochs for the ObserveEpoch benchmark.
-func benchMonitor(b testing.TB, reg *telemetry.Registry, tracer *telemetry.Tracer) (*Monitor, [][][]float64) {
+func benchMonitorConfig(b testing.TB, reg *telemetry.Registry, tracer *telemetry.Tracer) (Config, [][][]float64) {
 	b.Helper()
 	const nMetrics = 100
 	const nMachines = 100
@@ -210,10 +210,6 @@ func benchMonitor(b testing.TB, reg *telemetry.Registry, tracer *telemetry.Trace
 	})
 	cfg.Telemetry = reg
 	cfg.Tracer = tracer
-	m, err := New(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
 	rng := rand.New(rand.NewSource(3))
 	epochs := make([][][]float64, 64)
 	for e := range epochs {
@@ -226,6 +222,17 @@ func benchMonitor(b testing.TB, reg *telemetry.Registry, tracer *telemetry.Trace
 			rows[i] = row
 		}
 		epochs[e] = rows
+	}
+	return cfg, epochs
+}
+
+// benchMonitor is benchMonitorConfig plus construction.
+func benchMonitor(b testing.TB, reg *telemetry.Registry, tracer *telemetry.Tracer) (*Monitor, [][][]float64) {
+	b.Helper()
+	cfg, epochs := benchMonitorConfig(b, reg, tracer)
+	m, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
 	}
 	return m, epochs
 }
@@ -257,6 +264,21 @@ func BenchmarkObserveEpoch(b *testing.B) {
 		}
 		if got := reg.Histogram("dcfp_observe_epoch_seconds", "", telemetry.TimeBuckets()).Count(); got != uint64(b.N) {
 			b.Fatalf("histogram count %d != b.N %d", got, b.N)
+		}
+	})
+	b.Run("forecast", func(b *testing.B) {
+		cfg, epochs := benchMonitorConfig(b, nil, nil)
+		cfg.Forecast = DefaultForecastConfig()
+		m, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.ObserveEpoch(epochs[i%len(epochs)]); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("tracing", func(b *testing.B) {

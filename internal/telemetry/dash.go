@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// historyResponse is the /api/history JSON payload for one metric.
+type historyResponse struct {
+	Metric string          `json:"metric"`
+	Since  int64           `json:"since"`
+	Series []SeriesHistory `json:"series"`
+}
+
+// handleHistory serves /api/history. Without a metric parameter it lists
+// the sampled metric names (optionally filtered by ?match=substr); with
+// ?metric=name&since=N it returns that metric's raw and coarse tiers.
+func handleHistory(w http.ResponseWriter, r *http.Request, h *History) {
+	q := r.URL.Query()
+	metric := q.Get("metric")
+	if metric == "" {
+		names := h.MatchMetrics(q.Get("match"))
+		if names == nil {
+			names = []string{}
+		}
+		writeJSON(w, map[string]any{"metrics": names})
+		return
+	}
+	var since int64
+	if s := q.Get("since"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			writeJSONStatus(w, http.StatusBadRequest,
+				map[string]string{"error": "since must be an integer epoch"})
+			return
+		}
+		since = v
+	}
+	series, ok := h.Query(metric, since)
+	if !ok {
+		writeJSONStatus(w, http.StatusNotFound,
+			map[string]string{"error": "no history for metric " + metric})
+		return
+	}
+	writeJSON(w, historyResponse{Metric: metric, Since: since, Series: series})
+}
+
+// dashDefaultMatch keeps the default dashboard focused on the pipeline's
+// own gauges rather than every series in the registry.
+const dashDefaultMatch = "dcfp_"
+
+// handleDash serves /dash: a dependency-free HTML page with one
+// server-rendered SVG sparkline per metric series (raw tier), filtered by
+// ?match=substr (default "dcfp_"). It exists so an operator can eyeball
+// fleet risk without scraping JSON; precise queries belong to /api/history.
+func handleDash(w http.ResponseWriter, r *http.Request, h *History) {
+	match := r.URL.Query().Get("match")
+	if match == "" {
+		match = dashDefaultMatch
+	}
+	names := h.MatchMetrics(match)
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html><html><head><meta charset="utf-8">` +
+		`<title>dcfp dash</title><style>` +
+		`body{font-family:monospace;background:#111;color:#ddd;margin:2em}` +
+		`h1{font-size:1.2em} .m{margin-bottom:1.2em}` +
+		`.name{color:#8cf} .cur{color:#fc8} svg{background:#1a1a1a;display:block}` +
+		`polyline{fill:none;stroke:#8cf;stroke-width:1}` +
+		`</style></head><body><h1>dcfp dash</h1>`)
+	fmt.Fprintf(&b, `<p>%d samples · filter <code>?match=%s</code> · JSON at <code>/api/history</code></p>`,
+		h.Samples(), html.EscapeString(match))
+	for _, name := range names {
+		series, ok := h.Query(name, 0)
+		if !ok {
+			continue
+		}
+		for _, s := range series {
+			fmt.Fprintf(&b, `<div class="m"><span class="name">%s</span>%s`,
+				html.EscapeString(name), html.EscapeString(labelSuffix(s.Labels)))
+			if n := len(s.Raw); n > 0 {
+				fmt.Fprintf(&b, ` <span class="cur">%g</span> @%d`,
+					s.Raw[n-1].Value, s.Raw[n-1].Epoch)
+			}
+			b.WriteString(sparkline(s.Raw, 360, 40))
+			b.WriteString(`</div>`)
+		}
+	}
+	if len(names) == 0 {
+		b.WriteString(`<p>no series match</p>`)
+	}
+	b.WriteString(`</body></html>`)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// labelSuffix renders a {k="v",...} suffix for the dash, deterministic via
+// the sorted map iteration below being over few keys (order is cosmetic).
+func labelSuffix(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(labels))
+	for k, v := range labels {
+		parts = append(parts, k+`="`+v+`"`)
+	}
+	// map order varies; sort for stable pages
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// sparkline renders points as an SVG polyline scaled to w×h, with the value
+// range padded so flat series draw mid-height rather than on an edge.
+func sparkline(pts []HistoryPoint, w, h int) string {
+	if len(pts) == 0 {
+		return `<svg width="` + strconv.Itoa(w) + `" height="` + strconv.Itoa(h) + `"></svg>`
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		lo = math.Min(lo, p.Value)
+		hi = math.Max(hi, p.Value)
+	}
+	if hi == lo {
+		hi, lo = hi+1, lo-1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg width="%d" height="%d" viewBox="0 0 %d %d"><polyline points="`, w, h, w, h)
+	for i, p := range pts {
+		x := 0.0
+		if len(pts) > 1 {
+			x = float64(i) / float64(len(pts)-1) * float64(w)
+		}
+		y := (1 - (p.Value-lo)/(hi-lo)) * float64(h)
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.1f,%.1f", x, y)
+	}
+	b.WriteString(`"/></svg>`)
+	return b.String()
+}

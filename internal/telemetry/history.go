@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// History is the time-series store behind /api/history and /dash: every
+// epoch it samples all counter and gauge series of a Registry (histograms
+// via their _count/_sum projections) into per-series fixed-capacity rings at
+// two downsampling tiers — a raw tier holding the most recent samples
+// verbatim and a coarse tier holding bucket means over CoarseEvery samples,
+// so a query can cover CoarseCapacity*CoarseEvery epochs of the past at
+// bounded memory. Capacity is fixed at construction; steady-state sampling
+// allocates only when a new series first appears.
+//
+// History is safe for concurrent use: the daemon samples from the epoch
+// loop while HTTP handlers query snapshots. A nil *History is a valid
+// disabled store — Sample and Query are no-ops.
+type History struct {
+	mu     sync.Mutex
+	reg    *Registry
+	cfg    HistoryConfig
+	series map[string]*seriesHistory // keyed by name + canonical label key
+	names  []string                  // sorted unique family names, maintained incrementally
+	n      int64                     // samples taken
+}
+
+// HistoryConfig sizes the two ring tiers.
+type HistoryConfig struct {
+	// RawCapacity is how many most-recent samples each series retains
+	// verbatim (default 512).
+	RawCapacity int
+	// CoarseCapacity is how many downsampled points each series retains
+	// (default 512).
+	CoarseCapacity int
+	// CoarseEvery is how many raw samples are averaged into one coarse
+	// point (default 8): the coarse tier then spans
+	// CoarseCapacity*CoarseEvery epochs.
+	CoarseEvery int
+}
+
+// DefaultHistoryConfig covers ~5 days raw and ~42 days coarse at one sample
+// per 15-minute epoch.
+func DefaultHistoryConfig() HistoryConfig {
+	return HistoryConfig{RawCapacity: 512, CoarseCapacity: 512, CoarseEvery: 8}
+}
+
+func (c *HistoryConfig) setDefaults() {
+	d := DefaultHistoryConfig()
+	if c.RawCapacity <= 0 {
+		c.RawCapacity = d.RawCapacity
+	}
+	if c.CoarseCapacity <= 0 {
+		c.CoarseCapacity = d.CoarseCapacity
+	}
+	if c.CoarseEvery <= 0 {
+		c.CoarseEvery = d.CoarseEvery
+	}
+}
+
+// HistoryPoint is one (epoch, value) sample.
+type HistoryPoint struct {
+	Epoch int64   `json:"e"`
+	Value float64 `json:"v"`
+}
+
+// pointRing is a fixed-capacity ring of HistoryPoints.
+type pointRing struct {
+	buf  []HistoryPoint
+	head int // next write slot
+	n    int // filled entries
+}
+
+func newPointRing(capacity int) pointRing {
+	return pointRing{buf: make([]HistoryPoint, capacity)}
+}
+
+func (r *pointRing) push(p HistoryPoint) {
+	r.buf[r.head] = p
+	r.head = (r.head + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// collect appends the ring's points oldest-first, dropping those before
+// since.
+func (r *pointRing) collect(dst []HistoryPoint, since int64) []HistoryPoint {
+	start := (r.head - r.n + len(r.buf)) % len(r.buf)
+	for i := 0; i < r.n; i++ {
+		p := r.buf[(start+i)%len(r.buf)]
+		if p.Epoch >= since {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
+// seriesHistory holds both tiers of one series plus the coarse accumulator.
+type seriesHistory struct {
+	name   string
+	labels []Label
+	raw    pointRing
+	coarse pointRing
+	accSum float64
+	accN   int
+	accAt  int64 // epoch of the accumulator's first sample
+}
+
+// NewHistory builds a history sampling reg. Zero config fields take
+// defaults. A nil registry yields a nil (disabled) history.
+func NewHistory(reg *Registry, cfg HistoryConfig) *History {
+	if reg == nil {
+		return nil
+	}
+	cfg.setDefaults()
+	return &History{reg: reg, cfg: cfg, series: make(map[string]*seriesHistory)}
+}
+
+// Sample records one point per registry series, stamped with the given
+// epoch. Call it once per epoch from the owning loop; epochs should be
+// monotonically non-decreasing (queries trust ring order).
+func (h *History) Sample(epoch int64) {
+	if h == nil {
+		return
+	}
+	vals := h.reg.Gather()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.n++
+	for _, v := range vals {
+		key := v.Name + "\x00" + labelKey(v.Labels)
+		s, ok := h.series[key]
+		if !ok {
+			s = &seriesHistory{
+				name:   v.Name,
+				labels: append([]Label(nil), v.Labels...),
+				raw:    newPointRing(h.cfg.RawCapacity),
+				coarse: newPointRing(h.cfg.CoarseCapacity),
+			}
+			h.series[key] = s
+			if i := sort.SearchStrings(h.names, v.Name); i == len(h.names) || h.names[i] != v.Name {
+				h.names = append(h.names, "")
+				copy(h.names[i+1:], h.names[i:])
+				h.names[i] = v.Name
+			}
+		}
+		s.raw.push(HistoryPoint{Epoch: epoch, Value: v.Value})
+		if s.accN == 0 {
+			s.accAt = epoch
+		}
+		s.accSum += v.Value
+		s.accN++
+		if s.accN >= h.cfg.CoarseEvery {
+			s.coarse.push(HistoryPoint{Epoch: s.accAt, Value: s.accSum / float64(s.accN)})
+			s.accSum, s.accN = 0, 0
+		}
+	}
+}
+
+// Samples reports how many Sample calls have been taken.
+func (h *History) Samples() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Metrics lists every sampled series name, sorted. Nil-safe.
+func (h *History) Metrics() []string {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.names...)
+}
+
+// SeriesHistory is the query result for one label variant of a metric:
+// the raw tier (recent, every epoch) and the coarse tier (older, bucket
+// means), both oldest-first and filtered by the query's since bound.
+type SeriesHistory struct {
+	Labels map[string]string `json:"labels"`
+	Raw    []HistoryPoint    `json:"raw"`
+	Coarse []HistoryPoint    `json:"coarse"`
+}
+
+// Query returns the history of every label variant of metric with points at
+// epochs >= since, label-order deterministic. ok is false when the metric
+// has never been sampled. Nil-safe (never ok).
+func (h *History) Query(metric string, since int64) ([]SeriesHistory, bool) {
+	if h == nil {
+		return nil, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	keys := make([]string, 0, 4)
+	for key, s := range h.series {
+		if s.name == metric {
+			keys = append(keys, key)
+		}
+	}
+	if len(keys) == 0 {
+		return nil, false
+	}
+	sort.Strings(keys)
+	out := make([]SeriesHistory, 0, len(keys))
+	for _, key := range keys {
+		s := h.series[key]
+		labels := make(map[string]string, len(s.labels))
+		for _, l := range s.labels {
+			labels[l.Key] = l.Value
+		}
+		out = append(out, SeriesHistory{
+			Labels: labels,
+			Raw:    s.raw.collect(make([]HistoryPoint, 0, s.raw.n), since),
+			Coarse: s.coarse.collect(make([]HistoryPoint, 0, s.coarse.n), since),
+		})
+	}
+	return out, true
+}
+
+// MatchMetrics returns the sampled series names containing substr (all
+// names when substr is empty), for /api/history discovery.
+func (h *History) MatchMetrics(substr string) []string {
+	names := h.Metrics()
+	if substr == "" {
+		return names
+	}
+	out := names[:0]
+	for _, n := range names {
+		if strings.Contains(n, substr) {
+			out = append(out, n)
+		}
+	}
+	return out
+}

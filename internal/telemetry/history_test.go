@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHistorySampleAndQuery(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("test_gauge", "g")
+	c := reg.Counter("test_counter", "c")
+	hist := NewHistory(reg, HistoryConfig{RawCapacity: 4, CoarseCapacity: 4, CoarseEvery: 2})
+
+	for e := int64(0); e < 10; e++ {
+		g.Set(float64(e))
+		c.Inc()
+		hist.Sample(e)
+	}
+
+	if got := hist.Samples(); got != 10 {
+		t.Fatalf("Samples() = %d, want 10", got)
+	}
+	names := hist.Metrics()
+	if len(names) != 2 || names[0] != "test_counter" || names[1] != "test_gauge" {
+		t.Fatalf("Metrics() = %v, want [test_counter test_gauge]", names)
+	}
+
+	series, ok := hist.Query("test_gauge", 0)
+	if !ok || len(series) != 1 {
+		t.Fatalf("Query(test_gauge) ok=%v len=%d, want one series", ok, len(series))
+	}
+	s := series[0]
+	// Raw ring capacity 4 keeps epochs 6..9.
+	if len(s.Raw) != 4 || s.Raw[0].Epoch != 6 || s.Raw[3].Epoch != 9 {
+		t.Fatalf("raw tier = %+v, want epochs 6..9", s.Raw)
+	}
+	if s.Raw[3].Value != 9 {
+		t.Fatalf("raw last value = %g, want 9", s.Raw[3].Value)
+	}
+	// Coarse: buckets of 2 → 5 buckets produced, capacity 4 keeps the
+	// buckets starting at epochs 2,4,6,8 with bucket means.
+	if len(s.Coarse) != 4 || s.Coarse[0].Epoch != 2 || s.Coarse[3].Epoch != 8 {
+		t.Fatalf("coarse tier = %+v, want bucket epochs 2,4,6,8", s.Coarse)
+	}
+	if s.Coarse[3].Value != 8.5 {
+		t.Fatalf("coarse last mean = %g, want 8.5", s.Coarse[3].Value)
+	}
+
+	// since filters both tiers.
+	series, _ = hist.Query("test_gauge", 8)
+	if len(series[0].Raw) != 2 || len(series[0].Coarse) != 1 {
+		t.Fatalf("since=8: raw=%d coarse=%d, want 2 and 1",
+			len(series[0].Raw), len(series[0].Coarse))
+	}
+
+	if _, ok := hist.Query("nope", 0); ok {
+		t.Fatal("Query(nope) reported ok for an unsampled metric")
+	}
+}
+
+func TestHistoryLabelVariantsAndHistograms(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("lv", "g", Label{Key: "x", Value: "a"}).Set(1)
+	reg.Gauge("lv", "g", Label{Key: "x", Value: "b"}).Set(2)
+	h := reg.Histogram("hist", "h", []float64{1, 10})
+	h.Observe(3)
+	h.Observe(7)
+	hist := NewHistory(reg, HistoryConfig{})
+	hist.Sample(1)
+
+	series, ok := hist.Query("lv", 0)
+	if !ok || len(series) != 2 {
+		t.Fatalf("Query(lv) ok=%v len=%d, want two label variants", ok, len(series))
+	}
+	if series[0].Labels["x"] != "a" || series[1].Labels["x"] != "b" {
+		t.Fatalf("label variants out of order: %+v", series)
+	}
+
+	cnt, ok := hist.Query("hist_count", 0)
+	if !ok || cnt[0].Raw[0].Value != 2 {
+		t.Fatalf("hist_count = %+v ok=%v, want one point of 2", cnt, ok)
+	}
+	sum, ok := hist.Query("hist_sum", 0)
+	if !ok || sum[0].Raw[0].Value != 10 {
+		t.Fatalf("hist_sum = %+v ok=%v, want one point of 10", sum, ok)
+	}
+}
+
+func TestHistoryNilSafe(t *testing.T) {
+	var h *History
+	h.Sample(1)
+	if h.Metrics() != nil || h.Samples() != 0 {
+		t.Fatal("nil history should report no metrics and no samples")
+	}
+	if _, ok := h.Query("x", 0); ok {
+		t.Fatal("nil history Query reported ok")
+	}
+	if NewHistory(nil, HistoryConfig{}) != nil {
+		t.Fatal("NewHistory(nil) should be nil")
+	}
+}
+
+func TestHistoryHTTPEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("dcfp_demo", "demo gauge")
+	hist := NewHistory(reg, HistoryConfig{})
+	for e := int64(0); e < 5; e++ {
+		g.Set(float64(e * e))
+		hist.Sample(e)
+	}
+	handler := NewHandler(reg, Endpoints{History: hist})
+
+	// Listing.
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/api/history", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "dcfp_demo") {
+		t.Fatalf("listing: code=%d body=%s", rec.Code, rec.Body.String())
+	}
+
+	// Query.
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/api/history?metric=dcfp_demo&since=2", nil))
+	if rec.Code != 200 {
+		t.Fatalf("query: code=%d body=%s", rec.Code, rec.Body.String())
+	}
+	var resp historyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("query: bad JSON: %v", err)
+	}
+	if resp.Metric != "dcfp_demo" || len(resp.Series) != 1 || len(resp.Series[0].Raw) != 3 {
+		t.Fatalf("query: unexpected payload %+v", resp)
+	}
+	if resp.Series[0].Raw[2].Value != 16 {
+		t.Fatalf("query: last raw value = %g, want 16", resp.Series[0].Raw[2].Value)
+	}
+
+	// Unknown metric 404s; bad since 400s.
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/api/history?metric=zzz", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown metric: code=%d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/api/history?metric=dcfp_demo&since=xyz", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad since: code=%d, want 400", rec.Code)
+	}
+
+	// Dash renders a sparkline for the gauge.
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/dash", nil))
+	body := rec.Body.String()
+	if rec.Code != 200 || !strings.Contains(body, "dcfp_demo") || !strings.Contains(body, "<polyline") {
+		t.Fatalf("dash: code=%d body=%.200s", rec.Code, body)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Fatalf("dash content type = %q", ct)
+	}
+}
+
+func TestRegistryGatherAndValue(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "c").Add(3)
+	reg.Gauge("g", "g", Label{Key: "k", Value: "v"}).Set(1.5)
+	h := reg.Histogram("h", "h", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+
+	vals := reg.Gather()
+	byName := map[string]float64{}
+	for _, v := range vals {
+		byName[v.Name] = v.Value
+	}
+	if byName["c_total"] != 3 || byName["g"] != 1.5 || byName["h_count"] != 2 || byName["h_sum"] != 2.5 {
+		t.Fatalf("Gather() = %+v", byName)
+	}
+
+	if v, ok := reg.Value("g", Label{Key: "k", Value: "v"}); !ok || v != 1.5 {
+		t.Fatalf("Value(g) = %g,%v", v, ok)
+	}
+	if v, ok := reg.Value("h_count"); !ok || v != 2 {
+		t.Fatalf("Value(h_count) = %g,%v", v, ok)
+	}
+	if v, ok := reg.Value("h_sum"); !ok || v != 2.5 {
+		t.Fatalf("Value(h_sum) = %g,%v", v, ok)
+	}
+	if _, ok := reg.Value("missing"); ok {
+		t.Fatal("Value(missing) reported ok")
+	}
+	// Probing must not create series.
+	if _, ok := reg.Value("g", Label{Key: "k", Value: "other"}); ok {
+		t.Fatal("Value with unknown labels reported ok")
+	}
+	var nilReg *Registry
+	if nilReg.Gather() != nil {
+		t.Fatal("nil registry Gather should be nil")
+	}
+	if _, ok := nilReg.Value("g"); ok {
+		t.Fatal("nil registry Value reported ok")
+	}
+}

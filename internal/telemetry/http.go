@@ -25,6 +25,10 @@ type Endpoints struct {
 	Accuracy func() any
 	// Explain backs /explain/{crisisID}; ok=false yields a JSON 404.
 	Explain func(crisisID string) (any, bool)
+	// History backs /api/history and /dash; nil 404s both.
+	History *History
+	// Alerts backs /alerts (the alert engine's rule snapshots).
+	Alerts func() any
 }
 
 // NewHandler bundles the observability endpoints into one http.Handler:
@@ -35,6 +39,9 @@ type Endpoints struct {
 //	/traces              JSON from Traces (404 when nil)
 //	/accuracy            JSON from Accuracy (404 when nil)
 //	/explain/{crisisID}  JSON from Explain (404 when nil or unknown ID)
+//	/alerts              JSON from Alerts (404 when nil)
+//	/api/history         JSON time series from History (404 when nil)
+//	/dash                sparkline HTML dashboard over History (404 when nil)
 //	/debug/pprof/*       net/http/pprof profiles
 func NewHandler(reg *Registry, ep Endpoints) http.Handler {
 	mux := http.NewServeMux()
@@ -55,6 +62,7 @@ func NewHandler(reg *Registry, ep Endpoints) http.Handler {
 		"/crises":   ep.Crises,
 		"/traces":   ep.Traces,
 		"/accuracy": ep.Accuracy,
+		"/alerts":   ep.Alerts,
 	} {
 		if snap == nil {
 			continue
@@ -77,6 +85,14 @@ func NewHandler(reg *Registry, ep Endpoints) http.Handler {
 				return
 			}
 			writeJSON(w, payload)
+		})
+	}
+	if ep.History != nil {
+		mux.HandleFunc("/api/history", func(w http.ResponseWriter, r *http.Request) {
+			handleHistory(w, r, ep.History)
+		})
+		mux.HandleFunc("/dash", func(w http.ResponseWriter, r *http.Request) {
+			handleDash(w, r, ep.History)
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -334,6 +334,112 @@ func LinearBuckets(start, width float64, n int) []float64 {
 	return out
 }
 
+// SeriesValue is one sampled (name, labels, value) point of a registry:
+// the unit of Gather's output and of History's per-epoch sampling.
+type SeriesValue struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Gather samples every counter and gauge series into a flat, deterministic
+// (name-then-labels sorted) slice. Histograms contribute two synthetic
+// series, <name>_count and <name>_sum — the parts with a meaningful scalar
+// trajectory. A nil registry gathers nothing. Gather allocates its result
+// and is meant for once-per-epoch sampling (History), not the hot path.
+func (r *Registry) Gather() []SeriesValue {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.RUnlock()
+
+	var out []SeriesValue
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			switch f.kind {
+			case kindCounter:
+				out = append(out, SeriesValue{Name: f.name, Labels: s.labels, Value: float64(s.c.Value())})
+			case kindGauge:
+				out = append(out, SeriesValue{Name: f.name, Labels: s.labels, Value: s.g.Value()})
+			case kindHistogram:
+				_, sum, n := s.h.snapshot()
+				out = append(out,
+					SeriesValue{Name: f.name + "_count", Labels: s.labels, Value: float64(n)},
+					SeriesValue{Name: f.name + "_sum", Labels: s.labels, Value: sum})
+			}
+		}
+		f.mu.Unlock()
+	}
+	return out
+}
+
+// Value reads the current value of one counter or gauge series without
+// registering anything: ok is false when the family or the exact label set
+// does not exist. Histogram families answer through their synthetic
+// <name>_count and <name>_sum series, matching Gather. This is the alert
+// engine's read path — rules probe series that instrumentation may not have
+// created yet, and probing must not create them.
+func (r *Registry) Value(name string, labels ...Label) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	wantCount, wantSum := false, false
+	r.mu.RLock()
+	f, ok := r.families[name]
+	if !ok {
+		if base, found := strings.CutSuffix(name, "_count"); found {
+			f, ok = r.families[base]
+			wantCount = ok && f.kind == kindHistogram
+			ok = wantCount
+		} else if base, found := strings.CutSuffix(name, "_sum"); found {
+			f, ok = r.families[base]
+			wantSum = ok && f.kind == kindHistogram
+			ok = wantSum
+		}
+	}
+	r.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	key := labelKey(labels)
+	f.mu.Lock()
+	s, ok := f.series[key]
+	f.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	switch {
+	case wantCount:
+		return float64(s.h.Count()), true
+	case wantSum:
+		return s.h.Sum(), true
+	}
+	switch f.kind {
+	case kindCounter:
+		return float64(s.c.Value()), true
+	case kindGauge:
+		return s.g.Value(), true
+	}
+	return 0, false
+}
+
 // WritePrometheus renders every registered family in the Prometheus text
 // exposition format (version 0.0.4), families and series in deterministic
 // sorted order. A nil registry writes nothing.

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestServeGracefulShutdown checks the Serve/Shutdown pair drains in-flight
+// requests: a request already inside the handler when Shutdown begins must
+// complete with its full response, and the listener must refuse new
+// connections afterwards.
+func TestServeGracefulShutdown(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		io.WriteString(w, "drained")
+	})
+
+	srv, addr, err := Serve("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- result{body: string(b), err: err}
+	}()
+
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the handler")
+	}
+
+	// Begin shutdown while the request is parked inside the handler.
+	shutdownDone := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	go func() { shutdownDone <- srv.Shutdown(ctx) }()
+
+	// Shutdown must wait for the handler, not abort it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a request was still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case r := <-got:
+		if r.err != nil || r.body != "drained" {
+			t.Fatalf("in-flight request got (%q, %v), want full response", r.body, r.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case err := <-shutdownDone:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown never returned after the handler finished")
+	}
+
+	// The listener is closed: new requests must fail to connect.
+	if _, err := http.Get("http://" + addr + "/slow"); err == nil {
+		t.Fatal("request succeeded after shutdown, want connection error")
+	}
+}

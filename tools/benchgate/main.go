@@ -2,8 +2,10 @@
 // regressions. It runs the steady-state ingestion and epoch-generation
 // benchmarks (`go test -bench 'ObserveEpoch|EpochGen' -benchmem`), records
 // every result in a JSON baseline (benchmark name → ns/op, B/op, allocs/op),
-// and exits non-zero when any benchmark's ns/op regresses beyond the
-// tolerance against the committed baseline.
+// and exits non-zero when any benchmark's ns/op or allocs/op regresses
+// beyond its tolerance against the committed baseline. Allocation counts are
+// near-deterministic, so the allocs gate uses a tighter fractional tolerance
+// plus a two-alloc absolute grace for tiny baselines.
 //
 // Usage:
 //
@@ -45,6 +47,7 @@ func main() {
 	var (
 		baseline  = flag.String("baseline", "BENCH_5.json", "baseline file to gate against and rewrite")
 		tolerance = flag.Float64("tolerance", 0.05, "allowed fractional ns/op regression before failing")
+		allocTol  = flag.Float64("alloc-tolerance", 0.10, "allowed fractional allocs/op regression (plus 2 allocs grace) before failing")
 		count     = flag.Int("count", 3, "benchmark repetitions; the minimum ns/op is recorded")
 		benchtime = flag.String("benchtime", "", "optional -benchtime passed through to go test")
 		update    = flag.Bool("update", false, "rewrite the baseline without gating")
@@ -106,12 +109,18 @@ func main() {
 				name, now.NsPerOp, was.NsPerOp, *tolerance*100)
 			failed = true
 		}
+		allocLimit := was.AllocsPerOp*(1+*allocTol) + 2
+		if now.AllocsPerOp > allocLimit {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %.0f allocs/op exceeds baseline %.0f allocs/op (limit %.0f)\n",
+				name, now.AllocsPerOp, was.AllocsPerOp, allocLimit)
+			failed = true
+		}
 	}
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: all %d baselined benchmarks within %.0f%% of baseline ns/op\n",
-		len(old), *tolerance*100)
+	fmt.Printf("benchgate: all %d baselined benchmarks within %.0f%% ns/op and %.0f%% allocs/op of baseline\n",
+		len(old), *tolerance*100, *allocTol*100)
 }
 
 // parse extracts the best (minimum-ns) result per benchmark name.
