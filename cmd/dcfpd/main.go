@@ -42,6 +42,22 @@
 // checkpoint interval of learning. A corrupt checkpoint is logged and
 // ignored (cold start), never trusted.
 //
+// Distributed mode splits the daemon into two tiers (-role): shard-side
+// "aggregator" processes each drive the deterministic simulator, run the
+// filter/summarize stage over their assigned machine slice, and ship one
+// partial frame per epoch to a single "coordinator" process, which merges
+// the partials losslessly and runs detection, fingerprinting,
+// identification, and forecasting exactly as the single-node daemon does.
+// The coordinator serves the usual observability surface plus the
+// /fleet/frame ingest endpoint; aggregator-side fault flags are ignored
+// (frames ship the raw simulated rows). A shard that stops shipping
+// surfaces as sub-floor coverage — the crisis state machine freezes rather
+// than diverging — and after -fleet-dead-after missed epochs its machines
+// are rebalanced onto the survivors. Coordinator checkpoints carry the
+// merge watermark and per-shard epoch progress, so a restarted coordinator
+// resumes where it left off and restarted aggregators fast-forward to the
+// watermark via GET /fleet/assignment.
+//
 // Usage:
 //
 //	dcfpd [-addr :9137] [-machines 100] [-seed 42] [-interval 100ms]
@@ -55,6 +71,9 @@
 //	      [-fault-drop-epoch 0] [-fault-truncate 0]
 //	      [-forecast] [-alert-rules FILE] [-alert-webhook URL]
 //	      [-history-raw 512]
+//	      [-role single|aggregator|coordinator] [-shards 2] [-shard-index 0]
+//	      [-coordinator-addr URL] [-fleet-window 8]
+//	      [-fleet-flush-after 3s] [-fleet-dead-after 48]
 package main
 
 import (
@@ -80,6 +99,7 @@ import (
 	"dcfp/internal/alert"
 	"dcfp/internal/crisis"
 	"dcfp/internal/dcsim"
+	"dcfp/internal/fleet"
 	"dcfp/internal/ident"
 	"dcfp/internal/metrics"
 	"dcfp/internal/monitor"
@@ -126,6 +146,14 @@ func main() {
 		alertWebhook = flag.String("alert-webhook", "", "POST alert firings and resolutions to this URL as JSON (empty = off)")
 		historyRaw   = flag.Int("history-raw", telemetry.DefaultHistoryConfig().RawCapacity, "raw epochs of metric history retained per series for /api/history and /dash (0 disables history)")
 
+		role       = flag.String("role", "single", "process role: single (monolithic), aggregator (shard-side partial aggregation), or coordinator (merge + fingerprint)")
+		shards     = flag.Int("shards", 2, "fleet shard count (aggregator and coordinator roles)")
+		shardIndex = flag.Int("shard-index", 0, "this aggregator's shard index in [0, shards)")
+		coordAddr  = flag.String("coordinator-addr", "", "coordinator base URL the aggregator ships frames to, e.g. http://host:9137 (aggregator role)")
+		fleetWin   = flag.Int("fleet-window", 8, "epochs ahead of the merge watermark the coordinator accepts before throttling a shard")
+		fleetFlush = flag.Duration("fleet-flush-after", 3*time.Second, "how long the coordinator waits for an epoch's stragglers before merging without them")
+		fleetDead  = flag.Int("fleet-dead-after", 48, "consecutive missed epochs before the coordinator declares a shard dead and rebalances its machines (0 = never)")
+
 		faultSeed      = flag.Int64("fault-seed", 1, "fault injector RNG seed")
 		faultDropout   = flag.Float64("fault-dropout", 0, "per-machine-epoch probability of starting a dropout stretch")
 		faultBlank     = flag.Float64("fault-blank", 0, "per-cell probability a metric value is blanked to NaN")
@@ -152,6 +180,20 @@ func main() {
 		telemetry.Label{Key: "go_version", Value: runtime.Version()},
 		telemetry.Label{Key: "version", Value: dcfp.Version}).Set(1)
 	uptime := reg.Gauge("dcfp_uptime_seconds", "Seconds since daemon start.")
+
+	switch *role {
+	case "single", "coordinator":
+	case "aggregator":
+		runAggregator(reg, events, uptime, aggregatorOpts{
+			addr: *addr, machines: *machines, seed: *seed, interval: *interval,
+			meanGapDays: *meanGapDays, thresholdDays: *thresholdDays,
+			maxEpochs: *maxEpochs, shard: *shardIndex, shards: *shards,
+			coordinator: *coordAddr,
+		})
+		return
+	default:
+		log.Fatalf("unknown -role %q (want single, aggregator, or coordinator)", *role)
+	}
 
 	scfg := dcsim.DefaultStreamConfig(*seed)
 	scfg.Machines = *machines
@@ -213,7 +255,7 @@ func main() {
 	}
 	acfg := alert.Config{Rules: rules, Registry: reg, Events: events, Audit: d.audit}
 	if *alertWebhook != "" {
-		acfg.Notify = webhookNotifier(*alertWebhook)
+		acfg.Notify = webhookNotifier(*alertWebhook, reg)
 	}
 	if d.engine, err = alert.New(acfg); err != nil {
 		log.Fatal(err)
@@ -244,9 +286,13 @@ func main() {
 	}
 	// Fast-forward the deterministic simulator+injector past everything the
 	// restored monitor has already seen (both are rebuilt from their seeds).
-	for i := int64(0); i < emitted; i++ {
-		if _, err := inj.Next(); err != nil {
-			log.Fatal(err)
+	// In coordinator mode the simulator lives in the aggregators, which
+	// fast-forward themselves from the restored merge watermark.
+	if *role == "single" {
+		for i := int64(0); i < emitted; i++ {
+			if _, err := inj.Next(); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 
@@ -266,6 +312,16 @@ func main() {
 		}
 		defer auditW.Close()
 		d.auditW = auditW
+	}
+
+	if *role == "coordinator" {
+		runCoordinator(d, reg, events, coordinatorOpts{
+			addr: *addr, machines: *machines, shards: *shards,
+			window: *fleetWin, flushAfter: *fleetFlush, deadAfter: *fleetDead,
+			resolveAfter: *resolveAfter, maxEpochs: *maxEpochs,
+			ckptDir: *ckptDir, ckptEvery: *ckptEvery,
+		})
+		return
 	}
 
 	h := telemetry.NewHandler(reg, d.endpoints())
@@ -329,6 +385,234 @@ loop:
 		st.EpochsSeen, st.CrisesStored, st.CrisesLabeled)
 }
 
+// aggregatorOpts carries the flag values the aggregator role consumes.
+type aggregatorOpts struct {
+	addr          string
+	machines      int
+	seed          int64
+	interval      time.Duration
+	meanGapDays   float64
+	thresholdDays int
+	maxEpochs     int
+	shard, shards int
+	coordinator   string
+}
+
+// runAggregator drives the shard half of distributed mode: the full
+// deterministic simulator runs locally (every shard sees the same seeded
+// fleet), but only the shard's assigned machine slice is filtered,
+// summarized, and shipped. Fault-injection flags do not apply — frames
+// carry the raw simulated rows, and fleet-level degradation comes from
+// shards going away, which the coordinator synthesizes as non-reporting
+// machines.
+func runAggregator(reg *telemetry.Registry, events *telemetry.EventLog, uptime *telemetry.Gauge, o aggregatorOpts) {
+	if o.coordinator == "" {
+		log.Fatal("-role aggregator requires -coordinator-addr")
+	}
+	scfg := dcsim.DefaultStreamConfig(o.seed)
+	scfg.Machines = o.machines
+	scfg.WarmupEpochs = o.thresholdDays * metrics.EpochsPerDay
+	scfg.MeanGapEpochs = o.meanGapDays * float64(metrics.EpochsPerDay)
+	scfg.Telemetry = reg
+	scfg.Events = events
+	stream, err := dcsim.NewStream(scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := fleet.NewAggregator(fleet.AggregatorConfig{
+		Shard: o.shard, Shards: o.shards, Machines: o.machines,
+		NumMetrics: stream.Catalog().Len(), SLA: stream.SLA(),
+		CoordinatorURL: o.coordinator, Telemetry: reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, bound, err := telemetry.Serve(o.addr, telemetry.NewHandler(reg, telemetry.Endpoints{}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shard %d/%d serving http://%s/metrics, shipping to %s",
+		o.shard, o.shards, bound, o.coordinator)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	t0 := time.Now()
+
+	// Wait for the coordinator, adopt its current assignment, and learn how
+	// far the merge has progressed so a restarted shard fast-forwards its
+	// simulator instead of replaying already-merged epochs.
+	var from metrics.Epoch
+	for {
+		if from, err = g.Bootstrap(ctx); err == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		log.Printf("waiting for coordinator at %s: %v", o.coordinator, err)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(2 * time.Second):
+		}
+	}
+	if from > 0 {
+		log.Printf("fast-forwarding to merge watermark %d", from)
+	}
+
+	var tick *time.Ticker
+	if o.interval > 0 {
+		tick = time.NewTicker(o.interval)
+		defer tick.Stop()
+	}
+	shipped := 0
+loop:
+	for e := metrics.Epoch(0); o.maxEpochs == 0 || e < metrics.Epoch(o.maxEpochs); e++ {
+		rows, act, err := stream.Next()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if e < from {
+			continue
+		}
+		frame, err := g.EpochFrame(e, rows, act)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ack, err := g.Ship(ctx, frame)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				break
+			}
+			log.Fatal(err)
+		}
+		if !ack.OK {
+			// A deliberate rejection (declared dead, geometry mismatch)
+			// cannot be retried; exit so an operator restarts us fresh.
+			log.Printf("exiting: coordinator rejected epoch %d: %s", e, ack.Error)
+			break
+		}
+		shipped++
+		uptime.Set(time.Since(t0).Seconds())
+		if tick != nil {
+			select {
+			case <-ctx.Done():
+				break loop
+			case <-tick.C:
+			}
+		} else if ctx.Err() != nil {
+			break
+		}
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(shCtx)
+	log.Printf("done: %d epochs shipped", shipped)
+}
+
+// coordinatorOpts carries the flag values the coordinator role consumes.
+type coordinatorOpts struct {
+	addr         string
+	machines     int
+	shards       int
+	window       int
+	flushAfter   time.Duration
+	deadAfter    int
+	resolveAfter int
+	maxEpochs    int
+	ckptDir      string
+	ckptEvery    int
+}
+
+// runCoordinator serves the merge half of distributed mode: epochs arrive
+// as shard frames over HTTP instead of from a local simulator; everything
+// downstream of the merge — detection, identification, the simulated
+// operator, alerts, history, checkpoints — is the single-node daemon
+// unchanged.
+func runCoordinator(d *daemon, reg *telemetry.Registry, events *telemetry.EventLog, o coordinatorOpts) {
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithCancel(sigCtx)
+	defer cancel()
+
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		Machines: o.machines, Shards: o.shards, Monitor: d.mon,
+		Window: o.window, FlushAfter: o.flushAfter, DeadAfterEpochs: o.deadAfter,
+		OnReport: func(rep *monitor.EpochReport, active *crisis.Instance) {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			d.emitted++
+			if err := d.observe(rep, active, o.resolveAfter); err != nil {
+				log.Printf("WARNING: epoch %d bookkeeping: %v", rep.Epoch, err)
+			}
+			if o.maxEpochs > 0 && d.emitted >= int64(o.maxEpochs) {
+				cancel()
+			}
+		},
+		Telemetry: reg, Events: events,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.coord = coord
+	if d.fleet != nil {
+		if err := coord.Restore(*d.fleet); err != nil {
+			log.Fatalf("restoring coordinator state: %v", err)
+		}
+		log.Printf("restored coordinator state: merge watermark %d", coord.Watermark())
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/fleet/", coord.Handler())
+	mux.Handle("/", telemetry.NewHandler(reg, d.endpoints()))
+	srv, bound, err := telemetry.Serve(o.addr, mux)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("coordinating %d machines across %d shards — frames on http://%s/fleet/frame, observability on /{metrics,healthz,crises,traces,accuracy,explain,alerts,api/history,dash}",
+		o.machines, o.shards, bound)
+
+	go coord.Run(ctx)
+	if o.ckptDir != "" && o.ckptEvery > 0 {
+		// Epochs arrive at network rate here, so the cadence check runs on
+		// wall clock: snapshot once another checkpoint interval of epochs
+		// has been merged.
+		go func() {
+			t := time.NewTicker(5 * time.Second)
+			defer t.Stop()
+			var last int64
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					d.mu.Lock()
+					n := d.emitted
+					d.mu.Unlock()
+					if n-last >= int64(o.ckptEvery) {
+						d.checkpoint(o.ckptDir)
+						last = n
+					}
+				}
+			}
+		}()
+	}
+	<-ctx.Done()
+
+	shCtx, shCancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer shCancel()
+	_ = srv.Shutdown(shCtx)
+	if o.ckptDir != "" {
+		d.checkpoint(o.ckptDir)
+	}
+	if d.flush() {
+		log.Print("finalized crisis still open at stream end")
+	}
+	st := d.stats()
+	log.Printf("done: %d epochs, %d crises stored (%d labeled)",
+		st.EpochsSeen, st.CrisesStored, st.CrisesLabeled)
+}
+
 // buildPipeline assembles a cold monitor + ingestor pair; used at startup
 // and again when a corrupt checkpoint forces a cold restart.
 func buildPipeline(mcfg monitor.Config, reorderWindow int, reg *telemetry.Registry) (*monitor.Monitor, *monitor.Ingestor, error) {
@@ -365,6 +649,8 @@ type daemon struct {
 	hist    *telemetry.History
 	engine  *alert.Engine
 	uptime  *telemetry.Gauge
+	coord   *fleet.Coordinator      // coordinator role only
+	fleet   *fleet.CoordinatorState // coordinator progress restored from a checkpoint
 }
 
 // auditAdvice is one audit-journal line recording an identification
@@ -493,25 +779,43 @@ func (d *daemon) observe(rep *monitor.EpochReport, active *crisis.Instance, reso
 	return nil
 }
 
+// webhookQueueSize bounds queued alert webhook deliveries. Rule
+// transitions are rare, so a small buffer rides out a slow receiver;
+// anything beyond it is dropped and counted rather than accumulating a
+// goroutine per notification behind a dead endpoint.
+const webhookQueueSize = 64
+
 // webhookNotifier returns an alert Notify hook that POSTs each transition
-// to url as JSON. Delivery is fire-and-forget on a short timeout: a dead
-// receiver must never stall the epoch loop.
-func webhookNotifier(url string) func(alert.Notification) {
+// to url as JSON. Delivery runs on one worker behind a small buffered
+// queue: a dead or slow receiver must never stall the epoch loop, and once
+// the queue fills further notifications are dropped and counted in
+// dcfp_alert_webhook_dropped_total.
+func webhookNotifier(url string, reg *telemetry.Registry) func(alert.Notification) {
 	client := &http.Client{Timeout: 5 * time.Second}
+	dropped := reg.Counter("dcfp_alert_webhook_dropped_total",
+		"Alert webhook notifications dropped because the delivery queue was full.")
+	queue := make(chan []byte, webhookQueueSize)
+	go func() {
+		for body := range queue {
+			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				log.Printf("WARNING: alert webhook: %v", err)
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
 	return func(n alert.Notification) {
 		body, err := json.Marshal(n)
 		if err != nil {
 			return
 		}
-		go func() {
-			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-			if err != nil {
-				log.Printf("WARNING: alert webhook: %v", err)
-				return
-			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-		}()
+		select {
+		case queue <- body:
+		default:
+			dropped.Inc()
+		}
 	}
 }
 
@@ -553,6 +857,7 @@ type daemonState struct {
 	Ingest  monitor.IngestorState
 	Emitted int64
 	Score   monitor.ScoreboardState
+	Fleet   *fleet.CoordinatorState // coordinator role: merge watermark + shard progress
 }
 
 type pendingState struct {
@@ -563,9 +868,25 @@ type pendingState struct {
 
 // checkpoint snapshots monitor + daemon state into dir. Failures are logged
 // and survived: the daemon keeps running and retries at the next interval.
+// In coordinator mode the fleet merge progress is captured in the same cut:
+// Sync holds the coordinator lock — the lock the merge path holds while it
+// advances the monitor — so the saved watermark matches exactly the epochs
+// the saved monitor has absorbed.
 func (d *daemon) checkpoint(dir string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	if d.coord == nil {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		d.saveLocked(dir, nil)
+		return
+	}
+	d.coord.Sync(func(st fleet.CoordinatorState) {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		d.saveLocked(dir, &st)
+	})
+}
+
+func (d *daemon) saveLocked(dir string, fl *fleet.CoordinatorState) {
 	ds := daemonState{
 		Truth:   d.truth,
 		LastID:  d.lastID,
@@ -574,6 +895,7 @@ func (d *daemon) checkpoint(dir string) {
 		Ingest:  d.ing.State(),
 		Emitted: d.emitted,
 		Score:   d.score.State(),
+		Fleet:   fl,
 	}
 	for _, p := range d.pending {
 		ds.Pending = append(ds.Pending, pendingState{Due: p.due, ID: p.id, Label: p.label})
@@ -616,6 +938,7 @@ func (d *daemon) restore(dir string) (int64, bool, error) {
 	d.advice = ds.Advice
 	d.emitted = ds.Emitted
 	d.score.SetState(ds.Score)
+	d.fleet = ds.Fleet
 	return ds.Emitted, true, nil
 }
 

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dcfp/internal/alert"
+	"dcfp/internal/telemetry"
+)
+
+// TestWebhookNotifierBoundedQueue pins the delivery backpressure contract:
+// a receiver that never answers must not accumulate a goroutine or queue
+// slot per notification — beyond the fixed buffer (plus the one the worker
+// may have in flight), notifications are dropped and counted.
+func TestWebhookNotifierBoundedQueue(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block)
+
+	reg := telemetry.NewRegistry()
+	notify := webhookNotifier(srv.URL, reg)
+	const extra = 16
+	for i := 0; i < webhookQueueSize+extra; i++ {
+		notify(alert.Notification{Rule: "r", State: alert.StateFiring})
+	}
+	v, ok := reg.Value("dcfp_alert_webhook_dropped_total")
+	if !ok {
+		t.Fatal("dcfp_alert_webhook_dropped_total not registered")
+	}
+	// The worker may have pulled at most one notification off the queue
+	// before it blocked on the dead receiver.
+	if v < extra-1 || v > extra {
+		t.Fatalf("dropped = %v, want %d or %d", v, extra-1, extra)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"dcfp/internal/crisis"
 	"dcfp/internal/dcsim"
 	"dcfp/internal/evolution"
+	"dcfp/internal/fleet"
 	"dcfp/internal/forecast"
 	"dcfp/internal/ident"
 	"dcfp/internal/metrics"
@@ -55,7 +56,7 @@ import (
 )
 
 // Version is the library version, exposed by dcfpd as dcfp_build_info.
-const Version = "0.6.0"
+const Version = "0.7.0"
 
 // Epoch indexes the 15-minute aggregation grid; see EpochDuration.
 type Epoch = metrics.Epoch
@@ -533,3 +534,57 @@ func DefaultAlertRules() []AlertRule { return alert.DefaultRules() }
 
 // LoadAlertRules reads and validates a JSON alert rule file.
 func LoadAlertRules(path string) ([]AlertRule, error) { return alert.LoadRules(path) }
+
+// FleetAssignment maps contiguous machine ranges onto aggregator shards.
+type FleetAssignment = fleet.Assignment
+
+// FleetRange is one shard's half-open machine interval within an assignment.
+type FleetRange = fleet.Range
+
+// StaticFleetAssignment splits machines evenly across shards in index order.
+func StaticFleetAssignment(machines, shards int) (FleetAssignment, error) {
+	return fleet.StaticAssignment(machines, shards)
+}
+
+// FleetAggregator is the shard-local tier of the distributed pipeline: it
+// runs filter and summarize over its machine range each epoch and encodes
+// the partial quantile-estimator state plus liveness masks into a wire
+// frame for the coordinator.
+type FleetAggregator = fleet.Aggregator
+
+// FleetAggregatorConfig assembles a FleetAggregator.
+type FleetAggregatorConfig = fleet.AggregatorConfig
+
+// NewFleetAggregator builds a shard aggregator.
+func NewFleetAggregator(cfg FleetAggregatorConfig) (*FleetAggregator, error) {
+	return fleet.NewAggregator(cfg)
+}
+
+// FleetCoordinator is the merge tier: it collects shard frames per epoch,
+// losslessly merges partial estimators and SLA counts, synthesizes
+// non-reporting machines for missing shards (surfacing them as sub-floor
+// coverage), and drives the wrapped Monitor exactly as single-node
+// ObserveEpoch would.
+type FleetCoordinator = fleet.Coordinator
+
+// FleetCoordinatorConfig assembles a FleetCoordinator.
+type FleetCoordinatorConfig = fleet.CoordinatorConfig
+
+// NewFleetCoordinator builds a coordinator over a Monitor.
+func NewFleetCoordinator(cfg FleetCoordinatorConfig) (*FleetCoordinator, error) {
+	return fleet.NewCoordinator(cfg)
+}
+
+// FleetCoordinatorState is the coordinator's checkpointable progress: merge
+// watermark, shard assignment, liveness, and per-shard epoch watermarks.
+type FleetCoordinatorState = fleet.CoordinatorState
+
+// FleetHarness runs an N-shard fleet in one process — full wire codec,
+// direct frame delivery — for tests and equivalence experiments.
+type FleetHarness = fleet.Harness
+
+// NewFleetHarness builds an in-process fleet over the given coordinator and
+// per-shard aggregator configurations.
+func NewFleetHarness(coordCfg FleetCoordinatorConfig, aggCfg FleetAggregatorConfig) (*FleetHarness, error) {
+	return fleet.NewHarness(coordCfg, aggCfg)
+}

@@ -1,6 +1,7 @@
 package alert
 
 import (
+	"strings"
 	"testing"
 
 	"dcfp/internal/metrics"
@@ -189,6 +190,12 @@ func TestParseRules(t *testing.T) {
 	}
 	if _, err := ParseRules([]byte(`{"rules":[{"name":"x","kind":"threshold","metric":"m","op":"#"}]}`)); err == nil {
 		t.Error("invalid op accepted")
+	}
+	dup := []byte(`{"rules":[
+		{"name":"a","kind":"threshold","metric":"m","op":">","value":1},
+		{"name":"a","kind":"absence","metric":"n"}]}`)
+	if _, err := ParseRules(dup); err == nil || !strings.Contains(err.Error(), "duplicate rule name") {
+		t.Errorf("duplicate rule name accepted: %v", err)
 	}
 }
 

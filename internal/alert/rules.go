@@ -26,10 +26,17 @@ func ParseRules(data []byte) ([]Rule, error) {
 	if len(doc.Rules) == 0 {
 		return nil, fmt.Errorf("alert: rule document has no rules")
 	}
+	seen := make(map[string]bool, len(doc.Rules))
 	for _, r := range doc.Rules {
 		if err := r.validate(); err != nil {
 			return nil, err
 		}
+		// Rule names key the engine's state and metric labels; a duplicate
+		// would silently shadow its twin, so reject it at parse time.
+		if seen[r.Name] {
+			return nil, fmt.Errorf("alert: duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
 	}
 	return doc.Rules, nil
 }

@@ -1,0 +1,301 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dcfp/internal/crisis"
+	"dcfp/internal/metrics"
+	"dcfp/internal/quantile"
+	"dcfp/internal/sla"
+	"dcfp/internal/telemetry"
+)
+
+// AggregatorConfig assembles a shard-side Aggregator.
+type AggregatorConfig struct {
+	// Shard is this process's shard index in [0, Shards).
+	Shard int
+	// Shards is the fleet's shard count; Machines its machine count.
+	Shards   int
+	Machines int
+	// NumMetrics is the catalog width (values per sample row).
+	NumMetrics int
+	// SLA holds the KPIs and crisis rule; the shard evaluates its machine
+	// slice locally and ships the partial status.
+	SLA sla.Config
+	// NewEstimator overrides the per-metric quantile estimator (nil =
+	// exact, the lossless-merge default).
+	NewEstimator func() quantile.Estimator
+	// CoordinatorURL is the coordinator's base URL ("http://host:port").
+	CoordinatorURL string
+	// Client overrides the HTTP client (nil = 10 s timeout default).
+	Client *http.Client
+	// MaxAttempts bounds delivery attempts per frame across transport
+	// errors (default 8); throttle waits do not consume attempts.
+	MaxAttempts int
+	// RetryBackoff is the initial retry/throttle sleep, doubling per
+	// attempt up to 32x (default 100 ms).
+	RetryBackoff time.Duration
+	// Telemetry optionally receives dcfp_fleet_* shipping metrics.
+	Telemetry *telemetry.Registry
+}
+
+// Aggregator is the shard-side half of two-tier aggregation: it ingests
+// the shard's slice of each epoch's fleet matrix through the same
+// filter/summarize primitives the single-node monitor uses, and ships the
+// resulting partial state to the coordinator as one frame per epoch.
+// Not safe for concurrent use.
+type Aggregator struct {
+	cfg    AggregatorConfig
+	asn    Assignment
+	agg    *metrics.Aggregator
+	client *http.Client
+
+	bytesTx  *telemetry.Counter
+	shipSec  *telemetry.Histogram
+	framesOK *telemetry.Counter
+	framesRe *telemetry.Counter
+	framesEr *telemetry.Counter
+}
+
+// NewAggregator validates the config and computes the shard's initial
+// static assignment.
+func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
+	if cfg.Shard < 0 || cfg.Shard >= cfg.Shards {
+		return nil, fmt.Errorf("fleet: shard %d out of %d", cfg.Shard, cfg.Shards)
+	}
+	if cfg.NumMetrics <= 0 {
+		return nil, fmt.Errorf("fleet: NumMetrics %d must be positive", cfg.NumMetrics)
+	}
+	if err := cfg.SLA.Validate(cfg.NumMetrics); err != nil {
+		return nil, err
+	}
+	asn, err := StaticAssignment(cfg.Machines, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	newEst := cfg.NewEstimator
+	if newEst == nil {
+		newEst = func() quantile.Estimator { return quantile.NewExact() }
+	}
+	agg, err := metrics.NewAggregator(cfg.NumMetrics, newEst)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 8
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	g := &Aggregator{cfg: cfg, asn: asn, agg: agg, client: cfg.Client}
+	if g.client == nil {
+		g.client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if r := cfg.Telemetry; r != nil {
+		g.bytesTx = r.Counter("dcfp_fleet_bytes_shipped_total",
+			"Encoded frame bytes shipped to the coordinator.")
+		g.shipSec = r.Histogram("dcfp_fleet_ship_seconds",
+			"Frame delivery latency including retries.", telemetry.TimeBuckets())
+		g.framesOK = r.Counter("dcfp_fleet_frames_shipped_total",
+			"Frame delivery outcomes.", telemetry.Label{Key: "result", Value: "ok"})
+		g.framesRe = r.Counter("dcfp_fleet_frames_shipped_total",
+			"Frame delivery outcomes.", telemetry.Label{Key: "result", Value: "stale"})
+		g.framesEr = r.Counter("dcfp_fleet_frames_shipped_total",
+			"Frame delivery outcomes.", telemetry.Label{Key: "result", Value: "error"})
+	}
+	return g, nil
+}
+
+// Assignment returns the shard's current view of the fleet assignment.
+func (g *Aggregator) Assignment() Assignment { return g.asn.Clone() }
+
+// Adopt installs a newer assignment (acks carry one when the shard's view
+// is stale). Older or same-version assignments are ignored.
+func (g *Aggregator) Adopt(asn Assignment) {
+	if asn.Version > g.asn.Version && asn.Machines == g.cfg.Machines {
+		g.asn = asn.Clone()
+	}
+}
+
+// EpochFrame ingests the shard's slice of one fleet epoch and returns the
+// encoded wire frame. rows must span the whole fleet (the shard slices out
+// its assigned ranges); active optionally carries the simulator's
+// ground-truth crisis for the coordinator's operator loop. The shard's
+// estimator state is serialized into the frame and then reset, so calls
+// must be strictly epoch-ordered.
+func (g *Aggregator) EpochFrame(e metrics.Epoch, rows [][]float64, active *crisis.Instance) ([]byte, error) {
+	if len(rows) != g.cfg.Machines {
+		return nil, fmt.Errorf("fleet: epoch has %d rows, fleet has %d machines", len(rows), g.cfg.Machines)
+	}
+	f := &Frame{
+		Shard:         g.cfg.Shard,
+		Epoch:         e,
+		AssignVersion: g.asn.Version,
+		Machines:      g.cfg.Machines,
+		Active:        active,
+	}
+	var statuses []sla.EpochStatus
+	for _, r := range g.asn.Ranges[g.cfg.Shard] {
+		sub := rows[r.Lo:r.Hi]
+		viol := make([]bool, len(sub))
+		reporting := make([]bool, len(sub))
+		d, err := g.agg.ObserveBatchFiltered(0, sub, reporting)
+		if err != nil {
+			return nil, err
+		}
+		f.Dropped += d
+		st, err := g.cfg.SLA.EvaluateMasked(sub, viol, reporting)
+		if err != nil {
+			return nil, err
+		}
+		statuses = append(statuses, st)
+		// Ship only reporting rows; the coordinator never reads the rest.
+		br := make([][]float64, len(sub))
+		for i := range sub {
+			if reporting[i] {
+				br[i] = sub[i]
+			}
+		}
+		f.Blocks = append(f.Blocks, Block{Lo: r.Lo, Rows: br, Viol: viol, Reporting: reporting})
+	}
+	f.Status = g.cfg.SLA.MergeStatuses(statuses)
+	ests, err := g.agg.Estimators(0)
+	if err != nil {
+		return nil, err
+	}
+	f.Estimators = ests
+	data, err := f.Encode()
+	if err != nil {
+		return nil, err
+	}
+	for _, est := range ests {
+		est.Reset()
+	}
+	return data, nil
+}
+
+// Bootstrap fetches the coordinator's current assignment and merge
+// watermark (GET /fleet/assignment), adopting the assignment if it is
+// newer. A restarted shard uses the returned watermark to fast-forward its
+// deterministic source past epochs the coordinator has already merged.
+func (g *Aggregator) Bootstrap(ctx context.Context) (metrics.Epoch, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		g.cfg.CoordinatorURL+"/fleet/assignment", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("fleet: coordinator returned %s", resp.Status)
+	}
+	ack, err := DecodeAck(body)
+	if err != nil {
+		return 0, err
+	}
+	if ack.Assignment != nil {
+		g.Adopt(*ack.Assignment)
+	}
+	return ack.Watermark, nil
+}
+
+// Ship delivers an encoded frame to the coordinator, retrying transport
+// errors with exponential backoff and waiting out throttle acks. It
+// returns the final ack; an ack with OK=false is returned without error —
+// the coordinator rejected the frame deliberately and retrying the same
+// bytes cannot help. If the ack carries a newer assignment it is adopted
+// before returning.
+func (g *Aggregator) Ship(ctx context.Context, frame []byte) (*Ack, error) {
+	var t0 time.Time
+	if g.shipSec != nil {
+		t0 = time.Now()
+	}
+	backoff := g.cfg.RetryBackoff
+	attempts := 0
+	for {
+		ack, err := g.post(ctx, frame)
+		switch {
+		case err != nil:
+			attempts++
+			if g.framesEr != nil {
+				g.framesEr.Inc()
+			}
+			if attempts >= g.cfg.MaxAttempts {
+				return nil, fmt.Errorf("fleet: shipping frame after %d attempts: %w", attempts, err)
+			}
+		case ack.Throttle:
+			// Ahead of the merge window: same frame, later. Deliberate
+			// flow control, not a failure — does not consume attempts.
+		default:
+			if ack.Assignment != nil {
+				g.Adopt(*ack.Assignment)
+			}
+			if g.bytesTx != nil {
+				g.bytesTx.Add(uint64(len(frame)))
+				g.shipSec.ObserveSince(t0)
+				if ack.Stale {
+					g.framesRe.Inc()
+				} else if ack.OK {
+					g.framesOK.Inc()
+				} else {
+					g.framesEr.Inc()
+				}
+			}
+			return ack, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 32*g.cfg.RetryBackoff {
+			backoff *= 2
+		}
+	}
+}
+
+func (g *Aggregator) post(ctx context.Context, frame []byte) (*Ack, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		g.cfg.CoordinatorURL+"/fleet/frame", bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set("Content-Length", strconv.Itoa(len(frame)))
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests &&
+		resp.StatusCode != http.StatusConflict {
+		return nil, fmt.Errorf("fleet: coordinator returned %s", resp.Status)
+	}
+	ack, err := DecodeAck(body)
+	if err != nil {
+		return nil, err
+	}
+	if !ack.OK && !ack.Stale && !ack.Throttle && ack.Error != "" {
+		// A deliberate rejection still decodes; surface it as the ack so
+		// the caller can decide (retrying identical bytes cannot help).
+		return ack, nil
+	}
+	return ack, nil
+}

@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"dcfp/internal/crisis"
+	"dcfp/internal/metrics"
+	"dcfp/internal/quantile"
+	"dcfp/internal/sla"
+)
+
+// frameMagic and frameVersion head every wire frame, mirroring the monitor
+// checkpoint codec: the magic rejects foreign payloads outright and the
+// version is bumped whenever Frame changes incompatibly (gob tolerates
+// added fields, so compatible growth does not bump it).
+const frameMagic = "DCFPFLT1"
+const frameVersion uint32 = 1
+
+func init() {
+	// Frames carry estimator state as interface values; gob needs the
+	// concrete estimator types registered to round-trip them. Each type's
+	// GobEncode/GobDecode (internal/quantile/gob.go) does the real work.
+	gob.Register(&quantile.Exact{})
+	gob.Register(&quantile.GK{})
+	gob.Register(&quantile.CKMS{})
+	gob.Register(&quantile.Reservoir{})
+}
+
+// Block is one contiguous machine slice of a frame: after a rebalance a
+// shard may own several disjoint ranges, each shipped as its own block.
+// Rows are the raw per-machine samples for [Lo, Lo+len(Rows)); a nil row
+// marks a machine that delivered nothing (or delivered no finite values —
+// the coordinator never reads rows of non-reporting machines, so the
+// aggregator nils them to save wire bytes).
+type Block struct {
+	Lo        int
+	Rows      [][]float64
+	Viol      []bool
+	Reporting []bool
+}
+
+// Frame is one shard's complete contribution to one epoch.
+type Frame struct {
+	// Shard is the sender's shard index; Epoch the fleet epoch the frame
+	// describes; AssignVersion the assignment version the sender sliced
+	// under (a stale version makes the coordinator attach the current
+	// assignment to its ack).
+	Shard         int
+	Epoch         metrics.Epoch
+	AssignVersion int
+	// Machines is the fleet width the sender believes; the coordinator
+	// rejects frames that disagree with its own.
+	Machines int
+	Blocks   []Block
+	// Estimators is the shard's per-metric quantile state in catalog
+	// order, merged losslessly into the coordinator's aggregator.
+	Estimators []quantile.Estimator
+	// Status is the shard's partial SLA status over all its blocks.
+	Status sla.EpochStatus
+	// Dropped counts non-finite cells filtered before insertion.
+	Dropped int
+	// Active carries the simulator's ground-truth crisis instance when
+	// the shard runs the seeded simulation (nil in production ingestion);
+	// the coordinator hands it to its report callback so the simulated
+	// operator loop works unchanged in fleet mode.
+	Active *crisis.Instance
+}
+
+// Encode serializes the frame as magic + version + gob payload.
+func (f *Frame) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	hdr := make([]byte, len(frameMagic)+4)
+	copy(hdr, frameMagic)
+	binary.BigEndian.PutUint32(hdr[len(frameMagic):], frameVersion)
+	buf.Write(hdr)
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, fmt.Errorf("fleet: frame encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFrame parses a wire frame, validating magic and version before
+// touching the payload. Zero-length rows are normalized back to nil: gob
+// does not distinguish nil from empty slices, and a nil row is the
+// pipeline's "machine delivered nothing" marker.
+func DecodeFrame(data []byte) (*Frame, error) {
+	rest, err := checkHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	var f Frame
+	if err := gob.NewDecoder(bytes.NewReader(rest)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("fleet: frame decode: %w", err)
+	}
+	for bi := range f.Blocks {
+		b := &f.Blocks[bi]
+		if len(b.Rows) != len(b.Viol) || len(b.Rows) != len(b.Reporting) {
+			return nil, fmt.Errorf("fleet: frame block %d: rows/viol/reporting lengths %d/%d/%d disagree",
+				bi, len(b.Rows), len(b.Viol), len(b.Reporting))
+		}
+		for i, row := range b.Rows {
+			if len(row) == 0 {
+				b.Rows[i] = nil
+			}
+		}
+	}
+	return &f, nil
+}
+
+// Ack is the coordinator's reply to a shipped frame.
+type Ack struct {
+	// OK reports the frame was accepted (stored or already obsolete).
+	OK bool
+	// Error carries the rejection reason when OK is false.
+	Error string
+	// Stale reports the frame's epoch was below the merge watermark: the
+	// epoch has already been merged (with this shard synthesized as
+	// non-reporting), so the sender should advance rather than resend.
+	Stale bool
+	// Throttle reports the frame ran too far ahead of the watermark; the
+	// sender should back off and resend the same frame.
+	Throttle bool
+	// Watermark is the next epoch the coordinator will merge.
+	Watermark metrics.Epoch
+	// Assignment is attached when the sender's AssignVersion is stale (or
+	// it asked for one); senders adopt it before building the next frame.
+	Assignment *Assignment
+}
+
+// Encode serializes the ack with the same header as frames.
+func (a *Ack) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	hdr := make([]byte, len(frameMagic)+4)
+	copy(hdr, frameMagic)
+	binary.BigEndian.PutUint32(hdr[len(frameMagic):], frameVersion)
+	buf.Write(hdr)
+	if err := gob.NewEncoder(&buf).Encode(a); err != nil {
+		return nil, fmt.Errorf("fleet: ack encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeAck parses a coordinator reply.
+func DecodeAck(data []byte) (*Ack, error) {
+	rest, err := checkHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	var a Ack
+	if err := gob.NewDecoder(bytes.NewReader(rest)).Decode(&a); err != nil {
+		return nil, fmt.Errorf("fleet: ack decode: %w", err)
+	}
+	return &a, nil
+}
+
+func checkHeader(data []byte) ([]byte, error) {
+	if len(data) < len(frameMagic)+4 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if !bytes.Equal(data[:len(frameMagic)], []byte(frameMagic)) {
+		return nil, fmt.Errorf("fleet: not a fleet frame (bad magic)")
+	}
+	if v := binary.BigEndian.Uint32(data[len(frameMagic):]); v != frameVersion {
+		return nil, fmt.Errorf("fleet: frame version %d, want %d", v, frameVersion)
+	}
+	return data[len(frameMagic)+4:], nil
+}

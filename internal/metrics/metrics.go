@@ -223,6 +223,47 @@ func (a *Aggregator) EnsureShards(n int) {
 // Shards reports how many estimator shards have been allocated.
 func (a *Aggregator) Shards() int { return len(a.shards) }
 
+// Estimators exposes the live per-metric estimator slice of the given
+// shard. It exists for fleet aggregators that ship partial quantile state
+// over the wire: insert locally, encode each estimator, then Reset it for
+// the next epoch. The returned slice aliases the aggregator's internal
+// state — it must not be used concurrently with Observe* or Summarize*
+// calls.
+func (a *Aggregator) Estimators(shard int) ([]quantile.Estimator, error) {
+	if shard < 0 || shard >= len(a.shards) {
+		return nil, fmt.Errorf("metrics: shard %d out of %d (call EnsureShards first)", shard, len(a.shards))
+	}
+	return a.shards[shard], nil
+}
+
+// Absorb merges an externally ingested per-metric estimator set (one
+// estimator per metric, in catalog order) into shard 0 — the
+// coordinator-side half of two-tier aggregation: remote shards insert
+// locally, ship their estimator state, and the coordinator folds every
+// shard's state into its own aggregator before summarizing. With exact
+// estimators the merge is lossless, so the summarized quantiles are
+// byte-identical to single-node insertion of the same value multiset.
+// Nil or empty estimators are skipped; the sources are left untouched.
+// Shard 0's estimators must implement quantile.Merger.
+func (a *Aggregator) Absorb(ests []quantile.Estimator) error {
+	if len(ests) != a.NumMetrics() {
+		return fmt.Errorf("metrics: absorbing %d estimators, want %d", len(ests), a.NumMetrics())
+	}
+	for m, est := range ests {
+		if est == nil || est.Count() == 0 {
+			continue
+		}
+		mg, ok := a.shards[0][m].(quantile.Merger)
+		if !ok {
+			return fmt.Errorf("metrics: estimator %T does not support sharded aggregation (quantile.Merger)", a.shards[0][m])
+		}
+		if err := mg.Merge(est); err != nil {
+			return fmt.Errorf("metrics: metric %d: %w", m, err)
+		}
+	}
+	return nil
+}
+
 // Observe records one machine's sample row (one value per metric) into
 // shard 0 — the serial path.
 func (a *Aggregator) Observe(row []float64) error {

@@ -1,0 +1,179 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dcfp/internal/quantile"
+	"dcfp/internal/sla"
+)
+
+// ShardPartial is one shard's locally ingested contribution to a fleet
+// epoch: the raw row copies for its machine slice, the per-machine
+// violation and liveness masks, the shard's partially evaluated SLA
+// status, and its quantile-estimator state, ready to be merged losslessly
+// into the coordinator's aggregator.
+type ShardPartial struct {
+	// Lo is the global machine index of Rows[0]; the partial covers
+	// machines [Lo, Lo+len(Rows)).
+	Lo int
+	// Rows holds the shard's raw per-machine samples (nil row = the
+	// machine delivered nothing). Cells may still be NaN/Inf: retained-row
+	// sanitization substitutes the fleet-wide median, which only exists
+	// after the merge, so it happens here rather than on the shard.
+	Rows [][]float64
+	// Viol and Reporting are the per-machine any-KPI violation and
+	// liveness masks the shard computed with sla.Config.EvaluateMasked.
+	Viol      []bool
+	Reporting []bool
+	// Status is the shard's partial SLA status over its machine slice.
+	Status sla.EpochStatus
+	// Estimators is the shard's per-metric quantile state (one estimator
+	// per catalog metric, in catalog order). Nil marks a synthesized
+	// partial standing in for a dead or late shard: all machines
+	// non-reporting, nothing to merge.
+	Estimators []quantile.Estimator
+	// Dropped counts non-finite cells the shard filtered before insertion.
+	Dropped int
+}
+
+// ObserveAggregated ingests one epoch assembled from per-shard partials —
+// the coordinator half of two-tier fleet aggregation. Each partial's
+// estimator state is merged into the monitor's aggregator
+// (metrics.Aggregator.Absorb), the partial SLA statuses are combined with
+// sla.Config.MergeStatuses, and the shard row slices are scattered back
+// into global machine order; everything downstream (coverage, forecast,
+// crisis state machine, identification, thresholds) then runs through the
+// same finishEpoch code path as ObserveEpoch.
+//
+// machines is the full fleet width. Machine indexes not covered by any
+// partial — a dead or late shard the caller did not synthesize a partial
+// for — count as non-reporting, so missing shards surface as reduced
+// coverage and, below Config.MinCoverage, as a degraded (frozen) epoch.
+//
+// With exact estimators the merge is order-independent and lossless, so
+// the resulting EpochReport stream is byte-identical to feeding the same
+// fleet rows to ObserveEpoch on a single node.
+func (m *Monitor) ObserveAggregated(machines int, parts []ShardPartial) (*EpochReport, error) {
+	var t0, ts time.Time
+	if m.tel != nil {
+		t0 = time.Now()
+		ts = t0
+	}
+	tr := m.cfg.Tracer.StartTrace("observe_aggregated")
+	defer tr.End()
+	sp := tr.StartSpan("ingest")
+	if machines <= 0 {
+		return nil, errors.New("monitor: no machine samples")
+	}
+	if len(parts) == 0 {
+		return nil, errors.New("monitor: no shard partials")
+	}
+	nm := m.cfg.Catalog.Len()
+	ranges := make([][2]int, 0, len(parts))
+	for i := range parts {
+		p := &parts[i]
+		if len(p.Rows) != len(p.Viol) || len(p.Rows) != len(p.Reporting) {
+			return nil, fmt.Errorf("monitor: partial %d: rows/viol/reporting lengths %d/%d/%d disagree",
+				i, len(p.Rows), len(p.Viol), len(p.Reporting))
+		}
+		if p.Lo < 0 || p.Lo+len(p.Rows) > machines {
+			return nil, fmt.Errorf("monitor: partial %d covers [%d,%d) outside fleet of %d machines",
+				i, p.Lo, p.Lo+len(p.Rows), machines)
+		}
+		if p.Estimators != nil && len(p.Estimators) != nm {
+			return nil, fmt.Errorf("monitor: partial %d ships %d estimators, want %d", i, len(p.Estimators), nm)
+		}
+		for _, row := range p.Rows {
+			if row != nil && len(row) != nm {
+				return nil, fmt.Errorf("monitor: sample row width %d, want %d", len(row), nm)
+			}
+		}
+		if len(p.Rows) > 0 {
+			ranges = append(ranges, [2]int{p.Lo, p.Lo + len(p.Rows)})
+		}
+	}
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i][0] < ranges[j][0] })
+	for i := 1; i < len(ranges); i++ {
+		if ranges[i][0] < ranges[i-1][1] {
+			return nil, fmt.Errorf("monitor: shard partials overlap at machine %d", ranges[i][0])
+		}
+	}
+	if m.cfg.ExpectedMachines == 0 && machines > m.expected {
+		m.expected = machines
+	}
+	sp.SetAttr("machines", int64(machines))
+	sp.SetAttr("shards", int64(len(parts)))
+	sp.End()
+
+	mat := m.pool.Get(machines, nm)
+	copies := mat.RowViews()
+	viol, reporting := m.scratchMasks(machines)
+	retained := false
+	defer func() {
+		if !retained {
+			m.pool.Put(mat)
+		}
+	}()
+
+	// Merge every shard's estimator state into the coordinator aggregator,
+	// then summarize once — partial aggregation, lossless merge.
+	sp = tr.StartSpan("merge")
+	dropped := 0
+	for i := range parts {
+		dropped += parts[i].Dropped
+		if parts[i].Estimators == nil {
+			continue
+		}
+		if err := m.agg.Absorb(parts[i].Estimators); err != nil {
+			return nil, err
+		}
+	}
+	sp.End()
+	sp = tr.StartSpan("summarize")
+	summary, gaps, err := m.agg.SummarizeLenient(m.lastSummary)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.track.AppendEpoch(summary); err != nil {
+		return nil, err
+	}
+	sp.SetAttr("metric_gaps", int64(gaps))
+	sp.End()
+	ts = m.span(stageQuantile, ts)
+
+	sp = tr.StartSpan("sla")
+	statuses := make([]sla.EpochStatus, len(parts))
+	for i := range parts {
+		statuses[i] = parts[i].Status
+	}
+	status := m.cfg.SLA.MergeStatuses(statuses)
+	sp.End()
+	ts = m.span(stageSLA, ts)
+
+	// Scatter shard slices into global machine order. Every machine starts
+	// out missing — covering both non-reporting rows and index ranges no
+	// partial claims (a dead shard nobody synthesized) — and each partial
+	// then re-points and fills the views of its reporting machines.
+	for g := 0; g < machines; g++ {
+		mat.MarkMissing(g)
+	}
+	for i := range parts {
+		p := &parts[i]
+		for k, row := range p.Rows {
+			g := p.Lo + k
+			viol[g] = p.Viol[k]
+			reporting[g] = p.Reporting[k]
+			if p.Reporting[k] {
+				copies[g] = mat.Row(g)
+				copy(copies[g], row)
+			}
+		}
+	}
+
+	rep, ret, err := m.finishEpoch(tr, t0, ts, mat, copies, viol, reporting, status, summary, dropped, gaps, len(parts))
+	retained = ret
+	return rep, err
+}

@@ -1,0 +1,228 @@
+package monitor
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dcfp/internal/metrics"
+	"dcfp/internal/quantile"
+)
+
+// testShard is an in-test stand-in for a fleet aggregator: it owns a
+// contiguous machine slice and runs the shard-local filter + SLA stages,
+// emitting one ShardPartial per epoch.
+type testShard struct {
+	lo, hi int
+	agg    *metrics.Aggregator
+}
+
+func newTestShards(t *testing.T, m *Monitor, machines, n int) []*testShard {
+	t.Helper()
+	shards := make([]*testShard, n)
+	for i := range shards {
+		agg, err := metrics.NewAggregator(m.cfg.Catalog.Len(), func() quantile.Estimator { return quantile.NewExact() })
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = &testShard{lo: i * machines / n, hi: (i + 1) * machines / n, agg: agg}
+	}
+	return shards
+}
+
+func (s *testShard) partial(t *testing.T, m *Monitor, rows [][]float64) ShardPartial {
+	t.Helper()
+	sub := rows[s.lo:s.hi]
+	viol := make([]bool, len(sub))
+	reporting := make([]bool, len(sub))
+	dropped, err := s.agg.ObserveBatchFiltered(0, sub, reporting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := m.cfg.SLA.EvaluateMasked(sub, viol, reporting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests, err := s.agg.Estimators(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ShardPartial{Lo: s.lo, Rows: sub, Viol: viol, Reporting: reporting,
+		Status: status, Estimators: ests, Dropped: dropped}
+}
+
+func (s *testShard) reset(t *testing.T) {
+	t.Helper()
+	ests, err := s.agg.Estimators(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, est := range ests {
+		est.Reset()
+	}
+}
+
+// TestAggregatedEquivalence is the fleet determinism guarantee at the
+// monitor layer: splitting each epoch across N shard-local aggregators and
+// feeding the partials to ObserveAggregated yields EpochReport and crisis
+// streams byte-identical to single-node ObserveEpoch on the same seeded
+// 420-epoch trace, because exact-estimator merges preserve the value
+// multiset and SLA counts are order-independent sums.
+func TestAggregatedEquivalence(t *testing.T) {
+	for _, nShards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards%d", nShards), func(t *testing.T) {
+			const seed, epochs = 42, 420
+			s1, sN := equivStream(t, seed), equivStream(t, seed)
+			m1 := equivMonitor(t, s1, 1, nil)
+			mA := equivMonitor(t, sN, 1, nil)
+
+			var shards []*testShard
+			lastActive := false
+			label := ""
+			for i := 0; i < epochs; i++ {
+				rows1, act, err := s1.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				rowsN, _, err := sN.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if shards == nil {
+					shards = newTestShards(t, mA, len(rowsN), nShards)
+				}
+				r1, err := m1.ObserveEpoch(rows1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				parts := make([]ShardPartial, len(shards))
+				for k, sh := range shards {
+					parts[k] = sh.partial(t, mA, rowsN)
+				}
+				rA, err := mA.ObserveAggregated(len(rowsN), parts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, sh := range shards {
+					sh.reset(t)
+				}
+				if !reflect.DeepEqual(r1, rA) {
+					t.Fatalf("epoch %d: single-node and aggregated reports diverge:\nsingle:     %+v\naggregated: %+v", i, r1, rA)
+				}
+				if act != nil {
+					label = fmt.Sprintf("type-%d", act.Type)
+				}
+				if lastActive && !r1.CrisisActive {
+					recs := m1.Crises()
+					id := recs[len(recs)-1].ID
+					if err := m1.ResolveCrisis(id, label); err != nil {
+						t.Fatal(err)
+					}
+					if err := mA.ResolveCrisis(id, label); err != nil {
+						t.Fatal(err)
+					}
+				}
+				lastActive = r1.CrisisActive
+			}
+			if !reflect.DeepEqual(m1.Stats(), mA.Stats()) {
+				t.Fatalf("final stats diverge:\nsingle:     %+v\naggregated: %+v", m1.Stats(), mA.Stats())
+			}
+			if got, want := mA.Crises(), m1.Crises(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("crisis records diverge:\nsingle:     %+v\naggregated: %+v", want, got)
+			}
+		})
+	}
+}
+
+// BenchmarkObserveEpochAggregated measures the coordinator-side merge path
+// — scatter, estimator absorption, summarize, SLA merge, and the shared
+// epoch finish — with the shard partials pre-built outside the timer, as a
+// coordinator sees them after decoding frames. The name keys into the
+// benchgate regex so CI gates this path against BENCH_5.json.
+func BenchmarkObserveEpochAggregated(b *testing.B) {
+	for _, nShards := range []int{2, 4} {
+		b.Run(fmt.Sprintf("shards%d", nShards), func(b *testing.B) {
+			const machines = 100
+			m, epochs := benchMonitorSized(b, machines, 1)
+			rows := epochs[0]
+			parts := make([]ShardPartial, nShards)
+			for i := range parts {
+				lo, hi := i*machines/nShards, (i+1)*machines/nShards
+				agg, err := metrics.NewAggregator(m.cfg.Catalog.Len(),
+					func() quantile.Estimator { return quantile.NewExact() })
+				if err != nil {
+					b.Fatal(err)
+				}
+				sub := rows[lo:hi]
+				viol := make([]bool, len(sub))
+				reporting := make([]bool, len(sub))
+				dropped, err := agg.ObserveBatchFiltered(0, sub, reporting)
+				if err != nil {
+					b.Fatal(err)
+				}
+				status, err := m.cfg.SLA.EvaluateMasked(sub, viol, reporting)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ests, err := agg.Estimators(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				parts[i] = ShardPartial{Lo: lo, Rows: sub, Viol: viol, Reporting: reporting,
+					Status: status, Estimators: ests, Dropped: dropped}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.ObserveAggregated(machines, parts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestObserveAggregatedValidation covers the malformed-partial paths.
+func TestObserveAggregatedValidation(t *testing.T) {
+	s := equivStream(t, 1)
+	m := equivMonitor(t, s, 1, nil)
+	rows, _, err := s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(rows)
+	good := func() ShardPartial {
+		sh := newTestShards(t, m, n, 1)[0]
+		return sh.partial(t, m, rows)
+	}
+
+	if _, err := m.ObserveAggregated(0, []ShardPartial{good()}); err == nil {
+		t.Fatal("want error for zero machines")
+	}
+	if _, err := m.ObserveAggregated(n, nil); err == nil {
+		t.Fatal("want error for no partials")
+	}
+	p := good()
+	p.Viol = p.Viol[:1]
+	if _, err := m.ObserveAggregated(n, []ShardPartial{p}); err == nil {
+		t.Fatal("want error for mask length mismatch")
+	}
+	p = good()
+	p.Lo = 5
+	if _, err := m.ObserveAggregated(n, []ShardPartial{p}); err == nil {
+		t.Fatal("want error for out-of-range slice")
+	}
+	p = good()
+	p.Estimators = p.Estimators[:1]
+	if _, err := m.ObserveAggregated(n, []ShardPartial{p}); err == nil {
+		t.Fatal("want error for estimator count mismatch")
+	}
+	p1, p2 := good(), good()
+	if _, err := m.ObserveAggregated(n, []ShardPartial{p1, p2}); err == nil {
+		t.Fatal("want error for overlapping partials")
+	}
+	// A valid single partial still observes cleanly after all the failures.
+	if _, err := m.ObserveAggregated(n, []ShardPartial{good()}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -595,6 +595,24 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 			}
 		}
 	}
+	rep, ret, err := m.finishEpoch(tr, t0, ts, mat, copies, viol, reporting, status, summary, dropped, gaps, workers)
+	retained = ret
+	return rep, err
+}
+
+// finishEpoch runs everything downstream of ingestion — liveness and
+// coverage accounting, retained-row sanitization, the forecast stage, the
+// crisis state machine, identification, threshold refresh, and telemetry —
+// and builds the epoch report. It is shared verbatim by the single-node
+// paths (ObserveEpoch, serial and sharded) and the fleet coordinator path
+// (ObserveAggregated), which is what makes the distributed pipeline's
+// output byte-identical to the single-node reference once the inputs
+// (status, summary, rows, masks) match.
+//
+// The returned retained flag mirrors ObserveEpoch's: true when mat's rows
+// were handed to the pre-crisis ring and must not be returned to the pool.
+// It is meaningful even when err != nil.
+func (m *Monitor) finishEpoch(tr *telemetry.Trace, t0, ts time.Time, mat *metrics.Matrix, copies [][]float64, viol, reporting []bool, status sla.EpochStatus, summary [][3]float64, dropped, gaps, workers int) (rep *EpochReport, retained bool, err error) {
 	m.lastSummary = summary
 	reportCount := m.noteLiveness(reporting)
 	coverage := 0.0
@@ -622,7 +640,7 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 		tr.SetAttr("degraded", 1)
 	}
 
-	rep := &EpochReport{Epoch: e, Status: status, Degraded: degraded, Coverage: coverage}
+	rep = &EpochReport{Epoch: e, Status: status, Degraded: degraded, Coverage: coverage}
 
 	// Early-warning forecast stage: runs on this epoch's status, summary
 	// and sanitized rows, BEFORE the crisis state machine so the detection
@@ -640,7 +658,7 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 			if m.tel != nil {
 				ts = time.Now()
 			}
-			sp = tr.StartSpan("forecast")
+			sp := tr.StartSpan("forecast")
 			rep.Forecast = m.forecastObserve(e, status, summary, copies, m.activeIdx >= 0)
 			sp.SetAttr("risk_permille", int64(rep.Forecast.Risk*1000))
 			sp.End()
@@ -715,9 +733,9 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 			if m.tel != nil {
 				ts = time.Now()
 			}
-			sp = tr.StartSpan("thresholds")
+			sp := tr.StartSpan("thresholds")
 			if err := m.refreshThresholds(e); err != nil && !errors.Is(err, metrics.ErrNoNormalEpochs) {
-				return nil, err
+				return nil, retained, err
 			}
 			sp.End()
 			m.span(stageThresholds, ts)
@@ -744,7 +762,7 @@ func (m *Monitor) ObserveEpoch(samples [][]float64) (*EpochReport, error) {
 		m.tel.ingestReporting.SetInt(int64(reportCount))
 		m.tel.observeEpoch.ObserveSince(t0)
 	}
-	return rep, nil
+	return rep, retained, nil
 }
 
 // noteLiveness records which machines reported this epoch into the

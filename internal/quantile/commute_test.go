@@ -1,0 +1,154 @@
+package quantile
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+// gobRound encodes an estimator through gob and decodes it into a fresh
+// value of the same concrete type, as the fleet wire codec does.
+func gobRound(t *testing.T, est Estimator) Estimator {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&est); err != nil {
+		t.Fatalf("encode %T: %v", est, err)
+	}
+	var out Estimator
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&out); err != nil {
+		t.Fatalf("decode %T: %v", est, err)
+	}
+	return out
+}
+
+// encodeBytes is the byte-level fingerprint the commute property compares:
+// two estimators with identical serialized state are identical for every
+// observer, queries included.
+func encodeBytes(t *testing.T, est Estimator) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&est); err != nil {
+		t.Fatalf("encode %T: %v", est, err)
+	}
+	return buf.Bytes()
+}
+
+func init() {
+	gob.Register(&Exact{})
+	gob.Register(&GK{})
+	gob.Register(&CKMS{})
+	gob.Register(&Reservoir{})
+}
+
+// TestGobMergeCommute is the property the two-tier fleet pipeline rests on:
+// serializing shard estimators, shipping them, and merging the decoded
+// copies must equal merging the originals and serializing the result —
+// gob roundtrips commute with Merge. Checked at the byte level (stronger
+// than a query grid) across randomized stream splits for every estimator.
+// The Reservoir is covered in its no-eviction regime here; eviction-regime
+// determinism, which depends on the decode-time RNG reseed, is pinned by
+// TestReservoirDecodedMergeDeterministic.
+func TestGobMergeCommute(t *testing.T) {
+	type maker struct {
+		name string
+		make func() Estimator
+		vals int // per-shard stream length
+	}
+	makers := []maker{
+		{"Exact", func() Estimator { return NewExact() }, 500},
+		{"GK", func() Estimator {
+			s, err := NewGK(0.01)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}, 500},
+		{"CKMS", func() Estimator {
+			s, err := NewCKMS([]Target{{Quantile: 0.5, Epsilon: 0.01}, {Quantile: 0.95, Epsilon: 0.005}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}, 500},
+		// Streams short enough that the reservoir never evicts: with no
+		// randomness drawn, the roundtrip's RNG reseed cannot matter.
+		{"Reservoir", func() Estimator {
+			r, err := NewReservoir(2048, rand.New(rand.NewSource(7)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}, 500},
+	}
+	for _, m := range makers {
+		t.Run(m.name, func(t *testing.T) {
+			for trial := 0; trial < 5; trial++ {
+				rng := rand.New(rand.NewSource(int64(100 + trial)))
+				a, b := m.make(), m.make()
+				for i := 0; i < m.vals; i++ {
+					a.Insert(rng.NormFloat64() * 10)
+					b.Insert(rng.ExpFloat64())
+				}
+
+				// Path 1: merge the live originals, then serialize.
+				direct := gobRound(t, a) // preserve a; Merge mutates the receiver
+				if err := direct.(Merger).Merge(b); err != nil {
+					t.Fatal(err)
+				}
+
+				// Path 2: roundtrip both shards first, then merge the copies.
+				shipped := gobRound(t, a)
+				if err := shipped.(Merger).Merge(gobRound(t, b)); err != nil {
+					t.Fatal(err)
+				}
+
+				if got, want := encodeBytes(t, shipped), encodeBytes(t, direct); !bytes.Equal(got, want) {
+					t.Fatalf("trial %d: roundtrip-then-merge differs from merge-then-roundtrip", trial)
+				}
+				if direct.Count() != a.Count()+b.Count() {
+					t.Fatalf("trial %d: merged count %d, want %d", trial, direct.Count(), a.Count()+b.Count())
+				}
+				// The fingerprint equality must be visible to queries too.
+				for _, q := range TrackedQuantiles {
+					dv, err1 := direct.(Estimator).Query(q)
+					sv, err2 := shipped.(Estimator).Query(q)
+					if err1 != nil || err2 != nil || dv != sv {
+						t.Fatalf("trial %d q=%v: direct %v (%v) vs shipped %v (%v)", trial, q, dv, err1, sv, err2)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReservoirDecodedMergeDeterministic pins the eviction-regime contract:
+// the reservoir's RNG is reseeded deterministically from (K, N) on decode,
+// so any two replicas that decode the same frames and merge them make
+// identical eviction choices — the coordinator's merge is reproducible even
+// though the sampler itself is randomized.
+func TestReservoirDecodedMergeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mk := func() *Reservoir {
+		r, err := NewReservoir(32, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 1000; i++ { // far past capacity: eviction randomness in play
+		a.Insert(rng.NormFloat64())
+		b.Insert(rng.ExpFloat64())
+	}
+	run := func() []byte {
+		ra := gobRound(t, a)
+		if err := ra.(Merger).Merge(gobRound(t, b)); err != nil {
+			t.Fatal(err)
+		}
+		return encodeBytes(t, ra)
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("two replicas merging identical decoded reservoirs diverged")
+	}
+}

@@ -60,9 +60,12 @@ func (c *HistoryConfig) setDefaults() {
 	}
 }
 
-// HistoryPoint is one (epoch, value) sample.
+// HistoryPoint is one (epoch, value) sample. Coarse-tier points are bucket
+// means: Epoch is the first epoch folded into the bucket and End the last;
+// raw points leave End zero.
 type HistoryPoint struct {
 	Epoch int64   `json:"e"`
+	End   int64   `json:"end,omitempty"`
 	Value float64 `json:"v"`
 }
 
@@ -85,13 +88,15 @@ func (r *pointRing) push(p HistoryPoint) {
 	}
 }
 
-// collect appends the ring's points oldest-first, dropping those before
-// since.
+// collect appends the ring's points oldest-first, dropping those entirely
+// before since: a point is kept while any epoch it covers (its own, or up
+// to End for a coarse bucket) is >= since, so a bucket straddling the
+// bound is returned rather than silently dropped.
 func (r *pointRing) collect(dst []HistoryPoint, since int64) []HistoryPoint {
 	start := (r.head - r.n + len(r.buf)) % len(r.buf)
 	for i := 0; i < r.n; i++ {
 		p := r.buf[(start+i)%len(r.buf)]
-		if p.Epoch >= since {
+		if p.Epoch >= since || p.End >= since {
 			dst = append(dst, p)
 		}
 	}
@@ -100,13 +105,14 @@ func (r *pointRing) collect(dst []HistoryPoint, since int64) []HistoryPoint {
 
 // seriesHistory holds both tiers of one series plus the coarse accumulator.
 type seriesHistory struct {
-	name   string
-	labels []Label
-	raw    pointRing
-	coarse pointRing
-	accSum float64
-	accN   int
-	accAt  int64 // epoch of the accumulator's first sample
+	name    string
+	labels  []Label
+	raw     pointRing
+	coarse  pointRing
+	accSum  float64
+	accN    int
+	accAt   int64 // epoch of the accumulator's first sample
+	accLast int64 // epoch of the accumulator's most recent sample
 }
 
 // NewHistory builds a history sampling reg. Zero config fields take
@@ -151,10 +157,11 @@ func (h *History) Sample(epoch int64) {
 		if s.accN == 0 {
 			s.accAt = epoch
 		}
+		s.accLast = epoch
 		s.accSum += v.Value
 		s.accN++
 		if s.accN >= h.cfg.CoarseEvery {
-			s.coarse.push(HistoryPoint{Epoch: s.accAt, Value: s.accSum / float64(s.accN)})
+			s.coarse.push(HistoryPoint{Epoch: s.accAt, End: s.accLast, Value: s.accSum / float64(s.accN)})
 			s.accSum, s.accN = 0, 0
 		}
 	}
@@ -190,8 +197,11 @@ type SeriesHistory struct {
 }
 
 // Query returns the history of every label variant of metric with points at
-// epochs >= since, label-order deterministic. ok is false when the metric
-// has never been sampled. Nil-safe (never ok).
+// epochs >= since, label-order deterministic. A coarse bucket is a range of
+// epochs [Epoch, End]; it is included iff End >= since, so the bucket
+// straddling the since bound is returned (its mean covers epochs inside the
+// query range) rather than dropped for starting before it. ok is false when
+// the metric has never been sampled. Nil-safe (never ok).
 func (h *History) Query(metric string, since int64) ([]SeriesHistory, bool) {
 	if h == nil {
 		return nil, false

@@ -60,6 +60,40 @@ func TestHistorySampleAndQuery(t *testing.T) {
 	}
 }
 
+// TestHistoryCoarseStraddlingBucket pins the coarse-tier boundary rule: a
+// bucket whose [Epoch, End] range straddles the since bound is included —
+// its mean covers epochs inside the query range — while a bucket that ends
+// before since is not.
+func TestHistoryCoarseStraddlingBucket(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("test_gauge", "g")
+	hist := NewHistory(reg, HistoryConfig{RawCapacity: 16, CoarseCapacity: 16, CoarseEvery: 4})
+
+	for e := int64(0); e < 8; e++ {
+		g.Set(float64(e))
+		hist.Sample(e)
+	}
+	// Buckets: [0,3] mean 1.5 and [4,7] mean 5.5.
+	series, ok := hist.Query("test_gauge", 2)
+	if !ok {
+		t.Fatal("metric not found")
+	}
+	coarse := series[0].Coarse
+	if len(coarse) != 2 || coarse[0].Epoch != 0 || coarse[0].End != 3 || coarse[0].Value != 1.5 {
+		t.Fatalf("since=2 coarse = %+v, want straddling bucket [0,3] kept", coarse)
+	}
+	// since past the first bucket's end excludes it.
+	series, _ = hist.Query("test_gauge", 4)
+	coarse = series[0].Coarse
+	if len(coarse) != 1 || coarse[0].Epoch != 4 || coarse[0].End != 7 {
+		t.Fatalf("since=4 coarse = %+v, want only bucket [4,7]", coarse)
+	}
+	// Raw points never grow an End; the boundary there is exact.
+	if raw := series[0].Raw; len(raw) != 4 || raw[0].Epoch != 4 || raw[0].End != 0 {
+		t.Fatalf("since=4 raw = %+v, want epochs 4..7 with End 0", raw)
+	}
+}
+
 func TestHistoryLabelVariantsAndHistograms(t *testing.T) {
 	reg := NewRegistry()
 	reg.Gauge("lv", "g", Label{Key: "x", Value: "a"}).Set(1)
