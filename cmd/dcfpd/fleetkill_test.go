@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dcfp/internal/monitor"
+)
+
+// fleetTopology launches 1 coordinator + 2 aggregators as real dcfpd
+// processes and waits for all three to exit, returning the coordinator log.
+// Aggregator failures are fatal; the coordinator process is managed by the
+// caller when coordProc is returned (kill scenarios).
+type fleetProc struct {
+	cmd *exec.Cmd
+	log *bytes.Buffer
+}
+
+func startProc(t *testing.T, bin string, args ...string) *fleetProc {
+	t.Helper()
+	p := &fleetProc{cmd: exec.Command(bin, args...), log: &bytes.Buffer{}}
+	p.cmd.Stdout, p.cmd.Stderr = p.log, p.log
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// fleetArgs is the deterministic three-process configuration: a short
+// crisis cadence so several crises (with repeats) land inside the horizon,
+// and a long straggler budget so no epoch is ever merged partial — the
+// precondition for advice equivalence across runs.
+func fleetArgs(role, addr string, extra ...string) []string {
+	args := []string{
+		"-role", role,
+		"-addr", addr,
+		"-machines", "30",
+		"-seed", "42",
+		"-shards", "2",
+		"-mean-gap-days", "0.25",
+		"-threshold-days", "1",
+		"-resolve-after", "24",
+		"-max-epochs", "360",
+		"-fleet-flush-after", "30s",
+		"-fleet-ship-timeout", "2s",
+		"-fleet-replay", "400",
+	}
+	return append(args, extra...)
+}
+
+// TestFleetCoordinatorKillAndRestore is the distributed crash-failover
+// acceptance test: 1 coordinator + 2 aggregator processes over real HTTP,
+// the coordinator SIGKILLed mid-stream and restarted from its checkpoint
+// while both aggregators keep running. The aggregators must buffer through
+// the outage, detect the restored (regressed) merge watermark, rewind their
+// replay buffers, and fast-forward the new coordinator — ending with
+// identification advice identical to an uninterrupted three-process run.
+func TestFleetCoordinatorKillAndRestore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec test: builds and runs a three-process fleet twice")
+	}
+	dir := t.TempDir()
+	bin := buildDaemon(t, dir)
+
+	run := func(coordAddr, coordURL, adviceOut string, coordExtra []string, kill bool) (coordLogs string) {
+		coordArgs := fleetArgs("coordinator", coordAddr, append([]string{"-advice-out", adviceOut}, coordExtra...)...)
+		coord := startProc(t, bin, coordArgs...)
+		aggs := make([]*fleetProc, 2)
+		for i := range aggs {
+			aggs[i] = startProc(t, bin, fleetArgs("aggregator", "127.0.0.1:0",
+				"-shard-index", []string{"0", "1"}[i],
+				"-coordinator-addr", coordURL,
+				"-interval", map[bool]string{true: "25ms", false: "0"}[kill])...)
+		}
+		logs := func() string {
+			return "coordinator:\n" + coord.log.String() +
+				"\nagg0:\n" + aggs[0].log.String() + "\nagg1:\n" + aggs[1].log.String()
+		}
+
+		if kill {
+			// Wait for the first checkpoint, let some epochs pass it, then
+			// SIGKILL the coordinator and restart it from the checkpoint.
+			ckptFile := filepath.Join(dir, "ckpt", monitor.CheckpointFileName)
+			deadline := time.Now().Add(60 * time.Second)
+			for {
+				if _, err := os.Stat(ckptFile); err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					_ = coord.cmd.Process.Kill()
+					t.Fatalf("no checkpoint appeared within 60s;\n%s", logs())
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			time.Sleep(500 * time.Millisecond)
+			if err := coord.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+				t.Fatal(err)
+			}
+			_ = coord.cmd.Wait()
+			coord2 := startProc(t, bin, coordArgs...)
+			if err := coord2.cmd.Wait(); err != nil {
+				t.Fatalf("restarted coordinator: %v\n%s\ncoordinator2:\n%s", err, logs(), coord2.log.String())
+			}
+			if !strings.Contains(coord2.log.String(), "restored coordinator state") {
+				t.Fatalf("restarted coordinator did not restore fleet state;\ncoordinator2:\n%s", coord2.log.String())
+			}
+			coordLogs = coord.log.String() + coord2.log.String()
+		} else {
+			if err := coord.cmd.Wait(); err != nil {
+				t.Fatalf("coordinator: %v\n%s", err, logs())
+			}
+			coordLogs = coord.log.String()
+		}
+		for i, a := range aggs {
+			if err := a.cmd.Wait(); err != nil {
+				t.Fatalf("aggregator %d: %v\n%s", i, err, logs())
+			}
+		}
+		return coordLogs
+	}
+
+	// Run A: uninterrupted three-process reference.
+	adviceA := filepath.Join(dir, "adviceA.jsonl")
+	run("127.0.0.1:19237", "http://127.0.0.1:19237", adviceA, nil, false)
+	refAdvice := readAdvice(t, adviceA)
+	if len(refAdvice) == 0 {
+		t.Fatal("reference fleet run emitted no advice; the comparison would be vacuous")
+	}
+
+	// Run B: same topology, coordinator killed and restored mid-stream.
+	adviceB := filepath.Join(dir, "adviceB.jsonl")
+	ckptDir := filepath.Join(dir, "ckpt")
+	coordLogs := run("127.0.0.1:19247", "http://127.0.0.1:19247", adviceB,
+		[]string{"-checkpoint-dir", ckptDir, "-checkpoint-every", "24"}, true)
+	if !strings.Contains(coordLogs, "done: 360 epochs") {
+		t.Fatalf("restarted coordinator did not finish all epochs;\n%s", coordLogs)
+	}
+
+	gotAdvice := readAdvice(t, adviceB)
+	if len(gotAdvice) != len(refAdvice) {
+		t.Errorf("advice count differs: uninterrupted %d, kill-and-restore %d",
+			len(refAdvice), len(gotAdvice))
+	}
+	for e, want := range refAdvice {
+		got, ok := gotAdvice[e]
+		if !ok {
+			t.Errorf("epoch %d: advice missing after coordinator kill-and-restore", e)
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("epoch %d: advice differs after coordinator kill-and-restore:\n got %+v\nwant %+v", e, got, want)
+		}
+	}
+}

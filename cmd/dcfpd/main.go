@@ -58,6 +58,25 @@
 // resumes where it left off and restarted aggregators fast-forward to the
 // watermark via GET /fleet/assignment.
 //
+// Both distributed roles are crash- and signal-hardened. Aggregators buffer
+// frames the coordinator cannot take (outage, open circuit breaker, Ship
+// budget -fleet-ship-timeout exhausted) in a bounded replay ring
+// (-fleet-replay) and re-ship them in order; a merge watermark that moves
+// backwards means the coordinator restarted from an older checkpoint, and
+// the aggregator rewinds its retained frames to fast-forward it. On SIGTERM
+// an aggregator drains its buffered tail under a deadline before exiting,
+// and the coordinator force-merges every epoch that already has frames
+// before taking its final checkpoint. After a checkpoint restore,
+// metric-absence alert rules are suppressed for one checkpoint interval
+// (each re-arms early if its series reappears) so the fast-forward window
+// cannot page on series the empty registry hasn't recreated yet.
+//
+// Chaos scenarios: `dcfpd validate [FILE|DIR ...]` statically checks
+// declarative scenario files (default directory: scenarios/), and
+// `dcfpd -scenario FILE` runs one in-process on the fault-injecting fleet
+// harness, printing the measured result as JSON and exiting nonzero if any
+// declared expectation is violated.
+//
 // Usage:
 //
 //	dcfpd [-addr :9137] [-machines 100] [-seed 42] [-interval 100ms]
@@ -74,6 +93,9 @@
 //	      [-role single|aggregator|coordinator] [-shards 2] [-shard-index 0]
 //	      [-coordinator-addr URL] [-fleet-window 8]
 //	      [-fleet-flush-after 3s] [-fleet-dead-after 48]
+//	      [-fleet-ship-timeout 45s] [-fleet-replay 128]
+//	      [-scenario FILE]
+//	dcfpd validate [FILE|DIR ...]
 package main
 
 import (
@@ -119,6 +141,9 @@ type pendingResolve struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dcfpd: ")
+	if len(os.Args) > 1 && os.Args[1] == "validate" {
+		os.Exit(runValidate(os.Args[2:]))
+	}
 	var (
 		addr          = flag.String("addr", ":9137", "HTTP listen address for /metrics, /healthz, /crises, /debug/pprof")
 		machines      = flag.Int("machines", 100, "simulated machines")
@@ -146,13 +171,17 @@ func main() {
 		alertWebhook = flag.String("alert-webhook", "", "POST alert firings and resolutions to this URL as JSON (empty = off)")
 		historyRaw   = flag.Int("history-raw", telemetry.DefaultHistoryConfig().RawCapacity, "raw epochs of metric history retained per series for /api/history and /dash (0 disables history)")
 
-		role       = flag.String("role", "single", "process role: single (monolithic), aggregator (shard-side partial aggregation), or coordinator (merge + fingerprint)")
-		shards     = flag.Int("shards", 2, "fleet shard count (aggregator and coordinator roles)")
-		shardIndex = flag.Int("shard-index", 0, "this aggregator's shard index in [0, shards)")
-		coordAddr  = flag.String("coordinator-addr", "", "coordinator base URL the aggregator ships frames to, e.g. http://host:9137 (aggregator role)")
-		fleetWin   = flag.Int("fleet-window", 8, "epochs ahead of the merge watermark the coordinator accepts before throttling a shard")
-		fleetFlush = flag.Duration("fleet-flush-after", 3*time.Second, "how long the coordinator waits for an epoch's stragglers before merging without them")
-		fleetDead  = flag.Int("fleet-dead-after", 48, "consecutive missed epochs before the coordinator declares a shard dead and rebalances its machines (0 = never)")
+		role        = flag.String("role", "single", "process role: single (monolithic), aggregator (shard-side partial aggregation), or coordinator (merge + fingerprint)")
+		shards      = flag.Int("shards", 2, "fleet shard count (aggregator and coordinator roles)")
+		shardIndex  = flag.Int("shard-index", 0, "this aggregator's shard index in [0, shards)")
+		coordAddr   = flag.String("coordinator-addr", "", "coordinator base URL the aggregator ships frames to, e.g. http://host:9137 (aggregator role)")
+		fleetWin    = flag.Int("fleet-window", 8, "epochs ahead of the merge watermark the coordinator accepts before throttling a shard")
+		fleetFlush  = flag.Duration("fleet-flush-after", 3*time.Second, "how long the coordinator waits for an epoch's stragglers before merging without them")
+		fleetDead   = flag.Int("fleet-dead-after", 48, "consecutive missed epochs before the coordinator declares a shard dead and rebalances its machines (0 = never)")
+		fleetShipTO = flag.Duration("fleet-ship-timeout", 45*time.Second, "wall-clock budget for one frame delivery across retries and throttle waits before the aggregator buffers it locally")
+		fleetReplay = flag.Int("fleet-replay", 128, "frames the aggregator buffers across coordinator outages and retains for replay after a coordinator restart")
+
+		scenarioFile = flag.String("scenario", "", "run this declarative chaos scenario file in-process and exit (nonzero on expectation violations)")
 
 		faultSeed      = flag.Int64("fault-seed", 1, "fault injector RNG seed")
 		faultDropout   = flag.Float64("fault-dropout", 0, "per-machine-epoch probability of starting a dropout stretch")
@@ -164,6 +193,9 @@ func main() {
 		faultTruncate  = flag.Float64("fault-truncate", 0, "per-epoch probability the epoch is cut off mid-machine")
 	)
 	flag.Parse()
+	if *scenarioFile != "" {
+		os.Exit(runScenarioFile(*scenarioFile))
+	}
 
 	var handler slog.Handler
 	switch *logFormat {
@@ -188,7 +220,7 @@ func main() {
 			addr: *addr, machines: *machines, seed: *seed, interval: *interval,
 			meanGapDays: *meanGapDays, thresholdDays: *thresholdDays,
 			maxEpochs: *maxEpochs, shard: *shardIndex, shards: *shards,
-			coordinator: *coordAddr,
+			coordinator: *coordAddr, shipTimeout: *fleetShipTO, replayCap: *fleetReplay,
 		})
 		return
 	default:
@@ -280,6 +312,13 @@ func main() {
 			d.mon, d.ing = mon, ing
 		case restored:
 			emitted = n
+			// The registry restarted empty: series that existed before the
+			// crash reappear only as the replayed/live epochs recreate them.
+			// Hold absence rules (each re-arms on its series' first sample;
+			// the rest resume wholesale after one checkpoint interval) so the
+			// fast-forward window cannot fire spurious absence pages.
+			d.engine.SuppressAbsence()
+			d.resumeAt = n + int64(*ckptEvery)
 			log.Printf("restored checkpoint: %d emissions already ingested, monitor at epoch %d",
 				n, d.stats().EpochsSeen)
 		}
@@ -396,6 +435,67 @@ type aggregatorOpts struct {
 	maxEpochs     int
 	shard, shards int
 	coordinator   string
+	shipTimeout   time.Duration
+	replayCap     int
+}
+
+// shipFrame is one encoded epoch frame held in the aggregator's local
+// buffers: pending until acked, then retained for rewind.
+type shipFrame struct {
+	epoch metrics.Epoch
+	data  []byte
+}
+
+// shipBuffer is the aggregator-side replay discipline: frames queue in
+// `pending` until the coordinator acks them, then move to the `sent` ring,
+// which is kept so a coordinator that restarts from an older checkpoint can
+// be re-fed everything past its restored watermark. Both sides are bounded
+// by cap; overflow evicts the oldest pending frame (the coordinator will
+// synthesize that epoch, the sanctioned degradation).
+type shipBuffer struct {
+	pending []shipFrame
+	sent    []shipFrame
+	cap     int
+	evicted int
+}
+
+func (b *shipBuffer) push(f shipFrame) {
+	b.pending = append(b.pending, f)
+	if len(b.pending) > b.cap {
+		b.pending = b.pending[1:]
+		b.evicted++
+	}
+}
+
+// ack moves the head pending frame into the sent ring.
+func (b *shipBuffer) ack() {
+	b.sent = append(b.sent, b.pending[0])
+	if len(b.sent) > b.cap {
+		b.sent = b.sent[1:]
+	}
+	b.pending = b.pending[1:]
+}
+
+// rewind re-queues every retained frame with epoch >= from in front of the
+// pending queue: the coordinator's watermark regressed (it restarted from a
+// checkpoint), so everything past the restored watermark must be re-shipped.
+// It returns how many frames were re-queued.
+func (b *shipBuffer) rewind(from metrics.Epoch) int {
+	cut := len(b.sent)
+	for cut > 0 && b.sent[cut-1].epoch >= from {
+		cut--
+	}
+	re := b.sent[cut:]
+	if len(re) == 0 {
+		return 0
+	}
+	b.pending = append(append([]shipFrame{}, re...), b.pending...)
+	b.sent = b.sent[:cut]
+	if len(b.pending) > b.cap {
+		b.evicted += len(b.pending) - b.cap
+		b.pending = b.pending[len(b.pending)-b.cap:]
+	}
+	return len(re)
 }
 
 // runAggregator drives the shard half of distributed mode: the full
@@ -408,6 +508,9 @@ type aggregatorOpts struct {
 func runAggregator(reg *telemetry.Registry, events *telemetry.EventLog, uptime *telemetry.Gauge, o aggregatorOpts) {
 	if o.coordinator == "" {
 		log.Fatal("-role aggregator requires -coordinator-addr")
+	}
+	if o.replayCap < 1 {
+		o.replayCap = 1
 	}
 	scfg := dcsim.DefaultStreamConfig(o.seed)
 	scfg.Machines = o.machines
@@ -422,7 +525,8 @@ func runAggregator(reg *telemetry.Registry, events *telemetry.EventLog, uptime *
 	g, err := fleet.NewAggregator(fleet.AggregatorConfig{
 		Shard: o.shard, Shards: o.shards, Machines: o.machines,
 		NumMetrics: stream.Catalog().Len(), SLA: stream.SLA(),
-		CoordinatorURL: o.coordinator, Telemetry: reg,
+		CoordinatorURL: o.coordinator, MaxElapsed: o.shipTimeout,
+		Telemetry: reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -465,7 +569,52 @@ func runAggregator(reg *telemetry.Registry, events *telemetry.EventLog, uptime *
 		tick = time.NewTicker(o.interval)
 		defer tick.Stop()
 	}
+	buf := &shipBuffer{cap: o.replayCap}
 	shipped := 0
+	var lastWatermark metrics.Epoch
+	// drain ships pending frames in epoch order until the buffer empties or
+	// the link degrades. Transport failures (including an open breaker) are
+	// absorbed: the frame stays buffered and the epoch loop keeps running,
+	// so a coordinator outage costs latency, not epochs. A watermark below
+	// the highest one seen means the coordinator restarted from an older
+	// checkpoint — the retained frames past it are re-queued (rewind) so the
+	// restored monitor fast-forwards to the present. It returns false on a
+	// rejection that makes continuing pointless.
+	drain := func(ctx context.Context) bool {
+		for len(buf.pending) > 0 {
+			head := buf.pending[0]
+			ack, err := g.Ship(ctx, head.data)
+			if err != nil {
+				if !errors.Is(err, context.Canceled) && ctx.Err() == nil {
+					log.Printf("buffering epoch %d (%d frames pending): %v", head.epoch, len(buf.pending), err)
+				}
+				return true
+			}
+			if ack.Watermark < lastWatermark {
+				if n := buf.rewind(ack.Watermark); n > 0 {
+					log.Printf("coordinator watermark regressed %d -> %d: re-shipping %d frames",
+						lastWatermark, ack.Watermark, n)
+				}
+				lastWatermark = ack.Watermark
+				continue
+			}
+			lastWatermark = ack.Watermark
+			if ack.Throttle {
+				// Ahead of the merge window past the ship deadline: keep the
+				// frame and give the merge time to catch up.
+				return true
+			}
+			if !ack.OK {
+				// A deliberate rejection (declared dead, geometry mismatch)
+				// cannot be retried; exit so an operator restarts us fresh.
+				log.Printf("exiting: coordinator rejected epoch %d: %s", head.epoch, ack.Error)
+				return false
+			}
+			buf.ack()
+			shipped++
+		}
+		return true
+	}
 loop:
 	for e := metrics.Epoch(0); o.maxEpochs == 0 || e < metrics.Epoch(o.maxEpochs); e++ {
 		rows, act, err := stream.Next()
@@ -479,20 +628,10 @@ loop:
 		if err != nil {
 			log.Fatal(err)
 		}
-		ack, err := g.Ship(ctx, frame)
-		if err != nil {
-			if errors.Is(err, context.Canceled) {
-				break
-			}
-			log.Fatal(err)
-		}
-		if !ack.OK {
-			// A deliberate rejection (declared dead, geometry mismatch)
-			// cannot be retried; exit so an operator restarts us fresh.
-			log.Printf("exiting: coordinator rejected epoch %d: %s", e, ack.Error)
+		buf.push(shipFrame{epoch: e, data: frame})
+		if !drain(ctx) {
 			break
 		}
-		shipped++
 		uptime.Set(time.Since(t0).Seconds())
 		if tick != nil {
 			select {
@@ -503,6 +642,31 @@ loop:
 		} else if ctx.Err() != nil {
 			break
 		}
+	}
+	// Graceful shutdown: whether the run ended by signal or by -max-epochs,
+	// give the buffered tail a bounded final drain on a fresh context so a
+	// SIGTERM mid-outage still delivers everything it can.
+	if len(buf.pending) > 0 {
+		log.Printf("draining %d buffered frames before exit", len(buf.pending))
+		drainCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		for len(buf.pending) > 0 && drainCtx.Err() == nil {
+			if !drain(drainCtx) {
+				break
+			}
+			if len(buf.pending) > 0 {
+				select {
+				case <-drainCtx.Done():
+				case <-time.After(200 * time.Millisecond):
+				}
+			}
+		}
+		cancel()
+		if n := len(buf.pending); n > 0 {
+			log.Printf("WARNING: exiting with %d undelivered frames", n)
+		}
+	}
+	if buf.evicted > 0 {
+		log.Printf("WARNING: %d frames evicted from the replay buffer during outages", buf.evicted)
 	}
 	shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
@@ -602,6 +766,16 @@ func runCoordinator(d *daemon, reg *telemetry.Registry, events *telemetry.EventL
 	shCtx, shCancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer shCancel()
 	_ = srv.Shutdown(shCtx)
+	// Graceful drain: merge every epoch that already has frames waiting
+	// (synthesizing stragglers) so the final checkpoint carries everything
+	// the shards delivered before the signal.
+	drained := 0
+	for d.coord.ForceFlush() {
+		drained++
+	}
+	if drained > 0 {
+		log.Printf("drained %d buffered epochs at shutdown", drained)
+	}
 	if o.ckptDir != "" {
 		d.checkpoint(o.ckptDir)
 	}
@@ -632,25 +806,26 @@ func buildPipeline(mcfg monitor.Config, reorderWindow int, reg *telemetry.Regist
 
 // daemon owns the monitor and the bookkeeping the HTTP endpoints read.
 type daemon struct {
-	mu      sync.Mutex
-	mon     *monitor.Monitor
-	ing     *monitor.Ingestor
-	start   time.Time
-	advice  []monitor.Advice
-	truth   map[string]string // monitor crisis ID -> ground-truth label
-	pending []pendingResolve
-	lastID  string // monitor ID of the most recent active crisis
-	wasIn   bool
-	emitted int64 // injector emissions ingested (for checkpoint fast-forward)
-	adviceW *os.File
-	auditW  *os.File
-	tracer  *telemetry.Tracer
-	score   *monitor.Scoreboard
-	hist    *telemetry.History
-	engine  *alert.Engine
-	uptime  *telemetry.Gauge
-	coord   *fleet.Coordinator      // coordinator role only
-	fleet   *fleet.CoordinatorState // coordinator progress restored from a checkpoint
+	mu       sync.Mutex
+	mon      *monitor.Monitor
+	ing      *monitor.Ingestor
+	start    time.Time
+	advice   []monitor.Advice
+	truth    map[string]string // monitor crisis ID -> ground-truth label
+	pending  []pendingResolve
+	lastID   string // monitor ID of the most recent active crisis
+	wasIn    bool
+	emitted  int64 // injector emissions ingested (for checkpoint fast-forward)
+	adviceW  *os.File
+	auditW   *os.File
+	tracer   *telemetry.Tracer
+	score    *monitor.Scoreboard
+	hist     *telemetry.History
+	engine   *alert.Engine
+	resumeAt int64 // emissions count at which suppressed absence rules resume (0 = not suppressed)
+	uptime   *telemetry.Gauge
+	coord    *fleet.Coordinator      // coordinator role only
+	fleet    *fleet.CoordinatorState // coordinator progress restored from a checkpoint
 }
 
 // auditAdvice is one audit-journal line recording an identification
@@ -768,7 +943,14 @@ func (d *daemon) observe(rep *monitor.EpochReport, active *crisis.Instance, reso
 	d.pending = kept
 
 	// With the epoch's gauges settled, run the alert rules and then record
-	// the registry (alert states included) into the history rings.
+	// the registry (alert states included) into the history rings. Absence
+	// rules suppressed across a checkpoint restore resume wholesale once
+	// the fast-forward window (one checkpoint interval) has replayed; rules
+	// whose series reappeared sooner have already re-armed individually.
+	if d.resumeAt > 0 && d.emitted >= d.resumeAt {
+		d.engine.ResumeAbsence()
+		d.resumeAt = 0
+	}
 	if d.uptime != nil {
 		d.uptime.Set(time.Since(d.start).Seconds())
 	}

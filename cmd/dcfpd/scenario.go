@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"dcfp/internal/scenario"
+)
+
+// runValidate implements `dcfpd validate FILE|DIR ...`: each argument is
+// loaded (a directory loads every *.json in it) through the strict scenario
+// parser and validator. It prints one line per scenario and returns a
+// nonzero exit code if anything fails to load — the CI matrix runs this
+// over the committed library before executing it.
+func runValidate(args []string) int {
+	if len(args) == 0 {
+		args = []string{"scenarios"}
+	}
+	bad := 0
+	for _, arg := range args {
+		st, err := os.Stat(arg)
+		if err != nil {
+			log.Printf("validate: %v", err)
+			bad++
+			continue
+		}
+		if st.IsDir() {
+			scs, err := scenario.LoadDir(arg)
+			if err != nil {
+				log.Printf("validate: %s: %v", arg, err)
+				bad++
+				continue
+			}
+			for _, sc := range scs {
+				fmt.Printf("ok: %s — %d crises, %d events, %d epochs\n",
+					sc.Name, len(sc.Crises), len(sc.Events), sc.Fleet.Epochs)
+			}
+			continue
+		}
+		sc, err := scenario.Load(arg)
+		if err != nil {
+			log.Printf("validate: %v", err)
+			bad++
+			continue
+		}
+		fmt.Printf("ok: %s — %d crises, %d events, %d epochs\n",
+			sc.Name, len(sc.Crises), len(sc.Events), sc.Fleet.Epochs)
+	}
+	if bad > 0 {
+		log.Printf("validate: %d of %d arguments failed", bad, len(args))
+		return 1
+	}
+	return 0
+}
+
+// runScenarioFile implements `dcfpd -scenario FILE`: load, run in-process on
+// the chaos harness, print the full measured result as JSON plus the
+// one-line summary, and exit nonzero if any expectation was violated.
+func runScenarioFile(path string) int {
+	sc, err := scenario.Load(path)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	res, err := scenario.Run(sc)
+	if err != nil {
+		log.Printf("scenario %s: %v", sc.Name, err)
+		return 1
+	}
+	if b, err := json.MarshalIndent(res, "", "  "); err == nil {
+		fmt.Printf("%s\n", b)
+	}
+	fmt.Println(res.Summary())
+	if !res.Passed() {
+		for _, f := range res.Failures {
+			log.Printf("expectation violated: %s", f)
+		}
+		return 1
+	}
+	return 0
+}

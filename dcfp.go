@@ -56,7 +56,7 @@ import (
 )
 
 // Version is the library version, exposed by dcfpd as dcfp_build_info.
-const Version = "0.7.0"
+const Version = "0.8.0"
 
 // Epoch indexes the 15-minute aggregation grid; see EpochDuration.
 type Epoch = metrics.Epoch

@@ -172,6 +172,7 @@ type ruleState struct {
 	resolved uint64
 	lastVal  float64
 	lastOK   bool
+	seen     bool // metric observed present at least once (arms absence rules)
 	// ring holds the last Window+1 values for rate rules.
 	ring  []float64
 	ringN int
@@ -189,9 +190,13 @@ type Engine struct {
 	rules  []*ruleState
 	epoch  metrics.Epoch
 	firing int
+	// suppressAbsence holds absence rules out of breach until their metric
+	// first reports a value (see SuppressAbsence).
+	suppressAbsence bool
 
-	firingG *telemetry.Gauge
-	evalsC  *telemetry.Counter
+	firingG     *telemetry.Gauge
+	evalsC      *telemetry.Counter
+	suppressedG *telemetry.Gauge
 }
 
 // New validates the rules and builds an engine.
@@ -224,9 +229,43 @@ func New(cfg Config) (*Engine, error) {
 	if reg := cfg.Registry; reg != nil {
 		e.firingG = reg.Gauge("dcfp_alert_firing", "Alert rules currently firing.")
 		e.evalsC = reg.Counter("dcfp_alert_evals_total", "Alert engine evaluation passes.")
+		e.suppressedG = reg.Gauge("dcfp_alert_absence_suppressed",
+			"Absence rules currently held out of breach by SuppressAbsence.")
 		reg.Gauge("dcfp_alert_rules", "Alert rules loaded.").SetInt(int64(len(cfg.Rules)))
 	}
 	return e, nil
+}
+
+// SuppressAbsence holds every absence rule out of breach until its metric
+// first reports a value. The daemon arms this before fast-forwarding a
+// checkpoint restore: replayed epochs repopulate the telemetry series one by
+// one, and without suppression every absence rule would fire spuriously in
+// the gap between restore and the first fresh sample. Each rule re-arms
+// itself the moment its metric appears; ResumeAbsence lifts the remainder
+// once the fast-forward completes.
+func (e *Engine) SuppressAbsence() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.suppressAbsence = true
+}
+
+// ResumeAbsence restores normal absence-rule evaluation: metrics still
+// missing after this call are genuinely missing and breach as usual.
+func (e *Engine) ResumeAbsence() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.suppressAbsence = false
+}
+
+// suppressedLocked reports whether rs is currently held out of breach.
+func (e *Engine) suppressedLocked(rs *ruleState) bool {
+	return e.suppressAbsence && rs.rule.Kind == KindAbsence && !rs.seen
 }
 
 // Eval runs every rule against the registry's current values for one epoch.
@@ -237,16 +276,20 @@ func (e *Engine) Eval(epoch metrics.Epoch) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.epoch = epoch
-	firing := 0
+	firing, suppressed := 0, 0
 	for _, rs := range e.rules {
 		e.evalRule(rs, epoch)
 		if rs.state == StateFiring {
 			firing++
 		}
+		if e.suppressedLocked(rs) {
+			suppressed++
+		}
 	}
 	e.firing = firing
 	if e.firingG != nil {
 		e.firingG.SetInt(int64(firing))
+		e.suppressedG.SetInt(int64(suppressed))
 		e.evalsC.Inc()
 	}
 }
@@ -258,6 +301,9 @@ func (e *Engine) evalRule(rs *ruleState, epoch metrics.Epoch) {
 		v, ok = reg.Value(rs.rule.Metric, labelSlice(rs.rule.Labels)...)
 	}
 	rs.lastVal, rs.lastOK = v, ok
+	if ok {
+		rs.seen = true
+	}
 
 	breach := false
 	switch rs.rule.Kind {
@@ -276,7 +322,7 @@ func (e *Engine) evalRule(rs *ruleState, epoch metrics.Epoch) {
 			rs.ringN = 0
 		}
 	case KindAbsence:
-		breach = !ok
+		breach = !ok && !e.suppressedLocked(rs)
 	}
 
 	switch {
@@ -349,6 +395,9 @@ type RuleStatus struct {
 	FiredAt      metrics.Epoch `json:"fired_at"` // -1 = never fired
 	FiredCount   uint64        `json:"fired_count"`
 	ResolvedCnt  uint64        `json:"resolved_count"`
+	// Suppressed marks an absence rule held out of breach by
+	// SuppressAbsence, awaiting its metric's first sample.
+	Suppressed bool `json:"suppressed,omitempty"`
 }
 
 // Snapshot is the /alerts payload.
@@ -371,6 +420,7 @@ func (e *Engine) Snapshot() Snapshot {
 			Rule: rs.rule, State: rs.state, Since: rs.since,
 			BreachEpochs: rs.breach, Value: rs.lastVal, ValuePresent: rs.lastOK,
 			FiredAt: rs.firedAt, FiredCount: rs.fired, ResolvedCnt: rs.resolved,
+			Suppressed: e.suppressedLocked(rs),
 		})
 	}
 	return s

@@ -1,0 +1,104 @@
+package alert
+
+import (
+	"testing"
+
+	"dcfp/internal/metrics"
+	"dcfp/internal/telemetry"
+)
+
+// TestSuppressAbsenceHoldsBreach: with suppression armed, an absence rule
+// whose metric has never reported stays inactive for any number of epochs —
+// exactly the checkpoint-restore fast-forward window where series have not
+// been repopulated yet.
+func TestSuppressAbsenceHoldsBreach(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e, err := New(Config{
+		Rules: []Rule{{
+			Name: "heartbeat-missing", Kind: KindAbsence, Metric: "dcfp_heartbeat", For: 2,
+		}},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SuppressAbsence()
+	for ep := 0; ep < 10; ep++ {
+		e.Eval(metrics.Epoch(ep))
+	}
+	snap := e.Snapshot()
+	if got := snap.Rules[0].State; got != StateInactive {
+		t.Fatalf("suppressed absence rule reached %s, want inactive", got)
+	}
+	if !snap.Rules[0].Suppressed {
+		t.Fatal("snapshot does not report the rule as suppressed")
+	}
+	if v, ok := reg.Value("dcfp_alert_absence_suppressed"); !ok || v != 1 {
+		t.Fatalf("dcfp_alert_absence_suppressed = %v (ok=%v), want 1", v, ok)
+	}
+
+	// ResumeAbsence lifts the hold: the still-missing metric now breaches
+	// and fires after For epochs.
+	e.ResumeAbsence()
+	e.Eval(10)
+	e.Eval(11)
+	if got := e.Snapshot().Rules[0].State; got != StateFiring {
+		t.Fatalf("after resume, state = %s, want firing", got)
+	}
+	if v, _ := reg.Value("dcfp_alert_absence_suppressed"); v != 0 {
+		t.Fatalf("dcfp_alert_absence_suppressed = %v after resume, want 0", v)
+	}
+}
+
+// TestSuppressAbsenceArmsOnFirstSample: a suppressed absence rule re-arms
+// itself the moment its metric first reports, without waiting for
+// ResumeAbsence — once a series exists, its absence is meaningful again.
+func TestSuppressAbsenceArmsOnFirstSample(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e, err := New(Config{
+		Rules: []Rule{
+			{Name: "late", Kind: KindAbsence, Metric: "dcfp_late_series"},
+			{Name: "never", Kind: KindAbsence, Metric: "dcfp_never_series"},
+		},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SuppressAbsence()
+	e.Eval(0)
+	if v, _ := reg.Value("dcfp_alert_absence_suppressed"); v != 2 {
+		t.Fatalf("suppressed gauge = %v, want 2", v)
+	}
+
+	// The fast-forward repopulates one of the two series.
+	reg.Gauge("dcfp_late_series", "").Set(1)
+	e.Eval(1)
+	snap := e.Snapshot()
+	if snap.Rules[0].Suppressed {
+		t.Fatal("rule stayed suppressed after its metric reported")
+	}
+	if !snap.Rules[1].Suppressed {
+		t.Fatal("rule with a still-missing metric lost its suppression")
+	}
+	if v, _ := reg.Value("dcfp_alert_absence_suppressed"); v != 1 {
+		t.Fatalf("suppressed gauge = %v after first sample, want 1", v)
+	}
+
+	// White-box: the armed rule's evaluation is back to plain absence
+	// semantics even though global suppression is still on.
+	if e.rules[0].seen != true {
+		t.Fatal("armed rule did not record its metric as seen")
+	}
+	if e.suppressedLocked(e.rules[0]) {
+		t.Fatal("armed rule still reports suppressed")
+	}
+}
+
+// TestSuppressAbsenceNilSafe: the daemon calls these on a possibly-nil
+// engine when alerting is disabled.
+func TestSuppressAbsenceNilSafe(t *testing.T) {
+	var e *Engine
+	e.SuppressAbsence()
+	e.ResumeAbsence()
+}

@@ -178,6 +178,37 @@ func Schedule(types []Type, cfg ScheduleConfig, labeled bool, idPrefix string, r
 	return out, nil
 }
 
+// ScheduleAt pins a single instance at an exact start epoch and duration —
+// the scripted-scenario counterpart of Schedule. Severity may be given
+// explicitly (0 draws from the same 0.9..1.1 band Schedule uses); the
+// affected extent is always drawn per type so scripted crises exercise the
+// same quantile columns as randomly scheduled ones.
+func ScheduleAt(ty Type, start metrics.Epoch, duration int, severity float64, labeled bool, id string, rng *rand.Rand) (Instance, error) {
+	if ty < 0 || ty >= numTypes {
+		return Instance{}, fmt.Errorf("crisis: unknown type %d", ty)
+	}
+	if start < 0 {
+		return Instance{}, fmt.Errorf("crisis: negative start epoch %d", start)
+	}
+	if duration < 1 {
+		return Instance{}, fmt.Errorf("crisis: duration %d must be >= 1", duration)
+	}
+	if severity == 0 {
+		severity = 0.9 + rng.Float64()*0.2
+	} else if severity < 0.5 || severity > 1.5 {
+		return Instance{}, fmt.Errorf("crisis: severity %v outside [0.5, 1.5]", severity)
+	}
+	return Instance{
+		ID:               id,
+		Type:             ty,
+		Start:            start,
+		Duration:         duration,
+		Labeled:          labeled,
+		Severity:         severity,
+		AffectedFraction: affectedFraction(ty, rng),
+	}, nil
+}
+
 // affectedFraction draws the fraction of machines a crisis touches.
 // Each class has a characteristic extent (whole-datacenter events touch
 // everyone, localized faults a stable minority) with small per-instance

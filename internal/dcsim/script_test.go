@@ -1,0 +1,116 @@
+package dcsim
+
+import (
+	"testing"
+
+	"dcfp/internal/crisis"
+	"dcfp/internal/metrics"
+)
+
+// TestStreamScript pins crises at exact epochs and checks the stream honors
+// the script: active instances appear exactly on [Start, End], carry the
+// scripted type, and no further crises arrive once the script is spent.
+func TestStreamScript(t *testing.T) {
+	cfg := testStreamConfig(11)
+	cfg.Script = []ScriptedCrisis{
+		{Start: 40, Duration: 10, Type: crisis.TypeB},
+		{Start: 90, Duration: 8, Type: crisis.TypeG, Severity: 1.1},
+	}
+	s, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	activeAt := map[metrics.Epoch]*crisis.Instance{}
+	for e := 0; e < 240; e++ {
+		_, active, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if active != nil {
+			in := *active
+			activeAt[metrics.Epoch(e)] = &in
+		}
+	}
+	for e := metrics.Epoch(0); e < 240; e++ {
+		in := activeAt[e]
+		switch {
+		case e >= 40 && e <= 49:
+			if in == nil || in.Type != crisis.TypeB || in.ID != "S001" {
+				t.Fatalf("epoch %d: want scripted TypeB S001, got %+v", e, in)
+			}
+		case e >= 90 && e <= 97:
+			if in == nil || in.Type != crisis.TypeG || in.ID != "S002" {
+				t.Fatalf("epoch %d: want scripted TypeG S002, got %+v", e, in)
+			}
+			if in.Severity != 1.1 {
+				t.Fatalf("epoch %d: severity %v, want scripted 1.1", e, in.Severity)
+			}
+		default:
+			if in != nil {
+				t.Fatalf("epoch %d: unexpected crisis %+v outside script", e, in)
+			}
+		}
+	}
+}
+
+// TestStreamScriptDeterminism checks two streams with the same scripted
+// config emit byte-identical rows — the property the scenario runner's
+// clean-reference comparison rests on.
+func TestStreamScriptDeterminism(t *testing.T) {
+	mk := func() *Stream {
+		cfg := testStreamConfig(5)
+		cfg.Script = []ScriptedCrisis{{Start: 30, Duration: 12, Type: crisis.TypeJ}}
+		s, err := NewStream(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	for e := 0; e < 120; e++ {
+		ra, _, err := a.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, _, err := b.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := range ra {
+			for j := range ra[m] {
+				if ra[m][j] != rb[m][j] {
+					t.Fatalf("epoch %d: row[%d][%d] %v != %v", e, m, j, ra[m][j], rb[m][j])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamScriptValidation rejects overlapping, unordered, and
+// inside-warmup scripts.
+func TestStreamScriptValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		script []ScriptedCrisis
+	}{
+		{"inside warmup", []ScriptedCrisis{{Start: 10, Duration: 4, Type: crisis.TypeA}}},
+		{"overlap", []ScriptedCrisis{
+			{Start: 40, Duration: 10, Type: crisis.TypeA},
+			{Start: 45, Duration: 4, Type: crisis.TypeB},
+		}},
+		{"unordered", []ScriptedCrisis{
+			{Start: 90, Duration: 4, Type: crisis.TypeA},
+			{Start: 40, Duration: 4, Type: crisis.TypeB},
+		}},
+		{"zero duration", []ScriptedCrisis{{Start: 40, Duration: 0, Type: crisis.TypeA}}},
+		{"bad severity", []ScriptedCrisis{{Start: 40, Duration: 4, Type: crisis.TypeA, Severity: 3}}},
+		{"bad type", []ScriptedCrisis{{Start: 40, Duration: 4, Type: crisis.Type(99)}}},
+	}
+	for _, tc := range cases {
+		cfg := testStreamConfig(1)
+		cfg.Script = tc.script
+		if _, err := NewStream(cfg); err == nil {
+			t.Errorf("%s: NewStream accepted invalid script", tc.name)
+		}
+	}
+}

@@ -35,6 +35,12 @@ type StreamConfig struct {
 	// Repeating a type makes repeat crises (and thus known-crisis
 	// identification) far more likely on short traces.
 	Types []crisis.Type
+	// Script, when non-empty, replaces random scheduling entirely: crises
+	// land exactly at the scripted epochs, in order, and no further crises
+	// arrive once the script is exhausted. Two streams built with the same
+	// config (script included) generate byte-identical traces, which is what
+	// lets a chaos run be compared against a clean reference.
+	Script []ScriptedCrisis
 	// Workload shapes the load signal.
 	Workload workload.Config
 	// Telemetry optionally receives the same dcfp_sim_* metrics Simulate
@@ -60,6 +66,20 @@ func DefaultStreamConfig(seed int64) StreamConfig {
 	}
 }
 
+// ScriptedCrisis pins one crisis of a stream script: Type starting at Start
+// for Duration epochs. Severity 0 draws from the usual 0.9..1.1 band.
+type ScriptedCrisis struct {
+	Start    metrics.Epoch
+	Duration int
+	Type     crisis.Type
+	Severity float64
+}
+
+// End is the last epoch the scripted crisis is active.
+func (sc ScriptedCrisis) End() metrics.Epoch {
+	return sc.Start + metrics.Epoch(sc.Duration) - 1
+}
+
 func (c StreamConfig) validate() error {
 	if c.Machines < 10 {
 		return fmt.Errorf("dcsim: need at least 10 machines, got %d", c.Machines)
@@ -77,6 +97,25 @@ func (c StreamConfig) validate() error {
 		if int(ty) < 0 || int(ty) >= crisis.NumTypes {
 			return fmt.Errorf("dcsim: unknown crisis type %d in Types", ty)
 		}
+	}
+	prevEnd := metrics.Epoch(c.WarmupEpochs) - 1
+	for i, sc := range c.Script {
+		if int(sc.Type) < 0 || int(sc.Type) >= crisis.NumTypes {
+			return fmt.Errorf("dcsim: unknown crisis type %d in Script[%d]", sc.Type, i)
+		}
+		if sc.Duration < 1 {
+			return fmt.Errorf("dcsim: Script[%d] duration %d must be >= 1", i, sc.Duration)
+		}
+		if sc.Severity != 0 && (sc.Severity < 0.5 || sc.Severity > 1.5) {
+			return fmt.Errorf("dcsim: Script[%d] severity %v outside [0.5, 1.5]", i, sc.Severity)
+		}
+		// Scripted crises must be strictly ordered and non-overlapping (and
+		// the first must clear the warmup prefix): the stream schedules the
+		// next instance only after the previous one ends.
+		if sc.Start <= prevEnd {
+			return fmt.Errorf("dcsim: Script[%d] starts at %d, inside or before the previous crisis/warmup (ends %d)", i, sc.Start, prevEnd)
+		}
+		prevEnd = sc.End()
 	}
 	return nil
 }
@@ -106,6 +145,7 @@ type Stream struct {
 	cur          *metrics.Matrix // the buffer handed out by the last Next
 	e            metrics.Epoch
 	next         *crisis.Instance // upcoming or currently active instance
+	scriptPos    int              // next unconsumed entry of cfg.Script
 	chaos        []compiledEffect // side-effect chaos drawn for next
 	seq          int
 	tel          *simMetrics
@@ -173,9 +213,18 @@ func (s *Stream) Epoch() metrics.Epoch { return s.e }
 // Upcoming returns the next scheduled (or currently active) crisis instance.
 func (s *Stream) Upcoming() crisis.Instance { return *s.next }
 
-// schedule places the next crisis instance no earlier than notBefore, with
-// an exponential gap, and draws its chaos side effects.
+// scriptExhausted is the sentinel start epoch installed once a scripted
+// stream has consumed its last entry: far enough out that no realistic run
+// reaches it, small enough that End() cannot overflow.
+const scriptExhausted = metrics.Epoch(math.MaxInt32)
+
+// schedule places the next crisis instance no earlier than notBefore — at
+// the next scripted epoch when the stream is scripted, with an exponential
+// gap otherwise — and draws its chaos side effects.
 func (s *Stream) schedule(notBefore metrics.Epoch) error {
+	if len(s.cfg.Script) > 0 {
+		return s.scheduleScripted(notBefore)
+	}
 	gap := metrics.Epoch(1 + int(s.rng.ExpFloat64()*s.cfg.MeanGapEpochs))
 	start := notBefore + gap
 	ty := crisis.UnlabeledTypes(1, s.rng)[0]
@@ -193,8 +242,34 @@ func (s *Stream) schedule(notBefore metrics.Epoch) error {
 	if err != nil {
 		return fmt.Errorf("dcsim: scheduling streamed crisis: %w", err)
 	}
+	return s.place(ins[0])
+}
+
+// scheduleScripted consumes the next script entry, or parks a far-future
+// sentinel when the script is spent so the stream keeps generating clean
+// epochs without rescheduling.
+func (s *Stream) scheduleScripted(notBefore metrics.Epoch) error {
+	if s.scriptPos >= len(s.cfg.Script) {
+		s.chaos = s.chaos[:0]
+		s.next = &crisis.Instance{ID: "S-END", Start: scriptExhausted, Duration: 1}
+		return nil
+	}
+	sc := s.cfg.Script[s.scriptPos]
+	s.scriptPos++
+	if sc.Start < notBefore {
+		return fmt.Errorf("dcsim: scripted crisis at %d already passed (stream at %d)", sc.Start, notBefore)
+	}
+	in, err := crisis.ScheduleAt(sc.Type, sc.Start, sc.Duration, sc.Severity, true, "S", s.rng)
+	if err != nil {
+		return fmt.Errorf("dcsim: scheduling scripted crisis: %w", err)
+	}
+	return s.place(in)
+}
+
+// place installs in as the stream's next instance: numbers it, arms the
+// TypeJ workload spike, and draws its side-effect chaos.
+func (s *Stream) place(in crisis.Instance) error {
 	s.seq++
-	in := ins[0]
 	in.ID = fmt.Sprintf("S%03d", s.seq)
 	if in.Type == crisis.TypeJ {
 		if err := s.wl.AddSpike(workload.Spike{Start: in.Start, Duration: in.Duration, Magnitude: 1.6}); err != nil {

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"time"
@@ -39,8 +40,21 @@ type AggregatorConfig struct {
 	// errors (default 8); throttle waits do not consume attempts.
 	MaxAttempts int
 	// RetryBackoff is the initial retry/throttle sleep, doubling per
-	// attempt up to 32x (default 100 ms).
+	// attempt up to 32x with ±50% jitter (default 100 ms).
 	RetryBackoff time.Duration
+	// MaxElapsed bounds one Ship call's total wall clock across retries
+	// and throttle waits; past it the frame is abandoned (transport
+	// errors) or handed back throttled for the caller to buffer. Default
+	// 45 s; < 0 disables the deadline.
+	MaxElapsed time.Duration
+	// BreakerThreshold is how many consecutive transport failures (breaker
+	// state persists across Ship calls) open the circuit breaker, after
+	// which Ship fails fast with ErrBreakerOpen until BreakerCooldown
+	// admits a half-open probe. Default 5; < 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker blocks before the next
+	// probe (default 5 s).
+	BreakerCooldown time.Duration
 	// Telemetry optionally receives dcfp_fleet_* shipping metrics.
 	Telemetry *telemetry.Registry
 }
@@ -55,12 +69,15 @@ type Aggregator struct {
 	asn    Assignment
 	agg    *metrics.Aggregator
 	client *http.Client
+	brk    *breaker
+	jitter *rand.Rand
 
-	bytesTx  *telemetry.Counter
-	shipSec  *telemetry.Histogram
-	framesOK *telemetry.Counter
-	framesRe *telemetry.Counter
-	framesEr *telemetry.Counter
+	bytesTx   *telemetry.Counter
+	shipSec   *telemetry.Histogram
+	framesOK  *telemetry.Counter
+	framesRe  *telemetry.Counter
+	framesEr  *telemetry.Counter
+	abandoned *telemetry.Counter
 }
 
 // NewAggregator validates the config and computes the shard's initial
@@ -93,7 +110,24 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 100 * time.Millisecond
 	}
-	g := &Aggregator{cfg: cfg, asn: asn, agg: agg, client: cfg.Client}
+	if cfg.MaxElapsed == 0 {
+		cfg.MaxElapsed = 45 * time.Second
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+	g := &Aggregator{
+		cfg: cfg, asn: asn, agg: agg, client: cfg.Client,
+		// Backoff jitter decorrelates shard retry storms; seeding off the
+		// shard index keeps runs reproducible without synchronizing shards.
+		jitter: rand.New(rand.NewSource(7919*int64(cfg.Shard) + 1)),
+	}
+	if cfg.BreakerThreshold > 0 {
+		g.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Telemetry)
+	}
 	if g.client == nil {
 		g.client = &http.Client{Timeout: 10 * time.Second}
 	}
@@ -108,6 +142,8 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 			"Frame delivery outcomes.", telemetry.Label{Key: "result", Value: "stale"})
 		g.framesEr = r.Counter("dcfp_fleet_frames_shipped_total",
 			"Frame delivery outcomes.", telemetry.Label{Key: "result", Value: "error"})
+		g.abandoned = r.Counter("dcfp_fleet_ship_abandoned_total",
+			"Frames given up on after exhausting the retry budget or elapsed deadline.")
 	}
 	return g, nil
 }
@@ -213,15 +249,26 @@ func (g *Aggregator) Bootstrap(ctx context.Context) (metrics.Epoch, error) {
 }
 
 // Ship delivers an encoded frame to the coordinator, retrying transport
-// errors with exponential backoff and waiting out throttle acks. It
-// returns the final ack; an ack with OK=false is returned without error —
-// the coordinator rejected the frame deliberately and retrying the same
-// bytes cannot help. If the ack carries a newer assignment it is adopted
-// before returning.
+// errors with jittered exponential backoff and waiting out throttle acks,
+// all under the MaxElapsed wall-clock budget. It returns the final ack; an
+// ack with OK=false is returned without error — the coordinator rejected
+// the frame deliberately (or is still throttling at the deadline) and
+// retrying the same bytes cannot help. If the ack carries a newer
+// assignment it is adopted before returning.
+//
+// When the circuit breaker is open Ship fails fast with ErrBreakerOpen
+// instead of attempting delivery: a partitioned shard degrades to local
+// buffering (the caller keeps the frame and retries next epoch) rather
+// than hot-looping against a dead link. Frames given up on after the
+// attempt or elapsed budget count toward dcfp_fleet_ship_abandoned_total.
 func (g *Aggregator) Ship(ctx context.Context, frame []byte) (*Ack, error) {
-	var t0 time.Time
-	if g.shipSec != nil {
-		t0 = time.Now()
+	t0 := time.Now()
+	var deadline time.Time
+	if g.cfg.MaxElapsed > 0 {
+		deadline = t0.Add(g.cfg.MaxElapsed)
+	}
+	if !g.brk.allow() {
+		return nil, ErrBreakerOpen
 	}
 	backoff := g.cfg.RetryBackoff
 	attempts := 0
@@ -230,16 +277,34 @@ func (g *Aggregator) Ship(ctx context.Context, frame []byte) (*Ack, error) {
 		switch {
 		case err != nil:
 			attempts++
+			g.brk.failure()
 			if g.framesEr != nil {
 				g.framesEr.Inc()
 			}
-			if attempts >= g.cfg.MaxAttempts {
-				return nil, fmt.Errorf("fleet: shipping frame after %d attempts: %w", attempts, err)
+			if attempts >= g.cfg.MaxAttempts || (!deadline.IsZero() && !time.Now().Before(deadline)) {
+				if g.abandoned != nil {
+					g.abandoned.Inc()
+				}
+				return nil, fmt.Errorf("fleet: abandoning frame after %d attempts over %v: %w",
+					attempts, time.Since(t0).Round(time.Millisecond), err)
+			}
+			if !g.brk.allow() {
+				// The breaker opened mid-call (threshold consecutive
+				// failures); stop burning the remaining attempts.
+				return nil, ErrBreakerOpen
 			}
 		case ack.Throttle:
 			// Ahead of the merge window: same frame, later. Deliberate
-			// flow control, not a failure — does not consume attempts.
+			// flow control, not a failure — does not consume attempts, but
+			// it does consume the elapsed budget: at the deadline the
+			// throttle ack is handed back so the caller buffers the frame
+			// instead of camping in Ship.
+			g.brk.success()
+			if !deadline.IsZero() && !time.Now().Before(deadline) {
+				return ack, nil
+			}
 		default:
+			g.brk.success()
 			if ack.Assignment != nil {
 				g.Adopt(*ack.Assignment)
 			}
@@ -259,12 +324,17 @@ func (g *Aggregator) Ship(ctx context.Context, frame []byte) (*Ack, error) {
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(g.jittered(backoff)):
 		}
 		if backoff < 32*g.cfg.RetryBackoff {
 			backoff *= 2
 		}
 	}
+}
+
+// jittered spreads a backoff uniformly over [0.5d, 1.5d).
+func (g *Aggregator) jittered(d time.Duration) time.Duration {
+	return d/2 + time.Duration(g.jitter.Int63n(int64(d)))
 }
 
 func (g *Aggregator) post(ctx context.Context, frame []byte) (*Ack, error) {

@@ -1,0 +1,384 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+
+	"dcfp/internal/crisis"
+	"dcfp/internal/metrics"
+	"dcfp/internal/monitor"
+)
+
+// ChaosConfig assembles a ChaosHarness.
+type ChaosConfig struct {
+	Coordinator CoordinatorConfig
+	// Aggregator is a template: Shard/Shards/Machines are filled in.
+	Aggregator AggregatorConfig
+	// Faults is the transport fault injector (nil = a perfect network).
+	Faults *LinkFaults
+	// FlushAfterSteps is the step-counted lateness budget: the watermark
+	// epoch is force-merged (absent shards synthesized as non-reporting)
+	// once the stream runs this many epochs past it. It is the
+	// deterministic stand-in for CoordinatorConfig.FlushAfter, which the
+	// harness disables. Default 4; faults that delay frames by less leave
+	// the merge byte-identical to a clean run.
+	FlushAfterSteps int
+	// ReplayCapacity bounds each shard's frame ring — delivered frames are
+	// retained for replay after a coordinator restart, undelivered ones
+	// queue through partitions. Overflow evicts oldest-first (delivered
+	// before undelivered) and is surfaced via Evicted. Default 64.
+	ReplayCapacity int
+}
+
+// ringEntry tracks one encoded epoch frame through delivery.
+type ringEntry struct {
+	epoch       metrics.Epoch
+	data        []byte
+	delivered   bool
+	inflight    int // scheduled arrivals (original or mutated copies) not yet landed
+	lastAttempt int // step of the last delivery attempt, to bound retries to one per step
+}
+
+// frameRing is a shard's bounded, epoch-ordered replay buffer.
+type frameRing struct {
+	cap     int
+	entries []*ringEntry
+	evicted int
+}
+
+func (r *frameRing) add(e metrics.Epoch, data []byte) {
+	r.entries = append(r.entries, &ringEntry{epoch: e, data: data, lastAttempt: -1})
+	if len(r.entries) <= r.cap {
+		return
+	}
+	// Evict delivered frames oldest-first; only once none remain does the
+	// ring drop undelivered work (a realistic bounded send buffer).
+	for i, en := range r.entries {
+		if en.delivered {
+			r.entries = append(r.entries[:i], r.entries[i+1:]...)
+			return
+		}
+	}
+	r.evicted++
+	r.entries = r.entries[1:]
+}
+
+func (r *frameRing) find(e metrics.Epoch) *ringEntry {
+	for _, en := range r.entries {
+		if en.epoch == e {
+			return en
+		}
+	}
+	return nil
+}
+
+// scheduled is one in-flight arrival.
+type scheduled struct {
+	due     int
+	shard   int
+	epoch   metrics.Epoch
+	data    []byte
+	mutated bool
+}
+
+// ChaosHarness is the fault-injecting sibling of Harness: N shard
+// aggregators and one coordinator in-process, every frame passing through
+// the wire codec and, between them, a LinkFaults plan. Delivery is
+// step-clocked — one Step per fleet epoch, with delayed frames landing on
+// later steps — so runs are deterministic for any seeded fault mix. Frames
+// that fail to deliver stay queued in a per-shard replay ring and are
+// re-attempted each step, which is how a partition heals into a replayed
+// backlog instead of lost epochs.
+type ChaosHarness struct {
+	Coordinator *Coordinator
+	Aggregators []*Aggregator
+
+	cfg     ChaosConfig
+	step    int
+	epoch   metrics.Epoch // last epoch fed to Step
+	stopped []bool
+	rings   []*frameRing
+	sched   []scheduled
+
+	// ZombieRejected counts frames refused with 409 because the shard had
+	// been declared dead before it came back.
+	ZombieRejected int
+}
+
+// NewChaosHarness builds the fleet. The coordinator's wall-clock FlushAfter
+// is disabled in favor of the harness's step-counted budget.
+func NewChaosHarness(cfg ChaosConfig) (*ChaosHarness, error) {
+	if cfg.FlushAfterSteps == 0 {
+		cfg.FlushAfterSteps = 4
+	}
+	if cfg.FlushAfterSteps < 1 {
+		return nil, fmt.Errorf("fleet: FlushAfterSteps %d must be >= 1", cfg.FlushAfterSteps)
+	}
+	if cfg.Coordinator.Window <= 0 {
+		// Normalized here too (NewCoordinator defaults its own copy): the
+		// harness reads the window for its throttle-avoidance limit.
+		cfg.Coordinator.Window = 8
+	}
+	if cfg.ReplayCapacity == 0 {
+		cfg.ReplayCapacity = 64
+	}
+	if cfg.ReplayCapacity < cfg.Coordinator.Window {
+		return nil, fmt.Errorf("fleet: ReplayCapacity %d below the coordinator window %d",
+			cfg.ReplayCapacity, cfg.Coordinator.Window)
+	}
+	cfg.Coordinator.FlushAfter = -1
+	coord, err := NewCoordinator(cfg.Coordinator)
+	if err != nil {
+		return nil, err
+	}
+	ch := &ChaosHarness{
+		Coordinator: coord,
+		cfg:         cfg,
+		stopped:     make([]bool, cfg.Coordinator.Shards),
+		rings:       make([]*frameRing, cfg.Coordinator.Shards),
+	}
+	for s := 0; s < cfg.Coordinator.Shards; s++ {
+		acfg := cfg.Aggregator
+		acfg.Shard = s
+		acfg.Shards = cfg.Coordinator.Shards
+		acfg.Machines = cfg.Coordinator.Machines
+		g, err := NewAggregator(acfg)
+		if err != nil {
+			return nil, err
+		}
+		ch.Aggregators = append(ch.Aggregators, g)
+		ch.rings[s] = &frameRing{cap: cfg.ReplayCapacity}
+	}
+	return ch, nil
+}
+
+// Kill simulates shard s dying: no further frames are built and its queued
+// (undelivered) backlog is lost with the process. Copies already in flight
+// still land.
+func (ch *ChaosHarness) Kill(s int) {
+	ch.stopped[s] = true
+	ch.rings[s] = &frameRing{cap: ch.cfg.ReplayCapacity}
+}
+
+// Restart brings shard s back with an empty ring, adopting the
+// coordinator's current assignment (the Bootstrap step of a real restart).
+// If the coordinator declared the shard dead meanwhile, its next frame is
+// refused and the shard stops again — a zombie must not double-cover
+// machines the survivors took over.
+func (ch *ChaosHarness) Restart(s int) {
+	ch.stopped[s] = false
+	ch.rings[s] = &frameRing{cap: ch.cfg.ReplayCapacity}
+	ch.Aggregators[s].Adopt(ch.Coordinator.Assignment())
+}
+
+// Stopped reports whether shard s is currently down.
+func (ch *ChaosHarness) Stopped(s int) bool { return ch.stopped[s] }
+
+// StepCount is the harness's delivery-step clock: one tick per Step or Drain
+// iteration. LinkFaults schedules (Partition heal steps, delay arrivals) are
+// expressed on this clock, so external drivers — the scenario runner — use
+// it to time faults relative to the run.
+func (ch *ChaosHarness) StepCount() int { return ch.step }
+
+// Evicted returns the total frames dropped from replay rings by capacity
+// pressure (lost work: the coordinator synthesized those shard-epochs).
+func (ch *ChaosHarness) Evicted() int {
+	n := 0
+	for _, r := range ch.rings {
+		n += r.evicted
+	}
+	return n
+}
+
+// SetCoordinator swaps in a restarted coordinator (rebuilt from a
+// checkpoint by the caller). In-flight arrivals addressed to the dead
+// process are lost; every ring entry at or past the restored watermark is
+// marked undelivered so the backlog replays and fast-forwards the new
+// coordinator — the aggregator-side equivalent of the watermark-regression
+// rewind the dcfpd shipping loop performs.
+func (ch *ChaosHarness) SetCoordinator(c *Coordinator) {
+	ch.Coordinator = c
+	ch.sched = ch.sched[:0]
+	wm := c.Watermark()
+	for _, ring := range ch.rings {
+		for _, en := range ring.entries {
+			if en.epoch >= wm {
+				en.delivered = false
+			}
+			en.inflight = 0
+			en.lastAttempt = -1
+		}
+	}
+}
+
+// RestartCoordinator models a coordinator crash-failover: it builds a fresh
+// coordinator from the harness's own config (same geometry, telemetry, and
+// report callback) around mon — typically a monitor just restored from a
+// checkpoint — installs the checkpointed coordinator state, and swaps it in
+// so the shard backlogs fast-forward it to the present.
+func (ch *ChaosHarness) RestartCoordinator(mon *monitor.Monitor, st CoordinatorState) (*Coordinator, error) {
+	cfg := ch.cfg.Coordinator
+	cfg.Monitor = mon
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := coord.Restore(st); err != nil {
+		return nil, err
+	}
+	ch.SetCoordinator(coord)
+	return coord, nil
+}
+
+// Step feeds one fleet epoch through every live aggregator, runs the fault
+// plan over all deliverable frames, lands due in-flight copies, and applies
+// the step-counted lateness budget.
+func (ch *ChaosHarness) Step(e metrics.Epoch, rows [][]float64, active *crisis.Instance) error {
+	ch.step++
+	ch.epoch = e
+	for s, g := range ch.Aggregators {
+		if ch.stopped[s] || len(g.asn.Ranges[s]) == 0 {
+			continue
+		}
+		frame, err := g.EpochFrame(e, rows, active)
+		if err != nil {
+			return fmt.Errorf("shard %d epoch %d: %w", s, e, err)
+		}
+		ch.rings[s].add(e, frame)
+	}
+	ch.pump()
+	// Lateness budget: merge the watermark epoch once the stream has run
+	// FlushAfterSteps epochs past it, however little of it arrived.
+	for ch.Coordinator.Watermark()+metrics.Epoch(ch.cfg.FlushAfterSteps) <= ch.epoch {
+		ch.Coordinator.ForceMerge()
+	}
+	return nil
+}
+
+// Drain pumps delivery steps without new epochs until the coordinator's
+// watermark passes the last fed epoch, force-merging when a step makes no
+// progress (e.g. a killed shard's frames are simply gone). It errors if
+// maxSteps elapse first.
+func (ch *ChaosHarness) Drain(maxSteps int) error {
+	for i := 0; i < maxSteps; i++ {
+		if ch.Coordinator.Watermark() > ch.epoch {
+			return nil
+		}
+		ch.step++
+		before := ch.Coordinator.Watermark()
+		ch.pump()
+		if ch.Coordinator.Watermark() == before && !ch.pendingWork() {
+			ch.Coordinator.ForceMerge()
+		}
+	}
+	if ch.Coordinator.Watermark() <= ch.epoch {
+		return fmt.Errorf("fleet: drain stalled at watermark %d after %d steps (target %d)",
+			ch.Coordinator.Watermark(), maxSteps, ch.epoch)
+	}
+	return nil
+}
+
+// pendingWork reports whether any delivery could still make progress
+// without force-merging: an in-flight copy, or an undelivered frame on a
+// live unpartitioned link.
+func (ch *ChaosHarness) pendingWork() bool {
+	if len(ch.sched) > 0 {
+		return true
+	}
+	for s, ring := range ch.rings {
+		if ch.stopped[s] || ch.cfg.Faults.Partitioned(s, ch.step) {
+			continue
+		}
+		for _, en := range ring.entries {
+			if !en.delivered && en.epoch >= ch.Coordinator.Watermark() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pump lands due in-flight copies, then plans delivery attempts for every
+// eligible queued frame, repeating while progress opens the window further.
+func (ch *ChaosHarness) pump() {
+	ch.landDue()
+	for {
+		progressed := false
+		wm := ch.Coordinator.Watermark()
+		limit := wm + metrics.Epoch(ch.cfg.Coordinator.Window)
+		for s, ring := range ch.rings {
+			if ch.stopped[s] {
+				continue
+			}
+			for _, en := range ring.entries {
+				if en.delivered || en.inflight > 0 || en.lastAttempt >= ch.step || en.epoch >= limit {
+					continue
+				}
+				en.lastAttempt = ch.step
+				for _, d := range ch.cfg.Faults.Plan(s, ch.step, en.data) {
+					if d.DelaySteps <= 0 {
+						ch.land(scheduled{shard: s, epoch: en.epoch, data: d.Frame, mutated: d.Mutated})
+						progressed = true
+					} else {
+						en.inflight++
+						ch.sched = append(ch.sched, scheduled{
+							due: ch.step + d.DelaySteps, shard: s, epoch: en.epoch,
+							data: d.Frame, mutated: d.Mutated,
+						})
+					}
+				}
+			}
+		}
+		if !progressed || ch.Coordinator.Watermark() == wm {
+			return
+		}
+	}
+}
+
+// landDue delivers every scheduled copy whose step has come, in send order.
+func (ch *ChaosHarness) landDue() {
+	rest := ch.sched[:0]
+	due := make([]scheduled, 0, len(ch.sched))
+	for _, s := range ch.sched {
+		if s.due <= ch.step {
+			due = append(due, s)
+		} else {
+			rest = append(rest, s)
+		}
+	}
+	ch.sched = rest
+	for _, s := range due {
+		if en := ch.rings[s.shard].find(s.epoch); en != nil {
+			en.inflight--
+		}
+		ch.land(s)
+	}
+}
+
+// land hands one arrival to the coordinator and applies the ack to the
+// sender's ring.
+func (ch *ChaosHarness) land(s scheduled) {
+	ack, code := ch.Coordinator.HandleFrameBytes(s.data)
+	if s.mutated {
+		// The damaged copy must have been rejected; the original is still
+		// queued and retries next step. Nothing to record.
+		return
+	}
+	en := ch.rings[s.shard].find(s.epoch)
+	switch {
+	case ack.Throttle:
+		// Ahead of the window; retry later.
+	case code == http.StatusConflict:
+		// Declared dead (or geometry mismatch): the shard must stop
+		// shipping — its machines belong to the survivors now.
+		ch.ZombieRejected++
+		ch.stopped[s.shard] = true
+	case ack.OK:
+		if en != nil {
+			en.delivered = true
+		}
+		if ack.Assignment != nil && !ch.stopped[s.shard] {
+			ch.Aggregators[s.shard].Adopt(*ack.Assignment)
+		}
+	}
+}

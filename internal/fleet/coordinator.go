@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -111,7 +112,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		c.mergeSec = r.Histogram("dcfp_fleet_merge_seconds",
 			"Coordinator time to merge one epoch's shard partials.", telemetry.TimeBuckets())
 		c.frames = map[string]*telemetry.Counter{}
-		for _, res := range []string{"accepted", "stale", "throttled", "rejected"} {
+		for _, res := range []string{"accepted", "stale", "throttled", "rejected", "corrupt"} {
 			c.frames[res] = r.Counter("dcfp_fleet_frames_total",
 				"Frames received by outcome.", telemetry.Label{Key: "result", Value: res})
 		}
@@ -172,7 +173,14 @@ func (c *Coordinator) expectedLocked(s int) bool {
 func (c *Coordinator) HandleFrameBytes(data []byte) (*Ack, int) {
 	f, err := DecodeFrame(data)
 	if err != nil {
-		c.countFrame("rejected")
+		// Damaged payloads (truncation, bit flips, garbage) are counted
+		// apart from protocol rejections: a rising corrupt rate points at
+		// the transport, not at a misconfigured sender.
+		if errors.Is(err, ErrCorrupt) {
+			c.countFrame("corrupt")
+		} else {
+			c.countFrame("rejected")
+		}
 		return &Ack{Error: err.Error()}, http.StatusBadRequest
 	}
 	c.mu.Lock()
@@ -262,18 +270,33 @@ func (c *Coordinator) advanceLocked() {
 }
 
 // flushLateLocked force-merges the watermark epoch when its stragglers
-// have run out the lateness budget.
+// have run out the lateness budget. An epoch with no pending frames at all
+// (every frame lost in flight) is merged too once a later epoch runs
+// overdue — otherwise the merge would wait forever on frames nobody will
+// resend while newer epochs pile up behind the window.
 func (c *Coordinator) flushLateLocked(now time.Time) {
 	for {
-		if c.pending[c.watermark] == nil {
-			return
-		}
-		if now.Sub(c.firstAt[c.watermark]) < c.cfg.FlushAfter {
+		if ep := c.pending[c.watermark]; ep != nil {
+			if now.Sub(c.firstAt[c.watermark]) < c.cfg.FlushAfter {
+				return
+			}
+		} else if !c.overdueBeyondLocked(now) {
 			return
 		}
 		c.mergeLocked()
 		c.advanceLocked()
 	}
+}
+
+// overdueBeyondLocked reports whether any epoch past the watermark has been
+// pending longer than the lateness budget.
+func (c *Coordinator) overdueBeyondLocked(now time.Time) bool {
+	for e, at := range c.firstAt {
+		if e > c.watermark && now.Sub(at) >= c.cfg.FlushAfter {
+			return true
+		}
+	}
+	return false
 }
 
 // ForceFlush merges the watermark epoch immediately if any of its frames
@@ -289,6 +312,18 @@ func (c *Coordinator) ForceFlush() bool {
 	c.mergeLocked()
 	c.advanceLocked()
 	return true
+}
+
+// ForceMerge merges the watermark epoch unconditionally — even when none of
+// its frames survived the transport — synthesizing every absent shard as
+// non-reporting, then advances through any epochs completed as a result.
+// The chaos harness uses it as a step-counted stand-in for the wall-clock
+// lateness budget.
+func (c *Coordinator) ForceMerge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mergeLocked()
+	c.advanceLocked()
 }
 
 // mergeLocked merges the watermark epoch from whatever frames are present,

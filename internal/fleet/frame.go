@@ -4,8 +4,9 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
-	"io"
+	"hash/crc32"
 
 	"dcfp/internal/crisis"
 	"dcfp/internal/metrics"
@@ -16,9 +17,21 @@ import (
 // frameMagic and frameVersion head every wire frame, mirroring the monitor
 // checkpoint codec: the magic rejects foreign payloads outright and the
 // version is bumped whenever Frame changes incompatibly (gob tolerates
-// added fields, so compatible growth does not bump it).
+// added fields, so compatible growth does not bump it). Version 2 added a
+// CRC32 of the payload to the header: gob usually chokes on flipped bits,
+// but not reliably, and a corrupted frame that decodes would silently
+// poison the deterministic merge.
 const frameMagic = "DCFPFLT1"
-const frameVersion uint32 = 1
+const frameVersion uint32 = 2
+
+// headerLen is magic + version + payload CRC32 (IEEE).
+const headerLen = len(frameMagic) + 4 + 4
+
+// ErrCorrupt marks a payload that was damaged in flight — truncated below
+// the header, failing its checksum, or passing the checksum yet failing gob
+// decode or structural validation. The coordinator counts these separately
+// from protocol rejections (errors.Is-matchable).
+var ErrCorrupt = errors.New("fleet: corrupt frame")
 
 func init() {
 	// Frames carry estimator state as interface values; gob needs the
@@ -70,23 +83,21 @@ type Frame struct {
 	Active *crisis.Instance
 }
 
-// Encode serializes the frame as magic + version + gob payload.
+// Encode serializes the frame as magic + version + CRC32 + gob payload.
 func (f *Frame) Encode() ([]byte, error) {
 	var buf bytes.Buffer
-	hdr := make([]byte, len(frameMagic)+4)
-	copy(hdr, frameMagic)
-	binary.BigEndian.PutUint32(hdr[len(frameMagic):], frameVersion)
-	buf.Write(hdr)
+	buf.Write(make([]byte, headerLen))
 	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
 		return nil, fmt.Errorf("fleet: frame encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	return sealHeader(buf.Bytes()), nil
 }
 
-// DecodeFrame parses a wire frame, validating magic and version before
-// touching the payload. Zero-length rows are normalized back to nil: gob
-// does not distinguish nil from empty slices, and a nil row is the
-// pipeline's "machine delivered nothing" marker.
+// DecodeFrame parses a wire frame, validating magic, version, and checksum
+// before touching the payload, and the decoded structure before handing it
+// on. Zero-length rows are normalized back to nil: gob does not distinguish
+// nil from empty slices, and a nil row is the pipeline's "machine delivered
+// nothing" marker.
 func DecodeFrame(data []byte) (*Frame, error) {
 	rest, err := checkHeader(data)
 	if err != nil {
@@ -94,13 +105,21 @@ func DecodeFrame(data []byte) (*Frame, error) {
 	}
 	var f Frame
 	if err := gob.NewDecoder(bytes.NewReader(rest)).Decode(&f); err != nil {
-		return nil, fmt.Errorf("fleet: frame decode: %w", err)
+		return nil, fmt.Errorf("%w: gob decode: %v", ErrCorrupt, err)
+	}
+	if f.Shard < 0 || f.Epoch < 0 || f.Machines <= 0 {
+		return nil, fmt.Errorf("%w: shard %d epoch %d machines %d out of range",
+			ErrCorrupt, f.Shard, f.Epoch, f.Machines)
 	}
 	for bi := range f.Blocks {
 		b := &f.Blocks[bi]
 		if len(b.Rows) != len(b.Viol) || len(b.Rows) != len(b.Reporting) {
-			return nil, fmt.Errorf("fleet: frame block %d: rows/viol/reporting lengths %d/%d/%d disagree",
-				bi, len(b.Rows), len(b.Viol), len(b.Reporting))
+			return nil, fmt.Errorf("%w: block %d: rows/viol/reporting lengths %d/%d/%d disagree",
+				ErrCorrupt, bi, len(b.Rows), len(b.Viol), len(b.Reporting))
+		}
+		if b.Lo < 0 || b.Lo+len(b.Rows) > f.Machines {
+			return nil, fmt.Errorf("%w: block %d: range [%d,%d) outside fleet of %d",
+				ErrCorrupt, bi, b.Lo, b.Lo+len(b.Rows), f.Machines)
 		}
 		for i, row := range b.Rows {
 			if len(row) == 0 {
@@ -134,14 +153,11 @@ type Ack struct {
 // Encode serializes the ack with the same header as frames.
 func (a *Ack) Encode() ([]byte, error) {
 	var buf bytes.Buffer
-	hdr := make([]byte, len(frameMagic)+4)
-	copy(hdr, frameMagic)
-	binary.BigEndian.PutUint32(hdr[len(frameMagic):], frameVersion)
-	buf.Write(hdr)
+	buf.Write(make([]byte, headerLen))
 	if err := gob.NewEncoder(&buf).Encode(a); err != nil {
 		return nil, fmt.Errorf("fleet: ack encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	return sealHeader(buf.Bytes()), nil
 }
 
 // DecodeAck parses a coordinator reply.
@@ -152,14 +168,23 @@ func DecodeAck(data []byte) (*Ack, error) {
 	}
 	var a Ack
 	if err := gob.NewDecoder(bytes.NewReader(rest)).Decode(&a); err != nil {
-		return nil, fmt.Errorf("fleet: ack decode: %w", err)
+		return nil, fmt.Errorf("%w: ack gob decode: %v", ErrCorrupt, err)
 	}
 	return &a, nil
 }
 
+// sealHeader stamps magic, version, and the payload checksum into the
+// headerLen bytes reserved at the front of buf.
+func sealHeader(buf []byte) []byte {
+	copy(buf, frameMagic)
+	binary.BigEndian.PutUint32(buf[len(frameMagic):], frameVersion)
+	binary.BigEndian.PutUint32(buf[len(frameMagic)+4:], crc32.ChecksumIEEE(buf[headerLen:]))
+	return buf
+}
+
 func checkHeader(data []byte) ([]byte, error) {
-	if len(data) < len(frameMagic)+4 {
-		return nil, io.ErrUnexpectedEOF
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: %d bytes, shorter than the %d-byte header", ErrCorrupt, len(data), headerLen)
 	}
 	if !bytes.Equal(data[:len(frameMagic)], []byte(frameMagic)) {
 		return nil, fmt.Errorf("fleet: not a fleet frame (bad magic)")
@@ -167,5 +192,9 @@ func checkHeader(data []byte) ([]byte, error) {
 	if v := binary.BigEndian.Uint32(data[len(frameMagic):]); v != frameVersion {
 		return nil, fmt.Errorf("fleet: frame version %d, want %d", v, frameVersion)
 	}
-	return data[len(frameMagic)+4:], nil
+	payload := data[headerLen:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(data[len(frameMagic)+4:]); got != want {
+		return nil, fmt.Errorf("%w: payload checksum %08x, header says %08x", ErrCorrupt, got, want)
+	}
+	return payload, nil
 }

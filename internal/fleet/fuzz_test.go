@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"dcfp/internal/dcsim"
+	"dcfp/internal/monitor"
+)
+
+// fuzzSeedCorpus is the hand-picked seed set shared by both fuzz targets:
+// empty, header fragments, a valid frame, and systematic mutations of it.
+func fuzzSeedCorpus(f *testing.F) {
+	f.Helper()
+	f.Add([]byte{})
+	f.Add([]byte(frameMagic))
+	f.Add([]byte("DCFPFLT0\x00\x00\x00\x01"))
+	valid := validFuzzFrame(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:headerLen])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0x01
+	f.Add(flipped)
+	garbage := append([]byte(nil), valid[:headerLen]...)
+	garbage = append(garbage, []byte("not gob at all, but plenty of bytes to chew on")...)
+	f.Add(garbage)
+}
+
+func validFuzzFrame(f *testing.F) []byte {
+	f.Helper()
+	fr := &Frame{
+		Shard: 0, Epoch: 3, Machines: 6,
+		Blocks: []Block{{
+			Lo:        0,
+			Rows:      [][]float64{{1, 2}, nil, {3, 4}},
+			Viol:      []bool{false, true, false},
+			Reporting: []bool{true, false, true},
+		}},
+	}
+	data, err := fr.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzDecodeFrame: arbitrary bytes must never panic the frame decoder, and
+// whatever decodes must satisfy the structural invariants the merge relies
+// on.
+func FuzzDecodeFrame(f *testing.F) {
+	fuzzSeedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if fr.Shard < 0 || fr.Machines <= 0 || fr.Epoch < 0 {
+			t.Fatalf("decoded frame with invalid geometry: %+v", fr)
+		}
+		for bi, b := range fr.Blocks {
+			if len(b.Rows) != len(b.Viol) || len(b.Rows) != len(b.Reporting) {
+				t.Fatalf("block %d: inconsistent lengths survived validation", bi)
+			}
+			if b.Lo < 0 || b.Lo+len(b.Rows) > fr.Machines {
+				t.Fatalf("block %d: out-of-range [%d,%d) survived validation", bi, b.Lo, b.Lo+len(b.Rows))
+			}
+		}
+	})
+}
+
+// FuzzHandleFrameBytes drives fuzzed payloads through a live coordinator —
+// re-sealing the fuzz payload under a fresh header+checksum so the fuzzer
+// reaches past the CRC into gob decoding, structural validation, and the
+// merge path. The coordinator must reject or absorb everything without
+// panicking.
+func FuzzHandleFrameBytes(f *testing.F) {
+	fuzzSeedCorpus(f)
+	scfg := dcsim.DefaultStreamConfig(1)
+	s, err := dcsim.NewStream(scfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	mcfg := monitor.DefaultConfig(s.Catalog(), s.SLA())
+	mcfg.Workers = 1
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mon, err := monitor.New(mcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord, err := NewCoordinator(CoordinatorConfig{
+			Machines: scfg.Machines, Shards: 2, Monitor: mon, FlushAfter: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Raw bytes first: the usual header/CRC rejection path.
+		ack, code := coord.HandleFrameBytes(data)
+		if ack == nil || code == 0 {
+			t.Fatal("nil ack or zero status for raw payload")
+		}
+		// Then the same bytes sealed as a well-formed wire frame, so gob
+		// and the structural validators see attacker-shaped payloads.
+		if len(data) > headerLen {
+			sealed := append([]byte(nil), data...)
+			copy(sealed, frameMagic)
+			binary.BigEndian.PutUint32(sealed[len(frameMagic):], frameVersion)
+			binary.BigEndian.PutUint32(sealed[len(frameMagic)+4:], crc32.ChecksumIEEE(sealed[headerLen:]))
+			ack, code = coord.HandleFrameBytes(sealed)
+			if ack == nil || code == 0 {
+				t.Fatal("nil ack or zero status for sealed payload")
+			}
+		}
+	})
+}

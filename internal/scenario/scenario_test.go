@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcfp/internal/crisis"
+)
+
+func validScenario() *Scenario {
+	sc := &Scenario{
+		Name:   "unit",
+		Fleet:  Fleet{Epochs: 140},
+		Crises: []Crisis{{Start: 60, Duration: 10, Type: "B"}},
+	}
+	sc.applyDefaults()
+	return sc
+}
+
+func TestValidateAcceptsMinimalScenario(t *testing.T) {
+	if err := validScenario().Validate(); err != nil {
+		t.Fatalf("minimal scenario rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string
+	}{
+		{"missing name", func(sc *Scenario) { sc.Name = "" }, "missing name"},
+		{"zero epochs", func(sc *Scenario) { sc.Fleet.Epochs = 0 }, "epochs"},
+		{"no crises", func(sc *Scenario) { sc.Crises = nil }, "at least one scripted crisis"},
+		{"bad crisis type", func(sc *Scenario) { sc.Crises[0].Type = "Z" }, "crisis 0"},
+		{"crisis past end", func(sc *Scenario) { sc.Crises[0].Start = 135 }, "past the last epoch"},
+		{"crisis in warmup", func(sc *Scenario) { sc.Crises[0].Start = 10 }, "warmup"},
+		{"partition without steps", func(sc *Scenario) {
+			sc.Events = []Event{{At: 50, Action: ActionPartition, Shard: 0}}
+		}, "steps >= 1"},
+		{"partition bad shard", func(sc *Scenario) {
+			sc.Events = []Event{{At: 50, Action: ActionPartition, Shard: 7, Steps: 3}}
+		}, "out of range"},
+		{"kill bad shard", func(sc *Scenario) {
+			sc.Events = []Event{{At: 50, Action: ActionKillShard, Shard: -1}}
+		}, "out of range"},
+		{"event outside run", func(sc *Scenario) {
+			sc.Events = []Event{{At: 200, Action: ActionKillShard, Shard: 0}}
+		}, "outside the run"},
+		{"unknown action", func(sc *Scenario) {
+			sc.Events = []Event{{At: 50, Action: "reboot_rack", Shard: 0}}
+		}, "unknown action"},
+		{"restart before checkpoint", func(sc *Scenario) {
+			sc.Events = []Event{{At: 10, Action: ActionRestartCoordinator}}
+		}, "precedes the first checkpoint"},
+		{"detect bad crisis index", func(sc *Scenario) {
+			sc.Expect.Detect = []Detect{{Crisis: 3, By: 70}}
+		}, "references crisis"},
+		{"detect deadline before start", func(sc *Scenario) {
+			sc.Expect.Detect = []Detect{{Crisis: 0, By: 60}}
+		}, "not after crisis start"},
+		{"detect deadline outside run", func(sc *Scenario) {
+			sc.Expect.Detect = []Detect{{Crisis: 0, By: 150}}
+		}, "outside the run"},
+		{"accuracy out of band", func(sc *Scenario) {
+			acc := 1.5
+			sc.Expect.MinKnownAccuracy = &acc
+		}, "outside [0,1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := validScenario()
+			tc.mut(sc)
+			err := sc.Validate()
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "typo.json")
+	body := `{"name":"typo","fleet":{"epochs":140},"crises":[{"start":60,"duration":10,"type":"B"}],"expect":{"max_degarded_epochs":0}}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("scenario with a misspelled expectation key loaded without error")
+	}
+}
+
+func TestTypeLabel(t *testing.T) {
+	ty, err := crisis.ParseType("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := typeLabel(ty); got != "type-B" {
+		t.Fatalf("typeLabel = %q, want type-B", got)
+	}
+}
+
+// TestScenarioLibrary loads and runs every committed scenario — the same
+// matrix CI's scenarios job executes. A failure prints the measured result
+// and each expectation violation.
+func TestScenarioLibrary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario library runs take ~1s each")
+	}
+	scs, err := LoadDir(filepath.Join("..", "..", "scenarios"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) < 10 {
+		t.Fatalf("scenario library has %d scenarios, want at least 10", len(scs))
+	}
+	for _, sc := range scs {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			t.Logf("%s", res.Summary())
+			t.Logf("detections=%v outcomes=%+v rebalances=%d zombie=%d corrupt=%d evicted=%d",
+				res.Detections, res.Outcomes, res.Rebalances, res.ZombieRejected, res.CorruptFrames, res.Evicted)
+			for _, f := range res.Failures {
+				t.Errorf("expectation violated: %s", f)
+			}
+		})
+	}
+}
