@@ -113,6 +113,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"sync"
 	"syscall"
 	"time"
@@ -123,6 +124,7 @@ import (
 	"dcfp/internal/dcsim"
 	"dcfp/internal/fleet"
 	"dcfp/internal/ident"
+	"dcfp/internal/incident"
 	"dcfp/internal/metrics"
 	"dcfp/internal/monitor"
 	"dcfp/internal/telemetry"
@@ -208,23 +210,34 @@ func main() {
 	}
 	events := telemetry.NewEventLog(slog.New(handler))
 	reg := telemetry.NewRegistry()
+	switch *role {
+	case "single", "aggregator", "coordinator":
+	default:
+		log.Fatalf("unknown -role %q (want single, aggregator, or coordinator)", *role)
+	}
+	// Shard is "-" for the roles that own the whole fleet, so the label
+	// set stays identical across roles and mixed fleets can be joined on
+	// the one build_info family.
+	shardLabel := "-"
+	if *role == "aggregator" {
+		shardLabel = strconv.Itoa(*shardIndex)
+	}
 	reg.Gauge("dcfp_build_info", "Build information; the value is always 1.",
 		telemetry.Label{Key: "go_version", Value: runtime.Version()},
-		telemetry.Label{Key: "version", Value: dcfp.Version}).Set(1)
+		telemetry.Label{Key: "version", Value: dcfp.Version},
+		telemetry.Label{Key: "role", Value: *role},
+		telemetry.Label{Key: "shard", Value: shardLabel}).Set(1)
 	uptime := reg.Gauge("dcfp_uptime_seconds", "Seconds since daemon start.")
 
-	switch *role {
-	case "single", "coordinator":
-	case "aggregator":
+	if *role == "aggregator" {
 		runAggregator(reg, events, uptime, aggregatorOpts{
 			addr: *addr, machines: *machines, seed: *seed, interval: *interval,
 			meanGapDays: *meanGapDays, thresholdDays: *thresholdDays,
 			maxEpochs: *maxEpochs, shard: *shardIndex, shards: *shards,
 			coordinator: *coordAddr, shipTimeout: *fleetShipTO, replayCap: *fleetReplay,
+			traceCap: *traceCap,
 		})
 		return
-	default:
-		log.Fatalf("unknown -role %q (want single, aggregator, or coordinator)", *role)
 	}
 
 	scfg := dcsim.DefaultStreamConfig(*seed)
@@ -273,7 +286,8 @@ func main() {
 	// The monitor is single-goroutine; the daemon wraps all access (the
 	// epoch loop and the HTTP snapshot functions) in one mutex.
 	d := &daemon{mon: mon, ing: ing, start: time.Now(),
-		tracer: tracer, score: monitor.NewScoreboard(reg), uptime: uptime}
+		tracer: tracer, score: monitor.NewScoreboard(reg), uptime: uptime,
+		incidents: incident.New(incident.Config{Registry: reg})}
 	if *historyRaw > 0 {
 		hcfg := telemetry.DefaultHistoryConfig()
 		hcfg.RawCapacity = *historyRaw
@@ -285,9 +299,16 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	acfg := alert.Config{Rules: rules, Registry: reg, Events: events, Audit: d.audit}
+	// Every alert transition lands in the open incident report (if a
+	// crisis is active); the webhook, when configured, is chained behind.
+	acfg := alert.Config{Rules: rules, Registry: reg, Events: events, Audit: d.audit,
+		Notify: d.incidents.Alert}
 	if *alertWebhook != "" {
-		acfg.Notify = webhookNotifier(*alertWebhook, reg)
+		hook := webhookNotifier(*alertWebhook, reg)
+		acfg.Notify = func(n alert.Notification) {
+			d.incidents.Alert(n)
+			hook(n)
+		}
 	}
 	if d.engine, err = alert.New(acfg); err != nil {
 		log.Fatal(err)
@@ -437,6 +458,7 @@ type aggregatorOpts struct {
 	coordinator   string
 	shipTimeout   time.Duration
 	replayCap     int
+	traceCap      int
 }
 
 // shipFrame is one encoded epoch frame held in the aggregator's local
@@ -522,16 +544,19 @@ func runAggregator(reg *telemetry.Registry, events *telemetry.EventLog, uptime *
 	if err != nil {
 		log.Fatal(err)
 	}
+	tracer := telemetry.NewTracer(o.traceCap)
 	g, err := fleet.NewAggregator(fleet.AggregatorConfig{
 		Shard: o.shard, Shards: o.shards, Machines: o.machines,
 		NumMetrics: stream.Catalog().Len(), SLA: stream.SLA(),
 		CoordinatorURL: o.coordinator, MaxElapsed: o.shipTimeout,
-		Telemetry: reg,
+		Telemetry: reg, Tracer: tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, bound, err := telemetry.Serve(o.addr, telemetry.NewHandler(reg, telemetry.Endpoints{}))
+	srv, bound, err := telemetry.Serve(o.addr, telemetry.NewHandler(reg, telemetry.Endpoints{
+		Traces: func() any { return tracer.Snapshots() },
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -583,7 +608,7 @@ func runAggregator(reg *telemetry.Registry, events *telemetry.EventLog, uptime *
 	drain := func(ctx context.Context) bool {
 		for len(buf.pending) > 0 {
 			head := buf.pending[0]
-			ack, err := g.Ship(ctx, head.data)
+			ack, err := g.ShipEpoch(ctx, head.epoch, head.data)
 			if err != nil {
 				if !errors.Is(err, context.Canceled) && ctx.Err() == nil {
 					log.Printf("buffering epoch %d (%d frames pending): %v", head.epoch, len(buf.pending), err)
@@ -713,7 +738,7 @@ func runCoordinator(d *daemon, reg *telemetry.Registry, events *telemetry.EventL
 				cancel()
 			}
 		},
-		Telemetry: reg, Events: events,
+		Telemetry: reg, Events: events, Tracer: d.tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -806,26 +831,27 @@ func buildPipeline(mcfg monitor.Config, reorderWindow int, reg *telemetry.Regist
 
 // daemon owns the monitor and the bookkeeping the HTTP endpoints read.
 type daemon struct {
-	mu       sync.Mutex
-	mon      *monitor.Monitor
-	ing      *monitor.Ingestor
-	start    time.Time
-	advice   []monitor.Advice
-	truth    map[string]string // monitor crisis ID -> ground-truth label
-	pending  []pendingResolve
-	lastID   string // monitor ID of the most recent active crisis
-	wasIn    bool
-	emitted  int64 // injector emissions ingested (for checkpoint fast-forward)
-	adviceW  *os.File
-	auditW   *os.File
-	tracer   *telemetry.Tracer
-	score    *monitor.Scoreboard
-	hist     *telemetry.History
-	engine   *alert.Engine
-	resumeAt int64 // emissions count at which suppressed absence rules resume (0 = not suppressed)
-	uptime   *telemetry.Gauge
-	coord    *fleet.Coordinator      // coordinator role only
-	fleet    *fleet.CoordinatorState // coordinator progress restored from a checkpoint
+	mu        sync.Mutex
+	mon       *monitor.Monitor
+	ing       *monitor.Ingestor
+	start     time.Time
+	advice    []monitor.Advice
+	truth     map[string]string // monitor crisis ID -> ground-truth label
+	pending   []pendingResolve
+	lastID    string // monitor ID of the most recent active crisis
+	wasIn     bool
+	emitted   int64 // injector emissions ingested (for checkpoint fast-forward)
+	adviceW   *os.File
+	auditW    *os.File
+	tracer    *telemetry.Tracer
+	incidents *incident.Builder
+	score     *monitor.Scoreboard
+	hist      *telemetry.History
+	engine    *alert.Engine
+	resumeAt  int64 // emissions count at which suppressed absence rules resume (0 = not suppressed)
+	uptime    *telemetry.Gauge
+	coord     *fleet.Coordinator      // coordinator role only
+	fleet     *fleet.CoordinatorState // coordinator progress restored from a checkpoint
 }
 
 // auditAdvice is one audit-journal line recording an identification
@@ -833,6 +859,15 @@ type daemon struct {
 type auditAdvice struct {
 	Type   string          `json:"type"` // "advice"
 	Advice *monitor.Advice `json:"advice"`
+}
+
+// auditIncident is one audit-journal line carrying a completed incident
+// report — written when the operator's resolution closes the crisis's
+// paper trail, bit-identical to the /incidents/{id} payload at that
+// moment.
+type auditIncident struct {
+	Type     string           `json:"type"` // "incident"
+	Incident *incident.Report `json:"incident"`
 }
 
 // auditResolve is one audit-journal line recording a scored operator
@@ -884,6 +919,13 @@ func (d *daemon) step(ep dcsim.FaultyEpoch, resolveAfter int) error {
 // observe runs the operator bookkeeping for one epoch report. Caller holds
 // the mutex.
 func (d *daemon) observe(rep *monitor.EpochReport, active *crisis.Instance, resolveAfter int) error {
+	// Feed the incident builder first so the detection epoch's report
+	// (forecast lead included) opens the incident window.
+	activeID := ""
+	if rep.CrisisActive {
+		activeID = d.mon.Stats().ActiveCrisisID
+	}
+	d.incidents.Observe(rep, activeID)
 	// Score the forecast stage's resolved warning episodes: a detection
 	// with lead earns a negative TTI observation, an expired episode a
 	// false-alarm count.
@@ -1026,6 +1068,11 @@ func (d *daemon) scoreResolution(e metrics.Epoch, id, truth string) {
 		Votes: votes, Stable: o.Stable, Emitted: o.Emitted, Correct: o.Correct,
 		TTIEpochs: o.TTIEpochs,
 	})
+	// The resolution completes the incident artifact; journal the exact
+	// report /incidents/{id} now serves.
+	if r, ok := d.incidents.Resolve(e, id, truth, known, votes, o); ok {
+		d.audit(auditIncident{Type: "incident", Incident: &r})
+	}
 }
 
 // daemonState is the daemon-side bookkeeping carried in a checkpoint's
@@ -1173,6 +1220,15 @@ func (d *daemon) endpoints() telemetry.Endpoints {
 		Explain:  d.explain,
 		History:  d.hist,
 		Alerts:   func() any { return d.engine.Snapshot() },
+		Incidents: func() any {
+			return struct {
+				Incidents []incident.Summary `json:"incidents"`
+			}{d.incidents.Index()}
+		},
+		Incident: func(id string) (any, bool) {
+			r, ok := d.incidents.Get(id)
+			return r, ok
+		},
 	}
 }
 

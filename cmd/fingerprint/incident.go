@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"dcfp/internal/incident"
+)
+
+// incident mode: read incident reports saved as JSON — a /incidents/{id}
+// payload, or dcfpd's -audit-out journal whose "incident" lines carry the
+// completed artifact per resolved crisis — and render each as the
+// operator-facing text summary.
+
+// runIncident reads path ("-" for stdin) and prints every incident report
+// found to out. The input may be a single JSON report or JSON lines.
+func runIncident(out io.Writer, path string) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+
+	n, skipped := 0, 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24) // reports can be long lines
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		rep, ok := parseIncident([]byte(line))
+		if !ok {
+			skipped++
+			continue
+		}
+		n++
+		rep.WriteText(w)
+		fmt.Fprintln(w)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("no incident reports found in %s (%d other lines)", path, skipped)
+	}
+	fmt.Fprintf(w, "%d incidents", n)
+	if skipped > 0 {
+		fmt.Fprintf(w, " (%d non-incident lines skipped)", skipped)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// parseIncident accepts an audit-journal line ({"type":"incident",...}) or
+// a bare report (the /incidents/{id} payload). Journal lines of any other
+// type are skipped.
+func parseIncident(b []byte) (*incident.Report, bool) {
+	var probe struct {
+		Type string `json:"type"`
+	}
+	switch err := json.Unmarshal(b, &probe); {
+	case err != nil:
+		return nil, false
+	case probe.Type == "incident":
+		var line struct {
+			Incident *incident.Report `json:"incident"`
+		}
+		if err := json.Unmarshal(b, &line); err == nil && line.Incident != nil && line.Incident.ID != "" {
+			return line.Incident, true
+		}
+		return nil, false
+	case probe.Type != "":
+		return nil, false
+	}
+	var rep incident.Report
+	if err := json.Unmarshal(b, &rep); err == nil && rep.ID != "" {
+		return &rep, true
+	}
+	return nil, false
+}
+
+// mustIncident is the -incident entry point from main.
+func mustIncident(path string) {
+	if err := runIncident(os.Stdout, path); err != nil {
+		log.Fatal(err)
+	}
+}

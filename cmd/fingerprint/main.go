@@ -9,10 +9,16 @@
 // contributions — the human debugging path for the Explanation records the
 // /explain endpoint serves.
 //
+// With -incident FILE it reads saved incident reports (a /incidents/{id}
+// payload, or the audit journal's "incident" lines) and renders each as a
+// text incident summary: detection window, forecast lead, coverage,
+// identification, alerts, shard health and fault deltas, resolution score.
+//
 // Usage:
 //
 //	fingerprint [-scale small|full] [-seed N] [-metrics N] [-alpha A] [-grids]
 //	fingerprint -explain FILE [-top K]
+//	fingerprint -incident FILE
 package main
 
 import (
@@ -40,11 +46,16 @@ func main() {
 		grids   = flag.Bool("grids", false, "print fingerprint heatmaps")
 		explain = flag.String("explain", "", "explain mode: read advice/audit JSON lines from this file (- for stdin) and print ranked contribution tables")
 		top     = flag.Int("top", 0, "explain mode: rows per candidate (0 = all recorded terms)")
+		inc     = flag.String("incident", "", "incident mode: read incident-report JSON (or audit journal) from this file (- for stdin) and print text incident summaries")
 	)
 	flag.Parse()
 
 	if *explain != "" {
 		mustExplain(*explain, *top)
+		return
+	}
+	if *inc != "" {
+		mustIncident(*inc)
 		return
 	}
 

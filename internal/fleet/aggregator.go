@@ -55,8 +55,15 @@ type AggregatorConfig struct {
 	// BreakerCooldown is how long an open breaker blocks before the next
 	// probe (default 5 s).
 	BreakerCooldown time.Duration
-	// Telemetry optionally receives dcfp_fleet_* shipping metrics.
+	// Telemetry optionally receives dcfp_fleet_* shipping metrics. When
+	// set, every frame also carries a full snapshot of this registry for
+	// coordinator-side federation (dcfp_fleet_shard_*).
 	Telemetry *telemetry.Registry
+	// Tracer optionally records one observe_shard trace per epoch frame
+	// (ingest/filter/summarize/encode plus the ship attempt) under the
+	// fleet-wide epoch trace ID; the pre-ship spans ride in the frame so
+	// the coordinator can stitch them into its merge_epoch trace.
+	Tracer *telemetry.Tracer
 }
 
 // Aggregator is the shard-side half of two-tier aggregation: it ingests
@@ -78,7 +85,26 @@ type Aggregator struct {
 	framesRe  *telemetry.Counter
 	framesEr  *telemetry.Counter
 	abandoned *telemetry.Counter
+
+	// open holds the per-epoch observe_shard traces whose ship span is
+	// still in flight (frame built but not yet delivered or abandoned).
+	open map[metrics.Epoch]*openShip
 }
+
+// openShip is an observe_shard trace waiting on its ship outcome. Delivery
+// attempts and throttle waits accumulate across Ship calls (a buffered
+// frame may be re-shipped several times before landing).
+type openShip struct {
+	tr        *telemetry.Trace
+	ship      *telemetry.Span
+	attempts  int
+	throttles int
+}
+
+// maxOpenTraces bounds the open observe_shard traces an aggregator keeps
+// while frames sit in the caller's retry buffer; past it the oldest trace
+// is closed as unshipped.
+const maxOpenTraces = 64
 
 // NewAggregator validates the config and computes the shard's initial
 // static assignment.
@@ -169,6 +195,9 @@ func (g *Aggregator) EpochFrame(e metrics.Epoch, rows [][]float64, active *crisi
 	if len(rows) != g.cfg.Machines {
 		return nil, fmt.Errorf("fleet: epoch has %d rows, fleet has %d machines", len(rows), g.cfg.Machines)
 	}
+	tr := g.cfg.Tracer.StartTraceID("observe_shard", telemetry.EpochTraceID(int64(e)))
+	tr.SetAttr("shard", int64(g.cfg.Shard))
+	tr.SetAttr("epoch", int64(e))
 	f := &Frame{
 		Shard:         g.cfg.Shard,
 		Epoch:         e,
@@ -176,8 +205,12 @@ func (g *Aggregator) EpochFrame(e metrics.Epoch, rows [][]float64, active *crisi
 		Machines:      g.cfg.Machines,
 		Active:        active,
 	}
+	sp := tr.StartSpan("ingest")
 	var statuses []sla.EpochStatus
 	for _, r := range g.asn.Ranges[g.cfg.Shard] {
+		fsp := tr.StartSpan("filter")
+		fsp.SetAttr("lo", int64(r.Lo))
+		fsp.SetAttr("hi", int64(r.Hi))
 		sub := rows[r.Lo:r.Hi]
 		viol := make([]bool, len(sub))
 		reporting := make([]bool, len(sub))
@@ -186,6 +219,7 @@ func (g *Aggregator) EpochFrame(e metrics.Epoch, rows [][]float64, active *crisi
 			return nil, err
 		}
 		f.Dropped += d
+		fsp.SetAttr("dropped_cells", int64(d))
 		st, err := g.cfg.SLA.EvaluateMasked(sub, viol, reporting)
 		if err != nil {
 			return nil, err
@@ -199,21 +233,96 @@ func (g *Aggregator) EpochFrame(e metrics.Epoch, rows [][]float64, active *crisi
 			}
 		}
 		f.Blocks = append(f.Blocks, Block{Lo: r.Lo, Rows: br, Viol: viol, Reporting: reporting})
+		fsp.End()
 	}
+	sp.SetAttr("blocks", int64(len(f.Blocks)))
+	sp.End()
+	sp = tr.StartSpan("summarize")
 	f.Status = g.cfg.SLA.MergeStatuses(statuses)
 	ests, err := g.agg.Estimators(0)
 	if err != nil {
 		return nil, err
 	}
 	f.Estimators = ests
+	sp.SetAttr("estimators", int64(len(ests)))
+	sp.End()
+	// Observability section: the trace context and the spans completed so
+	// far ride in the frame (the encode/ship spans below necessarily
+	// postdate the snapshot and stay shard-local), plus a full registry
+	// snapshot for coordinator-side federation.
+	f.TraceID = tr.TraceID()
+	f.Spans = tr.CompletedSpans()
+	if g.cfg.Telemetry != nil {
+		f.Metrics = g.cfg.Telemetry.Gather()
+	}
+	sp = tr.StartSpan("encode")
 	data, err := f.Encode()
 	if err != nil {
 		return nil, err
 	}
+	sp.SetAttr("bytes", int64(len(data)))
+	sp.End()
 	for _, est := range ests {
 		est.Reset()
 	}
+	if tr != nil {
+		g.evictOpenTraces()
+		if g.open == nil {
+			g.open = make(map[metrics.Epoch]*openShip)
+		}
+		g.open[e] = &openShip{tr: tr, ship: tr.StartSpan("ship")}
+	}
 	return data, nil
+}
+
+// evictOpenTraces closes the oldest open observe_shard traces once the
+// retry buffer has outrun the bound, marking them unshipped.
+func (g *Aggregator) evictOpenTraces() {
+	for len(g.open) >= maxOpenTraces {
+		oldest, ok := metrics.Epoch(0), false
+		for e := range g.open {
+			if !ok || e < oldest {
+				oldest, ok = e, true
+			}
+		}
+		ot := g.open[oldest]
+		delete(g.open, oldest)
+		ot.ship.SetAttr("unshipped", 1)
+		ot.ship.End()
+		ot.tr.End()
+	}
+}
+
+// finishShip closes epoch e's observe_shard trace with the final ship
+// outcome. No-op when no trace is open for e.
+func (g *Aggregator) finishShip(e metrics.Epoch, ack *Ack, abandoned bool) {
+	ot, ok := g.open[e]
+	if !ok {
+		return
+	}
+	delete(g.open, e)
+	ot.ship.SetAttr("attempts", int64(ot.attempts))
+	if ot.throttles > 0 {
+		ot.ship.SetAttr("throttle_waits", int64(ot.throttles))
+	}
+	switch {
+	case abandoned:
+		ot.ship.SetAttr("abandoned", 1)
+	case ack == nil:
+	case ack.Stale:
+		ot.ship.SetAttr("stale", 1)
+	case !ack.OK:
+		ot.ship.SetAttr("rejected", 1)
+	}
+	ot.ship.End()
+	ot.tr.End()
+}
+
+// NoteShipped closes epoch e's open observe_shard trace as delivered. The
+// in-process harnesses use it when they move frames to the coordinator
+// directly instead of through Ship.
+func (g *Aggregator) NoteShipped(e metrics.Epoch) {
+	g.finishShip(e, &Ack{OK: true}, false)
 }
 
 // Bootstrap fetches the coordinator's current assignment and merge
@@ -262,6 +371,17 @@ func (g *Aggregator) Bootstrap(ctx context.Context) (metrics.Epoch, error) {
 // than hot-looping against a dead link. Frames given up on after the
 // attempt or elapsed budget count toward dcfp_fleet_ship_abandoned_total.
 func (g *Aggregator) Ship(ctx context.Context, frame []byte) (*Ack, error) {
+	return g.ShipEpoch(ctx, -1, frame)
+}
+
+// ShipEpoch is Ship for a frame whose epoch the caller knows: in addition
+// to delivering, it accounts the delivery attempts and throttle waits on
+// the epoch's open observe_shard trace and closes it on a final outcome
+// (delivered, deliberately rejected, or abandoned). Transport failures
+// that leave the frame buffered for a later retry keep the trace open so
+// the eventual ship span covers the frame's whole time in flight.
+func (g *Aggregator) ShipEpoch(ctx context.Context, e metrics.Epoch, frame []byte) (*Ack, error) {
+	ot := g.open[e]
 	t0 := time.Now()
 	var deadline time.Time
 	if g.cfg.MaxElapsed > 0 {
@@ -273,6 +393,9 @@ func (g *Aggregator) Ship(ctx context.Context, frame []byte) (*Ack, error) {
 	backoff := g.cfg.RetryBackoff
 	attempts := 0
 	for {
+		if ot != nil {
+			ot.attempts++
+		}
 		ack, err := g.post(ctx, frame)
 		switch {
 		case err != nil:
@@ -285,6 +408,7 @@ func (g *Aggregator) Ship(ctx context.Context, frame []byte) (*Ack, error) {
 				if g.abandoned != nil {
 					g.abandoned.Inc()
 				}
+				g.finishShip(e, nil, true)
 				return nil, fmt.Errorf("fleet: abandoning frame after %d attempts over %v: %w",
 					attempts, time.Since(t0).Round(time.Millisecond), err)
 			}
@@ -300,6 +424,9 @@ func (g *Aggregator) Ship(ctx context.Context, frame []byte) (*Ack, error) {
 			// throttle ack is handed back so the caller buffers the frame
 			// instead of camping in Ship.
 			g.brk.success()
+			if ot != nil {
+				ot.throttles++
+			}
 			if !deadline.IsZero() && !time.Now().Before(deadline) {
 				return ack, nil
 			}
@@ -319,6 +446,7 @@ func (g *Aggregator) Ship(ctx context.Context, frame []byte) (*Ack, error) {
 					g.framesEr.Inc()
 				}
 			}
+			g.finishShip(e, ack, false)
 			return ack, nil
 		}
 		select {

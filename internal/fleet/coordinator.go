@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -47,10 +48,17 @@ type CoordinatorConfig struct {
 	// outside simulation). Called with the coordinator lock held — it
 	// must not call back into the coordinator.
 	OnReport func(rep *monitor.EpochReport, active *crisis.Instance)
-	// Telemetry optionally receives the dcfp_fleet_* coordinator metrics.
+	// Telemetry optionally receives the dcfp_fleet_* coordinator metrics
+	// and the federated dcfp_fleet_shard_* re-exposition of shard-local
+	// registries piggybacked on frames.
 	Telemetry *telemetry.Registry
 	// Events optionally receives shard lifecycle events.
 	Events *telemetry.EventLog
+	// Tracer optionally records one merge_epoch trace per merged epoch,
+	// grafting the span snapshots shipped in each shard's frame so the
+	// /traces endpoint shows one distributed trace per epoch with
+	// per-shard timing breakdowns.
+	Tracer *telemetry.Tracer
 }
 
 // Coordinator is the merge half of two-tier aggregation: it collects one
@@ -65,17 +73,27 @@ type Coordinator struct {
 	watermark metrics.Epoch
 	pending   map[metrics.Epoch]map[int]*Frame
 	firstAt   map[metrics.Epoch]time.Time
-	lastRx    []metrics.Epoch
-	missed    []int
-	dead      []bool
+	// arrival records each accepted frame's arrival offset from the
+	// epoch's first frame, keyed like pending; merge_epoch traces attach
+	// it to the per-shard graft anchors.
+	arrival map[metrics.Epoch]map[int]time.Duration
+	lastRx  []metrics.Epoch
+	missed  []int
+	dead    []bool
 
 	bytesRx    *telemetry.Counter
 	mergeSec   *telemetry.Histogram
 	frames     map[string]*telemetry.Counter
 	lag        []*telemetry.Gauge
+	up         []*telemetry.Gauge
+	lastEpoch  []*telemetry.Gauge
 	live       *telemetry.Gauge
 	merged     map[string]*telemetry.Counter
 	rebalances *telemetry.Counter
+	// fed caches the federated dcfp_fleet_shard_* gauge handles keyed by
+	// federated name + shard + source label set, so re-exposing a shard
+	// snapshot is a map hit per series rather than a registry lookup.
+	fed map[string]*telemetry.Gauge
 }
 
 // NewCoordinator validates the config and computes the initial static
@@ -99,6 +117,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		asn:     asn,
 		pending: make(map[metrics.Epoch]map[int]*Frame),
 		firstAt: make(map[metrics.Epoch]time.Time),
+		arrival: make(map[metrics.Epoch]map[int]time.Duration),
 		lastRx:  make([]metrics.Epoch, cfg.Shards),
 		missed:  make([]int, cfg.Shards),
 		dead:    make([]bool, cfg.Shards),
@@ -117,11 +136,20 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 				"Frames received by outcome.", telemetry.Label{Key: "result", Value: res})
 		}
 		c.lag = make([]*telemetry.Gauge, cfg.Shards)
+		c.up = make([]*telemetry.Gauge, cfg.Shards)
+		c.lastEpoch = make([]*telemetry.Gauge, cfg.Shards)
 		for s := range c.lag {
+			sl := telemetry.Label{Key: "shard", Value: strconv.Itoa(s)}
 			c.lag[s] = r.Gauge("dcfp_fleet_shard_lag_epochs",
-				"Epochs the shard's newest frame trails the merge frontier.",
-				telemetry.Label{Key: "shard", Value: strconv.Itoa(s)})
+				"Epochs the shard's newest frame trails the merge frontier.", sl)
+			c.up[s] = r.Gauge("dcfp_fleet_shard_up",
+				"1 while the shard is expected to report, 0 once declared dead.", sl)
+			c.up[s].SetInt(1)
+			c.lastEpoch[s] = r.Gauge("dcfp_fleet_shard_last_epoch",
+				"Newest epoch received from the shard (-1 before its first frame).", sl)
+			c.lastEpoch[s].SetInt(-1)
 		}
+		c.fed = make(map[string]*telemetry.Gauge)
 		c.live = r.Gauge("dcfp_fleet_shards_live", "Shards not declared dead.")
 		c.merged = map[string]*telemetry.Counter{
 			"full": r.Counter("dcfp_fleet_epochs_merged_total",
@@ -224,8 +252,11 @@ func (c *Coordinator) HandleFrameBytes(data []byte) (*Ack, int) {
 		ep = make(map[int]*Frame)
 		c.pending[f.Epoch] = ep
 		c.firstAt[f.Epoch] = time.Now()
+		c.arrival[f.Epoch] = make(map[int]time.Duration)
 	}
 	ep[f.Shard] = f
+	c.arrival[f.Epoch][f.Shard] = time.Since(c.firstAt[f.Epoch])
+	c.federateLocked(f)
 	c.noteRxLocked(f.Shard, f.Epoch)
 	c.advanceLocked()
 	if c.cfg.FlushAfter > 0 {
@@ -249,6 +280,64 @@ func (c *Coordinator) countFrame(result string) {
 func (c *Coordinator) noteRxLocked(shard int, e metrics.Epoch) {
 	if e > c.lastRx[shard] {
 		c.lastRx[shard] = e
+		if c.lastEpoch != nil {
+			c.lastEpoch[shard].SetInt(int64(e))
+		}
+	}
+}
+
+// federateLocked re-exposes one shard's registry snapshot (piggybacked on
+// its frame) as coordinator gauges: dcfp_X becomes
+// dcfp_fleet_shard_X{shard="N", ...original labels}. Snapshots are full
+// rather than deltas, so re-applying one — a retried frame, a duplicate
+// delivery, a replay after coordinator restart — is idempotent, and a
+// partitioned shard's series simply freeze at their last shipped values
+// until the link heals. v2 frames carry no snapshot and are skipped.
+func (c *Coordinator) federateLocked(f *Frame) {
+	r := c.cfg.Telemetry
+	if r == nil || len(f.Metrics) == 0 {
+		return
+	}
+	shard := strconv.Itoa(f.Shard)
+	for _, sv := range f.Metrics {
+		const prefix = "dcfp_"
+		const fedPrefix = "dcfp_fleet_shard_"
+		// Only dcfp_-namespaced series federate, and already-federated
+		// series never re-federate (an in-process shard sharing the
+		// coordinator's registry would otherwise echo them back).
+		if !strings.HasPrefix(sv.Name, prefix) || strings.HasPrefix(sv.Name, fedPrefix) {
+			continue
+		}
+		name := fedPrefix + sv.Name[len(prefix):]
+		var key strings.Builder
+		key.WriteString(name)
+		key.WriteByte(0)
+		key.WriteString(shard)
+		for _, l := range sv.Labels {
+			key.WriteByte(0)
+			key.WriteString(l.Key)
+			key.WriteByte(1)
+			key.WriteString(l.Value)
+		}
+		g, ok := c.fed[key.String()]
+		if !ok {
+			labels := make([]telemetry.Label, 0, len(sv.Labels)+1)
+			labels = append(labels, telemetry.Label{Key: "shard", Value: shard})
+			conflict := false
+			for _, l := range sv.Labels {
+				if l.Key == "shard" {
+					conflict = true
+					break
+				}
+				labels = append(labels, l)
+			}
+			if conflict {
+				continue
+			}
+			g = r.Gauge(name, "Federated shard-local series (see the un-federated name for help).", labels...)
+			c.fed[key.String()] = g
+		}
+		g.Set(sv.Value)
 	}
 }
 
@@ -336,9 +425,14 @@ func (c *Coordinator) mergeLocked() {
 	}
 	e := c.watermark
 	ep := c.pending[e]
+	arrivals := c.arrival[e]
+	tr := c.cfg.Tracer.StartTraceID("merge_epoch", telemetry.EpochTraceID(int64(e)))
+	tr.SetAttr("epoch", int64(e))
+	col := tr.StartSpan("collect")
 	var parts []monitor.ShardPartial
 	var active *crisis.Instance
 	full := true
+	present, synthesized := 0, 0
 	for s := 0; s < c.cfg.Shards; s++ {
 		f := ep[s]
 		if f == nil {
@@ -350,6 +444,7 @@ func (c *Coordinator) mergeLocked() {
 			// delivered nothing — sub-floor coverage freezes the epoch.
 			full = false
 			c.missed[s]++
+			synthesized++
 			for _, r := range c.asn.Ranges[s] {
 				parts = append(parts, monitor.ShardPartial{
 					Lo:        r.Lo,
@@ -361,6 +456,16 @@ func (c *Coordinator) mergeLocked() {
 			continue
 		}
 		c.missed[s] = 0
+		present++
+		if tr != nil && f.TraceID != 0 {
+			// Stitch the shard's pre-ship observe_shard spans under a
+			// per-shard anchor; its arrival offset from the epoch's first
+			// frame rides as an attr (cross-process span offsets are
+			// shard-clock-relative, so skew is reported, not drawn).
+			tr.Graft("shard_"+strconv.Itoa(s), f.Spans,
+				telemetry.Attr{Key: "shard", Value: int64(s)},
+				telemetry.Attr{Key: "arrival_offset_micros", Value: arrivals[s].Microseconds()})
+		}
 		for bi := range f.Blocks {
 			b := &f.Blocks[bi]
 			p := monitor.ShardPartial{Lo: b.Lo, Rows: b.Rows, Viol: b.Viol, Reporting: b.Reporting}
@@ -375,16 +480,28 @@ func (c *Coordinator) mergeLocked() {
 			active = f.Active
 		}
 	}
+	col.SetAttr("shards_present", int64(present))
+	col.SetAttr("shards_synthesized", int64(synthesized))
+	col.End()
 	delete(c.pending, e)
 	delete(c.firstAt, e)
+	delete(c.arrival, e)
 	c.watermark++
 	if len(parts) == 0 {
 		// Every present frame was empty (a fleet smaller than its shard
 		// count can produce ownerless shards); nothing to observe.
+		tr.End()
 		return
 	}
-	rep, err := c.cfg.Monitor.ObserveAggregated(c.cfg.Machines, parts)
+	var rep *monitor.EpochReport
+	var err error
+	if tr != nil {
+		rep, err = c.cfg.Monitor.ObserveAggregatedTrace(c.cfg.Machines, parts, tr)
+	} else {
+		rep, err = c.cfg.Monitor.ObserveAggregated(c.cfg.Machines, parts)
+	}
 	if err != nil {
+		tr.End()
 		if c.cfg.Events.Enabled() {
 			c.cfg.Events.Event("fleet.merge_error", "epoch", int64(e), "error", err.Error())
 		}
@@ -406,6 +523,9 @@ func (c *Coordinator) mergeLocked() {
 		}
 	}
 	c.reapDeadLocked(e)
+	// End before OnReport: the trace covers the merge pipeline, not the
+	// caller's bookkeeping.
+	tr.End()
 	if c.cfg.OnReport != nil {
 		c.cfg.OnReport(rep, active)
 	}
@@ -433,6 +553,7 @@ func (c *Coordinator) reapDeadLocked(e metrics.Epoch) {
 		if c.rebalances != nil {
 			c.rebalances.Inc()
 			c.live.SetInt(int64(c.liveCountLocked()))
+			c.up[s].SetInt(0)
 		}
 		if c.cfg.Events.Enabled() {
 			c.cfg.Events.Event("fleet.shard_dead",
@@ -569,6 +690,14 @@ func (c *Coordinator) Restore(st CoordinatorState) error {
 	c.asn = st.Assignment.Clone()
 	if c.live != nil {
 		c.live.SetInt(int64(c.liveCountLocked()))
+		for s := range c.dead {
+			if c.dead[s] {
+				c.up[s].SetInt(0)
+			} else {
+				c.up[s].SetInt(1)
+			}
+			c.lastEpoch[s].SetInt(int64(c.lastRx[s]))
+		}
 	}
 	return nil
 }

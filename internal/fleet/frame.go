@@ -12,6 +12,7 @@ import (
 	"dcfp/internal/metrics"
 	"dcfp/internal/quantile"
 	"dcfp/internal/sla"
+	"dcfp/internal/telemetry"
 )
 
 // frameMagic and frameVersion head every wire frame, mirroring the monitor
@@ -20,9 +21,16 @@ import (
 // added fields, so compatible growth does not bump it). Version 2 added a
 // CRC32 of the payload to the header: gob usually chokes on flipped bits,
 // but not reliably, and a corrupted frame that decodes would silently
-// poison the deterministic merge.
+// poison the deterministic merge. Version 3 added the observability
+// section (trace context + span snapshots + registry snapshot); decoders
+// still accept version-2 frames from mixed-version fleets — the new fields
+// simply come back zero, and the coordinator skips stitching/federation
+// for that shard.
 const frameMagic = "DCFPFLT1"
-const frameVersion uint32 = 2
+const frameVersion uint32 = 3
+
+// frameVersionMin is the oldest frame version this build still decodes.
+const frameVersionMin uint32 = 2
 
 // headerLen is magic + version + payload CRC32 (IEEE).
 const headerLen = len(frameMagic) + 4 + 4
@@ -81,6 +89,22 @@ type Frame struct {
 	// the coordinator hands it to its report callback so the simulated
 	// operator loop works unchanged in fleet mode.
 	Active *crisis.Instance
+
+	// Observability section (frame version 3; zero on v2 frames).
+	//
+	// TraceID is the cross-process trace context for this epoch
+	// (telemetry.EpochTraceID) and Spans the shard's completed
+	// observe_shard span snapshots up to the ship attempt — the
+	// coordinator grafts them into its merge_epoch trace so one
+	// distributed trace covers the epoch end to end.
+	TraceID uint64
+	Spans   []telemetry.SpanSnapshot
+	// Metrics is a full snapshot of the shard's telemetry registry
+	// (counters/gauges plus histogram _count/_sum series); the coordinator
+	// re-exposes it under dcfp_fleet_shard_* with a shard label. Full
+	// snapshots rather than deltas keep re-exposition idempotent across
+	// retries, duplicated frames, and coordinator restarts.
+	Metrics []telemetry.SeriesValue
 }
 
 // Encode serializes the frame as magic + version + CRC32 + gob payload.
@@ -189,8 +213,8 @@ func checkHeader(data []byte) ([]byte, error) {
 	if !bytes.Equal(data[:len(frameMagic)], []byte(frameMagic)) {
 		return nil, fmt.Errorf("fleet: not a fleet frame (bad magic)")
 	}
-	if v := binary.BigEndian.Uint32(data[len(frameMagic):]); v != frameVersion {
-		return nil, fmt.Errorf("fleet: frame version %d, want %d", v, frameVersion)
+	if v := binary.BigEndian.Uint32(data[len(frameMagic):]); v < frameVersionMin || v > frameVersion {
+		return nil, fmt.Errorf("fleet: frame version %d, want %d..%d", v, frameVersionMin, frameVersion)
 	}
 	payload := data[headerLen:]
 	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(data[len(frameMagic)+4:]); got != want {

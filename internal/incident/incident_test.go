@@ -1,0 +1,205 @@
+package incident
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dcfp/internal/alert"
+	"dcfp/internal/core"
+	"dcfp/internal/ident"
+	"dcfp/internal/metrics"
+	"dcfp/internal/monitor"
+	"dcfp/internal/telemetry"
+)
+
+// report fabricates one EpochReport in or out of a crisis window.
+func report(e metrics.Epoch, active bool, start metrics.Epoch, cov float64) *monitor.EpochReport {
+	return &monitor.EpochReport{
+		Epoch: e, CrisisActive: active, CrisisStart: start,
+		Coverage: cov, Degraded: cov < 0.5,
+	}
+}
+
+func TestBuilderLifecycle(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	dropped := reg.Counter("dcfp_fault_epochs_dropped_total", "test.")
+	reg.Gauge("dcfp_fleet_shard_up", "test.", telemetry.Label{Key: "shard", Value: "0"}).SetInt(1)
+	lag := reg.Gauge("dcfp_fleet_shard_lag_epochs", "test.", telemetry.Label{Key: "shard", Value: "0"})
+
+	b := New(Config{Registry: reg})
+	b.Observe(report(5, false, 0, 1.0), "")
+	if _, ok := b.Get("c-1"); ok {
+		t.Fatal("report exists before any crisis")
+	}
+
+	// Detection epoch carries the forecast lead.
+	det := report(10, true, 9, 1.0)
+	det.Forecast = monitor.ForecastSnapshot{Enabled: true, Risk: 0.8, Warning: true, WarnEpochs: 4, DetectionLead: 4}
+	b.Observe(det, "c-1")
+
+	// Mid-crisis: advice, an alert firing, a fault counter moving, and a
+	// degraded epoch.
+	dropped.Inc()
+	lag.SetInt(3)
+	b.Alert(alert.Notification{Epoch: 11, Rule: "crisis-active", State: alert.StateFiring})
+	mid := report(11, true, 9, 0.4)
+	mid.Advice = &monitor.Advice{
+		CrisisID: "c-1", Epoch: 11, Emitted: "overload", Nearest: "overload",
+		Distance: 0.2, Threshold: 0.5,
+		Explanation: &ident.Explanation{
+			CrisisID: "c-1",
+			Candidates: []core.CandidateExplanation{{
+				Label: "overload", Distance: 0.2,
+				Top: []core.Contribution{{Metric: 3, Quantile: 2, Delta: 0.4, Contribution: 0.16}},
+			}},
+		},
+	}
+	b.Observe(mid, "c-1")
+
+	r, ok := b.Get("c-1")
+	if !ok || r.Ended {
+		t.Fatalf("open report: ok=%v ended=%v", ok, r.Ended)
+	}
+
+	// First idle epoch finalizes the window.
+	b.Observe(report(12, false, 0, 1.0), "")
+	r, ok = b.Get("c-1")
+	if !ok || !r.Ended || r.EndEpoch != 12 {
+		t.Fatalf("finalized report: ok=%v ended=%v end=%d", ok, r.Ended, r.EndEpoch)
+	}
+	if r.DetectedEpoch != 10 || r.CrisisStart != 9 {
+		t.Fatalf("window: detected=%d start=%d", r.DetectedEpoch, r.CrisisStart)
+	}
+	if r.Forecast == nil || !r.Forecast.Warning || r.Forecast.LeadEpochs != 4 {
+		t.Fatalf("forecast summary: %+v", r.Forecast)
+	}
+	if r.Coverage.Epochs != 2 || r.Coverage.Degraded != 1 || r.Coverage.Min != 0.4 {
+		t.Fatalf("coverage: %+v", r.Coverage)
+	}
+	if got := r.Coverage.Mean; got < 0.69 || got > 0.71 {
+		t.Fatalf("coverage mean = %v, want 0.7", got)
+	}
+	if len(r.Alerts) != 1 || r.Alerts[0].Rule != "crisis-active" {
+		t.Fatalf("alerts: %+v", r.Alerts)
+	}
+	if r.Advice == nil || r.Advice.Emitted != "overload" {
+		t.Fatalf("advice: %+v", r.Advice)
+	}
+	if len(r.TopContributions) != 1 || r.TopContributions[0].Metric != 3 {
+		t.Fatalf("top contributions: %+v", r.TopContributions)
+	}
+	if len(r.Shards) != 1 || r.Shards[0].Shard != 0 || !r.Shards[0].Up || r.Shards[0].LagEpochs != 3 {
+		t.Fatalf("shard health: %+v", r.Shards)
+	}
+	if len(r.Faults) != 1 || r.Faults[0].Series != "dcfp_fault_epochs_dropped_total" || r.Faults[0].Delta != 1 {
+		t.Fatalf("fault deltas: %+v", r.Faults)
+	}
+	if r.Score != nil {
+		t.Fatal("score set before resolution")
+	}
+
+	// Quiet-time alert transitions stay out of the closed report.
+	b.Alert(alert.Notification{Epoch: 13, Rule: "crisis-active", State: alert.StateResolved})
+	if r, _ = b.Get("c-1"); len(r.Alerts) != 1 {
+		t.Fatalf("quiet-time alert recorded: %+v", r.Alerts)
+	}
+
+	// Resolution attaches the §4.3 score and returns the journal copy.
+	copyR, ok := b.Resolve(40, "c-1", "overload", true, []string{"overload", "overload"},
+		ident.Outcome{Stable: true, Emitted: "overload", Correct: true, TTIEpochs: 1})
+	if !ok || copyR.Score == nil || !copyR.Score.Correct || copyR.Score.Truth != "overload" {
+		t.Fatalf("resolve: ok=%v score=%+v", ok, copyR.Score)
+	}
+	served, _ := b.Get("c-1")
+	js, _ := json.Marshal(copyR)
+	jg, _ := json.Marshal(served)
+	if string(js) != string(jg) {
+		t.Fatalf("journal copy and served report diverge:\n%s\n%s", js, jg)
+	}
+
+	idx := b.Index()
+	if len(idx) != 1 || !idx[0].Resolved || idx[0].Emitted != "overload" {
+		t.Fatalf("index: %+v", idx)
+	}
+
+	var sb strings.Builder
+	served.WriteText(&sb)
+	for _, want := range []string{"incident c-1", "warned 4 epochs ahead", "identified: \"overload\"",
+		"shard 0", "dcfp_fault_epochs_dropped_total", "correct"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("text render missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestBuilderBackToBackCrises(t *testing.T) {
+	b := New(Config{})
+	b.Observe(report(10, true, 10, 1.0), "a")
+	// The active ID flips without an intervening idle epoch: the first
+	// report must finalize and the second open at the same epoch.
+	b.Observe(report(11, true, 11, 1.0), "b")
+	ra, _ := b.Get("a")
+	rb, ok := b.Get("b")
+	if !ra.Ended || ra.EndEpoch != 11 {
+		t.Fatalf("first crisis not finalized: %+v", ra)
+	}
+	if !ok || rb.Ended || rb.DetectedEpoch != 11 {
+		t.Fatalf("second crisis: ok=%v %+v", ok, rb)
+	}
+}
+
+func TestBuilderCapacityEviction(t *testing.T) {
+	b := New(Config{Capacity: 2})
+	for i := 0; i < 4; i++ {
+		e := metrics.Epoch(10 * (i + 1))
+		b.Observe(report(e, true, e, 1.0), string(rune('a'+i)))
+		b.Observe(report(e+1, false, 0, 1.0), "")
+	}
+	if _, ok := b.Get("a"); ok {
+		t.Fatal("oldest report survived eviction")
+	}
+	if _, ok := b.Get("d"); !ok {
+		t.Fatal("newest report evicted")
+	}
+	if got := len(b.Index()); got != 2 {
+		t.Fatalf("index size %d, want 2", got)
+	}
+	if _, ok := b.Resolve(99, "a", "x", false, nil, ident.Outcome{}); ok {
+		t.Fatal("resolved an evicted report")
+	}
+}
+
+func TestBuilderUnresolvedAndNilRegistry(t *testing.T) {
+	b := New(Config{})
+	b.Observe(report(10, true, 10, 1.0), "c")
+	b.Observe(report(11, false, 0, 1.0), "")
+	r, _ := b.Get("c")
+	if r.Shards != nil || r.Faults != nil {
+		t.Fatalf("registry-free report has shard/fault sections: %+v", r)
+	}
+	var sb strings.Builder
+	r.WriteText(&sb)
+	if !strings.Contains(sb.String(), "resolution: pending") ||
+		!strings.Contains(sb.String(), "no identification advice") {
+		t.Fatalf("unresolved render:\n%s", sb.String())
+	}
+}
+
+func TestNilBuilderIsDisabled(t *testing.T) {
+	var b *Builder
+	b.Observe(report(1, true, 1, 1.0), "c")
+	b.Alert(alert.Notification{})
+	if _, ok := b.Resolve(2, "c", "t", false, nil, ident.Outcome{}); ok {
+		t.Fatal("nil builder resolved a crisis")
+	}
+	if _, ok := b.Get("c"); ok {
+		t.Fatal("nil builder returned a report")
+	}
+	if idx := b.Index(); idx == nil || len(idx) != 0 {
+		t.Fatalf("nil builder index: %#v", idx)
+	}
+	if b.Count() != 0 {
+		t.Fatal("nil builder counted reports")
+	}
+}

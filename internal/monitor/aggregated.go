@@ -8,6 +8,7 @@ import (
 
 	"dcfp/internal/quantile"
 	"dcfp/internal/sla"
+	"dcfp/internal/telemetry"
 )
 
 // ShardPartial is one shard's locally ingested contribution to a fleet
@@ -57,13 +58,27 @@ type ShardPartial struct {
 // the resulting EpochReport stream is byte-identical to feeding the same
 // fleet rows to ObserveEpoch on a single node.
 func (m *Monitor) ObserveAggregated(machines int, parts []ShardPartial) (*EpochReport, error) {
+	tr := m.cfg.Tracer.StartTrace("observe_aggregated")
+	defer tr.End()
+	return m.observeAggregated(machines, parts, tr)
+}
+
+// ObserveAggregatedTrace is ObserveAggregated recording its pipeline spans
+// (merge/summarize/sla, plus finishEpoch's detect/identify stages) into a
+// caller-owned trace instead of opening its own — the coordinator passes
+// its merge_epoch trace here so shard-grafted spans and the merge pipeline
+// land in one distributed trace. The caller Ends tr; a nil tr disables
+// span recording exactly like a disabled tracer.
+func (m *Monitor) ObserveAggregatedTrace(machines int, parts []ShardPartial, tr *telemetry.Trace) (*EpochReport, error) {
+	return m.observeAggregated(machines, parts, tr)
+}
+
+func (m *Monitor) observeAggregated(machines int, parts []ShardPartial, tr *telemetry.Trace) (*EpochReport, error) {
 	var t0, ts time.Time
 	if m.tel != nil {
 		t0 = time.Now()
 		ts = t0
 	}
-	tr := m.cfg.Tracer.StartTrace("observe_aggregated")
-	defer tr.End()
 	sp := tr.StartSpan("ingest")
 	if machines <= 0 {
 		return nil, errors.New("monitor: no machine samples")

@@ -8,6 +8,7 @@ import (
 	"dcfp/internal/crisis"
 	"dcfp/internal/dcsim"
 	"dcfp/internal/fleet"
+	"dcfp/internal/incident"
 	"dcfp/internal/metrics"
 	"dcfp/internal/monitor"
 	"dcfp/internal/telemetry"
@@ -48,6 +49,9 @@ type Result struct {
 	PartialMerges  int             `json:"partial_merges"`
 	Evicted        int             `json:"evicted"`
 	Restarts       int             `json:"coordinator_restarts"`
+	// IncidentReports counts the incident artifacts the run assembled
+	// (open report included).
+	IncidentReports int `json:"incident_reports"`
 }
 
 // Passed reports whether every expectation held.
@@ -70,6 +74,12 @@ type operator struct {
 	mon      *monitor.Monitor
 	score    *monitor.Scoreboard
 	startIdx map[metrics.Epoch]int
+	// incidents, when set, receives the resolution outcomes so the run's
+	// incident artifacts carry their §4.3 scores (daemon parity). It is
+	// deliberately not rolled back on a coordinator restart — incident
+	// reports are an observability artifact, not recovery state, exactly
+	// like the daemon's.
+	incidents *incident.Builder
 
 	lastActive bool
 	label      string
@@ -159,6 +169,9 @@ func (op *operator) resolve(e metrics.Epoch) {
 		}
 	}
 	o := op.score.Record(monitor.Feedback{CrisisID: rec.ID, Truth: op.label, Known: known, Votes: votes})
+	if op.incidents != nil {
+		op.incidents.Resolve(e, rec.ID, op.label, known, votes, o)
+	}
 	op.outcomes = append(op.outcomes, CrisisOutcome{
 		Crisis: op.truthIdx, ID: rec.ID, Truth: op.label, Known: known,
 		Emitted: o.Emitted, Correct: o.Correct,
@@ -218,7 +231,8 @@ func Run(sc *Scenario) (*Result, error) {
 		return nil, err
 	}
 
-	opF := &operator{mon: mF, score: monitor.NewScoreboard(nil), startIdx: startIdx, truthIdx: -1}
+	inc := incident.New(incident.Config{Registry: reg, Capacity: 1024})
+	opF := &operator{mon: mF, score: monitor.NewScoreboard(nil), startIdx: startIdx, truthIdx: -1, incidents: inc}
 	reports := map[metrics.Epoch]*monitor.EpochReport{}
 	ch, err := fleet.NewChaosHarness(fleet.ChaosConfig{
 		Coordinator: fleet.CoordinatorConfig{
@@ -229,6 +243,13 @@ func Run(sc *Scenario) (*Result, error) {
 			DeadAfterEpochs: sc.Fleet.DeadAfterEpochs,
 			OnReport: func(rep *monitor.EpochReport, act *crisis.Instance) {
 				reports[rep.Epoch] = rep
+				// Incident bookkeeping first so the window finalizes
+				// before the operator's resolution scores it.
+				activeID := ""
+				if rep.CrisisActive {
+					activeID = opF.mon.Stats().ActiveCrisisID
+				}
+				inc.Observe(rep, activeID)
 				opF.observe(rep, act)
 			},
 			Telemetry: reg,
@@ -358,18 +379,19 @@ func Run(sc *Scenario) (*Result, error) {
 	res.CorruptFrames = int(regValue(reg, "dcfp_fleet_frames_total", telemetry.Label{Key: "result", Value: "corrupt"}))
 	res.PartialMerges = int(regValue(reg, "dcfp_fleet_epochs_merged_total", telemetry.Label{Key: "completeness", Value: "partial"}))
 	res.Evicted = ch.Evicted()
+	res.IncidentReports = inc.Count()
 
 	var cleanMon *monitor.Monitor
 	if opC != nil {
 		cleanMon = opC.mon
 	}
-	res.Failures = evaluate(sc, res, reports, cleanReps, opF, cleanMon)
+	res.Failures = evaluate(sc, res, reports, cleanReps, opF, cleanMon, inc)
 	return res, nil
 }
 
 // evaluate checks every expectation and returns the violations.
 func evaluate(sc *Scenario, res *Result, reports map[metrics.Epoch]*monitor.EpochReport,
-	cleanReps []*monitor.EpochReport, opF *operator, cleanMon *monitor.Monitor) []string {
+	cleanReps []*monitor.EpochReport, opF *operator, cleanMon *monitor.Monitor, inc *incident.Builder) []string {
 	var fails []string
 	failf := func(format string, args ...any) {
 		fails = append(fails, fmt.Sprintf(format, args...))
@@ -463,6 +485,26 @@ func evaluate(sc *Scenario, res *Result, reports map[metrics.Epoch]*monitor.Epoc
 	}
 	if ex.MaxEvicted != nil && res.Evicted > *ex.MaxEvicted {
 		failf("%d frames evicted, want at most %d", res.Evicted, *ex.MaxEvicted)
+	}
+	if ex.MinIncidentReports != nil {
+		if res.IncidentReports < *ex.MinIncidentReports {
+			failf("%d incident reports assembled, want at least %d", res.IncidentReports, *ex.MinIncidentReports)
+		}
+		// Every scored resolution must have produced a matching resolved
+		// incident artifact — the same consistency /incidents/{id} and the
+		// audit journal guarantee each other in the daemon.
+		for _, out := range res.Outcomes {
+			r, ok := inc.Get(out.ID)
+			switch {
+			case !ok:
+				failf("outcome %s has no incident report", out.ID)
+			case r.Score == nil:
+				failf("incident %s was never scored", out.ID)
+			case r.Score.Emitted != out.Emitted || r.Score.Correct != out.Correct:
+				failf("incident %s score (%q, correct=%v) disagrees with outcome (%q, correct=%v)",
+					out.ID, r.Score.Emitted, r.Score.Correct, out.Emitted, out.Correct)
+			}
+		}
 	}
 	return fails
 }

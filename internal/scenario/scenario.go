@@ -177,6 +177,10 @@ type Expect struct {
 	MaxPartialMerges *int `json:"max_partial_merges,omitempty"`
 	// MaxEvicted bounds frames dropped from replay rings.
 	MaxEvicted *int `json:"max_evicted,omitempty"`
+	// MinIncidentReports floors the incident reports the run assembled
+	// (open or finalized). Setting it also demands every scored §4.3
+	// outcome carry a matching resolved incident artifact.
+	MinIncidentReports *int `json:"min_incident_reports,omitempty"`
 }
 
 // applyDefaults fills the documented zero-value defaults in place.
@@ -347,6 +351,9 @@ func (sc *Scenario) Validate() error {
 	}
 	if acc := sc.Expect.MinKnownAccuracy; acc != nil && (*acc < 0 || *acc > 1) {
 		return fmt.Errorf("scenario %s: min_known_accuracy %v outside [0,1]", sc.Name, *acc)
+	}
+	if n := sc.Expect.MinIncidentReports; n != nil && *n < 0 {
+		return fmt.Errorf("scenario %s: min_incident_reports %d negative", sc.Name, *n)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"html"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -30,12 +31,19 @@ func handleHistory(w http.ResponseWriter, r *http.Request, h *History) {
 		writeJSON(w, map[string]any{"metrics": names})
 		return
 	}
+	if !validMetricName(metric) {
+		writeJSONStatus(w, http.StatusBadRequest,
+			map[string]string{"error": "malformed metric name " + strconv.Quote(metric)})
+		return
+	}
 	var since int64
 	if s := q.Get("since"); s != "" {
 		v, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
+		if err != nil || v < 0 {
+			// A malformed or negative since used to fall through as 0 and
+			// silently return the full range; callers deserve the 400.
 			writeJSONStatus(w, http.StatusBadRequest,
-				map[string]string{"error": "since must be an integer epoch"})
+				map[string]string{"error": "since must be a non-negative integer epoch"})
 			return
 		}
 		since = v
@@ -70,9 +78,12 @@ func handleDash(w http.ResponseWriter, r *http.Request, h *History) {
 		`h1{font-size:1.2em} .m{margin-bottom:1.2em}` +
 		`.name{color:#8cf} .cur{color:#fc8} svg{background:#1a1a1a;display:block}` +
 		`polyline{fill:none;stroke:#8cf;stroke-width:1}` +
+		`h2{font-size:1em} table{border-collapse:collapse;margin-bottom:1.2em}` +
+		`td,th{border:1px solid #333;padding:2px 8px;text-align:right} th{color:#8cf}` +
 		`</style></head><body><h1>dcfp dash</h1>`)
 	fmt.Fprintf(&b, `<p>%d samples · filter <code>?match=%s</code> · JSON at <code>/api/history</code></p>`,
 		h.Samples(), html.EscapeString(match))
+	b.WriteString(shardPanel(h))
 	for _, name := range names {
 		series, ok := h.Query(name, 0)
 		if !ok {
@@ -95,6 +106,102 @@ func handleDash(w http.ResponseWriter, r *http.Request, h *History) {
 	b.WriteString(`</body></html>`)
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// shardLatest returns the newest raw value of each series of a metric,
+// keyed by its shard label, optionally filtered to series carrying an
+// extra label key=value pair. Series without a shard label are skipped.
+func shardLatest(h *History, metric, filterKey, filterVal string) map[string]float64 {
+	series, ok := h.Query(metric, 0)
+	if !ok {
+		return nil
+	}
+	out := make(map[string]float64, len(series))
+	for _, s := range series {
+		shard, ok := s.Labels["shard"]
+		if !ok || len(s.Raw) == 0 {
+			continue
+		}
+		if filterKey != "" && s.Labels[filterKey] != filterVal {
+			continue
+		}
+		out[shard] = s.Raw[len(s.Raw)-1].Value
+	}
+	return out
+}
+
+// shardPanel renders the per-shard fleet health table on /dash from the
+// coordinator's own per-shard gauges (lag, liveness) plus the federated
+// dcfp_fleet_shard_* re-exposition of each shard's local registry (ship
+// latency and delivery fault counters). Empty — single-node runs, or a
+// coordinator before its first frame — renders nothing.
+func shardPanel(h *History) string {
+	cols := []struct {
+		title string
+		vals  map[string]float64
+	}{
+		{"up", shardLatest(h, "dcfp_fleet_shard_up", "", "")},
+		{"last epoch", shardLatest(h, "dcfp_fleet_shard_last_epoch", "", "")},
+		{"lag (epochs)", shardLatest(h, "dcfp_fleet_shard_lag_epochs", "", "")},
+		{"frames ok", shardLatest(h, "dcfp_fleet_shard_fleet_frames_shipped_total", "result", "ok")},
+		{"frame errors", shardLatest(h, "dcfp_fleet_shard_fleet_frames_shipped_total", "result", "error")},
+		{"abandoned", shardLatest(h, "dcfp_fleet_shard_fleet_ship_abandoned_total", "", "")},
+		{"ship mean (ms)", shipMeanMillis(h)},
+	}
+	shards := make(map[string]bool)
+	for _, c := range cols {
+		for s := range c.vals {
+			shards[s] = true
+		}
+	}
+	if len(shards) == 0 {
+		return ""
+	}
+	order := make([]string, 0, len(shards))
+	for s := range shards {
+		order = append(order, s)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, erra := strconv.Atoi(order[i])
+		b, errb := strconv.Atoi(order[j])
+		if erra == nil && errb == nil {
+			return a < b
+		}
+		return order[i] < order[j]
+	})
+	var b strings.Builder
+	b.WriteString(`<h2>per-shard health</h2><table><tr><th>shard</th>`)
+	for _, c := range cols {
+		fmt.Fprintf(&b, `<th>%s</th>`, html.EscapeString(c.title))
+	}
+	b.WriteString(`</tr>`)
+	for _, s := range order {
+		fmt.Fprintf(&b, `<tr><td>%s</td>`, html.EscapeString(s))
+		for _, c := range cols {
+			if v, ok := c.vals[s]; ok {
+				fmt.Fprintf(&b, `<td>%g</td>`, v)
+			} else {
+				b.WriteString(`<td>–</td>`)
+			}
+		}
+		b.WriteString(`</tr>`)
+	}
+	b.WriteString(`</table>`)
+	return b.String()
+}
+
+// shipMeanMillis derives each shard's mean frame-delivery latency from the
+// federated ship-seconds histogram's _sum/_count series.
+func shipMeanMillis(h *History) map[string]float64 {
+	sums := shardLatest(h, "dcfp_fleet_shard_fleet_ship_seconds_sum", "", "")
+	counts := shardLatest(h, "dcfp_fleet_shard_fleet_ship_seconds_count", "", "")
+	out := make(map[string]float64, len(sums))
+	for s, sum := range sums {
+		if n := counts[s]; n > 0 {
+			out[s] = 1000 * sum / n
+		}
+	}
+	return out
 }
 
 // labelSuffix renders a {k="v",...} suffix for the dash, deterministic via

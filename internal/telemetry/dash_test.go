@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// dashServer builds a handler over a seeded history: a plain gauge plus
+// the coordinator's per-shard gauges and a federated ship histogram, so
+// /dash renders both the sparklines and the per-shard health panel.
+func dashServer(t *testing.T) (*httptest.Server, *History) {
+	t.Helper()
+	reg := NewRegistry()
+	risk := reg.Gauge("dcfp_forecast_risk", "test.")
+	up0 := reg.Gauge("dcfp_fleet_shard_up", "test.", Label{Key: "shard", Value: "0"})
+	up1 := reg.Gauge("dcfp_fleet_shard_up", "test.", Label{Key: "shard", Value: "1"})
+	lag1 := reg.Gauge("dcfp_fleet_shard_lag_epochs", "test.", Label{Key: "shard", Value: "1"})
+	sum1 := reg.Gauge("dcfp_fleet_shard_fleet_ship_seconds_sum", "test.", Label{Key: "shard", Value: "1"})
+	cnt1 := reg.Gauge("dcfp_fleet_shard_fleet_ship_seconds_count", "test.", Label{Key: "shard", Value: "1"})
+	h := NewHistory(reg, DefaultHistoryConfig())
+	up0.SetInt(1)
+	up1.SetInt(1)
+	for e := int64(0); e < 5; e++ {
+		risk.Set(0.1 * float64(e))
+		lag1.SetInt(e)
+		sum1.Set(0.010 * float64(e+1))
+		cnt1.SetInt(e + 1)
+		h.Sample(e)
+	}
+	srv := httptest.NewServer(NewHandler(reg, Endpoints{History: h}))
+	t.Cleanup(srv.Close)
+	return srv, h
+}
+
+func TestDashRendersAndReferencesLiveRoutes(t *testing.T) {
+	srv, _ := dashServer(t)
+	resp, err := http.Get(srv.URL + "/dash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	page := string(body)
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/html") {
+		t.Fatalf("status %d content-type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	for _, want := range []string{"<!DOCTYPE html>", "dcfp_forecast_risk", "<svg", "per-shard health"} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("/dash missing %q:\n%.400s", want, page)
+		}
+	}
+	// The shard panel carries both shards, with "–" for shard 0's missing
+	// federated columns.
+	if !strings.Contains(page, "<td>0</td>") || !strings.Contains(page, "<td>1</td>") {
+		t.Fatalf("shard rows missing:\n%s", page)
+	}
+	if !strings.Contains(page, "–") {
+		t.Fatalf("missing-value dash absent:\n%s", page)
+	}
+	// The ship mean derives from _sum/_count: 0.050s/5 = 10ms.
+	if !strings.Contains(page, "<td>10</td>") {
+		t.Fatalf("ship mean column missing:\n%s", page)
+	}
+
+	// Every absolute route the page mentions must actually be served.
+	for _, route := range regexp.MustCompile(`/api/[a-z/]+`).FindAllString(page, -1) {
+		r2, err := http.Get(srv.URL + route)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r2.Body)
+		r2.Body.Close()
+		if r2.StatusCode == http.StatusNotFound {
+			t.Fatalf("/dash references %s but it 404s", route)
+		}
+	}
+}
+
+func TestDashWithoutShardsOmitsPanel(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("dcfp_demo", "test.")
+	h := NewHistory(reg, DefaultHistoryConfig())
+	g.Set(1)
+	h.Sample(0)
+	srv := httptest.NewServer(NewHandler(reg, Endpoints{History: h}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/dash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), "per-shard health") {
+		t.Fatalf("shard panel rendered with no shard series:\n%s", body)
+	}
+}
+
+func TestHistoryBadRequests(t *testing.T) {
+	srv, _ := dashServer(t)
+	cases := []struct {
+		name, url string
+		status    int
+	}{
+		{"malformed since", "/api/history?metric=dcfp_forecast_risk&since=abc", http.StatusBadRequest},
+		{"negative since", "/api/history?metric=dcfp_forecast_risk&since=-3", http.StatusBadRequest},
+		{"malformed metric", "/api/history?metric=dcfp%20bogus%22name", http.StatusBadRequest},
+		{"unknown metric", "/api/history?metric=dcfp_no_such_metric", http.StatusNotFound},
+		{"valid", "/api/history?metric=dcfp_forecast_risk&since=2", http.StatusOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Get(srv.URL + tc.url)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.status, body)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("content-type %q, want JSON", ct)
+			}
+			if tc.status >= 400 {
+				var payload struct {
+					Error string `json:"error"`
+				}
+				if err := json.Unmarshal(body, &payload); err != nil || payload.Error == "" {
+					t.Fatalf("error payload not JSON with error field: %v %s", err, body)
+				}
+			}
+		})
+	}
+}

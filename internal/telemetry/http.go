@@ -29,6 +29,11 @@ type Endpoints struct {
 	History *History
 	// Alerts backs /alerts (the alert engine's rule snapshots).
 	Alerts func() any
+	// Incidents backs /incidents (the incident-report index); Incident
+	// backs /incidents/{id} with one full report, ok=false yielding a
+	// JSON 404. Both nil 404 their routes.
+	Incidents func() any
+	Incident  func(id string) (any, bool)
 }
 
 // NewHandler bundles the observability endpoints into one http.Handler:
@@ -40,6 +45,8 @@ type Endpoints struct {
 //	/accuracy            JSON from Accuracy (404 when nil)
 //	/explain/{crisisID}  JSON from Explain (404 when nil or unknown ID)
 //	/alerts              JSON from Alerts (404 when nil)
+//	/incidents           JSON incident index from Incidents (404 when nil)
+//	/incidents/{id}      JSON incident report from Incident (404 when nil or unknown)
 //	/api/history         JSON time series from History (404 when nil)
 //	/dash                sparkline HTML dashboard over History (404 when nil)
 //	/debug/pprof/*       net/http/pprof profiles
@@ -82,6 +89,32 @@ func NewHandler(reg *Registry, ep Endpoints) http.Handler {
 			payload, ok := ep.Explain(id)
 			if !ok {
 				writeJSONStatus(w, http.StatusNotFound, map[string]string{"error": "unknown crisis " + id})
+				return
+			}
+			writeJSON(w, payload)
+		})
+	}
+	if ep.Incidents != nil || ep.Incident != nil {
+		mux.HandleFunc("/incidents", func(w http.ResponseWriter, _ *http.Request) {
+			if ep.Incidents == nil {
+				writeJSONStatus(w, http.StatusNotFound, map[string]string{"error": "no incident index"})
+				return
+			}
+			writeJSON(w, ep.Incidents())
+		})
+		mux.HandleFunc("/incidents/", func(w http.ResponseWriter, r *http.Request) {
+			id := strings.TrimPrefix(r.URL.Path, "/incidents/")
+			if id == "" || strings.Contains(id, "/") {
+				writeJSONStatus(w, http.StatusNotFound, map[string]string{"error": "usage: /incidents/{crisisID}"})
+				return
+			}
+			if ep.Incident == nil {
+				writeJSONStatus(w, http.StatusNotFound, map[string]string{"error": "no incident reports"})
+				return
+			}
+			payload, ok := ep.Incident(id)
+			if !ok {
+				writeJSONStatus(w, http.StatusNotFound, map[string]string{"error": "unknown incident " + id})
 				return
 			}
 			writeJSON(w, payload)

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,20 @@ import (
 type Attr struct {
 	Key   string `json:"key"`
 	Value int64  `json:"value"`
+}
+
+// EpochTraceID derives the fleet-wide distributed trace ID for an epoch.
+// Every process in the fleet computes the same ID from the epoch number
+// alone (a splitmix64-style bit mix), so aggregator observe_shard traces
+// and the coordinator merge_epoch trace stitch into one distributed trace
+// with zero coordination and nothing extra on the wire beyond the frame's
+// epoch. The mix keeps IDs well-spread (epoch 0 is not trace 0) so they
+// read as opaque trace IDs, and is injective over int64 inputs.
+func EpochTraceID(epoch int64) uint64 {
+	z := uint64(epoch) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Tracer owns the ring buffer of the most recently completed traces.
@@ -87,13 +102,14 @@ type span struct {
 // with StartSpan/End calls and finish with End, which files the completed
 // trace into the tracer's ring. All methods are no-ops on a nil receiver.
 type Trace struct {
-	tracer *Tracer
-	id     uint64
-	name   string
-	start  time.Time
-	attrs  []Attr
-	spans  []span
-	open   []int // stack of started-but-unended span indices
+	tracer  *Tracer
+	id      uint64
+	traceID uint64 // cross-process trace context; 0 = local-only
+	name    string
+	start   time.Time
+	attrs   []Attr
+	spans   []span
+	open    []int // stack of started-but-unended span indices
 }
 
 // StartTrace begins a trace; nil (a no-op trace) on a disabled tracer.
@@ -109,11 +125,42 @@ func (t *Tracer) StartTrace(name string) *Trace {
 	}
 }
 
-// SetAttr attaches an integer attribute to the trace itself.
-func (tr *Trace) SetAttr(key string, value int64) {
+// StartTraceID begins a trace carrying an explicit cross-process trace ID
+// (typically EpochTraceID). Traces in different processes started with the
+// same ID are fragments of one distributed trace; /traces consumers join
+// them on TraceID. Returns nil on a disabled tracer.
+func (t *Tracer) StartTraceID(name string, traceID uint64) *Trace {
+	tr := t.StartTrace(name)
 	if tr != nil {
-		tr.attrs = append(tr.attrs, Attr{Key: key, Value: value})
+		tr.traceID = traceID
 	}
+	return tr
+}
+
+// TraceID returns the propagated cross-process trace ID (0 when the trace
+// is local-only or nil).
+func (tr *Trace) TraceID() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.traceID
+}
+
+// SetAttr attaches an integer attribute to the trace itself. Re-setting a
+// key overwrites it — multiple pipeline layers annotate the same trace
+// (the coordinator and the monitor both stamp "epoch") and the snapshot
+// should carry each key once.
+func (tr *Trace) SetAttr(key string, value int64) {
+	if tr == nil {
+		return
+	}
+	for i := range tr.attrs {
+		if tr.attrs[i].Key == key {
+			tr.attrs[i].Value = value
+			return
+		}
+	}
+	tr.attrs = append(tr.attrs, Attr{Key: key, Value: value})
 }
 
 // Span is a handle to one started span within a trace. The zero of the
@@ -169,6 +216,96 @@ func (s *Span) End() {
 	}
 }
 
+// CompletedSpans snapshots the spans that have already ended, in start
+// order, with offsets relative to the trace start. Spans still open (and
+// their not-yet-meaningful durations) are skipped; a completed span whose
+// parent is still open is re-parented to its nearest completed ancestor.
+// This is the wire form an aggregator embeds in a fleet frame before the
+// ship span — which is by definition still open — begins. Nil-safe.
+func (tr *Trace) CompletedSpans() []SpanSnapshot {
+	if tr == nil {
+		return nil
+	}
+	remap := make([]int, len(tr.spans))
+	out := make([]SpanSnapshot, 0, len(tr.spans))
+	for i, sp := range tr.spans {
+		if sp.end.IsZero() {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(out)
+		parent := sp.parent
+		for parent >= 0 && remap[parent] < 0 {
+			parent = tr.spans[parent].parent
+		}
+		if parent >= 0 {
+			parent = remap[parent]
+		}
+		out = append(out, SpanSnapshot{
+			Name:               sp.name,
+			Parent:             parent,
+			StartOffsetSeconds: sp.start.Sub(tr.start).Seconds(),
+			DurationSeconds:    sp.end.Sub(sp.start).Seconds(),
+			Attrs:              append([]Attr(nil), sp.attrs...),
+		})
+	}
+	return out
+}
+
+// Graft splices a remote process's span snapshots into this trace under a
+// new closed anchor span (nested under the innermost open span, like
+// StartSpan). Remote offsets are preserved relative to this trace's start:
+// the two fragments describe the same epoch, so aligning their trace
+// starts yields per-shard timing breakdowns without requiring synchronized
+// clocks — cross-process skew is reported separately (the coordinator
+// attaches arrival-offset attrs to the anchor) rather than baked into span
+// positions. Remote parent indices are rebased; out-of-range parents
+// attach to the anchor.
+func (tr *Trace) Graft(name string, remote []SpanSnapshot, attrs ...Attr) {
+	if tr == nil {
+		return
+	}
+	parent := -1
+	if n := len(tr.open); n > 0 {
+		parent = tr.open[n-1]
+	}
+	anchor := len(tr.spans)
+	tr.spans = append(tr.spans, span{
+		name:   name,
+		parent: parent,
+		start:  tr.start,
+		end:    tr.start,
+		attrs:  append([]Attr(nil), attrs...),
+	})
+	base := len(tr.spans)
+	minStart, maxEnd := time.Time{}, tr.start
+	for _, rs := range remote {
+		p := anchor
+		if rs.Parent >= 0 && rs.Parent < len(remote) {
+			p = base + rs.Parent
+		}
+		st := tr.start.Add(time.Duration(rs.StartOffsetSeconds * float64(time.Second)))
+		en := st.Add(time.Duration(rs.DurationSeconds * float64(time.Second)))
+		tr.spans = append(tr.spans, span{
+			name:   rs.Name,
+			parent: p,
+			start:  st,
+			end:    en,
+			attrs:  append([]Attr(nil), rs.Attrs...),
+		})
+		if minStart.IsZero() || st.Before(minStart) {
+			minStart = st
+		}
+		if en.After(maxEnd) {
+			maxEnd = en
+		}
+	}
+	if !minStart.IsZero() {
+		tr.spans[anchor].start = minStart
+	}
+	tr.spans[anchor].end = maxEnd
+}
+
 // End completes the trace: any spans still open are closed at the trace's
 // end time, and the finished trace is filed into the tracer's ring buffer,
 // evicting the oldest entry once the ring is full. Ending twice files once.
@@ -209,7 +346,11 @@ type SpanSnapshot struct {
 
 // TraceSnapshot is the immutable JSON form of one completed trace.
 type TraceSnapshot struct {
-	ID              uint64         `json:"id"`
+	ID uint64 `json:"id"`
+	// TraceID is the propagated cross-process trace ID (hex; omitted for
+	// local-only traces). Snapshots from different processes with the same
+	// TraceID are fragments of one distributed trace.
+	TraceID         string         `json:"trace_id,omitempty"`
 	Name            string         `json:"name"`
 	StartUnixNano   int64          `json:"start_unix_nano"`
 	DurationSeconds float64        `json:"duration_seconds"`
@@ -227,6 +368,9 @@ func (tr *Trace) snapshot(end time.Time) TraceSnapshot {
 		DurationSeconds: end.Sub(tr.start).Seconds(),
 		Attrs:           tr.attrs,
 		Spans:           make([]SpanSnapshot, len(tr.spans)),
+	}
+	if tr.traceID != 0 {
+		snap.TraceID = strconv.FormatUint(tr.traceID, 16)
 	}
 	for i, sp := range tr.spans {
 		snap.Spans[i] = SpanSnapshot{

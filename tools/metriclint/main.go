@@ -1,0 +1,266 @@
+// Command metriclint statically audits every telemetry metric
+// registration in the tree (non-test Go sources) and fails CI when the
+// metric surface drifts:
+//
+//   - every literal metric name must carry the dcfp_ prefix — the
+//     namespace contract that keeps fleet federation (dcfp_ becomes
+//     dcfp_fleet_shard_) and the alert rule language unambiguous;
+//   - a name must not be registered as two different kinds (a counter in
+//     one file, a gauge in another renders an unscrapeable family);
+//   - a name's label key set must be identical across registration sites
+//     — Prometheus rejects a family whose series disagree on label keys,
+//     and the coordinator's federation keying assumes consistency;
+//   - the same (name, kind, exact literal label pairs) registered from
+//     two distinct call sites is a duplicate registration: both sites
+//     would silently share one series, which is almost always a
+//     copy/paste error rather than intent;
+//   - help strings for one name must agree across sites, since the
+//     exposition format carries a single HELP line per family.
+//
+// Sites whose name is not a string literal (the coordinator's federated
+// dcfp_fleet_shard_* gauges are minted from shard snapshots at runtime)
+// are out of static reach and skipped; likewise label arguments passed as
+// variables or slices only weaken the checks for that site, never fail
+// them. Run from the repo root: go run ./tools/metriclint
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type site struct {
+	pos  token.Position
+	kind string
+	help string
+	// keys is the sorted label key set; valid only when keysKnown (every
+	// label argument was a composite literal with a literal Key).
+	keys      []string
+	keysKnown bool
+	// pairs is the sorted key=value set; valid only when pairsKnown (every
+	// label had literal key AND value — required to call two sites true
+	// duplicates rather than two series of one family).
+	pairs      []string
+	pairsKnown bool
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	fset := token.NewFileSet()
+	regs := map[string][]site{}
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == ".git" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		collect(fset, file, regs)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metriclint:", err)
+		os.Exit(1)
+	}
+
+	var problems []string
+	fail := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	names := make([]string, 0, len(regs))
+	for n := range regs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	total := 0
+	for _, name := range names {
+		sites := regs[name]
+		total += len(sites)
+		if !strings.HasPrefix(name, "dcfp_") {
+			fail("%s: metric %q lacks the dcfp_ prefix", sites[0].pos, name)
+		}
+		for _, s := range sites[1:] {
+			if s.kind != sites[0].kind {
+				fail("%s: %q registered as %s here but %s at %s",
+					s.pos, name, s.kind, sites[0].kind, sites[0].pos)
+			}
+		}
+		// Label key sets must agree across every statically-known site.
+		var ref *site
+		for i := range sites {
+			s := &sites[i]
+			if !s.keysKnown {
+				continue
+			}
+			if ref == nil {
+				ref = s
+				continue
+			}
+			if strings.Join(s.keys, ",") != strings.Join(ref.keys, ",") {
+				fail("%s: %q label keys [%s] disagree with [%s] at %s",
+					s.pos, name, strings.Join(s.keys, " "), strings.Join(ref.keys, " "), ref.pos)
+			}
+		}
+		// Exact-duplicate detection: identical fully-literal label pairs
+		// registered from two different source positions.
+		byPairs := map[string]token.Position{}
+		for _, s := range sites {
+			if !s.pairsKnown {
+				continue
+			}
+			key := s.kind + "\x00" + strings.Join(s.pairs, "\x00")
+			if prev, dup := byPairs[key]; dup && prev != s.pos {
+				fail("%s: duplicate registration of %q{%s}, first at %s",
+					s.pos, name, strings.Join(s.pairs, ","), prev)
+			} else if !dup {
+				byPairs[key] = s.pos
+			}
+		}
+		for _, s := range sites[1:] {
+			if s.help != "" && sites[0].help != "" && s.help != sites[0].help {
+				fail("%s: %q help %q disagrees with %q at %s",
+					s.pos, name, s.help, sites[0].help, sites[0].pos)
+			}
+		}
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "metriclint: %d problem(s) across %d metric families\n",
+			len(problems), len(regs))
+		os.Exit(1)
+	}
+	fmt.Printf("metriclint: %d registration sites, %d metric families, all clean\n", total, len(regs))
+}
+
+// collect records every Counter/Gauge/Histogram registration with a
+// string-literal name into regs.
+func collect(fset *token.FileSet, file *ast.File, regs map[string][]site) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		kind := sel.Sel.Name
+		if kind != "Counter" && kind != "Gauge" && kind != "Histogram" {
+			return true
+		}
+		if len(call.Args) < 2 {
+			return true
+		}
+		name, ok := stringLit(call.Args[0])
+		if !ok {
+			return true
+		}
+		s := site{pos: fset.Position(call.Pos()), kind: kind, keysKnown: true, pairsKnown: true}
+		s.help, _ = stringLit(call.Args[1])
+		labelArgs := call.Args[2:]
+		if kind == "Histogram" && len(call.Args) >= 3 {
+			// Histogram(name, help, buckets, labels...).
+			labelArgs = call.Args[3:]
+		}
+		if call.Ellipsis.IsValid() {
+			// labels... forwards a slice we cannot see into.
+			s.keysKnown, s.pairsKnown = false, false
+			labelArgs = nil
+		}
+		for _, arg := range labelArgs {
+			k, v, kOK, vOK := labelLit(arg)
+			if !kOK {
+				s.keysKnown, s.pairsKnown = false, false
+				break
+			}
+			s.keys = append(s.keys, k)
+			if !vOK {
+				s.pairsKnown = false
+				continue
+			}
+			s.pairs = append(s.pairs, k+"="+v)
+		}
+		sort.Strings(s.keys)
+		sort.Strings(s.pairs)
+		regs[name] = append(regs[name], s)
+		return true
+	})
+}
+
+// stringLit unwraps a string literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	v, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return v, true
+}
+
+// labelLit extracts the Key (and, when literal, the Value) from a
+// telemetry.Label composite literal argument.
+func labelLit(e ast.Expr) (key, val string, keyOK, valOK bool) {
+	cl, ok := e.(*ast.CompositeLit)
+	if !ok || !isLabelType(cl.Type) {
+		return "", "", false, false
+	}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return "", "", false, false
+		}
+		field, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			return "", "", false, false
+		}
+		switch field.Name {
+		case "Key":
+			key, keyOK = stringLit(kv.Value)
+		case "Value":
+			val, valOK = stringLit(kv.Value)
+		}
+	}
+	return key, val, keyOK, valOK
+}
+
+// isLabelType matches Label and pkg.Label type expressions.
+func isLabelType(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name == "Label"
+	case *ast.SelectorExpr:
+		return t.Sel.Name == "Label"
+	}
+	return false
+}
