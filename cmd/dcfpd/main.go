@@ -479,6 +479,11 @@ type shipBuffer struct {
 	sent    []shipFrame
 	cap     int
 	evicted int
+	// rewindBuf is scratch reused across rewinds, so re-queuing retained
+	// frames in front of pending does not allocate a fresh slice per
+	// coordinator restart (the encoded frame bytes themselves are shared
+	// with the sent ring and already reused across re-ships).
+	rewindBuf []shipFrame
 }
 
 func (b *shipBuffer) push(f shipFrame) {
@@ -511,7 +516,11 @@ func (b *shipBuffer) rewind(from metrics.Epoch) int {
 	if len(re) == 0 {
 		return 0
 	}
-	b.pending = append(append([]shipFrame{}, re...), b.pending...)
+	b.rewindBuf = append(b.rewindBuf[:0], re...)
+	b.rewindBuf = append(b.rewindBuf, b.pending...)
+	// Swap scratch in as the new pending queue; the old backing array
+	// becomes the scratch for the next rewind.
+	b.pending, b.rewindBuf = b.rewindBuf, b.pending[:0]
 	b.sent = b.sent[:cut]
 	if len(b.pending) > b.cap {
 		b.evicted += len(b.pending) - b.cap

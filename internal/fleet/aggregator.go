@@ -79,12 +79,13 @@ type Aggregator struct {
 	brk    *breaker
 	jitter *rand.Rand
 
-	bytesTx   *telemetry.Counter
-	shipSec   *telemetry.Histogram
-	framesOK  *telemetry.Counter
-	framesRe  *telemetry.Counter
-	framesEr  *telemetry.Counter
-	abandoned *telemetry.Counter
+	bytesTx    *telemetry.Counter
+	shipSec    *telemetry.Histogram
+	frameBytes *telemetry.Histogram
+	framesOK   *telemetry.Counter
+	framesRe   *telemetry.Counter
+	framesEr   *telemetry.Counter
+	abandoned  *telemetry.Counter
 
 	// open holds the per-epoch observe_shard traces whose ship span is
 	// still in flight (frame built but not yet delivered or abandoned).
@@ -162,6 +163,9 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 			"Encoded frame bytes shipped to the coordinator.")
 		g.shipSec = r.Histogram("dcfp_fleet_ship_seconds",
 			"Frame delivery latency including retries.", telemetry.TimeBuckets())
+		g.frameBytes = r.Histogram("dcfp_fleet_frame_bytes",
+			"Encoded size of frames built by EpochFrame.",
+			[]float64{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20})
 		g.framesOK = r.Counter("dcfp_fleet_frames_shipped_total",
 			"Frame delivery outcomes.", telemetry.Label{Key: "result", Value: "ok"})
 		g.framesRe = r.Counter("dcfp_fleet_frames_shipped_total",
@@ -262,6 +266,9 @@ func (g *Aggregator) EpochFrame(e metrics.Epoch, rows [][]float64, active *crisi
 	}
 	sp.SetAttr("bytes", int64(len(data)))
 	sp.End()
+	if g.frameBytes != nil {
+		g.frameBytes.Observe(float64(len(data)))
+	}
 	for _, est := range ests {
 		est.Reset()
 	}

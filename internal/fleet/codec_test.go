@@ -1,0 +1,365 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dcfp/internal/dcsim"
+	"dcfp/internal/metrics"
+	"dcfp/internal/monitor"
+	"dcfp/internal/quantile"
+)
+
+// benchFixtureFrame builds the 2-shard bench fixture frame: one shard's
+// half of a 100-machine fleet sampling 100 metrics clustered around their
+// level (the aggregated-benchmark geometry), with the per-metric exact
+// estimator state fed from the same rows, exactly as EpochFrame builds it.
+func benchFixtureFrame(tb testing.TB) *Frame {
+	tb.Helper()
+	const machines, nm = 50, 100
+	rng := rand.New(rand.NewSource(21))
+	rows := make([][]float64, machines)
+	ests := make([]quantile.Estimator, nm)
+	for m := range ests {
+		ests[m] = quantile.NewExact()
+	}
+	viol := make([]bool, machines)
+	rep := make([]bool, machines)
+	for i := range rows {
+		row := make([]float64, nm)
+		for m := range row {
+			row[m] = 100 + rng.NormFloat64()*10
+		}
+		rows[i] = row
+		rep[i] = true
+		for m, v := range row {
+			ests[m].Insert(v)
+		}
+	}
+	return &Frame{
+		Shard:      0,
+		Epoch:      7,
+		Machines:   2 * machines,
+		Blocks:     []Block{{Lo: 0, Rows: rows, Viol: viol, Reporting: rep}},
+		Estimators: ests,
+	}
+}
+
+// gobEstimators serializes an estimator slice with gob — a deterministic
+// fingerprint of decoded estimator state for byte-identity assertions.
+func gobEstimators(tb testing.TB, ests []quantile.Estimator) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ests); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFrameV4SmallerThanGob is the wire-size acceptance criterion: on the
+// 2-shard bench fixture the v4 encoding must be at least 40% smaller than
+// the all-gob layout it replaced (it elides the estimator section entirely
+// when derived from rows, and drops gob's per-float overhead).
+func TestFrameV4SmallerThanGob(t *testing.T) {
+	f := benchFixtureFrame(t)
+	v4, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := encodeFrameLegacy(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(len(v4)) / float64(len(legacy)); ratio > 0.60 {
+		t.Fatalf("v4 frame is %d bytes vs %d gob (%.0f%% of gob); want <= 60%%",
+			len(v4), len(legacy), 100*ratio)
+	}
+	t.Logf("v4 %d bytes, gob %d bytes (%.1f%% of gob)", len(v4), len(legacy),
+		100*float64(len(v4))/float64(len(legacy)))
+}
+
+// TestFrameMixedVersionEquivalence is the mixed-fleet proof obligation: the
+// same frame decoded from its v3 gob encoding and from its v4 binary
+// encoding must be indistinguishable — same metadata, same blocks, and
+// bit-identical estimator state (asserted via gob re-encoding).
+func TestFrameMixedVersionEquivalence(t *testing.T) {
+	f := benchFixtureFrame(t)
+	// Punch holes in the fixture so nil rows and non-reporting machines
+	// cross both codecs too.
+	f.Blocks[0].Rows[3] = nil
+	f.Blocks[0].Reporting[3] = false
+	f.Dropped = 17
+	rebuilt := make([]quantile.Estimator, len(f.Estimators))
+	for m := range rebuilt {
+		rebuilt[m] = quantile.NewExact()
+	}
+	for _, row := range f.Blocks[0].Rows {
+		if row == nil {
+			continue
+		}
+		for m, v := range row {
+			rebuilt[m].Insert(v)
+		}
+	}
+	f.Estimators = rebuilt
+
+	v4, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3, err := encodeFrameLegacy(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d4, err := DecodeFrame(v4)
+	if err != nil {
+		t.Fatalf("v4 decode: %v", err)
+	}
+	d3, err := DecodeFrame(v3)
+	if err != nil {
+		t.Fatalf("v3 decode: %v", err)
+	}
+	if !bytes.Equal(gobEstimators(t, d4.Estimators), gobEstimators(t, d3.Estimators)) {
+		t.Fatal("estimator state differs between v3 and v4 decode")
+	}
+	d4.Estimators, d3.Estimators = nil, nil
+	if !reflect.DeepEqual(d4, d3) {
+		t.Fatalf("frames differ between v3 and v4 decode:\nv4: %+v\nv3: %+v", d4, d3)
+	}
+}
+
+// TestFrameCompression: bodies above the threshold are flate-compressed on
+// the wire and decode back identical.
+func TestFrameCompression(t *testing.T) {
+	old := frameCompressThreshold
+	frameCompressThreshold = 1 << 10
+	defer func() { frameCompressThreshold = old }()
+
+	f := benchFixtureFrame(t)
+	// Constant rows compress extremely well and still exercise the whole
+	// path (the fixture's random rows would too, just less dramatically).
+	for _, row := range f.Blocks[0].Rows {
+		for m := range row {
+			row[m] = 42
+		}
+	}
+	for _, est := range f.Estimators {
+		est.Reset()
+	}
+	for _, row := range f.Blocks[0].Rows {
+		for m, v := range row {
+			f.Estimators[m].Insert(v)
+		}
+	}
+	data, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[headerLen]&frameFlagCompressed == 0 {
+		t.Fatal("oversized body not compressed")
+	}
+	uncompressed, _ := encodeFrameLegacy(f, 3)
+	if len(data) >= len(uncompressed) {
+		t.Fatalf("compressed frame %d bytes not smaller than gob %d", len(data), len(uncompressed))
+	}
+	got, err := DecodeFrame(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Blocks[0].Rows[10][10] != 42 {
+		t.Fatal("compressed round-trip mangled rows")
+	}
+	if !bytes.Equal(gobEstimators(t, got.Estimators), gobEstimators(t, f.Estimators)) {
+		t.Fatal("compressed round-trip mangled estimators")
+	}
+}
+
+// fallbackEst is an estimator type the binary codec does not know, forcing
+// the v4 encoder into its gob estimator section.
+type fallbackEst struct{ quantile.Exact }
+
+func init() { gob.Register(&fallbackEst{}) }
+
+// TestFrameEstimatorFallbackModes: sketch estimators take the explicit
+// binary section; unknown estimator types fall back to gob — both
+// round-trip.
+func TestFrameEstimatorFallbackModes(t *testing.T) {
+	t.Run("explicit-sketch", func(t *testing.T) {
+		f := benchFixtureFrame(t)
+		gks := make([]quantile.Estimator, len(f.Estimators))
+		for m := range gks {
+			gk := quantile.MustGK(0.01)
+			for _, row := range f.Blocks[0].Rows {
+				gk.Insert(row[m])
+			}
+			gks[m] = gk
+		}
+		f.Estimators = gks
+		data, err := f.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeFrame(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gobEstimators(t, got.Estimators), gobEstimators(t, gks)) {
+			t.Fatal("explicit binary section mangled sketch state")
+		}
+	})
+	t.Run("gob-fallback", func(t *testing.T) {
+		f := benchFixtureFrame(t)
+		alien := make([]quantile.Estimator, len(f.Estimators))
+		for m := range alien {
+			fe := &fallbackEst{}
+			fe.Insert(float64(m))
+			alien[m] = fe
+		}
+		f.Estimators = alien
+		data, err := f.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeFrame(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fe, ok := got.Estimators[3].(*fallbackEst)
+		if !ok || fe.Count() != 1 {
+			t.Fatalf("gob fallback mangled estimators: %T", got.Estimators[3])
+		}
+	})
+}
+
+// TestFrameDerivedModeOnWire asserts the size win actually engages for
+// EpochFrame-built frames: the estimator section must be elided (derived
+// mode), pinned by the frame being barely larger than its rows section.
+func TestFrameDerivedModeOnWire(t *testing.T) {
+	f := benchFixtureFrame(t)
+	data, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowBytes := 50 * 100 * 8
+	if len(data) > rowBytes+rowBytes/4 {
+		t.Fatalf("v4 frame %d bytes for %d row bytes: estimator section not elided", len(data), rowBytes)
+	}
+}
+
+func BenchmarkFrameCodec(b *testing.B) {
+	f := benchFixtureFrame(b)
+	v4, err := f.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	legacy, err := encodeFrameLegacy(f, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encode/v4", func(b *testing.B) {
+		b.SetBytes(int64(len(v4)))
+		for i := 0; i < b.N; i++ {
+			if _, err := f.Encode(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode/gob", func(b *testing.B) {
+		b.SetBytes(int64(len(legacy)))
+		for i := 0; i < b.N; i++ {
+			if _, err := encodeFrameLegacy(f, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode/v4", func(b *testing.B) {
+		b.SetBytes(int64(len(v4)))
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeFrame(v4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode/gob", func(b *testing.B) {
+		b.SetBytes(int64(len(legacy)))
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeFrame(legacy); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFleetEpochThroughput measures end-to-end fleet epochs through
+// the in-process harness — EpochFrame build + encode, wire decode,
+// coordinator merge, monitor finish — reporting frames/sec across the
+// shard fan-out.
+func BenchmarkFleetEpochThroughput(b *testing.B) {
+	for _, shards := range []int{2, 4} {
+		b.Run(fmt.Sprintf("%dshards", shards), func(b *testing.B) {
+			scfg := dcsim.DefaultStreamConfig(3)
+			scfg.WarmupEpochs = 48
+			s, err := dcsim.NewStream(scfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mcfg := monitor.DefaultConfig(s.Catalog(), s.SLA())
+			mcfg.Workers = 1
+			mon, err := monitor.New(mcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := NewHarness(CoordinatorConfig{
+				Machines:   scfg.Machines,
+				Shards:     shards,
+				Monitor:    mon,
+				FlushAfter: -1,
+			}, AggregatorConfig{
+				NumMetrics: s.Catalog().Len(),
+				SLA:        s.SLA(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-generate a window of epochs so the simulator is off the
+			// clock; cycle through it.
+			const window = 16
+			rows := make([][][]float64, window)
+			for i := range rows {
+				r, _, err := s.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cp := make([][]float64, len(r))
+				for j := range r {
+					cp[j] = append([]float64(nil), r[j]...)
+				}
+				rows[i] = cp
+			}
+			frameBytes := 0
+			if data, err := h.Aggregators[0].EpochFrame(metrics.Epoch(0), rows[0], nil); err == nil {
+				frameBytes = len(data)
+				// Rebuild the harness: the probe consumed epoch 0 state.
+				mon, _ = monitor.New(mcfg)
+				h, err = NewHarness(CoordinatorConfig{
+					Machines: scfg.Machines, Shards: shards, Monitor: mon, FlushAfter: -1,
+				}, AggregatorConfig{NumMetrics: s.Catalog().Len(), SLA: s.SLA()})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(frameBytes * shards))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := h.Step(metrics.Epoch(i), rows[i%window], nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(shards)*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+		})
+	}
+}

@@ -2,11 +2,15 @@ package fleet
 
 import (
 	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
+	"math"
+	"sync"
 
 	"dcfp/internal/crisis"
 	"dcfp/internal/metrics"
@@ -26,8 +30,19 @@ import (
 // still accept version-2 frames from mixed-version fleets — the new fields
 // simply come back zero, and the coordinator skips stitching/federation
 // for that shard.
+//
+// Version 4 replaces the all-gob payload with a compact binary layout (see
+// the "Wire format" section of DESIGN.md): a flags byte, a gob-encoded
+// metadata section (everything except the bulk rows and estimator state),
+// a fixed-width little-endian rows section, and an estimator section that
+// is usually *empty* — when the per-metric estimator state is exactly the
+// finite cells of the shipped rows (the invariant EpochFrame establishes
+// for exact estimators), the decoder rebuilds it from the rows instead of
+// shipping the same floats twice. Bodies above frameCompressThreshold are
+// flate-compressed. Decoders still accept v2/v3 gob frames from mixed
+// fleets; encoders always emit v4.
 const frameMagic = "DCFPFLT1"
-const frameVersion uint32 = 3
+const frameVersion uint32 = 4
 
 // frameVersionMin is the oldest frame version this build still decodes.
 const frameVersionMin uint32 = 2
@@ -107,42 +122,258 @@ type Frame struct {
 	Metrics []telemetry.SeriesValue
 }
 
-// Encode serializes the frame as magic + version + CRC32 + gob payload.
+// Frame payload flags (first body byte of a v4 frame).
+const (
+	// frameFlagCompressed marks a flate-compressed body.
+	frameFlagCompressed = 1 << 0
+)
+
+// Estimator-section modes of a v4 frame.
+const (
+	// estModeNil: the frame carries no estimator state (Estimators nil).
+	estModeNil = 0
+	// estModeExplicit: per-estimator compact binary payloads
+	// (quantile.AppendBinary) follow.
+	estModeExplicit = 1
+	// estModeDerived: no payload at all — the estimator state is exactly
+	// the finite cells of the shipped rows in machine order, so the decoder
+	// rebuilds it by filtered re-insertion. This is the steady-state mode
+	// for exact estimators and eliminates shipping every observation twice.
+	estModeDerived = 2
+	// estModeGob: gob-encoded []quantile.Estimator, the compatibility
+	// fallback for estimator types the binary codec does not know.
+	estModeGob = 3
+)
+
+// frameCompressThreshold is the body size above which Encode attempts flate
+// compression. A package variable so tests can lower it; the default keeps
+// ordinary frames on the fast uncompressed path.
+var frameCompressThreshold = 1 << 20
+
+// frameMetaV4 is the gob-encoded metadata section of a v4 frame: every
+// Frame field except the bulk sections (Block.Rows and Estimators), which
+// get binary layouts of their own.
+type frameMetaV4 struct {
+	Shard         int
+	Epoch         metrics.Epoch
+	AssignVersion int
+	Machines      int
+	Blocks        []blockMetaV4
+	Status        sla.EpochStatus
+	Dropped       int
+	Active        *crisis.Instance
+	TraceID       uint64
+	Spans         []telemetry.SpanSnapshot
+	Metrics       []telemetry.SeriesValue
+}
+
+type blockMetaV4 struct {
+	Lo        int
+	Viol      []bool
+	Reporting []bool
+}
+
+// encScratch pools the build buffers Encode assembles frames in. Encoded
+// frames are retained indefinitely by ship/replay rings, so Encode copies
+// the finished frame out at exact size and recycles the oversized scratch.
+var encScratch = sync.Pool{New: func() any { s := make([]byte, 0, 4096); return &s }}
+
+// gobBufPool pools the bytes.Buffer behind gob sub-encodes (frame metadata,
+// acks).
+var gobBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// Encode serializes the frame as magic + version + CRC32 + v4 binary
+// payload. The returned slice is freshly allocated at exact size; internal
+// scratch is pooled and reused across calls.
 func (f *Frame) Encode() ([]byte, error) {
-	var buf bytes.Buffer
-	buf.Write(make([]byte, headerLen))
-	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+	sp := encScratch.Get().(*[]byte)
+	buf := append((*sp)[:0], make([]byte, headerLen)...)
+	buf = append(buf, 0) // flags, patched below
+
+	// Metadata section: uvarint length + gob.
+	meta := frameMetaV4{
+		Shard:         f.Shard,
+		Epoch:         f.Epoch,
+		AssignVersion: f.AssignVersion,
+		Machines:      f.Machines,
+		Status:        f.Status,
+		Dropped:       f.Dropped,
+		Active:        f.Active,
+		TraceID:       f.TraceID,
+		Spans:         f.Spans,
+		Metrics:       f.Metrics,
+	}
+	for i := range f.Blocks {
+		meta.Blocks = append(meta.Blocks, blockMetaV4{
+			Lo:        f.Blocks[i].Lo,
+			Viol:      f.Blocks[i].Viol,
+			Reporting: f.Blocks[i].Reporting,
+		})
+	}
+	gb := gobBufPool.Get().(*bytes.Buffer)
+	gb.Reset()
+	err := gob.NewEncoder(gb).Encode(&meta)
+	if err != nil {
+		gobBufPool.Put(gb)
+		encScratch.Put(sp)
 		return nil, fmt.Errorf("fleet: frame encode: %w", err)
 	}
-	return sealHeader(buf.Bytes()), nil
+	buf = binary.AppendUvarint(buf, uint64(gb.Len()))
+	buf = append(buf, gb.Bytes()...)
+
+	// Rows section: per block, uvarint row count, then per row a uvarint
+	// cell count and the raw float bits fixed-width little-endian. A nil
+	// row is a zero cell count.
+	for i := range f.Blocks {
+		buf = binary.AppendUvarint(buf, uint64(len(f.Blocks[i].Rows)))
+		for _, row := range f.Blocks[i].Rows {
+			buf = binary.AppendUvarint(buf, uint64(len(row)))
+			for _, v := range row {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+			}
+		}
+	}
+
+	// Estimator section.
+	switch {
+	case f.Estimators == nil:
+		buf = append(buf, estModeNil)
+	case f.estimatorsDerivedFromRows():
+		buf = append(buf, estModeDerived)
+		buf = binary.AppendUvarint(buf, uint64(len(f.Estimators)))
+	default:
+		mark := len(buf)
+		buf = append(buf, estModeExplicit)
+		buf = binary.AppendUvarint(buf, uint64(len(f.Estimators)))
+		binErr := error(nil)
+		for _, est := range f.Estimators {
+			if buf, binErr = quantile.AppendBinary(buf, est); binErr != nil {
+				break
+			}
+		}
+		if binErr != nil {
+			// An estimator type the binary codec does not know: fall back
+			// to gob for the whole section.
+			buf = append(buf[:mark], estModeGob)
+			gb.Reset()
+			if err := gob.NewEncoder(gb).Encode(f.Estimators); err != nil {
+				gobBufPool.Put(gb)
+				encScratch.Put(sp)
+				return nil, fmt.Errorf("fleet: frame encode: %w", err)
+			}
+			buf = append(buf, gb.Bytes()...)
+		}
+	}
+	gobBufPool.Put(gb)
+
+	// Optional whole-body compression for outsized frames.
+	if body := buf[headerLen+1:]; len(body) > frameCompressThreshold {
+		var cb bytes.Buffer
+		fw, _ := flate.NewWriter(&cb, flate.BestSpeed)
+		_, _ = fw.Write(body)
+		if err := fw.Close(); err == nil && cb.Len() < len(body) {
+			buf = append(buf[:headerLen+1], cb.Bytes()...)
+			buf[headerLen] |= frameFlagCompressed
+		}
+	}
+
+	sealHeader(buf)
+	out := append([]byte(nil), buf...)
+	*sp = buf[:0]
+	encScratch.Put(sp)
+	return out, nil
+}
+
+// estimatorsDerivedFromRows reports whether the per-metric estimator state
+// is exactly the finite cells of the frame's present rows in machine order —
+// the invariant EpochFrame establishes when it feeds its aggregator from the
+// same rows it ships. When it holds, the estimator section can be elided
+// entirely and rebuilt on the decoding side. One linear bit-compare pass
+// over the cells; any mismatch (sketch estimators, sorted state, hand-built
+// frames) falls back to an explicit payload.
+func (f *Frame) estimatorsDerivedFromRows() bool {
+	nm := len(f.Estimators)
+	if nm == 0 {
+		return false
+	}
+	raws := make([][]float64, nm)
+	for m, est := range f.Estimators {
+		e, ok := est.(*quantile.Exact)
+		if !ok || e == nil {
+			return false
+		}
+		raws[m] = e.RawValues()
+	}
+	cursors := make([]int, nm)
+	for bi := range f.Blocks {
+		for _, row := range f.Blocks[bi].Rows {
+			if row == nil {
+				continue
+			}
+			if len(row) != nm {
+				return false
+			}
+			for m, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					continue
+				}
+				if cursors[m] >= len(raws[m]) || math.Float64bits(raws[m][cursors[m]]) != math.Float64bits(v) {
+					return false
+				}
+				cursors[m]++
+			}
+		}
+	}
+	for m := range cursors {
+		if cursors[m] != len(raws[m]) {
+			return false
+		}
+	}
+	return true
 }
 
 // DecodeFrame parses a wire frame, validating magic, version, and checksum
 // before touching the payload, and the decoded structure before handing it
-// on. Zero-length rows are normalized back to nil: gob does not distinguish
-// nil from empty slices, and a nil row is the pipeline's "machine delivered
-// nothing" marker.
+// on. Zero-length rows are normalized back to nil: the codecs do not
+// distinguish nil from empty slices, and a nil row is the pipeline's
+// "machine delivered nothing" marker. Version-2/3 frames decode through the
+// legacy gob path; version 4 through the binary layout.
 func DecodeFrame(data []byte) (*Frame, error) {
-	rest, err := checkHeader(data)
+	rest, version, err := checkHeader(data)
 	if err != nil {
 		return nil, err
 	}
-	var f Frame
-	if err := gob.NewDecoder(bytes.NewReader(rest)).Decode(&f); err != nil {
-		return nil, fmt.Errorf("%w: gob decode: %v", ErrCorrupt, err)
+	var f *Frame
+	if version >= 4 {
+		if f, err = decodeFrameV4(rest); err != nil {
+			return nil, err
+		}
+	} else {
+		f = new(Frame)
+		if err := gob.NewDecoder(bytes.NewReader(rest)).Decode(f); err != nil {
+			return nil, fmt.Errorf("%w: gob decode: %v", ErrCorrupt, err)
+		}
 	}
+	if err := validateFrame(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// validateFrame is the structural validation shared by every decode path.
+func validateFrame(f *Frame) error {
 	if f.Shard < 0 || f.Epoch < 0 || f.Machines <= 0 {
-		return nil, fmt.Errorf("%w: shard %d epoch %d machines %d out of range",
+		return fmt.Errorf("%w: shard %d epoch %d machines %d out of range",
 			ErrCorrupt, f.Shard, f.Epoch, f.Machines)
 	}
 	for bi := range f.Blocks {
 		b := &f.Blocks[bi]
 		if len(b.Rows) != len(b.Viol) || len(b.Rows) != len(b.Reporting) {
-			return nil, fmt.Errorf("%w: block %d: rows/viol/reporting lengths %d/%d/%d disagree",
+			return fmt.Errorf("%w: block %d: rows/viol/reporting lengths %d/%d/%d disagree",
 				ErrCorrupt, bi, len(b.Rows), len(b.Viol), len(b.Reporting))
 		}
 		if b.Lo < 0 || b.Lo+len(b.Rows) > f.Machines {
-			return nil, fmt.Errorf("%w: block %d: range [%d,%d) outside fleet of %d",
+			return fmt.Errorf("%w: block %d: range [%d,%d) outside fleet of %d",
 				ErrCorrupt, bi, b.Lo, b.Lo+len(b.Rows), f.Machines)
 		}
 		for i, row := range b.Rows {
@@ -151,7 +382,169 @@ func DecodeFrame(data []byte) (*Frame, error) {
 			}
 		}
 	}
-	return &f, nil
+	return nil
+}
+
+// decodeFrameV4 parses a version-4 binary payload (flags + meta + rows +
+// estimator section). All counts are bounds-checked against the remaining
+// payload before allocation, so corrupted or adversarial frames fail with
+// ErrCorrupt instead of outsized allocations.
+func decodeFrameV4(payload []byte) (*Frame, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("%w: v4 payload missing flags byte", ErrCorrupt)
+	}
+	flags, body := payload[0], payload[1:]
+	if flags&^byte(frameFlagCompressed) != 0 {
+		return nil, fmt.Errorf("%w: v4 payload has unknown flags %#x", ErrCorrupt, flags)
+	}
+	if flags&frameFlagCompressed != 0 {
+		fr := flate.NewReader(bytes.NewReader(body))
+		raw, err := io.ReadAll(fr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: v4 decompress: %v", ErrCorrupt, err)
+		}
+		body = raw
+	}
+
+	metaLen, n := binary.Uvarint(body)
+	if n <= 0 || metaLen > uint64(len(body)-n) {
+		return nil, fmt.Errorf("%w: v4 metadata length", ErrCorrupt)
+	}
+	body = body[n:]
+	var meta frameMetaV4
+	if err := gob.NewDecoder(bytes.NewReader(body[:metaLen])).Decode(&meta); err != nil {
+		return nil, fmt.Errorf("%w: v4 metadata decode: %v", ErrCorrupt, err)
+	}
+	body = body[metaLen:]
+
+	f := &Frame{
+		Shard:         meta.Shard,
+		Epoch:         meta.Epoch,
+		AssignVersion: meta.AssignVersion,
+		Machines:      meta.Machines,
+		Status:        meta.Status,
+		Dropped:       meta.Dropped,
+		Active:        meta.Active,
+		TraceID:       meta.TraceID,
+		Spans:         meta.Spans,
+		Metrics:       meta.Metrics,
+	}
+	uvarint := func(what string) (int, error) {
+		v, n := binary.Uvarint(body)
+		if n <= 0 || v > uint64(len(body)-n) {
+			return 0, fmt.Errorf("%w: v4 %s count", ErrCorrupt, what)
+		}
+		body = body[n:]
+		return int(v), nil
+	}
+	for bi := range meta.Blocks {
+		nRows, err := uvarint("row")
+		if err != nil {
+			return nil, err
+		}
+		b := Block{Lo: meta.Blocks[bi].Lo, Viol: meta.Blocks[bi].Viol, Reporting: meta.Blocks[bi].Reporting}
+		b.Rows = make([][]float64, nRows)
+		for i := 0; i < nRows; i++ {
+			cells, err := uvarint("cell")
+			if err != nil {
+				return nil, err
+			}
+			if cells == 0 {
+				continue
+			}
+			if len(body) < cells*8 {
+				return nil, fmt.Errorf("%w: v4 rows truncated", ErrCorrupt)
+			}
+			row := make([]float64, cells)
+			for c := range row {
+				row[c] = math.Float64frombits(binary.LittleEndian.Uint64(body[c*8:]))
+			}
+			body = body[cells*8:]
+			b.Rows[i] = row
+		}
+		f.Blocks = append(f.Blocks, b)
+	}
+
+	if len(body) < 1 {
+		return nil, fmt.Errorf("%w: v4 payload missing estimator section", ErrCorrupt)
+	}
+	mode := body[0]
+	body = body[1:]
+	switch mode {
+	case estModeNil:
+		// Estimators stays nil.
+	case estModeExplicit:
+		nEst, err := uvarint("estimator")
+		if err != nil {
+			return nil, err
+		}
+		f.Estimators = make([]quantile.Estimator, nEst)
+		for i := 0; i < nEst; i++ {
+			est, rest, err := quantile.DecodeBinary(body)
+			if err != nil {
+				return nil, fmt.Errorf("%w: v4 estimator %d: %v", ErrCorrupt, i, err)
+			}
+			f.Estimators[i] = est
+			body = rest
+		}
+	case estModeDerived:
+		// The metric count has no trailing payload (that is the point of
+		// derived mode), so it is bounded against a sane metric-catalog
+		// ceiling rather than remaining bytes.
+		nm64, n := binary.Uvarint(body)
+		if n <= 0 || nm64 > 1<<20 {
+			return nil, fmt.Errorf("%w: v4 derived estimator count", ErrCorrupt)
+		}
+		body = body[n:]
+		nm := int(nm64)
+		exs := make([]*quantile.Exact, nm)
+		f.Estimators = make([]quantile.Estimator, nm)
+		for m := range exs {
+			exs[m] = quantile.NewExact()
+			f.Estimators[m] = exs[m]
+		}
+		for bi := range f.Blocks {
+			for _, row := range f.Blocks[bi].Rows {
+				if row == nil {
+					continue
+				}
+				if len(row) != nm {
+					return nil, fmt.Errorf("%w: v4 derived estimators: row width %d, want %d metrics",
+						ErrCorrupt, len(row), nm)
+				}
+				for m, v := range row {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						continue
+					}
+					exs[m].Insert(v)
+				}
+			}
+		}
+	case estModeGob:
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f.Estimators); err != nil {
+			return nil, fmt.Errorf("%w: v4 estimator gob decode: %v", ErrCorrupt, err)
+		}
+	default:
+		return nil, fmt.Errorf("%w: v4 unknown estimator mode %d", ErrCorrupt, mode)
+	}
+	return f, nil
+}
+
+// encodeFrameLegacy serializes a frame in the pre-v4 all-gob layout under
+// the given header version. Kept for mixed-fleet tests: production encoders
+// always emit v4, but the coordinator must keep decoding frames from shards
+// running older builds.
+func encodeFrameLegacy(f *Frame, version uint32) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, headerLen))
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, fmt.Errorf("fleet: frame encode: %w", err)
+	}
+	out := buf.Bytes()
+	copy(out, frameMagic)
+	binary.BigEndian.PutUint32(out[len(frameMagic):], version)
+	binary.BigEndian.PutUint32(out[len(frameMagic)+4:], crc32.ChecksumIEEE(out[headerLen:]))
+	return out, nil
 }
 
 // Ack is the coordinator's reply to a shipped frame.
@@ -174,19 +567,25 @@ type Ack struct {
 	Assignment *Assignment
 }
 
-// Encode serializes the ack with the same header as frames.
+// Encode serializes the ack with the same header as frames (gob payload —
+// acks are tiny and latency-insensitive). The gob buffer is pooled; the
+// returned slice is freshly allocated at exact size.
 func (a *Ack) Encode() ([]byte, error) {
-	var buf bytes.Buffer
-	buf.Write(make([]byte, headerLen))
-	if err := gob.NewEncoder(&buf).Encode(a); err != nil {
+	gb := gobBufPool.Get().(*bytes.Buffer)
+	defer gobBufPool.Put(gb)
+	gb.Reset()
+	gb.Write(make([]byte, headerLen))
+	if err := gob.NewEncoder(gb).Encode(a); err != nil {
 		return nil, fmt.Errorf("fleet: ack encode: %w", err)
 	}
-	return sealHeader(buf.Bytes()), nil
+	out := append([]byte(nil), gb.Bytes()...)
+	sealHeader(out)
+	return out, nil
 }
 
 // DecodeAck parses a coordinator reply.
 func DecodeAck(data []byte) (*Ack, error) {
-	rest, err := checkHeader(data)
+	rest, _, err := checkHeader(data)
 	if err != nil {
 		return nil, err
 	}
@@ -206,19 +605,20 @@ func sealHeader(buf []byte) []byte {
 	return buf
 }
 
-func checkHeader(data []byte) ([]byte, error) {
+func checkHeader(data []byte) ([]byte, uint32, error) {
 	if len(data) < headerLen {
-		return nil, fmt.Errorf("%w: %d bytes, shorter than the %d-byte header", ErrCorrupt, len(data), headerLen)
+		return nil, 0, fmt.Errorf("%w: %d bytes, shorter than the %d-byte header", ErrCorrupt, len(data), headerLen)
 	}
 	if !bytes.Equal(data[:len(frameMagic)], []byte(frameMagic)) {
-		return nil, fmt.Errorf("fleet: not a fleet frame (bad magic)")
+		return nil, 0, fmt.Errorf("fleet: not a fleet frame (bad magic)")
 	}
-	if v := binary.BigEndian.Uint32(data[len(frameMagic):]); v < frameVersionMin || v > frameVersion {
-		return nil, fmt.Errorf("fleet: frame version %d, want %d..%d", v, frameVersionMin, frameVersion)
+	v := binary.BigEndian.Uint32(data[len(frameMagic):])
+	if v < frameVersionMin || v > frameVersion {
+		return nil, 0, fmt.Errorf("fleet: frame version %d, want %d..%d", v, frameVersionMin, frameVersion)
 	}
 	payload := data[headerLen:]
 	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(data[len(frameMagic)+4:]); got != want {
-		return nil, fmt.Errorf("%w: payload checksum %08x, header says %08x", ErrCorrupt, got, want)
+		return nil, 0, fmt.Errorf("%w: payload checksum %08x, header says %08x", ErrCorrupt, got, want)
 	}
-	return payload, nil
+	return payload, v, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"dcfp/internal/dcsim"
 	"dcfp/internal/monitor"
+	"dcfp/internal/quantile"
 )
 
 // fuzzSeedCorpus is the hand-picked seed set shared by both fuzz targets:
@@ -26,6 +27,73 @@ func fuzzSeedCorpus(f *testing.F) {
 	garbage := append([]byte(nil), valid[:headerLen]...)
 	garbage = append(garbage, []byte("not gob at all, but plenty of bytes to chew on")...)
 	f.Add(garbage)
+
+	// v4-specific seeds: estimator-bearing frames in each section mode
+	// (derived-from-rows, explicit binary, legacy gob payload), plus a
+	// flate-compressed body, so the fuzzer starts inside every decode arm.
+	derived := estimatorFuzzFrame(f)
+	f.Add(derived)
+	f.Add(derived[:len(derived)-3])
+	explicit := append([]byte(nil), derived...)
+	// Corrupting a row float breaks the derived invariant on re-encode;
+	// mutating wire bytes directly probes the decoder's bounds checks.
+	explicit[len(explicit)-9] ^= 0xff
+	f.Add(explicit)
+	fr := decodedEstimatorFrame(f)
+	if legacy, err := encodeFrameLegacy(fr, 2); err == nil {
+		f.Add(legacy)
+	}
+	if legacy, err := encodeFrameLegacy(fr, 3); err == nil {
+		f.Add(legacy)
+	}
+	old := frameCompressThreshold
+	frameCompressThreshold = 8
+	if compressed, err := fr.Encode(); err == nil {
+		f.Add(compressed)
+	}
+	frameCompressThreshold = old
+}
+
+// decodedEstimatorFrame returns the estimator-bearing fuzz frame as a
+// struct, for re-encoding under legacy versions and compression.
+func decodedEstimatorFrame(f *testing.F) *Frame {
+	f.Helper()
+	fr, err := DecodeFrame(estimatorFuzzFrame(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return fr
+}
+
+// estimatorFuzzFrame builds a small frame whose exact estimator state is
+// derived from its rows — the steady-state v4 shape (estModeDerived).
+func estimatorFuzzFrame(f *testing.F) []byte {
+	f.Helper()
+	ests := make([]quantile.Estimator, 2)
+	for m := range ests {
+		ests[m] = quantile.NewExact()
+	}
+	rows := [][]float64{{1, 2}, nil, {3, 4}}
+	for _, row := range rows {
+		for m, v := range row {
+			ests[m].Insert(v)
+		}
+	}
+	fr := &Frame{
+		Shard: 1, Epoch: 5, Machines: 6,
+		Blocks: []Block{{
+			Lo:        3,
+			Rows:      rows,
+			Viol:      []bool{false, true, false},
+			Reporting: []bool{true, false, true},
+		}},
+		Estimators: ests,
+	}
+	data, err := fr.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
 }
 
 func validFuzzFrame(f *testing.F) []byte {

@@ -59,14 +59,15 @@ func TestFrameObservabilityRoundTrip(t *testing.T) {
 		t.Fatalf("metrics mangled: %+v", got.Metrics)
 	}
 
-	// A frame from a version-2 sender carries no observability section;
-	// the header still passes and the new fields come back zero.
+	// A frame from a version-2 sender is all-gob and carries no
+	// observability section; the header still passes and the new fields
+	// come back zero.
 	old := &Frame{Shard: 0, Epoch: 3, Machines: 4}
-	data, err = old.Encode()
+	data, err = encodeFrameLegacy(old, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err = DecodeFrame(restampVersion(data, 2))
+	got, err = DecodeFrame(data)
 	if err != nil {
 		t.Fatalf("v2 frame rejected: %v", err)
 	}

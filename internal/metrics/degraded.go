@@ -22,10 +22,22 @@ func (a *Aggregator) ObserveFiltered(row []float64) (int, error) {
 	return observeFilteredInto(a.shards[0], row)
 }
 
+// batchStrip is how many machine rows the columnar batch path transposes at
+// a time. 256 rows × 100 metrics is a ~200KB scratch — large enough that the
+// per-column InsertBatch call is amortized over hundreds of values, small
+// enough to stay cache-friendly and bound per-shard memory.
+const batchStrip = 256
+
 // ObserveBatchFiltered is ObserveBatch with the same non-finite filtering.
 // A nil row marks a machine that delivered nothing this epoch and is skipped
 // whole. When reporting is non-nil (len(rows) entries), reporting[i] is set
 // to whether row i contributed at least one finite value.
+//
+// Ingestion is columnar: rows are transposed strip-by-strip into per-metric
+// columns and each estimator receives one InsertBatch per strip instead of
+// one Insert per cell. Within a column, values keep machine order — the same
+// order the per-cell path would insert them — so exact estimators end up
+// byte-identical and sketches see the identical stream.
 func (a *Aggregator) ObserveBatchFiltered(shard int, rows [][]float64, reporting []bool) (int, error) {
 	if shard < 0 || shard >= len(a.shards) {
 		return 0, fmt.Errorf("metrics: shard %d out of %d (call EnsureShards first)", shard, len(a.shards))
@@ -34,7 +46,22 @@ func (a *Aggregator) ObserveBatchFiltered(shard int, rows [][]float64, reporting
 		return 0, fmt.Errorf("metrics: reporting has %d entries for %d rows", len(reporting), len(rows))
 	}
 	ests := a.shards[shard]
+	nm := len(ests)
+	sc := &a.scratch[shard]
+	if len(sc.buf) < nm*batchStrip {
+		sc.buf = make([]float64, nm*batchStrip)
+		sc.lens = make([]int, nm)
+	}
+	flush := func() {
+		for m, l := range sc.lens {
+			if l > 0 {
+				ests[m].InsertBatch(sc.buf[m*batchStrip : m*batchStrip+l])
+				sc.lens[m] = 0
+			}
+		}
+	}
 	dropped := 0
+	filled := 0
 	for i, row := range rows {
 		if row == nil {
 			if reporting != nil {
@@ -42,15 +69,31 @@ func (a *Aggregator) ObserveBatchFiltered(shard int, rows [][]float64, reporting
 			}
 			continue
 		}
-		d, err := observeFilteredInto(ests, row)
-		if err != nil {
-			return dropped, err
+		if len(row) != nm {
+			// Keep partial state identical to the per-cell path: every row
+			// before the bad one is fully ingested.
+			flush()
+			return dropped, fmt.Errorf("metrics: row has %d values, want %d", len(row), nm)
+		}
+		d := 0
+		for m, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				d++
+				continue
+			}
+			sc.buf[m*batchStrip+sc.lens[m]] = v
+			sc.lens[m]++
 		}
 		dropped += d
 		if reporting != nil {
 			reporting[i] = d < len(row)
 		}
+		if filled++; filled == batchStrip {
+			flush()
+			filled = 0
+		}
 	}
+	flush()
 	return dropped, nil
 }
 

@@ -22,6 +22,17 @@ func (g *guardEstimator) Insert(v float64) {
 	g.Exact.Insert(v)
 }
 
+func (g *guardEstimator) InsertBatch(vs []float64) {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			*g.bad++
+		}
+	}
+	g.Exact.InsertBatch(vs)
+}
+
+func (g *guardEstimator) InsertSortedBatch(vs []float64) { g.InsertBatch(vs) }
+
 func (g *guardEstimator) Merge(src quantile.Estimator) error {
 	o, ok := src.(*guardEstimator)
 	if !ok {

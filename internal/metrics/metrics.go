@@ -184,6 +184,19 @@ type Aggregator struct {
 	// the serial Observe path.
 	shards [][]quantile.Estimator
 	newEst func() quantile.Estimator
+	// scratch[shard] is the columnar transpose scratch for that shard's
+	// batch ingestion; parallel to shards so concurrent workers never share
+	// a buffer.
+	scratch []colScratch
+}
+
+// colScratch is the per-shard transpose buffer behind the columnar batch
+// path: rows are scattered strip-by-strip into per-metric columns so each
+// estimator takes one InsertBatch call per strip instead of one Insert call
+// per cell.
+type colScratch struct {
+	buf  []float64 // numMetrics × batchStrip, column-major
+	lens []int     // values accumulated per metric column
 }
 
 // NewAggregator builds an aggregator with one estimator per metric produced
@@ -197,6 +210,7 @@ func NewAggregator(numMetrics int, newEst func() quantile.Estimator) (*Aggregato
 	}
 	a := &Aggregator{newEst: newEst}
 	a.shards = append(a.shards, a.newShard(numMetrics))
+	a.scratch = append(a.scratch, colScratch{})
 	return a, nil
 }
 
@@ -217,6 +231,7 @@ func (a *Aggregator) NumMetrics() int { return len(a.shards[0]) }
 func (a *Aggregator) EnsureShards(n int) {
 	for len(a.shards) < n {
 		a.shards = append(a.shards, a.newShard(a.NumMetrics()))
+		a.scratch = append(a.scratch, colScratch{})
 	}
 }
 
@@ -259,6 +274,77 @@ func (a *Aggregator) Absorb(ests []quantile.Estimator) error {
 		}
 		if err := mg.Merge(est); err != nil {
 			return fmt.Errorf("metrics: metric %d: %w", m, err)
+		}
+	}
+	return nil
+}
+
+// AbsorbSets is Absorb over several estimator sets at once, with the merge
+// work spread across worker goroutines by metric column. Metric columns are
+// independent and each worker walks its columns through the sets in slice
+// order, so the result is identical to calling Absorb(sets[0]),
+// Absorb(sets[1]), … sequentially — byte-identical for exact estimators,
+// whose merge is an order-preserving append. Nil sets (and nil or empty
+// estimators within a set) are skipped, matching Absorb.
+func (a *Aggregator) AbsorbSets(sets [][]quantile.Estimator, workers int) error {
+	n := a.NumMetrics()
+	for si, ests := range sets {
+		if ests == nil {
+			continue
+		}
+		if len(ests) != n {
+			return fmt.Errorf("metrics: absorbing %d estimators in set %d, want %d", len(ests), si, n)
+		}
+	}
+	absorbColumn := func(m int) error {
+		for _, ests := range sets {
+			if ests == nil {
+				continue
+			}
+			est := ests[m]
+			if est == nil || est.Count() == 0 {
+				continue
+			}
+			mg, ok := a.shards[0][m].(quantile.Merger)
+			if !ok {
+				return fmt.Errorf("metrics: estimator %T does not support sharded aggregation (quantile.Merger)", a.shards[0][m])
+			}
+			if err := mg.Merge(est); err != nil {
+				return fmt.Errorf("metrics: metric %d: %w", m, err)
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for m := 0; m < n; m++ {
+			if err := absorbColumn(m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for m := lo; m < hi; m++ {
+				if err := absorbColumn(m); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	return nil

@@ -134,21 +134,27 @@ func (m *Monitor) observeAggregated(machines int, parts []ShardPartial, tr *tele
 	}()
 
 	// Merge every shard's estimator state into the coordinator aggregator,
-	// then summarize once — partial aggregation, lossless merge.
+	// then summarize once — partial aggregation, lossless merge. Metric
+	// columns are independent, so the merge fans out across them
+	// (metrics.Aggregator.AbsorbSets); each column walks the partials in
+	// slice order, keeping the result byte-identical to the serial
+	// per-partial Absorb loop for any worker count.
 	sp = tr.StartSpan("merge")
 	dropped := 0
+	sets := m.setsBuf[:0]
 	for i := range parts {
 		dropped += parts[i].Dropped
-		if parts[i].Estimators == nil {
-			continue
-		}
-		if err := m.agg.Absorb(parts[i].Estimators); err != nil {
-			return nil, err
-		}
+		sets = append(sets, parts[i].Estimators)
+	}
+	m.setsBuf = sets
+	workers := m.mergeWorkers()
+	sp.SetAttr("workers", int64(workers))
+	if err := m.agg.AbsorbSets(sets, workers); err != nil {
+		return nil, err
 	}
 	sp.End()
 	sp = tr.StartSpan("summarize")
-	summary, gaps, err := m.agg.SummarizeLenient(m.lastSummary)
+	summary, gaps, err := m.agg.SummarizeLenientParallel(workers, m.lastSummary)
 	if err != nil {
 		return nil, err
 	}

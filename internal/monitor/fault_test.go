@@ -29,6 +29,17 @@ func (g *guardExact) Insert(v float64) {
 	g.Exact.Insert(v)
 }
 
+func (g *guardExact) InsertBatch(vs []float64) {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			g.bad.Add(1)
+		}
+	}
+	g.Exact.InsertBatch(vs)
+}
+
+func (g *guardExact) InsertSortedBatch(vs []float64) { g.InsertBatch(vs) }
+
 func (g *guardExact) Merge(src quantile.Estimator) error {
 	if o, ok := src.(*guardExact); ok {
 		return g.Exact.Merge(&o.Exact)

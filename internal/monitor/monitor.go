@@ -71,6 +71,13 @@ type Config struct {
 	// reports to the serial one; with sketch estimators the result is
 	// approximate in exactly the way the sketch already is.
 	Workers int
+	// MinMachinesPerWorker overrides the per-worker machine floor that
+	// additionally caps the pool (see Workers). 0 resolves to the default
+	// (64); deployments whose per-machine work is unusually heavy — wide
+	// metric catalogs, sketch estimators with expensive inserts — can
+	// lower it to fan out sooner, and profiles showing goroutine overhead
+	// can raise it. Negative is rejected.
+	MinMachinesPerWorker int
 	// MinCoverage is the minimum fraction of expected machines that must
 	// deliver at least one finite value for an epoch to be trusted. Below
 	// the floor the epoch is flagged degraded: its quantile summary is still
@@ -256,6 +263,9 @@ type Monitor struct {
 	partialsBuf  []sla.EpochStatus
 	droppedByBuf []int
 	errsBuf      []error
+	// setsBuf collects shard estimator sets for observeAggregated's
+	// parallel merge, reused across epochs.
+	setsBuf [][]quantile.Estimator
 
 	// Active crisis state.
 	activeStart metrics.Epoch
@@ -414,6 +424,9 @@ func New(cfg Config) (*Monitor, error) {
 	}
 	if cfg.Workers < 0 {
 		return nil, errors.New("monitor: Workers must be non-negative")
+	}
+	if cfg.MinMachinesPerWorker < 0 {
+		return nil, errors.New("monitor: MinMachinesPerWorker must be non-negative")
 	}
 	if cfg.MinCoverage < 0 || cfg.MinCoverage > 1 {
 		return nil, fmt.Errorf("monitor: MinCoverage %v out of [0,1]", cfg.MinCoverage)
@@ -828,10 +841,18 @@ func sanitizeRetained(copies [][]float64, viol, reporting []bool, summary [][3]f
 	return outRows, outViol
 }
 
-// minMachinesPerWorker caps the epoch worker pool so every worker gets a
-// meaningful share of machines: below it, goroutine fan-out costs more than
-// it saves, and small deployments always take the serial path.
-const minMachinesPerWorker = 32
+// defaultMinMachinesPerWorker caps the epoch worker pool so every worker
+// gets a meaningful share of machines: below it, goroutine fan-out costs
+// more than it saves, and small deployments always take the serial path.
+// Raised from 32 after the columnar batch-ingestion rework: with per-cell
+// interface calls gone, each worker's per-machine cost dropped enough that
+// 32-machine slices no longer amortize the fan-out. Config.
+// MinMachinesPerWorker overrides it per deployment.
+const defaultMinMachinesPerWorker = 64
+
+// minMetricsPerWorker is the analogous floor for work that fans out across
+// metric columns (coordinator-side merge and summarization).
+const minMetricsPerWorker = 32
 
 // epochWorkers resolves the worker count for one epoch of the given size.
 func (m *Monitor) epochWorkers(machines int) int {
@@ -839,7 +860,29 @@ func (m *Monitor) epochWorkers(machines int) int {
 	if w == 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	if maxW := (machines + minMachinesPerWorker - 1) / minMachinesPerWorker; w > maxW {
+	floor := m.cfg.MinMachinesPerWorker
+	if floor == 0 {
+		floor = defaultMinMachinesPerWorker
+	}
+	if maxW := (machines + floor - 1) / floor; w > maxW {
+		w = maxW
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// mergeWorkers resolves the worker count for coordinator-side per-metric
+// work: bounded by Config.Workers (0 = GOMAXPROCS) and a floor of
+// minMetricsPerWorker metric columns per worker.
+func (m *Monitor) mergeWorkers() int {
+	w := m.cfg.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	nm := m.cfg.Catalog.Len()
+	if maxW := (nm + minMetricsPerWorker - 1) / minMetricsPerWorker; w > maxW {
 		w = maxW
 	}
 	if w < 1 {

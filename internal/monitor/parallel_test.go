@@ -176,7 +176,14 @@ func benchMonitorSized(b *testing.B, nMachines, workers int) (*Monitor, [][][]fl
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(3))
-	epochs := make([][][]float64, 16)
+	// Pre-generate a window of epochs so row synthesis stays off the
+	// clock; cap the window for very large fleets to bound fixture memory
+	// (10000 machines x 100 metrics x 8B = 8MB per epoch).
+	window := 16
+	if nMachines >= 10000 {
+		window = 4
+	}
+	epochs := make([][][]float64, window)
 	for e := range epochs {
 		rows := make([][]float64, nMachines)
 		for i := range rows {
@@ -193,12 +200,15 @@ func benchMonitorSized(b *testing.B, nMachines, workers int) (*Monitor, [][][]fl
 
 // BenchmarkObserveEpochScale sweeps datacenter size x worker pool. The
 // Workers=1 rows are the serial reference; the speedup claim for the
-// sharded path is Workers=4 at 500 machines and above.
+// sharded path is Workers=4 at 500 machines and above. SetBytes reports
+// ingestion bandwidth over the raw sample matrix (machines x 100 metrics
+// x 8 bytes per epoch).
 func BenchmarkObserveEpochScale(b *testing.B) {
-	for _, machines := range []int{100, 500, 2000} {
+	for _, machines := range []int{100, 500, 2000, 10000} {
 		for _, workers := range []int{1, 4} {
 			b.Run(fmt.Sprintf("%dmach/workers%d", machines, workers), func(b *testing.B) {
 				m, epochs := benchMonitorSized(b, machines, workers)
+				b.SetBytes(int64(machines) * 100 * 8)
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {

@@ -1,0 +1,265 @@
+package quantile
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// batchStreams are the value shapes the batch-ingestion property tests run
+// over: clustered (the metric-column steady state), uniform, sorted,
+// reversed, with duplicates, and tiny.
+func batchStreams(rng *rand.Rand) map[string][]float64 {
+	clustered := make([]float64, 3000)
+	for i := range clustered {
+		clustered[i] = 100 + rng.NormFloat64()*10
+	}
+	uniform := make([]float64, 2500)
+	for i := range uniform {
+		uniform[i] = rng.Float64() * 1e6
+	}
+	sorted := make([]float64, 2000)
+	for i := range sorted {
+		sorted[i] = float64(i) * 0.5
+	}
+	reversed := make([]float64, 2000)
+	for i := range reversed {
+		reversed[i] = float64(len(reversed) - i)
+	}
+	dups := make([]float64, 1500)
+	for i := range dups {
+		dups[i] = float64(rng.Intn(7))
+	}
+	return map[string][]float64{
+		"clustered": clustered,
+		"uniform":   uniform,
+		"sorted":    sorted,
+		"reversed":  reversed,
+		"dups":      dups,
+		"single":    {42},
+		"pair":      {2, 1},
+	}
+}
+
+// chunk splits vs into batches of the given size (last one ragged).
+func chunk(vs []float64, size int) [][]float64 {
+	var out [][]float64
+	for len(vs) > size {
+		out = append(out, vs[:size])
+		vs = vs[size:]
+	}
+	return append(out, vs)
+}
+
+// TestExactInsertBatchEquivalence: for the exact estimator, batch ingestion
+// must be indistinguishable from per-value insertion — same quantiles to
+// the bit, any chunking.
+func TestExactInsertBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for name, vs := range batchStreams(rng) {
+		for _, size := range []int{1, 3, 64, 256, 1 << 20} {
+			ref := NewExact()
+			for _, v := range vs {
+				ref.Insert(v)
+			}
+			got := NewExact()
+			for _, b := range chunk(vs, size) {
+				got.InsertBatch(b)
+			}
+			if ref.Count() != got.Count() {
+				t.Fatalf("%s/size%d: count %d vs %d", name, size, got.Count(), ref.Count())
+			}
+			for _, q := range TrackedQuantiles {
+				rv, err1 := ref.Query(q)
+				gv, err2 := got.Query(q)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s/size%d: query errs %v %v", name, size, err1, err2)
+				}
+				if math.Float64bits(rv) != math.Float64bits(gv) {
+					t.Fatalf("%s/size%d q=%v: %v != %v", name, size, gv, q, rv)
+				}
+			}
+			if !reflect.DeepEqual(ref.Values(), got.Values()) {
+				t.Fatalf("%s/size%d: value multisets diverge", name, size)
+			}
+		}
+	}
+}
+
+// TestExactInsertSortedBatchSkipsSort: a sorted batch into an empty exact
+// estimator must answer queries without re-sorting (behaviorally: correct
+// answers) and stay identical to the scalar path.
+func TestExactInsertSortedBatchSkipsSort(t *testing.T) {
+	vs := make([]float64, 1000)
+	for i := range vs {
+		vs[i] = float64(i) * 1.5
+	}
+	e := NewExact()
+	e.InsertSortedBatch(vs)
+	if !e.sorted {
+		t.Fatal("sorted flag lost on sorted batch into empty estimator")
+	}
+	ref := NewExact()
+	ref.InsertBatch(vs)
+	for _, q := range TrackedQuantiles {
+		ev, _ := e.Query(q)
+		rv, _ := ref.Query(q)
+		if ev != rv {
+			t.Fatalf("q=%v: %v != %v", q, ev, rv)
+		}
+	}
+	// A sorted batch on top of existing values cannot keep the flag.
+	e2 := NewExact()
+	e2.Insert(5000)
+	e2.InsertSortedBatch(vs)
+	if e2.sorted {
+		t.Fatal("sorted flag wrongly kept on non-empty estimator")
+	}
+	if v, _ := e2.Query(1); v != 5000 {
+		t.Fatalf("max %v, want 5000", v)
+	}
+}
+
+// sketchRankError returns the worst observed rank error of est's tracked-
+// quantile answers against the sorted reference stream.
+func sketchRankError(t *testing.T, est Estimator, sorted []float64) float64 {
+	t.Helper()
+	worst := 0.0
+	n := len(sorted)
+	for _, q := range TrackedQuantiles {
+		v, err := est.Query(q)
+		if err != nil {
+			t.Fatalf("query %v: %v", q, err)
+		}
+		// Rank range of v in the reference stream.
+		lo := 0
+		for lo < n && sorted[lo] < v {
+			lo++
+		}
+		hi := lo
+		for hi < n && sorted[hi] <= v {
+			hi++
+		}
+		// v occupies rank range [lo, hi] in the reference; the error is the
+		// distance from the target rank to that range (zero if inside —
+		// duplicated values legitimately cover wide rank ranges).
+		want := q * float64(n)
+		var e float64
+		switch {
+		case want < float64(lo):
+			e = (float64(lo) - want) / float64(n)
+		case want > float64(hi):
+			e = (want - float64(hi)) / float64(n)
+		}
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// TestSketchInsertBatchBoundedError: for GK, CKMS and Reservoir, batch
+// ingestion may schedule compression differently than per-value insertion,
+// but the answers must stay within the estimator's error bound and the
+// observation counts must agree exactly.
+func TestSketchInsertBatchBoundedError(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for name, vs := range batchStreams(rng) {
+		if len(vs) < 100 {
+			continue // rank-error bounds are vacuous on tiny streams
+		}
+		sorted := append([]float64(nil), vs...)
+		sortFloats(sorted)
+		for _, size := range []int{7, 256, 1 << 20} {
+			gk := MustGK(0.01)
+			ck := MustCKMS(TrackedTargets())
+			for _, b := range chunk(vs, size) {
+				gk.InsertBatch(b)
+				ck.InsertBatch(b)
+			}
+			if gk.Count() != len(vs) || ck.Count() != len(vs) {
+				t.Fatalf("%s/size%d: counts %d/%d, want %d", name, size, gk.Count(), ck.Count(), len(vs))
+			}
+			// 2× the configured epsilon leaves headroom for interpolation
+			// at the reference side while still catching broken merges.
+			if e := sketchRankError(t, gk, sorted); e > 2*0.01 {
+				t.Errorf("%s/size%d: GK rank error %v beyond bound", name, size, e)
+			}
+			if e := sketchRankError(t, ck, sorted); e > 2*0.005 {
+				t.Errorf("%s/size%d: CKMS rank error %v beyond bound", name, size, e)
+			}
+
+			res, err := NewReservoir(512, rand.New(rand.NewSource(17)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range chunk(vs, size) {
+				res.InsertBatch(b)
+			}
+			if res.Count() != len(vs) {
+				t.Fatalf("%s/size%d: reservoir count %d, want %d", name, size, res.Count(), len(vs))
+			}
+			if len(res.vals) != min(512, len(vs)) {
+				t.Fatalf("%s/size%d: sample size %d", name, size, len(res.vals))
+			}
+			// A 512-sample uniform reservoir has rank stddev ~1/(2*sqrt(k));
+			// 5 sigma keeps the test deterministic-seed stable.
+			if e := sketchRankError(t, res, sorted); e > 5.0/(2*math.Sqrt(512)) {
+				t.Errorf("%s/size%d: reservoir rank error %v beyond bound", name, size, e)
+			}
+		}
+	}
+}
+
+// TestGKInsertSortedBatchMatchesInsertBatch: InsertBatch is sort+
+// InsertSortedBatch, so feeding an already-sorted stream through either
+// must agree exactly (same tuples, same scheduling).
+func TestGKInsertSortedBatchMatchesInsertBatch(t *testing.T) {
+	vs := make([]float64, 4096)
+	for i := range vs {
+		vs[i] = float64(i)
+	}
+	a := MustGK(0.01)
+	a.InsertBatch(vs)
+	b := MustGK(0.01)
+	b.InsertSortedBatch(vs)
+	if !reflect.DeepEqual(a.tuples, b.tuples) || a.n != b.n || a.sinceCompress != b.sinceCompress {
+		t.Fatal("sorted-batch state diverges from batch state on sorted input")
+	}
+}
+
+// TestReservoirBatchAcceptanceRate: skip-sampling must keep the marginal
+// acceptance probability of Algorithm R — over many trials, each stream
+// position lands in the sample at close to rate k/n.
+func TestReservoirBatchAcceptanceRate(t *testing.T) {
+	const k, n, trials = 32, 1024, 400
+	hits := 0
+	for trial := 0; trial < trials; trial++ {
+		r, err := NewReservoir(k, rand.New(rand.NewSource(int64(trial))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = float64(i)
+		}
+		r.InsertBatch(vs)
+		for _, v := range r.vals {
+			if v >= n/2 { // count retained values from the stream's second half
+				hits++
+			}
+		}
+	}
+	// Uniform sampling retains each value with probability k/n, so the
+	// second half should hold ~half the sample across trials.
+	got := float64(hits) / float64(trials*k)
+	if got < 0.45 || got > 0.55 {
+		t.Fatalf("second-half retention rate %v, want ~0.5 (skip-sampling biased)", got)
+	}
+}
+
+func sortFloats(vs []float64) {
+	e := &Exact{vals: vs}
+	e.sortVals()
+}

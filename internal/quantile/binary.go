@@ -1,0 +1,356 @@
+package quantile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Compact binary codec for every estimator — the payload format behind
+// version-4 fleet frames (internal/fleet). Where gob ships each estimator
+// as an interface value (concrete type name + nested gob stream with its
+// own type descriptors, ~60 bytes of overhead per estimator, ~9 bytes per
+// float64), this codec spends one tag byte per estimator, varints for every
+// count, and delta-chains float values: each value's bits are mapped to an
+// order-preserving uint64 and encoded as the zigzag-varint difference from
+// its predecessor. A metric column clusters tightly around its level, so
+// consecutive deltas are small integers and typical values cost 5-7 bytes
+// instead of 9 — fully lossless (the bit mapping is a bijection, so NaN,
+// ±Inf and -0 round-trip exactly) and order-preserving, so estimators whose
+// state depends on insertion order (Reservoir slots, the CKMS buffer)
+// decode byte-identical.
+//
+// Decoding mirrors the gob codec's validation and its one documented
+// approximation: a Reservoir reseeds its rng deterministically from (K, N).
+
+// Type tags. Tag 0 marks a nil estimator slot.
+const (
+	binNil       = 0
+	binExact     = 1
+	binGK        = 2
+	binCKMS      = 3
+	binReservoir = 4
+)
+
+// floatToOrdered maps float64 bits to a uint64 whose unsigned order matches
+// the float order (negatives below positives, -0 below +0). A bijection, so
+// the inverse recovers the exact bit pattern.
+func floatToOrdered(v float64) uint64 {
+	u := math.Float64bits(v)
+	if u&(1<<63) != 0 {
+		return ^u
+	}
+	return u | 1<<63
+}
+
+func orderedToFloat(u uint64) float64 {
+	if u&(1<<63) != 0 {
+		return math.Float64frombits(u &^ (1 << 63))
+	}
+	return math.Float64frombits(^u)
+}
+
+// appendFloats delta-chains vs onto dst starting from a zero predecessor.
+func appendFloats(dst []byte, vs []float64) []byte {
+	prev := uint64(0)
+	for _, v := range vs {
+		u := floatToOrdered(v)
+		dst = binary.AppendVarint(dst, int64(u-prev))
+		prev = u
+	}
+	return dst
+}
+
+// binReader walks a binary estimator payload with bounds checking.
+type binReader struct {
+	data []byte
+}
+
+func (r *binReader) byte() (byte, error) {
+	if len(r.data) < 1 {
+		return 0, fmt.Errorf("quantile: binary payload truncated")
+	}
+	b := r.data[0]
+	r.data = r.data[1:]
+	return b, nil
+}
+
+func (r *binReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		return 0, fmt.Errorf("quantile: bad uvarint in binary payload")
+	}
+	r.data = r.data[n:]
+	return v, nil
+}
+
+func (r *binReader) varint() (int64, error) {
+	v, n := binary.Varint(r.data)
+	if n <= 0 {
+		return 0, fmt.Errorf("quantile: bad varint in binary payload")
+	}
+	r.data = r.data[n:]
+	return v, nil
+}
+
+// count reads a length prefix and rejects values that could not possibly
+// fit in the remaining payload (every element costs at least one byte), so
+// corrupted or adversarial input cannot trigger huge allocations.
+func (r *binReader) count(what string) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(r.data)) {
+		return 0, fmt.Errorf("quantile: %s count %d exceeds remaining payload %d", what, v, len(r.data))
+	}
+	return int(v), nil
+}
+
+func (r *binReader) floats(n int) ([]float64, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]float64, n)
+	prev := uint64(0)
+	for i := range out {
+		d, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		prev += uint64(d)
+		out[i] = orderedToFloat(prev)
+	}
+	return out, nil
+}
+
+// AppendBinary appends est's state to dst and returns the extended slice.
+// A nil estimator encodes as a one-byte tombstone. The estimator is read
+// but not mutated.
+func AppendBinary(dst []byte, est Estimator) ([]byte, error) {
+	switch e := est.(type) {
+	case nil:
+		return append(dst, binNil), nil
+	case *Exact:
+		dst = append(dst, binExact)
+		dst = binary.AppendUvarint(dst, uint64(len(e.vals)))
+		return appendFloats(dst, e.vals), nil
+	case *GK:
+		dst = append(dst, binGK)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.eps))
+		dst = binary.AppendUvarint(dst, uint64(e.n))
+		dst = binary.AppendUvarint(dst, uint64(e.sinceCompress))
+		dst = binary.AppendUvarint(dst, uint64(len(e.tuples)))
+		prev := uint64(0)
+		for _, t := range e.tuples {
+			u := floatToOrdered(t.v)
+			dst = binary.AppendVarint(dst, int64(u-prev))
+			prev = u
+			dst = binary.AppendUvarint(dst, uint64(t.g))
+			dst = binary.AppendUvarint(dst, uint64(t.delta))
+		}
+		return dst, nil
+	case *CKMS:
+		dst = append(dst, binCKMS)
+		dst = binary.AppendUvarint(dst, uint64(len(e.targets)))
+		for _, t := range e.targets {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(t.Quantile))
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(t.Epsilon))
+		}
+		dst = binary.AppendUvarint(dst, uint64(e.n))
+		dst = binary.AppendUvarint(dst, uint64(len(e.tuples)))
+		prev := uint64(0)
+		for _, t := range e.tuples {
+			u := floatToOrdered(t.v)
+			dst = binary.AppendVarint(dst, int64(u-prev))
+			prev = u
+			dst = binary.AppendUvarint(dst, uint64(t.g))
+			dst = binary.AppendUvarint(dst, uint64(t.delta))
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(e.buf)))
+		return appendFloats(dst, e.buf), nil
+	case *Reservoir:
+		dst = append(dst, binReservoir)
+		dst = binary.AppendUvarint(dst, uint64(e.k))
+		dst = binary.AppendUvarint(dst, uint64(e.n))
+		dst = binary.AppendUvarint(dst, uint64(len(e.vals)))
+		return appendFloats(dst, e.vals), nil
+	default:
+		// Return dst unchanged so callers can recover their buffer and
+		// fall back to another codec for the unknown type.
+		return dst, fmt.Errorf("quantile: no binary codec for %T", est)
+	}
+}
+
+// DecodeBinary decodes one estimator from the front of data, returning it
+// (nil for a tombstone) and the unconsumed remainder. The decoded estimator
+// answers queries identically to the encoded one, with the Reservoir's
+// documented rng-reseed exception.
+func DecodeBinary(data []byte) (Estimator, []byte, error) {
+	r := &binReader{data: data}
+	tag, err := r.byte()
+	if err != nil {
+		return nil, nil, err
+	}
+	switch tag {
+	case binNil:
+		return nil, r.data, nil
+	case binExact:
+		n, err := r.count("exact value")
+		if err != nil {
+			return nil, nil, err
+		}
+		vals, err := r.floats(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		e := &Exact{vals: vals}
+		return e, r.data, nil
+	case binGK:
+		epsBits, err2 := r.uvarintFixed64()
+		if err2 != nil {
+			return nil, nil, err2
+		}
+		eps := math.Float64frombits(epsBits)
+		if eps <= 0 || eps >= 1 {
+			return nil, nil, fmt.Errorf("quantile: decoded GK eps=%v out of (0,1)", eps)
+		}
+		n, err2 := r.uvarint()
+		if err2 != nil {
+			return nil, nil, err2
+		}
+		since, err2 := r.uvarint()
+		if err2 != nil {
+			return nil, nil, err2
+		}
+		nt, err2 := r.count("GK tuple")
+		if err2 != nil {
+			return nil, nil, err2
+		}
+		s := &GK{eps: eps, n: int(n), sinceCompress: int(since)}
+		s.tuples = make([]gkTuple, 0, nt)
+		prev := uint64(0)
+		for i := 0; i < nt; i++ {
+			d, err3 := r.varint()
+			if err3 != nil {
+				return nil, nil, err3
+			}
+			prev += uint64(d)
+			g, err3 := r.uvarint()
+			if err3 != nil {
+				return nil, nil, err3
+			}
+			delta, err3 := r.uvarint()
+			if err3 != nil {
+				return nil, nil, err3
+			}
+			s.tuples = append(s.tuples, gkTuple{v: orderedToFloat(prev), g: int(g), delta: int(delta)})
+		}
+		return s, r.data, nil
+	case binCKMS:
+		ntg, err2 := r.count("CKMS target")
+		if err2 != nil {
+			return nil, nil, err2
+		}
+		targets := make([]Target, 0, ntg)
+		for i := 0; i < ntg; i++ {
+			qb, err3 := r.uvarintFixed64()
+			if err3 != nil {
+				return nil, nil, err3
+			}
+			eb, err3 := r.uvarintFixed64()
+			if err3 != nil {
+				return nil, nil, err3
+			}
+			targets = append(targets, Target{Quantile: math.Float64frombits(qb), Epsilon: math.Float64frombits(eb)})
+		}
+		if _, err2 := NewCKMS(targets); err2 != nil {
+			return nil, nil, fmt.Errorf("quantile: decoded CKMS: %w", err2)
+		}
+		n, err2 := r.uvarint()
+		if err2 != nil {
+			return nil, nil, err2
+		}
+		nt, err2 := r.count("CKMS tuple")
+		if err2 != nil {
+			return nil, nil, err2
+		}
+		s := &CKMS{targets: targets, n: int(n)}
+		s.tuples = make([]ckmsTuple, 0, nt)
+		prev := uint64(0)
+		for i := 0; i < nt; i++ {
+			d, err3 := r.varint()
+			if err3 != nil {
+				return nil, nil, err3
+			}
+			prev += uint64(d)
+			g, err3 := r.uvarint()
+			if err3 != nil {
+				return nil, nil, err3
+			}
+			delta, err3 := r.uvarint()
+			if err3 != nil {
+				return nil, nil, err3
+			}
+			s.tuples = append(s.tuples, ckmsTuple{v: orderedToFloat(prev), g: int(g), delta: int(delta)})
+		}
+		nb, err2 := r.count("CKMS buffer")
+		if err2 != nil {
+			return nil, nil, err2
+		}
+		buf, err2 := r.floats(nb)
+		if err2 != nil {
+			return nil, nil, err2
+		}
+		s.buf = buf
+		if s.buf == nil {
+			s.buf = make([]float64, 0, ckmsBufSize)
+		}
+		return s, r.data, nil
+	case binReservoir:
+		k, err2 := r.uvarint()
+		if err2 != nil {
+			return nil, nil, err2
+		}
+		n, err2 := r.uvarint()
+		if err2 != nil {
+			return nil, nil, err2
+		}
+		nv, err2 := r.count("reservoir value")
+		if err2 != nil {
+			return nil, nil, err2
+		}
+		if k == 0 || k > math.MaxInt32 {
+			return nil, nil, fmt.Errorf("quantile: decoded reservoir size %d out of range", k)
+		}
+		if uint64(nv) > k {
+			return nil, nil, fmt.Errorf("quantile: decoded reservoir holds %d values for size %d", nv, k)
+		}
+		vals, err2 := r.floats(nv)
+		if err2 != nil {
+			return nil, nil, err2
+		}
+		res := &Reservoir{k: int(k), n: int(n), vals: vals}
+		if res.vals == nil {
+			res.vals = make([]float64, 0, res.k)
+		}
+		// Same deterministic reseed as the gob codec: replicas that decode
+		// identical frames make identical eviction choices.
+		res.rng = rand.New(rand.NewSource(int64(res.k)<<32 ^ int64(res.n)))
+		return res, r.data, nil
+	default:
+		return nil, nil, fmt.Errorf("quantile: unknown binary estimator tag %d", tag)
+	}
+}
+
+// uvarintFixed64 reads a raw little-endian 64-bit word (used for float
+// fields that must round-trip bit-exactly without delta context).
+func (r *binReader) uvarintFixed64() (uint64, error) {
+	if len(r.data) < 8 {
+		return 0, fmt.Errorf("quantile: binary payload truncated")
+	}
+	v := binary.LittleEndian.Uint64(r.data)
+	r.data = r.data[8:]
+	return v, nil
+}

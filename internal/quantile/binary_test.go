@@ -1,0 +1,157 @@
+package quantile
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// binaryRound encodes est with the compact binary codec and decodes it
+// back, asserting the whole buffer is consumed.
+func binaryRound(t *testing.T, est Estimator) Estimator {
+	t.Helper()
+	data, err := AppendBinary(nil, est)
+	if err != nil {
+		t.Fatalf("binary encode: %v", err)
+	}
+	out, rest, err := DecodeBinary(data)
+	if err != nil {
+		t.Fatalf("binary decode: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("binary decode left %d bytes", len(rest))
+	}
+	return out
+}
+
+// TestBinaryGobEquivalence: decoding the compact binary payload must yield
+// exactly the state gob decoding yields — asserted byte-for-byte by gob
+// re-encoding both decodes. This is the wire-codec mirror of the merge
+// commute test: v3 (gob) and v4 (binary) fleets must agree on estimator
+// state to the bit.
+func TestBinaryGobEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	feed := func(est Estimator, n int) Estimator {
+		for i := 0; i < n; i++ {
+			est.Insert(100 + rng.NormFloat64()*10)
+		}
+		return est
+	}
+	cases := map[string]Estimator{
+		"exact":         feed(NewExact(), 500),
+		"exact-empty":   NewExact(),
+		"gk":            feed(MustGK(0.01), 5000),
+		"ckms":          feed(MustCKMS(TrackedTargets()), 5000),
+		"ckms-buffered": feed(MustCKMS(TrackedTargets()), 100), // under ckmsBufSize: all in buf
+		"reservoir": feed(func() Estimator {
+			r, _ := NewReservoir(128, rand.New(rand.NewSource(9)))
+			return r
+		}(), 2000),
+	}
+	for name, est := range cases {
+		viaGob := gobRound(t, est)
+		viaBin := binaryRound(t, est)
+		if got, want := encodeBytes(t, viaBin), encodeBytes(t, viaGob); !bytes.Equal(got, want) {
+			t.Errorf("%s: binary-decoded state differs from gob-decoded state", name)
+		}
+		if viaBin.Count() != est.Count() {
+			t.Errorf("%s: count %d, want %d", name, viaBin.Count(), est.Count())
+		}
+		if est.Count() > 0 {
+			for _, q := range TrackedQuantiles {
+				ov, err1 := est.Query(q)
+				bv, err2 := viaBin.Query(q)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s: query errs %v %v", name, err1, err2)
+				}
+				if math.Float64bits(ov) != math.Float64bits(bv) {
+					t.Errorf("%s q=%v: %v != %v", name, q, bv, ov)
+				}
+			}
+		}
+	}
+}
+
+// TestBinarySpecialValues: the order-preserving bit mapping must be a
+// bijection — NaN payloads, infinities and signed zeros all round-trip
+// bit-exactly through the delta chain.
+func TestBinarySpecialValues(t *testing.T) {
+	specials := []float64{
+		0, math.Copysign(0, -1), 1, -1,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		math.MaxFloat64, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+	}
+	e := NewExact()
+	e.InsertBatch(specials)
+	got := binaryRound(t, e).(*Exact)
+	if len(got.vals) != len(specials) {
+		t.Fatalf("%d values, want %d", len(got.vals), len(specials))
+	}
+	for i, v := range specials {
+		if math.Float64bits(got.vals[i]) != math.Float64bits(v) {
+			t.Errorf("value %d: %x, want %x", i, math.Float64bits(got.vals[i]), math.Float64bits(v))
+		}
+	}
+}
+
+// TestBinaryNilAndChained: nil estimators cost one byte, and several
+// estimators concatenated in one buffer decode in sequence — the layout
+// fleet frames use for the explicit estimator section.
+func TestBinaryNilAndChained(t *testing.T) {
+	ests := []Estimator{NewExact(), nil, MustGK(0.05)}
+	ests[0].Insert(1)
+	ests[2].Insert(2)
+	var buf []byte
+	var err error
+	for _, est := range ests {
+		if buf, err = AppendBinary(buf, est); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rest := buf
+	for i, want := range ests {
+		var got Estimator
+		if got, rest, err = DecodeBinary(rest); err != nil {
+			t.Fatalf("estimator %d: %v", i, err)
+		}
+		if (got == nil) != (want == nil) {
+			t.Fatalf("estimator %d: nil-ness mismatch", i)
+		}
+		if want != nil && got.Count() != want.Count() {
+			t.Fatalf("estimator %d: count %d, want %d", i, got.Count(), want.Count())
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over", len(rest))
+	}
+}
+
+// TestBinaryDecodeRejectsCorrupt: truncations and absurd counts must fail
+// with an error, never panic or allocate unboundedly.
+func TestBinaryDecodeRejectsCorrupt(t *testing.T) {
+	e := NewExact()
+	for i := 0; i < 100; i++ {
+		e.Insert(float64(i))
+	}
+	data, err := AppendBinary(nil, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut += 7 {
+		if _, _, err := DecodeBinary(data[:cut]); err == nil && cut < len(data) {
+			// Short prefixes may still parse as a smaller valid payload only
+			// if the count happens to fit; a nil-tag single byte is valid.
+			if cut != 1 {
+				t.Errorf("truncation at %d decoded without error", cut)
+			}
+		}
+	}
+	if _, _, err := DecodeBinary([]byte{binExact, 0xff, 0xff, 0xff, 0xff, 0x7f}); err == nil {
+		t.Error("absurd count accepted")
+	}
+	if _, _, err := DecodeBinary([]byte{99}); err == nil {
+		t.Error("unknown tag accepted")
+	}
+}

@@ -101,17 +101,50 @@ func (s *CKMS) Insert(v float64) {
 	}
 }
 
+// InsertBatch bulk-appends the batch to the insert buffer and runs at most
+// one merge pass for the whole batch — the amortized alternative to the
+// per-value path, which flushes every ckmsBufSize insertions. A flush over
+// a larger buffer is still one sort + one linear merge, so deferring it
+// across the batch only helps.
+func (s *CKMS) InsertBatch(vs []float64) {
+	if len(vs) == 0 {
+		return
+	}
+	s.buf = append(s.buf, vs...)
+	if len(s.buf) >= ckmsBufSize {
+		s.flush()
+	}
+}
+
+// InsertSortedBatch merges an ascending batch straight into the tuple list,
+// skipping the buffer (and its sort) entirely. Any buffered values are
+// flushed first so stream order is preserved up to the batch.
+func (s *CKMS) InsertSortedBatch(vs []float64) {
+	if len(vs) == 0 {
+		return
+	}
+	s.flush()
+	s.mergeSorted(vs)
+}
+
 // flush merges the buffered values into the tuple list and compresses.
 func (s *CKMS) flush() {
 	if len(s.buf) == 0 {
 		return
 	}
 	sort.Float64s(s.buf)
-	merged := make([]ckmsTuple, 0, len(s.tuples)+len(s.buf))
+	s.mergeSorted(s.buf)
+	s.buf = s.buf[:0]
+}
+
+// mergeSorted folds a sorted ascending batch into the tuple list in one
+// linear pass and compresses. The batch is read-only.
+func (s *CKMS) mergeSorted(vals []float64) {
+	merged := make([]ckmsTuple, 0, len(s.tuples)+len(vals))
 	bi := 0
 	r := 0.0
 	for _, t := range s.tuples {
-		for bi < len(s.buf) && s.buf[bi] <= t.v {
+		for bi < len(vals) && vals[bi] <= t.v {
 			delta := 0
 			if len(merged) > 0 { // not the new minimum
 				delta = int(s.invariant(r, s.n)) - 1
@@ -119,7 +152,7 @@ func (s *CKMS) flush() {
 					delta = 0
 				}
 			}
-			merged = append(merged, ckmsTuple{v: s.buf[bi], g: 1, delta: delta})
+			merged = append(merged, ckmsTuple{v: vals[bi], g: 1, delta: delta})
 			s.n++
 			r++
 			bi++
@@ -127,14 +160,13 @@ func (s *CKMS) flush() {
 		merged = append(merged, t)
 		r += float64(t.g)
 	}
-	for bi < len(s.buf) {
+	for bi < len(vals) {
 		// Values beyond the current maximum anchor the new max: delta 0.
-		merged = append(merged, ckmsTuple{v: s.buf[bi], g: 1, delta: 0})
+		merged = append(merged, ckmsTuple{v: vals[bi], g: 1, delta: 0})
 		s.n++
 		bi++
 	}
 	s.tuples = merged
-	s.buf = s.buf[:0]
 	s.compress()
 }
 
@@ -191,14 +223,19 @@ func (s *CKMS) Merge(src Estimator) error {
 	if !ok {
 		return fmt.Errorf("quantile: cannot merge %T into *CKMS", src)
 	}
-	for _, v := range o.buf {
-		s.Insert(v)
+	s.InsertBatch(o.buf)
+	if len(o.tuples) == 0 {
+		return nil
 	}
+	// The source tuples are sorted ascending; their g-weighted expansion is
+	// a sorted batch that merges in one pass.
+	expanded := make([]float64, 0, o.n)
 	for _, t := range o.tuples {
 		for i := 0; i < t.g; i++ {
-			s.Insert(t.v)
+			expanded = append(expanded, t.v)
 		}
 	}
+	s.InsertSortedBatch(expanded)
 	return nil
 }
 

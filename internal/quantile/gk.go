@@ -19,6 +19,10 @@ type GK struct {
 	tuples []gkTuple // sorted ascending by v
 	// compressEvery counts down insertions until the next compression.
 	sinceCompress int
+	// sortBuf and mergeBuf are batch-ingestion scratch, retained across
+	// calls so steady-state batches allocate nothing.
+	sortBuf  []float64
+	mergeBuf []gkTuple
 }
 
 // gkTuple is one summary entry: value v covers g observations, and delta
@@ -59,6 +63,66 @@ func (s *GK) Insert(v float64) {
 	s.n++
 
 	s.sinceCompress++
+	if float64(s.sinceCompress) >= 1/(2*s.eps) {
+		s.compress()
+		s.sinceCompress = 0
+	}
+}
+
+// InsertBatch sorts the batch into scratch and merges it in one pass. The
+// per-value path compresses every 1/(2ε) insertions; the batch path runs
+// at most one compression per batch instead, which is always safe — each
+// value's delta is fixed from the stream length at its insertion point, and
+// the ε·n budget only grows — so deferring compression trades transient
+// memory for time without touching the error guarantee.
+func (s *GK) InsertBatch(vs []float64) {
+	if len(vs) == 0 {
+		return
+	}
+	s.sortBuf = append(s.sortBuf[:0], vs...)
+	sort.Float64s(s.sortBuf)
+	s.InsertSortedBatch(s.sortBuf)
+}
+
+// InsertSortedBatch merges an ascending batch into the tuple list in a
+// single linear pass, assigning each value the same delta the per-value
+// Insert would at that point of the stream, then schedules at most one
+// compression for the whole batch.
+func (s *GK) InsertSortedBatch(vs []float64) {
+	if len(vs) == 0 {
+		return
+	}
+	if cap(s.mergeBuf) < len(s.tuples)+len(vs) {
+		s.mergeBuf = make([]gkTuple, 0, len(s.tuples)+len(vs))
+	}
+	out := s.mergeBuf[:0]
+	bi := 0
+	for _, t := range s.tuples {
+		// Insert places a value after any equal tuples (sort.Search for the
+		// first strictly-greater tuple), so only strictly smaller batch
+		// values go before t.
+		for bi < len(vs) && vs[bi] < t.v {
+			delta := 0
+			if len(out) > 0 { // not the new minimum
+				delta = int(math.Floor(2 * s.eps * float64(s.n)))
+			}
+			out = append(out, gkTuple{v: vs[bi], g: 1, delta: delta})
+			s.n++
+			bi++
+		}
+		out = append(out, t)
+	}
+	for bi < len(vs) {
+		// At or past the current maximum: delta 0, anchoring the new max.
+		out = append(out, gkTuple{v: vs[bi], g: 1, delta: 0})
+		s.n++
+		bi++
+	}
+	// Swap the merge scratch in as the live tuple list and retain the old
+	// backing array for the next batch.
+	s.tuples, s.mergeBuf = out, s.tuples[:0]
+
+	s.sinceCompress += len(vs)
 	if float64(s.sinceCompress) >= 1/(2*s.eps) {
 		s.compress()
 		s.sinceCompress = 0
@@ -118,11 +182,20 @@ func (s *GK) Merge(src Estimator) error {
 	if !ok {
 		return fmt.Errorf("quantile: cannot merge %T into *GK", src)
 	}
+	if len(o.tuples) == 0 {
+		return nil
+	}
+	// The source tuples are sorted ascending, so their g-weighted expansion
+	// is a ready-made sorted batch: one merge pass instead of one
+	// tuple-insertion per covered observation.
+	buf := s.sortBuf[:0]
 	for _, t := range o.tuples {
 		for i := 0; i < t.g; i++ {
-			s.Insert(t.v)
+			buf = append(buf, t.v)
 		}
 	}
+	s.sortBuf = buf
+	s.InsertSortedBatch(buf)
 	return nil
 }
 

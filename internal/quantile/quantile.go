@@ -33,6 +33,17 @@ var ErrNoData = errors.New("quantile: no observations")
 type Estimator interface {
 	// Insert adds one observation.
 	Insert(v float64)
+	// InsertBatch adds a batch of observations, equivalent to calling
+	// Insert on each value in order: byte-identical for Exact (only the
+	// value multiset matters), within the estimator's error bound for the
+	// sketches (which may schedule compression differently across the
+	// batch). The batch slice is not retained.
+	InsertBatch(vs []float64)
+	// InsertSortedBatch is InsertBatch for a batch the caller guarantees
+	// is sorted ascending, letting sketch implementations skip their own
+	// sort and merge in a single pass. Behavior is undefined (but never a
+	// panic or corruption) if the batch is not actually sorted.
+	InsertSortedBatch(vs []float64)
 	// Query returns an estimate of the q-th quantile of everything
 	// inserted so far.
 	Query(q float64) (float64, error)
@@ -63,6 +74,80 @@ type Merger interface {
 type Exact struct {
 	vals   []float64
 	sorted bool
+	// keys and keyTmp are radix-sort scratch (see sortVals), retained so a
+	// reused estimator sorts without allocating.
+	keys   []uint64
+	keyTmp []uint64
+}
+
+// radixMinLen is the value count above which sortVals switches from the
+// comparison sort to the LSD radix sort. Below it the O(n log n) sort's
+// lower constant wins; above it the radix sort's 8 linear passes do.
+const radixMinLen = 256
+
+// sortVals sorts the observations ascending. Large sets take an LSD radix
+// sort over the order-preserving bit mapping (floatToOrdered): one pass
+// builds all eight digit histograms, then up to eight stable counting-sort
+// passes — skipping any digit all keys share, which for metric columns
+// clustered around a common level is most of the high bytes. The result is
+// identical to sort.Float64s for finite values; a batch containing NaN
+// falls back to the comparison sort so NaN placement matches exactly.
+func (e *Exact) sortVals() {
+	if e.sorted {
+		return
+	}
+	e.sorted = true
+	n := len(e.vals)
+	if n < radixMinLen {
+		sort.Float64s(e.vals)
+		return
+	}
+	if cap(e.keys) < n {
+		e.keys = make([]uint64, n)
+		e.keyTmp = make([]uint64, n)
+	}
+	keys := e.keys[:n]
+	for i, v := range e.vals {
+		if v != v {
+			sort.Float64s(e.vals)
+			return
+		}
+		keys[i] = floatToOrdered(v)
+	}
+	var counts [8][256]int
+	for _, k := range keys {
+		counts[0][k&0xff]++
+		counts[1][(k>>8)&0xff]++
+		counts[2][(k>>16)&0xff]++
+		counts[3][(k>>24)&0xff]++
+		counts[4][(k>>32)&0xff]++
+		counts[5][(k>>40)&0xff]++
+		counts[6][(k>>48)&0xff]++
+		counts[7][(k>>56)&0xff]++
+	}
+	first := keys[0]
+	src, dst := keys, e.keyTmp[:n]
+	for d := uint(0); d < 8; d++ {
+		c := &counts[d]
+		if c[(first>>(8*d))&0xff] == n {
+			continue // every key shares this digit; the pass is a no-op
+		}
+		sum := 0
+		for b := 0; b < 256; b++ {
+			cnt := c[b]
+			c[b] = sum
+			sum += cnt
+		}
+		for _, k := range src {
+			b := (k >> (8 * d)) & 0xff
+			dst[c[b]] = k
+			c[b]++
+		}
+		src, dst = dst, src
+	}
+	for i, k := range src {
+		e.vals[i] = orderedToFloat(k)
+	}
 }
 
 // NewExact returns an empty exact estimator.
@@ -74,6 +159,28 @@ func (e *Exact) Insert(v float64) {
 	e.sorted = false
 }
 
+// InsertBatch bulk-appends the batch; sorting is deferred to the next
+// query, so ingesting a whole metric column costs one copy instead of one
+// call per cell.
+func (e *Exact) InsertBatch(vs []float64) {
+	if len(vs) == 0 {
+		return
+	}
+	e.vals = append(e.vals, vs...)
+	e.sorted = false
+}
+
+// InsertSortedBatch appends an already-sorted batch. Landing in an empty
+// estimator the sorted flag is kept, so the next query skips its sort.
+func (e *Exact) InsertSortedBatch(vs []float64) {
+	if len(vs) == 0 {
+		return
+	}
+	wasEmpty := len(e.vals) == 0
+	e.vals = append(e.vals, vs...)
+	e.sorted = wasEmpty
+}
+
 // Query returns the exact q-th quantile.
 func (e *Exact) Query(q float64) (float64, error) {
 	if len(e.vals) == 0 {
@@ -82,10 +189,7 @@ func (e *Exact) Query(q float64) (float64, error) {
 	if q < 0 || q > 1 {
 		return 0, fmt.Errorf("quantile: q=%v out of [0,1]", q)
 	}
-	if !e.sorted {
-		sort.Float64s(e.vals)
-		e.sorted = true
-	}
+	e.sortVals()
 	n := len(e.vals)
 	if n == 1 {
 		return e.vals[0], nil
@@ -129,12 +233,16 @@ func (e *Exact) Merge(src Estimator) error {
 // Values returns the observations sorted ascending. The returned slice is
 // owned by the estimator and must not be modified.
 func (e *Exact) Values() []float64 {
-	if !e.sorted {
-		sort.Float64s(e.vals)
-		e.sorted = true
-	}
+	e.sortVals()
 	return e.vals
 }
+
+// RawValues returns the observations without sorting them first (unlike
+// Values, which sorts in place): insertion order is preserved as long as no
+// query has run. The slice aliases the estimator's storage — read-only, and
+// valid only until the next mutating call. Wire codecs use it to compare
+// estimator content against the raw rows it was ingested from.
+func (e *Exact) RawValues() []float64 { return e.vals }
 
 // Summarize inserts nothing and reads the TrackedQuantiles (25/50/95) out of
 // est in order. It is the one-line helper the metric store uses per epoch.

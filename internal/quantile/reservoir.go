@@ -42,6 +42,46 @@ func (r *Reservoir) Insert(v float64) {
 	}
 }
 
+// InsertBatch adds the batch with skip-sampling (Vitter's Algorithm X):
+// instead of one rng draw per value, it draws one uniform variate per
+// *accepted* value and walks the rejection run it implies — P(skip ≥ s) =
+// ∏(1 - k/(n+t)) — so in the steady state, where acceptances are rare, most
+// of the batch costs a counter increment and one multiply. Each value's
+// marginal acceptance probability is exactly Algorithm R's k/n, but the rng
+// stream is consumed differently, so the retained sample differs from
+// per-value insertion in draw sequence only, not in distribution.
+func (r *Reservoir) InsertBatch(vs []float64) {
+	i := 0
+	for i < len(vs) && len(r.vals) < r.k {
+		r.n++
+		r.vals = append(r.vals, vs[i])
+		i++
+	}
+	for i < len(vs) {
+		u := r.rng.Float64()
+		p := 1.0
+		for {
+			r.n++
+			p *= float64(r.n-r.k) / float64(r.n)
+			if p <= u {
+				break // value i is accepted at stream position n
+			}
+			i++
+			if i >= len(vs) {
+				// Batch exhausted mid-run: every skipped value was rejected
+				// with its correct marginal probability and n is up to date,
+				// so abandoning the variate is unbiased.
+				return
+			}
+		}
+		r.vals[r.rng.Intn(r.k)] = vs[i]
+		i++
+	}
+}
+
+// InsertSortedBatch is InsertBatch: sortedness buys the sampler nothing.
+func (r *Reservoir) InsertSortedBatch(vs []float64) { r.InsertBatch(vs) }
+
 // Query returns the q-th quantile of the current sample.
 func (r *Reservoir) Query(q float64) (float64, error) {
 	if len(r.vals) == 0 {

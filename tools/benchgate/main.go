@@ -1,9 +1,12 @@
 // Command benchgate guards the hot-path benchmarks against performance
-// regressions. It runs the steady-state ingestion and epoch-generation
-// benchmarks (`go test -bench 'ObserveEpoch|EpochGen' -benchmem`), records
-// every result in a JSON baseline (benchmark name → ns/op, B/op, allocs/op),
-// and exits non-zero when any benchmark's ns/op or allocs/op regresses
-// beyond its tolerance against the committed baseline. Allocation counts are
+// regressions. It runs the steady-state ingestion, epoch-generation, and
+// fleet wire-codec benchmarks (`go test -bench
+// 'ObserveEpoch|EpochGen|FrameCodec|FleetEpochThroughput' -benchmem`),
+// records every result in a JSON baseline (benchmark name → ns/op, B/op,
+// allocs/op), and exits non-zero when any benchmark's ns/op or allocs/op
+// regresses beyond its tolerance against the committed baseline, or when a
+// benchmark runs without a committed baseline entry (so new benchmarks
+// cannot land ungated — refresh with -update). Allocation counts are
 // near-deterministic, so the allocs gate uses a tighter fractional tolerance
 // plus a two-alloc absolute grace for tiny baselines.
 //
@@ -37,8 +40,10 @@ type Result struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// benchLine matches `BenchmarkName-8  100  12345 ns/op  678 B/op  9 allocs/op`.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) B/op\s+([\d.]+) allocs/op`)
+// benchLine matches `BenchmarkName-8  100  12345 ns/op  678 B/op  9 allocs/op`,
+// tolerating extra value/unit columns between ns/op and B/op — SetBytes adds
+// `328.73 MB/s` and ReportMetric adds custom units like `1815 frames/s`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ \S+)*?\s+([\d.]+) B/op\s+([\d.]+) allocs/op`)
 
 // gomaxprocsSuffix strips the -N procs suffix Go appends to benchmark names.
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
@@ -60,12 +65,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	args := []string{"test", "-run", "^$", "-bench", "ObserveEpoch|EpochGen",
+	args := []string{"test", "-run", "^$", "-bench", "ObserveEpoch|EpochGen|FrameCodec|FleetEpochThroughput",
 		"-benchmem", "-count", strconv.Itoa(*count)}
 	if *benchtime != "" {
 		args = append(args, "-benchtime", *benchtime)
 	}
-	args = append(args, "./internal/monitor/", "./internal/dcsim/")
+	args = append(args, "./internal/monitor/", "./internal/dcsim/", "./internal/fleet/")
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
@@ -113,6 +118,19 @@ func main() {
 		if now.AllocsPerOp > allocLimit {
 			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: %.0f allocs/op exceeds baseline %.0f allocs/op (limit %.0f)\n",
 				name, now.AllocsPerOp, was.AllocsPerOp, allocLimit)
+			failed = true
+		}
+	}
+	// A committed benchmark with no baseline entry would run ungated
+	// forever; force a deliberate -update instead.
+	curNames := make([]string, 0, len(cur))
+	for name := range cur {
+		curNames = append(curNames, name)
+	}
+	sort.Strings(curNames)
+	for _, name := range curNames {
+		if _, ok := old[name]; !ok {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %s: ran without a baseline entry (run with -update to baseline it)\n", name)
 			failed = true
 		}
 	}
